@@ -1,0 +1,188 @@
+//! The 2-D PE matrix geometry and the three-level interconnect's latency
+//! model (paper §5.1, "Connectivity and bussing").
+
+use std::fmt;
+
+/// A PE's position within one worker thread's allocation: `row-major`
+/// index over `rows × columns` PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeId(pub u32);
+
+impl PeId {
+    /// Index into flat arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pe{}", self.0)
+    }
+}
+
+/// The shape of one worker thread's PE allocation.
+///
+/// The Planner allocates PEs to threads at row granularity (paper §4.4),
+/// so a thread always owns `rows` full rows of `columns` PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// Rows allocated to the thread.
+    pub rows: usize,
+    /// PEs per row (fixed by the chip's memory interface width).
+    pub columns: usize,
+}
+
+impl Geometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, columns: usize) -> Self {
+        assert!(rows > 0 && columns > 0, "geometry dimensions must be positive");
+        Geometry { rows, columns }
+    }
+
+    /// Total PEs in the allocation.
+    pub fn pes(&self) -> usize {
+        self.rows * self.columns
+    }
+
+    /// Row of a PE.
+    pub fn row(&self, pe: PeId) -> usize {
+        pe.index() / self.columns
+    }
+
+    /// Column of a PE.
+    pub fn column(&self, pe: PeId) -> usize {
+        pe.index() % self.columns
+    }
+
+    /// PE at (row, column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn at(&self, row: usize, column: usize) -> PeId {
+        assert!(row < self.rows && column < self.columns, "PE coordinate out of range");
+        PeId((row * self.columns + column) as u32)
+    }
+
+    /// Whether two PEs are adjacent within a row (neighbor-link reachable).
+    pub fn are_neighbors(&self, a: PeId, b: PeId) -> bool {
+        self.row(a) == self.row(b) && self.column(a).abs_diff(self.column(b)) == 1
+    }
+
+    /// The communication resource a value takes from `src` to `dst`, with
+    /// its latency in cycles:
+    ///
+    /// - same PE: forwarding, 0 cycles;
+    /// - adjacent PEs in a row: bi-directional neighbor link, 1 cycle;
+    /// - same row: the row's pipelined shared bus, 2 cycles;
+    /// - different rows: the tree bus — `2·(log2ceil(rows)+1)` cycles up
+    ///   and down the tree (each tree level is a pipeline stage).
+    pub fn route(&self, src: PeId, dst: PeId) -> Route {
+        if src == dst {
+            Route { link: LinkClass::Local, latency: 0 }
+        } else if self.are_neighbors(src, dst) {
+            Route { link: LinkClass::Neighbor, latency: 1 }
+        } else if self.row(src) == self.row(dst) {
+            Route { link: LinkClass::RowBus(self.row(src)), latency: 2 }
+        } else {
+            let levels = usize::BITS - (self.rows.max(2) - 1).leading_zeros();
+            Route { link: LinkClass::TreeBus, latency: 2 * (levels as u64 + 1) }
+        }
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.columns)
+    }
+}
+
+/// The interconnect resource class a transfer occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// Same-PE forwarding path (the bypass between write-back and ALU).
+    Local,
+    /// Bi-directional link between adjacent PEs.
+    Neighbor,
+    /// The pipelined shared bus of one row.
+    RowBus(usize),
+    /// The hierarchical tree bus connecting rows.
+    TreeBus,
+}
+
+/// A routed transfer: which resource and how many cycles in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Resource occupied.
+    pub link: LinkClass,
+    /// Latency in cycles.
+    pub latency: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinates_round_trip() {
+        let g = Geometry::new(4, 16);
+        let pe = g.at(2, 5);
+        assert_eq!(g.row(pe), 2);
+        assert_eq!(g.column(pe), 5);
+        assert_eq!(g.pes(), 64);
+        assert_eq!(g.to_string(), "4x16");
+    }
+
+    #[test]
+    fn neighbor_detection() {
+        let g = Geometry::new(2, 4);
+        assert!(g.are_neighbors(g.at(0, 1), g.at(0, 2)));
+        assert!(!g.are_neighbors(g.at(0, 3), g.at(1, 0)), "row wrap is not adjacency");
+        assert!(!g.are_neighbors(g.at(0, 1), g.at(1, 1)), "vertical is not adjacency");
+    }
+
+    #[test]
+    fn routing_latencies_grow_with_distance() {
+        let g = Geometry::new(8, 16);
+        let local = g.route(g.at(1, 3), g.at(1, 3));
+        let neighbor = g.route(g.at(1, 3), g.at(1, 4));
+        let row = g.route(g.at(1, 3), g.at(1, 9));
+        let tree = g.route(g.at(1, 3), g.at(5, 3));
+        assert_eq!(local.latency, 0);
+        assert_eq!(neighbor.latency, 1);
+        assert_eq!(row.latency, 2);
+        assert_eq!(tree.latency, 2 * (3 + 1));
+        assert_eq!(row.link, LinkClass::RowBus(1));
+        assert_eq!(tree.link, LinkClass::TreeBus);
+    }
+
+    #[test]
+    fn tree_latency_is_logarithmic() {
+        // Paper §1: "communication latency only grows by a logarithmic
+        // order with an increase in the number of compute units".
+        let lat = |rows| Geometry::new(rows, 16).route(PeId(0), PeId((rows as u32 - 1) * 16)).latency;
+        assert_eq!(lat(2), 4);
+        assert_eq!(lat(4), 6);
+        assert_eq!(lat(16), 10);
+        assert_eq!(lat(48), 14);
+        // 24x more rows, latency grows 3.5x.
+        assert!(lat(48) < 4 * lat(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_geometry_panics() {
+        let _ = Geometry::new(0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_coordinate_panics() {
+        let _ = Geometry::new(2, 2).at(2, 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! P-ASIC microcode encoding (paper §4.2, §4.5).
+//!
+//! On FPGAs the Constructor bakes the static schedule into state machines;
+//! on P-ASICs the same schedule ships as **microcode** that the fixed
+//! silicon executes. This module defines that binary format: each
+//! instruction packs into one 64-bit word, and a [`ThreadProgram`] encodes
+//! into per-PE microcode images plus a shared memory-schedule ROM. The
+//! encoding round-trips exactly, so a P-ASIC image is a faithful carrier
+//! of the compiled program.
+//!
+//! Word layout:
+//!
+//! ```text
+//! compute (two words):
+//!   w1: [63]=0  [62:56] opcode  [55:28] a-src (2-bit kind + 26-bit
+//!       payload)  [27:0] produced tag
+//!   w2: [27:0]  b-src (immediates index a per-program constant pool,
+//!       keeping full f64 precision)
+//! send (one word):
+//!   [63]=1  [62:61] target kind (pe/row/all)  [60:41] target  [40:0] tag
+//! ```
+
+use std::collections::HashMap;
+
+use cosmic_dfg::OpKind;
+use cosmic_dsl::UnaryFn;
+
+use crate::geometry::PeId;
+use crate::isa::{AluOp, PeInstr, SendTarget, Src, Tag, ThreadProgram};
+
+/// A fully encoded P-ASIC program image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicrocodeImage {
+    /// Per-PE microcode words.
+    pub pe_words: Vec<Vec<u64>>,
+    /// The shared constant pool immediates index into.
+    pub constants: Vec<f64>,
+    /// Tag each compute word produces, parallel to the word streams
+    /// (senders reference tags directly in their word).
+    pub version: u32,
+}
+
+/// Encoding or decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "microcode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const KIND_SEND: u64 = 1 << 63;
+const TAG_BITS: u64 = 26;
+const TAG_MASK: u64 = (1 << TAG_BITS) - 1;
+
+fn opcode(op: AluOp) -> u64 {
+    match op {
+        AluOp::Bin(OpKind::Add) => 0,
+        AluOp::Bin(OpKind::Sub) => 1,
+        AluOp::Bin(OpKind::Mul) => 2,
+        AluOp::Bin(OpKind::Div) => 3,
+        AluOp::Bin(OpKind::Gt) => 4,
+        AluOp::Bin(OpKind::Lt) => 5,
+        AluOp::Bin(OpKind::Ge) => 6,
+        AluOp::Bin(OpKind::Le) => 7,
+        AluOp::Un(UnaryFn::Sigmoid) => 8,
+        AluOp::Un(UnaryFn::Gaussian) => 9,
+        AluOp::Un(UnaryFn::Log) => 10,
+        AluOp::Un(UnaryFn::Sqrt) => 11,
+        AluOp::Un(UnaryFn::Exp) => 12,
+        AluOp::Un(UnaryFn::Abs) => 13,
+    }
+}
+
+fn decode_opcode(code: u64) -> Result<AluOp, CodecError> {
+    Ok(match code {
+        0 => AluOp::Bin(OpKind::Add),
+        1 => AluOp::Bin(OpKind::Sub),
+        2 => AluOp::Bin(OpKind::Mul),
+        3 => AluOp::Bin(OpKind::Div),
+        4 => AluOp::Bin(OpKind::Gt),
+        5 => AluOp::Bin(OpKind::Lt),
+        6 => AluOp::Bin(OpKind::Ge),
+        7 => AluOp::Bin(OpKind::Le),
+        8 => AluOp::Un(UnaryFn::Sigmoid),
+        9 => AluOp::Un(UnaryFn::Gaussian),
+        10 => AluOp::Un(UnaryFn::Log),
+        11 => AluOp::Un(UnaryFn::Sqrt),
+        12 => AluOp::Un(UnaryFn::Exp),
+        13 => AluOp::Un(UnaryFn::Abs),
+        other => return Err(CodecError(format!("unknown opcode {other}"))),
+    })
+}
+
+struct ConstPool {
+    values: Vec<f64>,
+    index: HashMap<u64, u32>,
+}
+
+impl ConstPool {
+    fn new() -> Self {
+        ConstPool { values: Vec::new(), index: HashMap::new() }
+    }
+
+    fn intern(&mut self, v: f64) -> u32 {
+        let bits = v.to_bits();
+        if let Some(&i) = self.index.get(&bits) {
+            return i;
+        }
+        let i = self.values.len() as u32;
+        self.values.push(v);
+        self.index.insert(bits, i);
+        i
+    }
+}
+
+/// `src` packs into 2 kind bits + a 26-bit payload.
+fn encode_src(src: Src, pool: &mut ConstPool) -> Result<u64, CodecError> {
+    let (kind, payload) = match src {
+        Src::Data(s) => (0u64, u64::from(s)),
+        Src::Model(s) => (1, u64::from(s)),
+        Src::Tag(t) => (2, u64::from(t)),
+        Src::Imm(v) => (3, u64::from(pool.intern(v))),
+    };
+    if payload > TAG_MASK {
+        return Err(CodecError(format!("operand payload {payload} exceeds 26 bits")));
+    }
+    Ok(kind << TAG_BITS | payload)
+}
+
+fn decode_src(word: u64, constants: &[f64]) -> Result<Src, CodecError> {
+    let kind = word >> TAG_BITS & 0b11;
+    let payload = word & TAG_MASK;
+    Ok(match kind {
+        0 => Src::Data(payload as u32),
+        1 => Src::Model(payload as u32),
+        2 => Src::Tag(payload as Tag),
+        _ => Src::Imm(
+            *constants
+                .get(payload as usize)
+                .ok_or_else(|| CodecError(format!("constant index {payload} out of pool")))?,
+        ),
+    })
+}
+
+/// Encodes a compiled program into a P-ASIC microcode image.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] if a tag, slot, or target exceeds the field
+/// widths of the 64-bit format.
+pub fn encode(program: &ThreadProgram) -> Result<MicrocodeImage, CodecError> {
+    let mut pool = ConstPool::new();
+    let mut pe_words = Vec::with_capacity(program.instrs.len());
+    for stream in &program.instrs {
+        let mut words = Vec::with_capacity(stream.len() * 2);
+        for instr in stream {
+            let word = match *instr {
+                PeInstr::Compute { op, a, b, tag } => {
+                    if u64::from(tag) > 0xFFF_FFFF {
+                        return Err(CodecError(format!("tag {tag} exceeds 28 bits")));
+                    }
+                    let ea = encode_src(a, &mut pool)?;
+                    let eb = encode_src(b, &mut pool)?;
+                    words.push(opcode(op) << 56 | ea << 28 | u64::from(tag));
+                    eb
+                }
+                PeInstr::Send { tag, dst } => {
+                    let (tk, target) = match dst {
+                        SendTarget::Pe(p) => (0u64, u64::from(p.0)),
+                        SendTarget::Row(r) => (1, u64::from(r)),
+                        SendTarget::All => (2, 0),
+                    };
+                    if target > 0xF_FFFF {
+                        return Err(CodecError(format!("send target {target} exceeds 20 bits")));
+                    }
+                    KIND_SEND | tk << 61 | target << 41 | u64::from(tag)
+                }
+            };
+            words.push(word);
+        }
+        pe_words.push(words);
+    }
+    Ok(MicrocodeImage { pe_words, constants: pool.values, version: 1 })
+}
+
+/// Decodes an image back into instruction streams.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] for malformed words or dangling constant
+/// references.
+pub fn decode(image: &MicrocodeImage) -> Result<Vec<Vec<PeInstr>>, CodecError> {
+    let mut out = Vec::with_capacity(image.pe_words.len());
+    for words in &image.pe_words {
+        let mut stream = Vec::new();
+        let mut cursor = 0usize;
+        while cursor < words.len() {
+            let word = words[cursor];
+            cursor += 1;
+            let instr = if word & KIND_SEND != 0 {
+                let tk = word >> 61 & 0b11;
+                let target = (word >> 41 & 0xF_FFFF) as u32;
+                let tag = (word & ((1 << 41) - 1)) as Tag;
+                let dst = match tk {
+                    0 => SendTarget::Pe(PeId(target)),
+                    1 => SendTarget::Row(target),
+                    2 => SendTarget::All,
+                    other => return Err(CodecError(format!("bad send-target kind {other}"))),
+                };
+                PeInstr::Send { tag, dst }
+            } else {
+                let op = decode_opcode(word >> 56 & 0x7F)?;
+                let a = decode_src(word >> 28, &image.constants)?;
+                let tag = (word & 0xFFF_FFFF) as Tag;
+                let &w2 = words
+                    .get(cursor)
+                    .ok_or_else(|| CodecError("truncated compute pair".into()))?;
+                cursor += 1;
+                let b = decode_src(w2, &image.constants)?;
+                PeInstr::Compute { op, a, b, tag }
+            };
+            stream.push(instr);
+        }
+        out.push(stream);
+    }
+    Ok(out)
+}
+
+/// Total image size in bytes (words + constant pool) — what the host
+/// ships to the P-ASIC at configuration time.
+pub fn image_bytes(image: &MicrocodeImage) -> usize {
+    image.pe_words.iter().map(|w| w.len() * 8).sum::<usize>() + image.constants.len() * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::demo_program;
+
+    #[test]
+    fn demo_program_round_trips_exactly() {
+        let program = demo_program();
+        let image = encode(&program).unwrap();
+        assert_eq!(image.pe_words.len(), program.instrs.len());
+        let decoded = decode(&image).unwrap();
+        assert_eq!(decoded, program.instrs, "decode(encode(p)) must be the identity");
+    }
+
+    #[test]
+    fn sends_round_trip_exactly() {
+        let mut program = demo_program();
+        program.instrs[0].push(PeInstr::Send { tag: 2, dst: SendTarget::All });
+        program.instrs[0].push(PeInstr::Send { tag: 2, dst: SendTarget::Row(7) });
+        let decoded = decode(&encode(&program).unwrap()).unwrap();
+        assert_eq!(decoded[0][1], PeInstr::Send { tag: 2, dst: SendTarget::All });
+        assert_eq!(decoded[0][2], PeInstr::Send { tag: 2, dst: SendTarget::Row(7) });
+    }
+
+    #[test]
+    fn constants_are_pooled_and_precise() {
+        let mut program = demo_program();
+        let pi = std::f64::consts::PI;
+        for _ in 0..3 {
+            program.instrs[0].push(PeInstr::Compute {
+                op: AluOp::Bin(OpKind::Mul),
+                a: Src::Imm(pi),
+                b: Src::Imm(pi),
+                tag: 9,
+            });
+        }
+        let image = encode(&program).unwrap();
+        assert_eq!(image.constants.iter().filter(|&&c| c == pi).count(), 1, "pooled once");
+        let decoded = decode(&image).unwrap();
+        match decoded[0].last().unwrap() {
+            PeInstr::Compute { a: Src::Imm(v), .. } => assert_eq!(*v, pi, "full f64 precision"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_tag_is_rejected() {
+        let mut program = demo_program();
+        program.instrs[0].push(PeInstr::Compute {
+            op: AluOp::Bin(OpKind::Add),
+            a: Src::Tag(1 << 27),
+            b: Src::Imm(0.0),
+            tag: 3,
+        });
+        assert!(encode(&program).is_err());
+    }
+
+    #[test]
+    fn image_size_accounts_words_and_pool() {
+        let program = demo_program();
+        let image = encode(&program).unwrap();
+        assert_eq!(image_bytes(&image), image.pe_words[0].len() * 8 + image.constants.len() * 8);
+    }
+}

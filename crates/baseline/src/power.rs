@@ -1,0 +1,53 @@
+//! Whole-system power for the Performance-per-Watt comparison
+//! (Figure 11), mirroring the paper's WattsUp wall-power methodology.
+
+use cosmic_arch::Platform;
+
+/// Total wall power of a homogeneous cluster of `nodes` nodes, in watts.
+pub fn cluster_power_w(platform: Platform, nodes: usize) -> f64 {
+    platform.node_power_w() * nodes as f64
+}
+
+/// Performance-per-Watt of a system that finishes a fixed workload in
+/// `time_s` drawing `power_w`, normalized so identical systems compare
+/// to 1.0 against themselves.
+pub fn perf_per_watt(time_s: f64, power_w: f64) -> f64 {
+    assert!(time_s > 0.0 && power_w > 0.0, "time and power must be positive");
+    1.0 / (time_s * power_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmic_arch::{AcceleratorSpec, CpuSpec, GpuSpec};
+
+    #[test]
+    fn cluster_power_scales_with_nodes() {
+        let cpu = CpuSpec::xeon_e3();
+        let fpga = Platform::Accelerated(cpu, AcceleratorSpec::fpga_vu9p());
+        assert!((cluster_power_w(fpga, 3) / cluster_power_w(fpga, 1) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fpga_system_draws_less_than_gpu_system() {
+        let cpu = CpuSpec::xeon_e3();
+        let fpga = cluster_power_w(Platform::Accelerated(cpu, AcceleratorSpec::fpga_vu9p()), 3);
+        let pasic = cluster_power_w(Platform::Accelerated(cpu, AcceleratorSpec::pasic_f()), 3);
+        let gpu = cluster_power_w(Platform::Gpu(cpu, GpuSpec::k40c()), 3);
+        assert!(pasic < fpga);
+        assert!(fpga < gpu);
+    }
+
+    #[test]
+    fn perf_per_watt_rewards_speed_and_frugality() {
+        let slow_hot = perf_per_watt(10.0, 300.0);
+        let fast_cool = perf_per_watt(5.0, 100.0);
+        assert!(fast_cool > 5.0 * slow_hot);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_time_panics() {
+        let _ = perf_per_watt(0.0, 100.0);
+    }
+}

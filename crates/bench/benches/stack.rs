@@ -1,0 +1,121 @@
+//! Criterion benchmarks of the stack's own primitives: front end,
+//! Algorithm-1 mapping, scheduling, cycle-level simulation, the Sigma
+//! aggregation pipeline, and the Planner.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cosmic_core::cosmic_arch::{AcceleratorSpec, Geometry, Machine};
+use cosmic_core::cosmic_compiler::{compile, mapping, schedule, CompileOptions, MappingStrategy};
+use cosmic_core::cosmic_dfg::{lower, DimEnv};
+use cosmic_core::cosmic_dsl::{parse, programs};
+use cosmic_core::cosmic_ml::{data, Algorithm};
+use cosmic_core::cosmic_planner;
+use cosmic_core::cosmic_runtime::node::{chunk_vector, SigmaAggregator};
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    let src = programs::backpropagation(10_000);
+    g.bench_function("parse_backprop", |b| b.iter(|| black_box(parse(&src).unwrap())));
+
+    let program = parse(&src).unwrap();
+    let env = DimEnv::new().with("n", 128).with("h", 128).with("o", 10);
+    g.bench_function("lower_backprop_128x128x10", |b| {
+        b.iter(|| black_box(lower(&program, &env).unwrap().len()))
+    });
+    g.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler");
+    let program = parse(&programs::linear_regression(10_000)).unwrap();
+    let dfg = lower(&program, &DimEnv::new().with("n", 4_096)).unwrap();
+    let geometry = Geometry::new(8, 16);
+    g.throughput(Throughput::Elements(dfg.op_count() as u64));
+    g.bench_function("algorithm1_map_16k_ops", |b| {
+        b.iter(|| black_box(mapping::map(&dfg, geometry, MappingStrategy::DataFirst)))
+    });
+    let map = mapping::map(&dfg, geometry, MappingStrategy::DataFirst);
+    g.bench_function("schedule_16k_ops", |b| {
+        b.iter(|| black_box(schedule::schedule(&dfg, &map, geometry, 16.0).estimate))
+    });
+    g.bench_function("codegen_16k_ops", |b| {
+        b.iter(|| black_box(compile(&dfg, geometry, &CompileOptions::default()).program.instr_count()))
+    });
+    g.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine");
+    let program = parse(&programs::svm(10_000)).unwrap();
+    let dfg = lower(&program, &DimEnv::new().with("n", 256)).unwrap();
+    let geometry = Geometry::new(4, 16);
+    let compiled = compile(&dfg, geometry, &CompileOptions::default());
+    let record: Vec<f64> = (0..257).map(|i| (i % 13) as f64 / 13.0).collect();
+    let model: Vec<f64> = (0..256).map(|i| (i % 7) as f64 / 7.0).collect();
+    let machine = Machine::new(geometry, 16.0);
+    g.bench_function("cycle_sim_svm256_64pe", |b| {
+        b.iter(|| black_box(machine.run(&compiled.program, &record, &model).unwrap().cycles))
+    });
+    g.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planner");
+    g.sample_size(10);
+    let program = parse(&programs::logistic_regression(10_000)).unwrap();
+    let dfg = lower(&program, &DimEnv::new().with("n", 2_000)).unwrap();
+    let spec = AcceleratorSpec::fpga_vu9p();
+    g.bench_function("plan_tumor_vu9p", |b| {
+        b.iter(|| black_box(cosmic_planner::plan(&dfg, &spec, 10_000).best.records_per_sec))
+    });
+    g.bench_function("dse_sweep_tumor_vu9p", |b| {
+        b.iter(|| black_box(cosmic_planner::dse::sweep(&dfg, &spec, 10_000).points.len()))
+    });
+    g.finish();
+}
+
+fn bench_system_software(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system_software");
+    let sigma = SigmaAggregator::new(4, 4);
+    let model: Vec<f64> = (0..200_000).map(|i| i as f64).collect();
+    g.throughput(Throughput::Bytes((8 * model.len() * 4) as u64));
+    g.bench_function("sigma_aggregate_4_streams_800KB", |b| {
+        b.iter(|| {
+            let incoming = (0..4)
+                .map(|_| {
+                    let (tx, rx) = crossbeam::channel::unbounded();
+                    for chunk in chunk_vector(&model) {
+                        tx.send(chunk).unwrap();
+                    }
+                    rx
+                })
+                .collect();
+            black_box(sigma.aggregate(model.len(), incoming)[0])
+        })
+    });
+
+    let alg = Algorithm::Svm { features: 64 };
+    let ds = data::generate(&alg, 2_048, 5);
+    g.throughput(Throughput::Elements(2_048));
+    g.bench_function("sgd_epoch_svm64_2048rec", |b| {
+        b.iter(|| {
+            let mut m = alg.zero_model();
+            for r in ds.records() {
+                alg.sgd_update(r, &mut m, 0.05);
+            }
+            black_box(m[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    stack,
+    bench_frontend,
+    bench_compiler,
+    bench_machine,
+    bench_planner,
+    bench_system_software
+);
+criterion_main!(stack);

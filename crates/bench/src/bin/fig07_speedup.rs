@@ -1,0 +1,4 @@
+//! Regenerates Figure 7 (speedup over 4-node Spark).
+fn main() {
+    print!("{}", cosmic_bench::figures::fig07_speedup::run());
+}

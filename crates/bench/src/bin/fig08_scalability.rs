@@ -1,0 +1,4 @@
+//! Regenerates Figure 8 (scalability vs own 4-node configuration).
+fn main() {
+    print!("{}", cosmic_bench::figures::fig08_scalability::run());
+}

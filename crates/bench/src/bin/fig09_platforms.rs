@@ -1,0 +1,4 @@
+//! Regenerates Figure 9 (system-wide speedup across acceleration platforms).
+fn main() {
+    print!("{}", cosmic_bench::figures::fig09_platforms::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 10 (computation-only speedup over the FPGA).
+fn main() {
+    print!("{}", cosmic_bench::figures::fig10_compute::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 11 (Performance-per-Watt vs the GPU system).
+fn main() {
+    print!("{}", cosmic_bench::figures::fig11_perf_per_watt::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 12 (performance vs mini-batch size).
+fn main() {
+    print!("{}", cosmic_bench::figures::fig12_minibatch::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 13 (compute vs communication fraction).
+fn main() {
+    print!("{}", cosmic_bench::figures::fig13_breakdown::run());
+}

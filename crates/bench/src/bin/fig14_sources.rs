@@ -1,0 +1,4 @@
+//! Regenerates Figure 14 (sources of speedup: FPGAs vs system software).
+fn main() {
+    print!("{}", cosmic_bench::figures::fig14_sources::run());
+}

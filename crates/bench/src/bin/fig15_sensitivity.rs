@@ -1,0 +1,4 @@
+//! Regenerates Figure 15 (sensitivity to PE count and memory bandwidth).
+fn main() {
+    print!("{}", cosmic_bench::figures::fig15_sensitivity::run());
+}

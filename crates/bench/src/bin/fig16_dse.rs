@@ -1,0 +1,4 @@
+//! Regenerates Figure 16 (design-space exploration).
+fn main() {
+    print!("{}", cosmic_bench::figures::fig16_dse::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 17 (CoSMIC vs TABLA).
+fn main() {
+    print!("{}", cosmic_bench::figures::fig17_tabla::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates every table and figure of the paper's evaluation in order,
+//! printing one consolidated report (tee into a file to archive a run).
+fn main() {
+    println!("# CoSMIC reproduction — full evaluation report\n");
+    print!("{}", cosmic_bench::figures::run_all());
+}

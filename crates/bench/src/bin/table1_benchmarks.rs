@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (benchmarks and datasets).
+fn main() {
+    print!("{}", cosmic_bench::figures::table1_benchmarks::run());
+}

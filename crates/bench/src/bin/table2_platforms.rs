@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (platform specifications).
+fn main() {
+    print!("{}", cosmic_bench::figures::table2_platforms::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (threads per FPGA and resource utilization).
+fn main() {
+    print!("{}", cosmic_bench::figures::table3_utilization::run());
+}

@@ -1,0 +1,91 @@
+//! Figure 13: fraction of 3-FPGA-CoSMIC runtime spent computing vs
+//! communicating, as the mini-batch size grows from 500 to 100,000.
+//!
+//! Paper: computation is 12% of runtime at b = 500 and 95% at b = 100,000
+//! — larger batches amortize the aggregation rounds.
+
+use cosmic_core::cosmic_ml::{BenchmarkId, suite::WORD_BYTES};
+use cosmic_core::cosmic_runtime::{ClusterTiming, NodeCompute};
+
+use crate::harness::{cosmic_node_rps, AccelKind};
+
+/// The swept mini-batch sizes (as in Figure 12).
+pub const BATCHES: [usize; 6] = [500, 1_000, 5_000, 10_000, 50_000, 100_000];
+
+/// Nodes in the breakdown cluster.
+pub const NODES: usize = 3;
+
+/// Compute fraction of the iteration time for one benchmark at one batch
+/// size.
+pub fn compute_fraction(id: BenchmarkId, minibatch: usize) -> f64 {
+    let bench = id.benchmark();
+    let timing = ClusterTiming::commodity(NODES, 1);
+    let node = NodeCompute { records_per_sec: cosmic_node_rps(id, AccelKind::Fpga, minibatch) };
+    let exchange = bench.exchanged_params(minibatch.div_ceil(NODES)) * WORD_BYTES;
+    let it = timing.iteration(minibatch, node, exchange);
+    it.compute_s / it.total_s()
+}
+
+/// Mean compute fraction across all ten benchmarks.
+pub fn mean_compute_fraction(minibatch: usize) -> f64 {
+    let ids = BenchmarkId::all();
+    ids.iter().map(|&id| compute_fraction(id, minibatch)).sum::<f64>() / ids.len() as f64
+}
+
+/// Renders the figure.
+pub fn run() -> String {
+    let mut out = String::from(
+        "## Figure 13 — Fraction of 3-FPGA-CoSMIC runtime (compute vs communication)\n\n\
+         | benchmark | b=500 | b=1k | b=5k | b=10k | b=50k | b=100k |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    for id in BenchmarkId::all() {
+        let cells: Vec<String> = BATCHES
+            .iter()
+            .map(|&b| format!("{:.0}%", 100.0 * compute_fraction(id, b)))
+            .collect();
+        out.push_str(&format!("| {id} | {} |\n", cells.join(" | ")));
+    }
+    let means: Vec<String> = BATCHES
+        .iter()
+        .map(|&b| format!("{:.0}%", 100.0 * mean_compute_fraction(b)))
+        .collect();
+    out.push_str(&format!("| **mean** | {} |\n", means.join(" | ")));
+    out.push_str("\nPaper: computation is 12% of runtime at b=500 and 95% at b=100,000.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_share_grows_with_batch_size() {
+        for id in [BenchmarkId::Mnist, BenchmarkId::Stock, BenchmarkId::Tumor] {
+            let small = compute_fraction(id, 500);
+            let large = compute_fraction(id, 100_000);
+            assert!(large > small, "{id}: {small:.2} -> {large:.2}");
+        }
+    }
+
+    #[test]
+    fn extremes_straddle_the_halfway_point() {
+        // Paper: 12% at b=500, 95% at b=100k. Tolerant band on the mean of
+        // three cheap benchmarks.
+        let ids = [BenchmarkId::Stock, BenchmarkId::Texture, BenchmarkId::Tumor];
+        let small: f64 =
+            ids.iter().map(|&i| compute_fraction(i, 500)).sum::<f64>() / ids.len() as f64;
+        let large: f64 =
+            ids.iter().map(|&i| compute_fraction(i, 100_000)).sum::<f64>() / ids.len() as f64;
+        assert!(small < 0.5, "b=500 must be communication-dominated: {small:.2}");
+        assert!(large > 0.5, "b=100k must be compute-dominated: {large:.2}");
+    }
+
+    #[test]
+    fn fractions_are_valid() {
+        for &b in &BATCHES {
+            let f = compute_fraction(BenchmarkId::Face, b);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! One module per table/figure of the paper's evaluation section. Every
+//! module exposes `run() -> String` (the printable reproduction) plus the
+//! underlying data functions the tests assert shapes on.
+
+pub mod fig07_speedup;
+pub mod fig08_scalability;
+pub mod fig09_platforms;
+pub mod fig10_compute;
+pub mod fig11_perf_per_watt;
+pub mod fig12_minibatch;
+pub mod fig13_breakdown;
+pub mod fig14_sources;
+pub mod fig15_sensitivity;
+pub mod fig16_dse;
+pub mod fig17_tabla;
+pub mod table1_benchmarks;
+pub mod table2_platforms;
+pub mod table3_utilization;
+
+/// Runs every experiment, concatenating the printable reports in paper
+/// order (the `reproduce` binary's body).
+pub fn run_all() -> String {
+    [
+        table1_benchmarks::run(),
+        table2_platforms::run(),
+        fig07_speedup::run(),
+        fig08_scalability::run(),
+        fig09_platforms::run(),
+        fig10_compute::run(),
+        fig11_perf_per_watt::run(),
+        fig12_minibatch::run(),
+        fig13_breakdown::run(),
+        fig14_sources::run(),
+        fig15_sensitivity::run(),
+        fig16_dse::run(),
+        table3_utilization::run(),
+        fig17_tabla::run(),
+    ]
+    .join("\n")
+}

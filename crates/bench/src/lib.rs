@@ -1,0 +1,23 @@
+//! # cosmic-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§7).
+//! Each figure/table lives in [`figures`] as a module with a
+//! `run() -> String` that prints the same rows/series the paper reports;
+//! the `src/bin/` binaries are thin wrappers, and `benches/` drives the
+//! same modules under Criterion.
+//!
+//! Absolute numbers come from this repository's models and simulators,
+//! not the authors' testbed; the *shapes* — who wins, by roughly what
+//! factor, where the crossovers fall — are the reproduction targets
+//! (see EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{
+    cosmic_node_rps, cosmic_training_time_s, full_dfg, geomean, spark_training_time_s,
+    AccelKind, EPOCHS,
+};

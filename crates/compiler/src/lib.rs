@@ -1,0 +1,97 @@
+//! # cosmic-compiler — static mapping, scheduling, and code generation
+//!
+//! The compilation layer of the CoSMIC stack (paper §6). Its centerpiece
+//! is the paper's Algorithm 1 — **minimum-communication data/operation
+//! mapping** — which reverses the conventional order of mapping: training
+//! data is placed first (exactly where the memory interface streams it,
+//! avoiding all marshaling), then operations are mapped onto the PEs that
+//! already hold their operands, and model parameters are pinned to the PEs
+//! that consume them.
+//!
+//! The crate provides:
+//!
+//! - [`mapping`] — Algorithm 1 ([`MappingStrategy::DataFirst`]) plus the
+//!   TABLA-style operation-first mapper ([`MappingStrategy::OpFirst`])
+//!   used as the paper's Figure 17 comparator;
+//! - [`schedule`] — communication-aware list scheduling over the
+//!   three-level interconnect, producing the static performance estimate
+//!   the Planner's design-space exploration consumes;
+//! - [`codegen`] — conversion of map + schedule into a
+//!   [`ThreadProgram`](cosmic_arch::ThreadProgram) (per-PE instruction
+//!   streams, placements, and the memory-interface schedule), executable
+//!   on the cycle-level machine and renderable as RTL.
+//!
+//! # Examples
+//!
+//! ```
+//! use cosmic_arch::Geometry;
+//! use cosmic_compiler::{compile, CompileOptions};
+//! use cosmic_dfg::{lower, DimEnv};
+//! use cosmic_dsl::{parse, programs};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse(&programs::svm(512))?;
+//! let dfg = lower(&program, &DimEnv::new().with("n", 32))?;
+//! let compiled = compile(&dfg, Geometry::new(2, 16), &CompileOptions::default());
+//! assert!(compiled.program.validate().is_ok());
+//! assert!(compiled.estimate.latency_cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod mapping;
+pub mod schedule;
+
+pub use codegen::CompiledThread;
+pub use mapping::{MapResult, MappingStrategy};
+pub use schedule::{BusModel, Schedule, ScheduleEstimate};
+
+use cosmic_arch::Geometry;
+use cosmic_dfg::Dfg;
+
+/// Options controlling compilation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompileOptions {
+    /// Which mapping algorithm to use.
+    pub strategy: MappingStrategy,
+    /// Off-chip words per cycle available to this thread (affects when
+    /// streamed data operands become ready). Defaults to one word per
+    /// column per cycle.
+    pub words_per_cycle: Option<f64>,
+    /// Which interconnect transfers route over (TABLA's comparator uses
+    /// the flat shared bus).
+    pub bus: schedule::BusModel,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            strategy: MappingStrategy::DataFirst,
+            words_per_cycle: None,
+            bus: schedule::BusModel::Hierarchical,
+        }
+    }
+}
+
+/// Compiles a DFG for one worker thread's PE allocation: maps (Algorithm
+/// 1 or the TABLA comparator), schedules, and generates the instruction
+/// streams and memory schedule.
+pub fn compile(dfg: &Dfg, geometry: Geometry, options: &CompileOptions) -> CompiledThread {
+    let words_per_cycle = options.words_per_cycle.unwrap_or(geometry.columns as f64);
+    let map = mapping::map(dfg, geometry, options.strategy);
+    let schedule = schedule::schedule_on(dfg, &map, geometry, words_per_cycle, options.bus);
+    codegen::generate(dfg, &map, &schedule, geometry)
+}
+
+/// Convenience: the static performance estimate alone, skipping code
+/// generation (what the Planner's design-space exploration calls in a
+/// loop — "instead of simulation, which will be intractable", paper §4.4).
+pub fn estimate(dfg: &Dfg, geometry: Geometry, options: &CompileOptions) -> ScheduleEstimate {
+    let words_per_cycle = options.words_per_cycle.unwrap_or(geometry.columns as f64);
+    let map = mapping::map(dfg, geometry, options.strategy);
+    schedule::schedule_on(dfg, &map, geometry, words_per_cycle, options.bus).estimate
+}

@@ -1,0 +1,185 @@
+//! `cosmic-cli` — command-line front end to the CoSMIC stack.
+//!
+//! ```text
+//! cosmic-cli plan    <program.cml> [--dim n=64]... [--chip fpga|pasic-f|pasic-g] [-b N]
+//! cosmic-cli compile <program.cml> [--dim n=64]... [--chip ...]
+//! cosmic-cli rtl     <program.cml> [--dim n=64]... [-o accelerator.v]
+//! cosmic-cli dot     <program.cml> [--dim n=64]... [-o graph.dot]
+//! cosmic-cli fmt     <program.cml>
+//! ```
+//!
+//! Programs use the CoSMIC DSL (see `cosmic_dsl::programs` for the
+//! built-in examples; `cosmic-cli fmt` prints the canonical form).
+
+use std::process::ExitCode;
+
+use cosmic_core::cosmic_arch::{rtl, AcceleratorSpec, Geometry};
+use cosmic_core::cosmic_compiler::{compile, CompileOptions};
+use cosmic_core::cosmic_dfg::{dot, lower, DimEnv};
+use cosmic_core::cosmic_dsl::{parse, pretty};
+use cosmic_core::cosmic_planner;
+
+struct Args {
+    command: String,
+    program_path: String,
+    dims: DimEnv,
+    chip: AcceleratorSpec,
+    minibatch: usize,
+    output: Option<String>,
+}
+
+fn usage() -> String {
+    "usage: cosmic-cli <plan|compile|rtl|dot|fmt> <program.cml> \
+     [--dim name=size]... [--chip fpga|pasic-f|pasic-g] [-b minibatch] [-o file]"
+        .to_owned()
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let command = argv.next().ok_or_else(usage)?;
+    let program_path = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        command,
+        program_path,
+        dims: DimEnv::new(),
+        chip: AcceleratorSpec::fpga_vu9p(),
+        minibatch: 10_000,
+        output: None,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--dim" => {
+                let spec = argv.next().ok_or("--dim needs name=size")?;
+                let (name, size) = spec.split_once('=').ok_or("--dim needs name=size")?;
+                let size: usize =
+                    size.parse().map_err(|_| format!("bad dimension size `{size}`"))?;
+                args.dims = std::mem::take(&mut args.dims).with(name, size);
+            }
+            "--chip" => {
+                let chip = argv.next().ok_or("--chip needs a name")?;
+                args.chip = match chip.as_str() {
+                    "fpga" => AcceleratorSpec::fpga_vu9p(),
+                    "pasic-f" => AcceleratorSpec::pasic_f(),
+                    "pasic-g" => AcceleratorSpec::pasic_g(),
+                    other => return Err(format!("unknown chip `{other}`")),
+                };
+            }
+            "-b" | "--minibatch" => {
+                let b = argv.next().ok_or("-b needs a size")?;
+                args.minibatch = b.parse().map_err(|_| format!("bad mini-batch `{b}`"))?;
+            }
+            "-o" | "--output" => {
+                args.output = Some(argv.next().ok_or("-o needs a path")?);
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<String, String> {
+    let source = std::fs::read_to_string(&args.program_path)
+        .map_err(|e| format!("cannot read {}: {e}", args.program_path))?;
+    let program = parse(&source).map_err(|e| e.to_string())?;
+
+    if args.command == "fmt" {
+        return Ok(pretty::pretty(&program));
+    }
+
+    let dfg = lower(&program, &args.dims).map_err(|e| e.to_string())?;
+    let minibatch = program.minibatch().unwrap_or(args.minibatch);
+
+    match args.command.as_str() {
+        "dot" => Ok(dot::to_dot(&dfg, "cosmic_dfg")),
+        "plan" => {
+            let plan = cosmic_planner::plan(&dfg, &args.chip, minibatch);
+            let mut out = format!(
+                "chip: {} ({} PEs as {} rows x {} cols, {:.1} GB/s)\n\
+                 dfg: {} ops, {} data words, {} model params\n\
+                 t_max: {} (storage bound {})\n\
+                 best:  {} -> {:.0} records/s\n\nexplored points:\n",
+                args.chip.kind,
+                args.chip.total_pes,
+                args.chip.max_rows(),
+                args.chip.columns,
+                args.chip.bandwidth_gbps,
+                dfg.op_count(),
+                dfg.data_len(),
+                dfg.model_len(),
+                plan.t_max,
+                plan.t_max_storage,
+                plan.best.point,
+                plan.best.records_per_sec,
+            );
+            for p in &plan.explored {
+                out.push_str(&format!(
+                    "  {:>8}  {:>12.0} rec/s  {:>6} cycles/rec\n",
+                    p.point.to_string(),
+                    p.records_per_sec,
+                    p.cycles_per_record
+                ));
+            }
+            Ok(out)
+        }
+        "compile" => {
+            let plan = cosmic_planner::plan(&dfg, &args.chip, minibatch);
+            let geometry = Geometry::new(plan.best.point.rows_per_thread, args.chip.columns);
+            let compiled = compile(&dfg, geometry, &CompileOptions::default());
+            let est = compiled.estimate;
+            Ok(format!(
+                "geometry: {} per thread x {} threads\n\
+                 instructions: {} ({} compute, {} transfers)\n\
+                 schedule: latency {} cycles, II {} -> {} cycles/record\n\
+                 transfers: {} neighbor, {} row-bus, {} tree-bus\n\
+                 memory schedule: {} entries",
+                geometry,
+                plan.best.point.threads,
+                compiled.program.instr_count(),
+                compiled.program.compute_count(),
+                compiled.program.transfer_count(),
+                est.latency_cycles,
+                est.initiation_interval,
+                est.cycles_per_record(),
+                est.neighbor_transfers,
+                est.row_bus_transfers,
+                est.tree_bus_transfers,
+                compiled.program.mem_schedule.len(),
+            ))
+        }
+        "rtl" => {
+            let plan = cosmic_planner::plan(&dfg, &args.chip, minibatch);
+            let geometry = Geometry::new(plan.best.point.rows_per_thread, args.chip.columns);
+            let compiled = compile(&dfg, geometry, &CompileOptions::default());
+            Ok(rtl::emit_accelerator(&compiled.program, "cosmic_accelerator"))
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(text) => {
+            match &args.output {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, text) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {path}");
+                }
+                None => print!("{text}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

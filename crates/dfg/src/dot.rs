@@ -1,0 +1,76 @@
+//! Graphviz (DOT) export of dataflow graphs — the visualization the
+//! paper's Figure 4(b) shows for the SVM example.
+
+use std::fmt::Write as _;
+
+use crate::graph::{Dfg, Node, NodeId};
+
+/// Renders the graph in DOT format. Data leaves are boxes, model leaves
+/// are ellipses, constants are plaintext, and gradient outputs are
+/// double-circled.
+pub fn to_dot(dfg: &Dfg, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=BT;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+
+    let gradient_ids: Vec<NodeId> = dfg.gradient_outputs().to_vec();
+    for (i, node) in dfg.nodes().iter().enumerate() {
+        let id = NodeId(i as u32);
+        let (label, shape) = match node {
+            Node::Data { slot } => (format!("x[{slot}]"), "box"),
+            Node::Model { slot } => (format!("w[{slot}]"), "ellipse"),
+            Node::Const { value } => (format!("{value}"), "plaintext"),
+            Node::Op { kind, .. } => (kind.to_string(), "circle"),
+            Node::Unary { func, .. } => (func.to_string(), "circle"),
+        };
+        let extra = if gradient_ids.contains(&id) { ", peripheries=2" } else { "" };
+        let _ = writeln!(out, "  n{i} [label=\"{label}\", shape={shape}{extra}];");
+        for op in dfg.operands(id) {
+            let _ = writeln!(out, "  n{} -> n{i};", op.index());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, DimEnv};
+    use cosmic_dsl::{parse, programs};
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let p = parse(&programs::linear_regression(64)).unwrap();
+        let dfg = lower(&p, &DimEnv::new().with("n", 3)).unwrap();
+        let dot = to_dot(&dfg, "linreg");
+        assert!(dot.starts_with("digraph linreg {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for i in 0..dfg.len() {
+            assert!(dot.contains(&format!("n{i} [label=")), "node {i} missing");
+        }
+        let edges = dot.matches(" -> ").count();
+        let expected: usize =
+            (0..dfg.len()).map(|i| dfg.operands(crate::NodeId(i as u32)).count()).sum();
+        assert_eq!(edges, expected);
+    }
+
+    #[test]
+    fn gradient_outputs_are_marked() {
+        let p = parse(&programs::svm(64)).unwrap();
+        let dfg = lower(&p, &DimEnv::new().with("n", 2)).unwrap();
+        let dot = to_dot(&dfg, "svm");
+        assert_eq!(dot.matches("peripheries=2").count(), dfg.gradient_len());
+    }
+
+    #[test]
+    fn leaf_shapes_distinguish_classes() {
+        let p = parse(&programs::logistic_regression(64)).unwrap();
+        let dfg = lower(&p, &DimEnv::new().with("n", 2)).unwrap();
+        let dot = to_dot(&dfg, "g");
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("sigmoid"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Pretty-printer: renders a parsed [`Program`] back to canonical DSL
+//! source. `parse(pretty(parse(src)))` is the identity on the AST, which
+//! the round-trip tests (and a proptest over the built-in programs'
+//! dimension space) rely on.
+
+use std::fmt::Write as _;
+
+use crate::ast::{Decl, DeclType, Expr, Program, Stmt};
+
+/// Renders a program as canonical DSL source.
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    for decl in program.declarations() {
+        pretty_decl(&mut out, decl);
+    }
+    if !program.declarations().is_empty() && !program.statements().is_empty() {
+        out.push('\n');
+    }
+    for stmt in program.statements() {
+        pretty_stmt(&mut out, stmt);
+    }
+    let _ = writeln!(out, "\naggregator: {};", program.aggregator());
+    if let Some(b) = program.minibatch() {
+        let _ = writeln!(out, "minibatch: {b};");
+    }
+    out
+}
+
+fn pretty_decl(out: &mut String, decl: &Decl) {
+    match decl.ty {
+        DeclType::Iterator => {
+            let _ = writeln!(out, "iterator {}[0:{}];", decl.name, decl.dims[0]);
+        }
+        ty => {
+            let dims: String = decl.dims.iter().map(|d| format!("[{d}]")).collect();
+            let _ = writeln!(out, "{ty} {}{dims};", decl.name);
+        }
+    }
+}
+
+fn pretty_stmt(out: &mut String, stmt: &Stmt) {
+    let indices: String = stmt.lvalue.indices.iter().map(|i| format!("[{i}]")).collect();
+    let _ = writeln!(out, "{}{indices} = {};", stmt.lvalue.name, pretty_expr(&stmt.expr, 0));
+}
+
+/// Precedence levels: comparisons (0) < additive (1) < multiplicative (2)
+/// < atoms (3). Parentheses appear exactly where re-parsing needs them.
+fn pretty_expr(expr: &Expr, parent_level: u8) -> String {
+    use crate::ast::BinOp;
+    let (text, level) = match expr {
+        Expr::Number(n, _) => (format!("{n}"), 3),
+        Expr::Ref { name, indices, .. } => {
+            let idx: String = indices.iter().map(|i| format!("[{i}]")).collect();
+            (format!("{name}{idx}"), 3)
+        }
+        Expr::Unary { func, arg, .. } => (format!("{func}({})", pretty_expr(arg, 0)), 3),
+        Expr::Reduce { is_sum, iterator, body, .. } => {
+            let kw = if *is_sum { "sum" } else { "pi" };
+            (format!("{kw}[{iterator}]({})", pretty_expr(body, 0)), 3)
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let level = match op {
+                BinOp::Gt | BinOp::Lt | BinOp::Ge | BinOp::Le => 0,
+                BinOp::Add | BinOp::Sub => 1,
+                BinOp::Mul | BinOp::Div => 2,
+            };
+            // Left-associative grammar: the left child may sit at the same
+            // level, the right child must bind strictly tighter.
+            let l = pretty_expr(lhs, level);
+            let r = pretty_expr(rhs, level + 1);
+            (format!("{l} {op} {r}"), level)
+        }
+    };
+    if level < parent_level {
+        format!("({text})")
+    } else {
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, programs};
+    use proptest::prelude::*;
+
+    /// Source spans differ between an original and its pretty-print, so
+    /// round-trips are compared through the canonical form itself:
+    /// `pretty(parse(pretty(p)))` must equal `pretty(p)` exactly.
+    fn canonical_fixpoint(src: &str) -> (String, String) {
+        let once = parse(src).unwrap();
+        let s1 = pretty(&once);
+        let twice = parse(&s1).unwrap_or_else(|e| panic!("{e}\n{s1}"));
+        (s1, pretty(&twice))
+    }
+
+    #[test]
+    fn builtin_programs_round_trip() {
+        for name in ["linreg", "logreg", "svm", "backprop", "cf"] {
+            let src = programs::by_name(name, 10_000).unwrap();
+            let (s1, s2) = canonical_fixpoint(&src);
+            assert_eq!(s1, s2, "{name} must round-trip");
+        }
+    }
+
+    #[test]
+    fn parentheses_preserve_structure() {
+        let full = "model a; model b; model c; model d; model e; r = (a + b) * (c - d) / e;";
+        let (s1, s2) = canonical_fixpoint(full);
+        assert_eq!(s1, s2);
+        assert!(s1.contains("(a + b) * (c - d) / e"), "{s1}");
+    }
+
+    #[test]
+    fn comparison_round_trips_inside_products() {
+        let (s1, s2) = canonical_fixpoint("model m; model s; c = (1 > s) * m;");
+        assert!(s1.contains("(1 > s) * m"), "{s1}");
+        assert_eq!(s1, s2);
+    }
+
+    proptest! {
+        /// Round trip holds for every dimension instantiation of the
+        /// built-in programs (string-level idempotence: printing a parsed
+        /// pretty print reproduces it exactly).
+        #[test]
+        fn pretty_is_idempotent(batch in 1usize..100_000, which in 0usize..5) {
+            let name = ["linreg", "logreg", "svm", "backprop", "cf"][which];
+            let src = programs::by_name(name, batch).unwrap();
+            let p1 = parse(&src).unwrap();
+            let s1 = pretty(&p1);
+            let p2 = parse(&s1).unwrap();
+            let s2 = pretty(&p2);
+            prop_assert_eq!(s1, s2);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Lexical tokens of the CoSMIC DSL.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier such as `w` or `x`.
+    Ident(String),
+    /// A numeric literal (integers and decimals share one representation).
+    Number(f64),
+    /// `model_input` keyword.
+    ModelInput,
+    /// `model_output` keyword.
+    ModelOutput,
+    /// `model` keyword.
+    Model,
+    /// `gradient` keyword.
+    Gradient,
+    /// `iterator` keyword.
+    Iterator,
+    /// `aggregator` keyword.
+    Aggregator,
+    /// `minibatch` keyword.
+    Minibatch,
+    /// `sum` reduction keyword.
+    Sum,
+    /// `pi` (product) reduction keyword.
+    Pi,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `=`.
+    Assign,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `>`.
+    Gt,
+    /// `<`.
+    Lt,
+    /// `>=`.
+    Ge,
+    /// `<=`.
+    Le,
+    /// `:`.
+    Colon,
+    /// `;`.
+    Semicolon,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number(n) => write!(f, "number `{n}`"),
+            TokenKind::ModelInput => write!(f, "`model_input`"),
+            TokenKind::ModelOutput => write!(f, "`model_output`"),
+            TokenKind::Model => write!(f, "`model`"),
+            TokenKind::Gradient => write!(f, "`gradient`"),
+            TokenKind::Iterator => write!(f, "`iterator`"),
+            TokenKind::Aggregator => write!(f, "`aggregator`"),
+            TokenKind::Minibatch => write!(f, "`minibatch`"),
+            TokenKind::Sum => write!(f, "`sum`"),
+            TokenKind::Pi => write!(f, "`pi`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token paired with the source [`Span`] it was lexed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it appeared.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token from a kind and span.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.span)
+    }
+}

@@ -1,0 +1,146 @@
+//! Evaluation metrics: prediction and quality measures for the trained
+//! models (used by the examples and the convergence tests).
+
+use crate::algorithm::Algorithm;
+use crate::data::Dataset;
+
+/// The model's raw prediction for one record (pre-threshold for the
+/// classifiers; predicted rating for collaborative filtering).
+pub fn predict(alg: &Algorithm, record: &[f64], model: &[f64]) -> Vec<f64> {
+    match *alg {
+        Algorithm::LinearRegression { features } | Algorithm::Svm { features } => {
+            vec![dot(&model[..features], &record[..features])]
+        }
+        Algorithm::LogisticRegression { features } => {
+            vec![sigmoid(dot(&model[..features], &record[..features]))]
+        }
+        Algorithm::Backprop { inputs, hidden, outputs } => {
+            let w1 = &model[..hidden * inputs];
+            let w2 = &model[hidden * inputs..];
+            let a: Vec<f64> = (0..hidden)
+                .map(|j| sigmoid(dot(&w1[j * inputs..(j + 1) * inputs], &record[..inputs])))
+                .collect();
+            (0..outputs).map(|k| sigmoid(dot(&w2[k * hidden..(k + 1) * hidden], &a))).collect()
+        }
+        Algorithm::CollabFilter { factors, .. } => {
+            let u = record[1] as usize;
+            let v = record[2] as usize;
+            vec![dot(
+                &model[u * factors..(u + 1) * factors],
+                &model[v * factors..(v + 1) * factors],
+            )]
+        }
+    }
+}
+
+/// Classification accuracy in `[0, 1]` for the binary classifiers
+/// (logistic regression thresholds at 0.5; SVM at the sign).
+///
+/// # Panics
+///
+/// Panics if called for a non-classifier algorithm or an empty dataset.
+pub fn accuracy(alg: &Algorithm, dataset: &Dataset, model: &[f64]) -> f64 {
+    assert!(!dataset.is_empty(), "accuracy of an empty dataset");
+    let correct = dataset
+        .records()
+        .iter()
+        .filter(|record| {
+            let p = predict(alg, record, model)[0];
+            match *alg {
+                Algorithm::LogisticRegression { features } => {
+                    (p >= 0.5) == (record[features] >= 0.5)
+                }
+                Algorithm::Svm { features } => (p >= 0.0) == (record[features] >= 0.0),
+                _ => panic!("accuracy is defined for the binary classifiers only"),
+            }
+        })
+        .count();
+    correct as f64 / dataset.len() as f64
+}
+
+/// Root-mean-square prediction error over a dataset (regression,
+/// backprop, and collaborative filtering).
+pub fn rmse(alg: &Algorithm, dataset: &Dataset, model: &[f64]) -> f64 {
+    assert!(!dataset.is_empty(), "rmse of an empty dataset");
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for record in dataset.records() {
+        let predictions = predict(alg, record, model);
+        let expected: Vec<f64> = match *alg {
+            Algorithm::LinearRegression { features }
+            | Algorithm::LogisticRegression { features }
+            | Algorithm::Svm { features } => vec![record[features]],
+            Algorithm::Backprop { inputs, outputs, .. } => {
+                record[inputs..inputs + outputs].to_vec()
+            }
+            Algorithm::CollabFilter { .. } => vec![record[0]],
+        };
+        for (p, e) in predictions.iter().zip(&expected) {
+            sum += (p - e) * (p - e);
+            count += 1;
+        }
+    }
+    (sum / count as f64).sqrt()
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+    use crate::sgd;
+
+    #[test]
+    fn training_improves_accuracy() {
+        let alg = Algorithm::Svm { features: 8 };
+        let ds = data::generate(&alg, 512, 3);
+        let mut model = alg.zero_model();
+        let before = accuracy(&alg, &ds, &model); // all-zero model: ~50%
+        sgd::train_sequential(&alg, &ds, &mut model, 0.1, 5);
+        let after = accuracy(&alg, &ds, &model);
+        assert!(after > before.max(0.8), "accuracy {before:.2} -> {after:.2}");
+    }
+
+    #[test]
+    fn training_reduces_rmse_for_regression() {
+        let alg = Algorithm::LinearRegression { features: 6 };
+        let ds = data::generate(&alg, 256, 11);
+        let mut model = alg.zero_model();
+        let before = rmse(&alg, &ds, &model);
+        sgd::train_sequential(&alg, &ds, &mut model, 0.1, 8);
+        assert!(rmse(&alg, &ds, &model) < 0.5 * before);
+    }
+
+    #[test]
+    fn cf_prediction_uses_latent_slices() {
+        let alg = Algorithm::CollabFilter { users: 2, items: 2, factors: 2 };
+        // user 0 = (1, 0); item 3 = (2, 5): prediction = 2.
+        let model = vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 2.0, 5.0];
+        let p = predict(&alg, &[0.0, 0.0, 3.0], &model);
+        assert_eq!(p, vec![2.0]);
+    }
+
+    #[test]
+    fn backprop_prediction_has_output_arity() {
+        let alg = Algorithm::Backprop { inputs: 3, hidden: 4, outputs: 2 };
+        let model = data::init_model(&alg, 1);
+        let p = predict(&alg, &[0.1, 0.2, 0.3, 0.0, 1.0], &model);
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|v| (0.0..=1.0).contains(v)), "sigmoid outputs");
+    }
+
+    #[test]
+    #[should_panic(expected = "binary classifiers")]
+    fn accuracy_rejects_regression() {
+        let alg = Algorithm::LinearRegression { features: 2 };
+        let ds = data::generate(&alg, 4, 1);
+        let _ = accuracy(&alg, &ds, &alg.zero_model());
+    }
+}

@@ -1,0 +1,31 @@
+//! # cosmic-planner — accelerator planning and design-space exploration
+//!
+//! The Planner of the CoSMIC architecture layer (paper §4.4). Given the
+//! learning algorithm's dataflow graph and the target chip's constraints,
+//! it decides **how many worker threads** run concurrently and **how many
+//! PE rows** each thread owns, by walking the paper's pruned design space
+//! with a static performance-estimation tool instead of simulation:
+//!
+//! 1. the number of columns equals the words the memory interface
+//!    delivers per cycle (more would waste bandwidth, fewer would pressure
+//!    the interconnect);
+//! 2. the maximum rows is `#PEs / columns`;
+//! 3. the thread count is bounded by
+//!    `t_max = min(BRAM / per-thread storage, rows, mini-batch size)`;
+//! 4. PE allocation is at row granularity, so the space is small (tens of
+//!    points on UltraScale+) and each point is estimated from the static
+//!    schedule.
+//!
+//! The crate also models FPGA resource utilization (Table 3) and exposes
+//! the full design-space sweep used for Figure 16.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dse;
+pub mod plan;
+pub mod utilization;
+
+pub use dse::{DesignSpace, SweepPoint};
+pub use plan::{plan, AcceleratorPerf, DesignPoint, Plan};
+pub use utilization::{utilization, Utilization};

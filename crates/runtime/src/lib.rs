@@ -1,0 +1,45 @@
+//! # cosmic-runtime — the specialized system software layer
+//!
+//! The system layer of the CoSMIC stack (paper §3): a lean runtime
+//! specialized for learning algorithms trained with parallel variants of
+//! stochastic gradient descent. It assigns the partial-gradient work to
+//! accelerators and keeps aggregation and networking on the host CPUs,
+//! orchestrating Sigma and Delta nodes hierarchically.
+//!
+//! What executes **for real** (multi-threaded, in process):
+//!
+//! - [`circbuf`] — the bounded circular buffers that let networking
+//!   (producer) and aggregation (consumer) overlap;
+//! - [`pool`] — the internally managed thread pools that avoid per-
+//!   connection thread creation and OS-level context-switch cost;
+//! - [`node`] — the Sigma-node aggregation pipeline (incoming handler →
+//!   networking pool → circular buffers → aggregation pool → aggregation
+//!   buffer);
+//! - [`trainer`] — the functional distributed trainer: data partitioned
+//!   across nodes and accelerator threads, per-mini-batch parallel SGD
+//!   with hierarchical aggregation, producing real trained models.
+//!
+//! What is **modeled** (the wire and the silicon):
+//!
+//! - [`role`] — the System Director's Sigma/Delta/master role assignment;
+//! - [`timing`] — the cluster-level performance model combining the
+//!   Planner's accelerator estimates with the Ethernet/PCIe models of
+//!   `cosmic-sim`, including the producer-consumer overlap of networking
+//!   and aggregation that the circular buffers buy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circbuf;
+pub mod node;
+pub mod pool;
+pub mod role;
+pub mod timing;
+pub mod trainer;
+
+pub use circbuf::CircularBuffer;
+pub use node::{Chunk, SigmaAggregator, CHUNK_WORDS};
+pub use pool::ThreadPool;
+pub use role::{assign_roles, Role, Topology};
+pub use timing::{ClusterTiming, IterationBreakdown, NodeCompute};
+pub use trainer::{ClusterConfig, ClusterTrainer, TrainOutcome};

@@ -1,0 +1,224 @@
+//! The Sigma-node aggregation pipeline (paper Figure 2), executed with
+//! real threads.
+//!
+//! An incoming network handler dispatches each connection's received data
+//! to the **Networking Pool**, whose threads copy chunks into bounded
+//! **circular buffers**; threads of the **Aggregation Pool** consume the
+//! chunks and fold them into the shared **Aggregation Buffer**. Producers
+//! and consumers overlap, so aggregation starts "as soon as the first
+//! chunk of data is copied".
+
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use crossbeam::sync::WaitGroup;
+use parking_lot::Mutex;
+
+use crate::circbuf::CircularBuffer;
+use crate::pool::ThreadPool;
+
+/// Words per chunk moved between the pools (the "smaller portions of
+/// data" of paper §3).
+pub const CHUNK_WORDS: usize = 4096;
+
+/// A contiguous piece of a partial model/gradient vector in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// Word offset within the model vector; always a multiple of
+    /// [`CHUNK_WORDS`].
+    pub offset: usize,
+    /// The values (at most [`CHUNK_WORDS`] of them).
+    pub data: Vec<f64>,
+}
+
+/// Splits a vector into stripe-aligned chunks.
+pub fn chunk_vector(values: &[f64]) -> Vec<Chunk> {
+    values
+        .chunks(CHUNK_WORDS)
+        .enumerate()
+        .map(|(i, data)| Chunk { offset: i * CHUNK_WORDS, data: data.to_vec() })
+        .collect()
+}
+
+/// The Sigma node's aggregation machinery: two internally managed thread
+/// pools joined per-connection by bounded circular buffers.
+///
+/// # Examples
+///
+/// ```
+/// use cosmic_runtime::{Chunk, SigmaAggregator};
+/// use crossbeam::channel;
+///
+/// let sigma = SigmaAggregator::new(2, 2);
+/// let (tx, rx) = channel::unbounded();
+/// tx.send(Chunk { offset: 0, data: vec![1.0, 2.0] }).unwrap();
+/// drop(tx);
+/// let sum = sigma.aggregate(2, vec![rx]);
+/// assert_eq!(sum, vec![1.0, 2.0]);
+/// ```
+#[derive(Debug)]
+pub struct SigmaAggregator {
+    networking: ThreadPool,
+    aggregation: ThreadPool,
+}
+
+impl SigmaAggregator {
+    /// Creates the two pools. The paper sizes them to the host CPU's
+    /// hardware threads; 4+4 matches the quad-core Xeon E3.
+    pub fn new(networking_threads: usize, aggregation_threads: usize) -> Self {
+        SigmaAggregator {
+            networking: ThreadPool::new(networking_threads, "networking"),
+            aggregation: ThreadPool::new(aggregation_threads, "aggregation"),
+        }
+    }
+
+    /// Receives one partial vector from every connection and returns
+    /// their element-wise **sum** (averaging, when requested by the
+    /// aggregation operator, is a scalar division the caller applies).
+    ///
+    /// Each `incoming` receiver is one peer's socket stream of chunks.
+    /// The call returns once every stream has been drained and folded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a chunk is not stripe-aligned or overruns `model_len`.
+    pub fn aggregate(&self, model_len: usize, incoming: Vec<Receiver<Chunk>>) -> Vec<f64> {
+        let stripes = model_len.div_ceil(CHUNK_WORDS).max(1);
+        let agg: Arc<Vec<Mutex<Vec<f64>>>> = Arc::new(
+            (0..stripes)
+                .map(|s| {
+                    let len = CHUNK_WORDS.min(model_len - s * CHUNK_WORDS);
+                    Mutex::new(vec![0.0; len])
+                })
+                .collect(),
+        );
+
+        let wg = WaitGroup::new();
+        for rx in incoming {
+            // Bounded ring: forces networking and aggregation to overlap
+            // rather than buffering whole models.
+            let ring = Arc::new(CircularBuffer::<Chunk>::with_capacity(4));
+
+            // Networking-pool producer: socket -> circular buffer.
+            {
+                let ring = Arc::clone(&ring);
+                self.networking.execute(move || {
+                    while let Ok(chunk) = rx.recv() {
+                        if !ring.push(chunk) {
+                            break;
+                        }
+                    }
+                    ring.close();
+                });
+            }
+
+            // Aggregation-pool consumer: circular buffer -> agg buffer.
+            {
+                let ring = Arc::clone(&ring);
+                let agg = Arc::clone(&agg);
+                let wg = wg.clone();
+                self.aggregation.execute(move || {
+                    while let Some(chunk) = ring.pop() {
+                        assert_eq!(
+                            chunk.offset % CHUNK_WORDS,
+                            0,
+                            "chunks must be stripe-aligned"
+                        );
+                        let stripe = chunk.offset / CHUNK_WORDS;
+                        let mut guard = agg[stripe].lock();
+                        assert!(
+                            chunk.data.len() <= guard.len(),
+                            "chunk overruns the aggregation buffer"
+                        );
+                        for (a, v) in guard.iter_mut().zip(&chunk.data) {
+                            *a += v;
+                        }
+                    }
+                    drop(wg);
+                });
+            }
+        }
+        wg.wait();
+
+        let mut out = Vec::with_capacity(model_len);
+        for stripe in agg.iter() {
+            out.extend_from_slice(&stripe.lock());
+        }
+        out
+    }
+}
+
+impl Default for SigmaAggregator {
+    fn default() -> Self {
+        Self::new(4, 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel;
+
+    fn send_model(model: Vec<f64>) -> Receiver<Chunk> {
+        let (tx, rx) = channel::unbounded();
+        for chunk in chunk_vector(&model) {
+            tx.send(chunk).unwrap();
+        }
+        rx
+    }
+
+    #[test]
+    fn sums_partial_models_from_many_peers() {
+        let sigma = SigmaAggregator::new(3, 3);
+        let len = 3 * CHUNK_WORDS + 17; // multiple stripes + ragged tail
+        let peers = 7;
+        let incoming: Vec<Receiver<Chunk>> = (0..peers)
+            .map(|p| send_model((0..len).map(|i| (i + p) as f64).collect()))
+            .collect();
+        let sum = sigma.aggregate(len, incoming);
+        for (i, v) in sum.iter().enumerate() {
+            let expect: f64 = (0..peers).map(|p| (i + p) as f64).sum();
+            assert_eq!(*v, expect, "element {i}");
+        }
+    }
+
+    #[test]
+    fn empty_connection_list_yields_zeros() {
+        let sigma = SigmaAggregator::default();
+        assert_eq!(sigma.aggregate(5, vec![]), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn overlap_is_real_chunks_exceed_ring_capacity() {
+        // 16 chunks per peer through rings of capacity 4: reception and
+        // aggregation must interleave or the producer would deadlock
+        // (the networking job only finishes if consumers drain).
+        let sigma = SigmaAggregator::new(2, 2);
+        let len = 16 * CHUNK_WORDS;
+        let incoming = vec![send_model(vec![1.0; len]), send_model(vec![2.0; len])];
+        let sum = sigma.aggregate(len, incoming);
+        assert!(sum.iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn chunking_round_trips() {
+        let v: Vec<f64> = (0..2 * CHUNK_WORDS + 3).map(|i| i as f64).collect();
+        let chunks = chunk_vector(&v);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[2].data.len(), 3);
+        let mut rebuilt = vec![0.0; v.len()];
+        for c in &chunks {
+            rebuilt[c.offset..c.offset + c.data.len()].copy_from_slice(&c.data);
+        }
+        assert_eq!(rebuilt, v);
+    }
+
+    #[test]
+    fn aggregator_is_reusable_across_iterations() {
+        let sigma = SigmaAggregator::new(2, 2);
+        for iter in 1..4 {
+            let incoming = vec![send_model(vec![iter as f64; 10])];
+            assert_eq!(sigma.aggregate(10, incoming), vec![iter as f64; 10]);
+        }
+    }
+}

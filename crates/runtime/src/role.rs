@@ -1,0 +1,249 @@
+//! The System Director: node role assignment (paper §4.3).
+//!
+//! Roles are assigned from the system specification (number of nodes,
+//! number of groups, accelerator type): every group gets one **Sigma**
+//! node that aggregates the group's partial gradients; the remaining
+//! nodes are **Deltas** that compute partial gradients and ship them to
+//! their group's Sigma. One Sigma additionally acts as the **master**,
+//! combining group aggregates and redistributing the updated model.
+//! Sigma nodes also compute partial gradients — they carry accelerators
+//! like everyone else.
+
+use std::fmt;
+
+/// A node's role in the scale-out system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Role {
+    /// Computes partial gradients and sends them to its group Sigma.
+    Delta {
+        /// The node id of this node's group Sigma.
+        sigma: usize,
+    },
+    /// Aggregates its group's partial gradients and forwards the group
+    /// aggregate to the master Sigma (also computes partial gradients).
+    GroupSigma {
+        /// Group members (excluding the Sigma itself).
+        members: Vec<usize>,
+        /// The master Sigma's node id.
+        master: usize,
+    },
+    /// The top of the hierarchy: combines group aggregates, applies the
+    /// aggregation operator, and broadcasts the updated model.
+    MasterSigma {
+        /// Its own group's members.
+        members: Vec<usize>,
+        /// The other groups' Sigma nodes.
+        group_sigmas: Vec<usize>,
+    },
+}
+
+impl Role {
+    /// Whether this node performs aggregation.
+    pub fn is_sigma(&self) -> bool {
+        !matches!(self, Role::Delta { .. })
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Delta { sigma } => write!(f, "delta(sigma={sigma})"),
+            Role::GroupSigma { members, master } => {
+                write!(f, "sigma({} members, master={master})", members.len())
+            }
+            Role::MasterSigma { members, group_sigmas } => {
+                write!(f, "master-sigma({} members, {} groups)", members.len(), group_sigmas.len() + 1)
+            }
+        }
+    }
+}
+
+/// The cluster topology produced by the System Director.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Role per node, indexed by node id.
+    pub roles: Vec<Role>,
+    /// Number of groups.
+    pub groups: usize,
+}
+
+impl Topology {
+    /// Total nodes.
+    pub fn nodes(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// The master Sigma's node id.
+    pub fn master(&self) -> usize {
+        self.roles
+            .iter()
+            .position(|r| matches!(r, Role::MasterSigma { .. }))
+            .expect("a topology always has a master")
+    }
+
+    /// Node ids of all Sigma nodes (group Sigmas + master).
+    pub fn sigmas(&self) -> Vec<usize> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_sigma())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Largest group size (Sigma + members) — the fan-in the hot Sigma
+    /// ingress port must absorb.
+    pub fn max_group_fan_in(&self) -> usize {
+        self.roles
+            .iter()
+            .filter_map(|r| match r {
+                Role::GroupSigma { members, .. } | Role::MasterSigma { members, .. } => {
+                    Some(members.len())
+                }
+                Role::Delta { .. } => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Assigns roles to `nodes` nodes split into `groups` groups of nearly
+/// equal size. Node 0 is the master Sigma; the first node of each other
+/// group is its group Sigma.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero, `groups` is zero, or `groups > nodes`.
+pub fn assign_roles(nodes: usize, groups: usize) -> Topology {
+    assert!(nodes > 0, "need at least one node");
+    assert!(groups > 0 && groups <= nodes, "groups must be in 1..=nodes");
+
+    // Nearly equal contiguous groups.
+    let base = nodes / groups;
+    let extra = nodes % groups;
+    let mut bounds = Vec::with_capacity(groups + 1);
+    let mut cursor = 0;
+    bounds.push(0);
+    for g in 0..groups {
+        cursor += base + usize::from(g < extra);
+        bounds.push(cursor);
+    }
+
+    let mut roles: Vec<Option<Role>> = vec![None; nodes];
+    let mut group_sigmas = Vec::new();
+    for g in 0..groups {
+        let (lo, hi) = (bounds[g], bounds[g + 1]);
+        let sigma = lo;
+        let members: Vec<usize> = (lo + 1..hi).collect();
+        if g == 0 {
+            // Filled in after we know the other sigmas.
+            roles[sigma] = Some(Role::MasterSigma { members, group_sigmas: Vec::new() });
+        } else {
+            group_sigmas.push(sigma);
+            roles[sigma] = Some(Role::GroupSigma { members, master: 0 });
+        }
+        for m in lo + 1..hi {
+            roles[m] = Some(Role::Delta { sigma });
+        }
+    }
+    if let Some(Role::MasterSigma { group_sigmas: gs, .. }) = roles[0].as_mut() {
+        *gs = group_sigmas;
+    }
+    Topology { roles: roles.into_iter().map(Option::unwrap).collect(), groups }
+}
+
+/// The paper's group-count policy: enough groups that no Sigma ingress
+/// absorbs more than ~4 concurrent senders (two-level hierarchy keeps
+/// aggregation off the critical path); small clusters use one group.
+pub fn default_groups(nodes: usize) -> usize {
+    if nodes <= 5 {
+        1
+    } else {
+        nodes.div_ceil(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_nodes_two_groups() {
+        let t = assign_roles(16, 2);
+        assert_eq!(t.nodes(), 16);
+        assert_eq!(t.master(), 0);
+        assert_eq!(t.sigmas(), vec![0, 8]);
+        assert_eq!(t.max_group_fan_in(), 7);
+        // Every delta points at its group's sigma.
+        for (i, role) in t.roles.iter().enumerate() {
+            if let Role::Delta { sigma } = role {
+                assert!(if i < 8 { *sigma == 0 } else { *sigma == 8 }, "node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_node_one_group() {
+        let t = assign_roles(3, 1);
+        assert_eq!(t.sigmas(), vec![0]);
+        assert_eq!(t.roles[1], Role::Delta { sigma: 0 });
+        assert_eq!(t.roles[2], Role::Delta { sigma: 0 });
+        assert_eq!(t.max_group_fan_in(), 2);
+    }
+
+    #[test]
+    fn uneven_groups_differ_by_at_most_one() {
+        let t = assign_roles(10, 3);
+        let mut sizes: Vec<usize> = t
+            .roles
+            .iter()
+            .filter_map(|r| match r {
+                Role::GroupSigma { members, .. } | Role::MasterSigma { members, .. } => {
+                    Some(members.len() + 1)
+                }
+                _ => None,
+            })
+            .collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn master_knows_other_sigmas() {
+        let t = assign_roles(12, 3);
+        match &t.roles[0] {
+            Role::MasterSigma { group_sigmas, .. } => assert_eq!(group_sigmas, &vec![4, 8]),
+            other => panic!("node 0 must be master, got {other}"),
+        }
+    }
+
+    #[test]
+    fn single_node_cluster() {
+        let t = assign_roles(1, 1);
+        assert_eq!(t.nodes(), 1);
+        assert!(t.roles[0].is_sigma());
+        assert_eq!(t.max_group_fan_in(), 0);
+    }
+
+    #[test]
+    fn default_group_policy() {
+        assert_eq!(default_groups(3), 1);
+        assert_eq!(default_groups(4), 1);
+        assert_eq!(default_groups(8), 2);
+        assert_eq!(default_groups(16), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups must be in")]
+    fn too_many_groups_panics() {
+        let _ = assign_roles(2, 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = assign_roles(6, 2);
+        assert!(t.roles[0].to_string().contains("master-sigma"));
+        assert!(t.roles[3].to_string().contains("sigma("));
+        assert!(t.roles[1].to_string().contains("delta"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Cluster-level performance model for CoSMIC configurations.
+//!
+//! Combines the Planner's per-accelerator throughput with the Ethernet
+//! and PCIe models of `cosmic-sim`, reproducing the execution flow of
+//! paper §3: per-mini-batch compute on the accelerators, PCIe readback,
+//! hierarchical aggregation (Delta → group Sigma → master Sigma), and
+//! redistribution of the model. Networking and aggregation overlap at
+//! the Sigma nodes thanks to the circular-buffer pipeline, so each
+//! hierarchy level costs `max(wire, aggregation)` rather than their sum —
+//! *the* specialization that distinguishes CoSMIC's system software from
+//! the generic baseline.
+
+use cosmic_sim::{NetworkModel, PcieModel};
+
+use crate::role::{assign_roles, Topology};
+
+/// A node's gradient-computation capability, however produced (Planner
+/// estimate for FPGAs/P-ASICs, roofline for GPUs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeCompute {
+    /// Training records the node's accelerator processes per second.
+    pub records_per_sec: f64,
+}
+
+/// Per-iteration (one mini-batch, one aggregation round) time breakdown,
+/// in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IterationBreakdown {
+    /// Partial-gradient computation on the accelerators.
+    pub compute_s: f64,
+    /// PCIe readback of partials + write of the updated model.
+    pub pcie_s: f64,
+    /// Hierarchical upward aggregation (wire ∥ CPU folding, both levels).
+    pub aggregate_s: f64,
+    /// Downward model redistribution (both levels).
+    pub broadcast_s: f64,
+    /// Fixed orchestration overhead (invocation, bookkeeping).
+    pub management_s: f64,
+}
+
+impl IterationBreakdown {
+    /// Total iteration time.
+    pub fn total_s(&self) -> f64 {
+        self.compute_s + self.pcie_s + self.aggregate_s + self.broadcast_s + self.management_s
+    }
+
+    /// Everything except accelerator compute — the "system" share.
+    pub fn communication_s(&self) -> f64 {
+        self.total_s() - self.compute_s
+    }
+}
+
+/// The timed model of one CoSMIC cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterTiming {
+    /// Node count.
+    pub nodes: usize,
+    /// Aggregation groups.
+    pub groups: usize,
+    /// The cluster network.
+    pub net: NetworkModel,
+    /// The accelerator's expansion slot.
+    pub pcie: PcieModel,
+    /// Host-CPU aggregation throughput in bytes/s (vector add over
+    /// received chunks; memory-bandwidth-bound on the Xeon E3).
+    pub agg_bytes_per_sec: f64,
+    /// Fixed per-iteration orchestration cost in microseconds.
+    pub mgmt_us: f64,
+}
+
+impl ClusterTiming {
+    /// The evaluation cluster: gigabit Ethernet, Gen3 x8 slots, ~6 GB/s
+    /// effective aggregation fold rate on the host cores.
+    pub fn commodity(nodes: usize, groups: usize) -> Self {
+        ClusterTiming {
+            nodes,
+            groups,
+            net: NetworkModel::gigabit(),
+            pcie: PcieModel::gen3_x8(),
+            agg_bytes_per_sec: 6.0e9,
+            mgmt_us: 150.0,
+        }
+    }
+
+    /// The System Director's topology for this cluster.
+    pub fn topology(&self) -> Topology {
+        assign_roles(self.nodes, self.groups)
+    }
+
+    /// Times one mini-batch iteration.
+    ///
+    /// `minibatch` is the global batch `b`; `node` the per-node
+    /// accelerator throughput; `exchange_bytes` the partial-update size a
+    /// node ships per aggregation (the whole model for dense algorithms,
+    /// the touched slices for collaborative filtering).
+    pub fn iteration(
+        &self,
+        minibatch: usize,
+        node: NodeCompute,
+        exchange_bytes: usize,
+    ) -> IterationBreakdown {
+        let topo = self.topology();
+        let records_per_node = minibatch as f64 / self.nodes as f64;
+        let compute_s = records_per_node / node.records_per_sec;
+
+        // Partial readback + model write over PCIe.
+        let pcie_s = 2.0 * self.pcie.transfer_ns(exchange_bytes) as f64 / 1e9;
+
+        // Level 1: every group Sigma absorbs its members' partials; the
+        // circular-buffer pipeline overlaps folding with reception.
+        let group_fan_in = topo.max_group_fan_in();
+        let wire1 = self.net.fan_in_ns(exchange_bytes, group_fan_in) as f64 / 1e9;
+        let fold1 = group_fan_in as f64 * exchange_bytes as f64 / self.agg_bytes_per_sec;
+        // Level 2: the master absorbs the other group Sigmas' aggregates.
+        let master_fan_in = self.groups - 1;
+        let wire2 = self.net.fan_in_ns(exchange_bytes, master_fan_in) as f64 / 1e9;
+        let fold2 = master_fan_in as f64 * exchange_bytes as f64 / self.agg_bytes_per_sec;
+        // The circular-buffer pipeline chunks partials, so the two
+        // hierarchy levels overlap: the slower level bounds the round.
+        let aggregate_s = wire1.max(fold1).max(wire2.max(fold2));
+
+        // Downward: master → group Sigmas and Sigmas → members pipeline
+        // the same way (chunked store-and-forward).
+        let broadcast_s = (self.net.fan_out_ns(exchange_bytes, master_fan_in))
+            .max(self.net.fan_out_ns(exchange_bytes, group_fan_in)) as f64
+            / 1e9;
+
+        IterationBreakdown {
+            compute_s,
+            pcie_s,
+            aggregate_s,
+            broadcast_s,
+            management_s: self.mgmt_us / 1e6,
+        }
+    }
+
+    /// Times one iteration when `stragglers` of the nodes run at
+    /// `slowdown` times their normal per-record cost. Synchronous
+    /// parallel SGD waits for the slowest partial before aggregating, so
+    /// a single straggler stretches the whole round — the behaviour that
+    /// motivates bounding group sizes and keeping aggregation off the
+    /// critical path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slowdown < 1` or `stragglers > nodes`.
+    pub fn iteration_with_stragglers(
+        &self,
+        minibatch: usize,
+        node: NodeCompute,
+        exchange_bytes: usize,
+        stragglers: usize,
+        slowdown: f64,
+    ) -> IterationBreakdown {
+        assert!(slowdown >= 1.0, "a straggler cannot be faster than nominal");
+        assert!(stragglers <= self.nodes, "more stragglers than nodes");
+        let mut it = self.iteration(minibatch, node, exchange_bytes);
+        if stragglers > 0 {
+            // The barrier waits for the slowest node's compute.
+            it.compute_s *= slowdown;
+        }
+        it
+    }
+
+    /// Seconds to train for `epochs` passes over `total_records` with
+    /// mini-batch `b`.
+    pub fn training_time_s(
+        &self,
+        total_records: usize,
+        minibatch: usize,
+        epochs: usize,
+        node: NodeCompute,
+        exchange_bytes: usize,
+    ) -> f64 {
+        let iterations = total_records.div_ceil(minibatch).max(1);
+        let iter = self.iteration(minibatch, node, exchange_bytes);
+        iterations as f64 * epochs as f64 * iter.total_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(rps: f64) -> NodeCompute {
+        NodeCompute { records_per_sec: rps }
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let t = ClusterTiming::commodity(16, 2);
+        let it = t.iteration(10_000, node(1e5), 1_000_000);
+        let sum = it.compute_s + it.pcie_s + it.aggregate_s + it.broadcast_s + it.management_s;
+        assert!((it.total_s() - sum).abs() < 1e-15);
+        assert!(it.communication_s() < it.total_s());
+    }
+
+    #[test]
+    fn bigger_models_cost_more_communication() {
+        let t = ClusterTiming::commodity(8, 2);
+        let small = t.iteration(10_000, node(1e5), 8 * 1024);
+        let large = t.iteration(10_000, node(1e5), 2 * 1024 * 1024);
+        assert!(large.aggregate_s > 10.0 * small.aggregate_s);
+        assert_eq!(large.compute_s, small.compute_s);
+    }
+
+    #[test]
+    fn more_nodes_cut_compute_but_grow_fan_in() {
+        let m = 2_400_000; // mnist-sized model
+        let four = ClusterTiming::commodity(4, 1).iteration(10_000, node(1e5), m);
+        let sixteen = ClusterTiming::commodity(16, 2).iteration(10_000, node(1e5), m);
+        assert!(sixteen.compute_s < four.compute_s);
+        assert!(sixteen.aggregate_s > four.aggregate_s * 0.9);
+    }
+
+    #[test]
+    fn grouping_caps_the_hot_ingress() {
+        // 16 nodes in one group: the single Sigma absorbs 15 streams.
+        // Two groups: 7 + a second level of 1. Hierarchy must win for
+        // large models.
+        let m = 2_400_000;
+        let flat = ClusterTiming::commodity(16, 1).iteration(10_000, node(1e5), m);
+        let grouped = ClusterTiming::commodity(16, 2).iteration(10_000, node(1e5), m);
+        assert!(
+            grouped.aggregate_s < flat.aggregate_s,
+            "hierarchical {} vs flat {}",
+            grouped.aggregate_s,
+            flat.aggregate_s
+        );
+    }
+
+    #[test]
+    fn overlap_never_exceeds_sum() {
+        // max(wire, fold) ≤ wire + fold: the specialized pipeline cannot
+        // be slower than sequential handling.
+        let t = ClusterTiming::commodity(8, 2);
+        let it = t.iteration(10_000, node(1e5), 1_000_000);
+        let topo = t.topology();
+        let wire1 = t.net.fan_in_ns(1_000_000, topo.max_group_fan_in()) as f64 / 1e9;
+        let fold1 = topo.max_group_fan_in() as f64 * 1_000_000.0 / t.agg_bytes_per_sec;
+        assert!(it.aggregate_s <= (wire1 + fold1) * 2.0);
+    }
+
+    #[test]
+    fn training_time_scales_with_iterations() {
+        let t = ClusterTiming::commodity(4, 1);
+        let one = t.training_time_s(10_000, 10_000, 1, node(1e5), 100_000);
+        let ten = t.training_time_s(100_000, 10_000, 1, node(1e5), 100_000);
+        assert!((ten / one - 10.0).abs() < 1e-9);
+        let epochs = t.training_time_s(10_000, 10_000, 5, node(1e5), 100_000);
+        assert!((epochs / one - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_straggler_stretches_the_whole_round() {
+        let t = ClusterTiming::commodity(16, 2);
+        let n = node(1e5);
+        let clean = t.iteration(10_000, n, 100_000);
+        let dragged = t.iteration_with_stragglers(10_000, n, 100_000, 1, 3.0);
+        assert!((dragged.compute_s / clean.compute_s - 3.0).abs() < 1e-9);
+        assert_eq!(dragged.aggregate_s, clean.aggregate_s);
+        // Compute-bound workloads suffer the full factor; communication-
+        // bound ones are partially shielded.
+        let heavy_comm = t.iteration_with_stragglers(10_000, n, 4_000_000, 1, 3.0);
+        let clean_comm = t.iteration(10_000, n, 4_000_000);
+        let slow_ratio = heavy_comm.total_s() / clean_comm.total_s();
+        let fast_ratio = dragged.total_s() / clean.total_s();
+        assert!(slow_ratio < fast_ratio, "{slow_ratio} vs {fast_ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "faster than nominal")]
+    fn negative_slowdown_panics() {
+        let t = ClusterTiming::commodity(4, 1);
+        let _ = t.iteration_with_stragglers(100, node(1e5), 100, 1, 0.5);
+    }
+
+    #[test]
+    fn larger_minibatch_amortizes_communication() {
+        let t = ClusterTiming::commodity(3, 1);
+        let n = node(1e5);
+        let m = 1_000_000;
+        // Same total records, different aggregation rates.
+        let small_b = t.training_time_s(100_000, 500, 1, n, m);
+        let large_b = t.training_time_s(100_000, 100_000, 1, n, m);
+        assert!(small_b > 5.0 * large_b, "b=500 {small_b} vs b=100k {large_b}");
+    }
+}

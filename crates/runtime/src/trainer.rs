@@ -1,0 +1,437 @@
+//! The functional distributed trainer: CoSMIC's execution flow (paper
+//! Figure 1) run for real, in process, with real threads.
+//!
+//! Every simulated node runs its accelerator worker threads in parallel
+//! (each computing a private partial update over its data sub-partition),
+//! aggregates locally, ships the node partial to its group's Sigma over a
+//! channel ("socket"), and the Sigma pipeline of [`crate::node`] folds
+//! the stream through its networking/aggregation pools. A master Sigma
+//! combines group aggregates and redistributes the model.
+
+use crossbeam::channel;
+use std::thread;
+
+use cosmic_ml::data::Dataset;
+use cosmic_ml::sgd;
+use cosmic_ml::{Aggregation, Algorithm};
+
+use crate::node::{chunk_vector, SigmaAggregator};
+use crate::role::{assign_roles, Topology};
+
+/// Scale-out system configuration (the "system specification" the
+/// programmer hands the System Director).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Total nodes (Sigmas included — they compute too).
+    pub nodes: usize,
+    /// Aggregation groups.
+    pub groups: usize,
+    /// Accelerator worker threads per node (the Planner's thread count).
+    pub threads_per_node: usize,
+    /// Global mini-batch size `b`.
+    pub minibatch: usize,
+    /// SGD learning rate `μ`.
+    pub learning_rate: f64,
+    /// Passes over the whole dataset.
+    pub epochs: usize,
+    /// Aggregation operator.
+    pub aggregation: Aggregation,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 4,
+            groups: 1,
+            threads_per_node: 2,
+            minibatch: 10_000,
+            learning_rate: 0.05,
+            epochs: 1,
+            aggregation: Aggregation::Average,
+        }
+    }
+}
+
+/// The result of a distributed training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainOutcome {
+    /// The trained model.
+    pub model: Vec<f64>,
+    /// Mean dataset loss before every epoch and after the last.
+    pub loss_history: Vec<f64>,
+    /// Aggregation steps performed (mini-batch iterations).
+    pub iterations: usize,
+}
+
+/// Orchestrates distributed training over an in-process cluster.
+#[derive(Debug)]
+pub struct ClusterTrainer {
+    config: ClusterConfig,
+    topology: Topology,
+}
+
+impl ClusterTrainer {
+    /// Builds a trainer, assigning node roles through the System
+    /// Director.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (zero nodes/threads/minibatch
+    /// or more groups than nodes).
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.threads_per_node > 0, "need at least one worker thread");
+        assert!(config.minibatch > 0, "mini-batch must be positive");
+        let topology = assign_roles(config.nodes, config.groups);
+        ClusterTrainer { config, topology }
+    }
+
+    /// The role topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Trains `alg` on `dataset` starting from `initial_model`.
+    ///
+    /// Functionally equivalent to [`cosmic_ml::sgd::train_parallel`] with
+    /// `nodes × threads_per_node` workers (exactly equal when the worker
+    /// shard sizes divide evenly), but executed through the real system
+    /// software: parallel node threads, chunked transfers, and the Sigma
+    /// aggregation pipeline.
+    pub fn train(
+        &self,
+        alg: &Algorithm,
+        dataset: &Dataset,
+        initial_model: Vec<f64>,
+    ) -> TrainOutcome {
+        let cfg = &self.config;
+        let model_len = initial_model.len();
+        let workers = cfg.nodes * cfg.threads_per_node;
+        let per_worker = cfg.minibatch.div_ceil(workers);
+
+        // Partition: dataset -> node partitions -> thread sub-partitions
+        // (paper Figure 1's D_i and D_ij).
+        let node_parts = dataset.partition(cfg.nodes);
+        let thread_parts: Vec<Vec<Dataset>> =
+            node_parts.iter().map(|p| p.partition(cfg.threads_per_node)).collect();
+
+        let sigma = SigmaAggregator::default();
+        let mut model = initial_model;
+        let mut history = Vec::with_capacity(cfg.epochs + 1);
+        let mut iterations = 0;
+
+        let steps = thread_parts
+            .iter()
+            .flatten()
+            .map(Dataset::len)
+            .max()
+            .unwrap_or(0)
+            .div_ceil(per_worker);
+
+        for _ in 0..cfg.epochs {
+            history.push(sgd::mean_loss(alg, dataset, &model));
+            for step in 0..steps {
+                // Phase 1: every node computes its partial in parallel;
+                // within a node, every accelerator thread in parallel.
+                let partials: Vec<(Vec<f64>, usize)> = thread::scope(|s| {
+                    let handles: Vec<_> = thread_parts
+                        .iter()
+                        .map(|subs| {
+                            let model = &model;
+                            s.spawn(move || {
+                                node_partial(alg, subs, model, step, per_worker, cfg)
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
+                });
+
+                let active_total: usize = partials.iter().map(|(_, n)| n).sum();
+                if active_total == 0 {
+                    continue;
+                }
+
+                // Phase 2: group-level aggregation through the Sigma
+                // pipeline — members stream chunked partials over
+                // channels ("sockets").
+                let mut group_sums: Vec<(Vec<f64>, usize)> = Vec::new();
+                for group in self.group_members() {
+                    let mut receivers = Vec::new();
+                    let mut active = 0;
+                    thread::scope(|s| {
+                        for &member in &group {
+                            let (part, n) = &partials[member];
+                            if *n == 0 {
+                                continue;
+                            }
+                            active += n;
+                            let (tx, rx) = channel::bounded(8);
+                            receivers.push(rx);
+                            let part = part.clone();
+                            s.spawn(move || {
+                                for chunk in chunk_vector(&part) {
+                                    if tx.send(chunk).is_err() {
+                                        break;
+                                    }
+                                }
+                            });
+                        }
+                        group_sums.push((sigma.aggregate(model_len, receivers), active));
+                    });
+                }
+
+                // Phase 3: the master Sigma combines group aggregates the
+                // same way and applies the aggregation operator.
+                let total: Vec<f64> = thread::scope(|s| {
+                    let mut receivers = Vec::new();
+                    for (sum, n) in &group_sums {
+                        if *n == 0 {
+                            continue;
+                        }
+                        let (tx, rx) = channel::bounded(8);
+                        receivers.push(rx);
+                        let sum = sum.clone();
+                        s.spawn(move || {
+                            for chunk in chunk_vector(&sum) {
+                                if tx.send(chunk).is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                    }
+                    sigma.aggregate(model_len, receivers)
+                });
+
+                match cfg.aggregation {
+                    Aggregation::Average => {
+                        // Partials are worker models; averaging yields the
+                        // parallelized-SGD update (Eq. 3b).
+                        for (m, s) in model.iter_mut().zip(&total) {
+                            *m = s / active_total as f64;
+                        }
+                    }
+                    Aggregation::Sum => {
+                        // Partials are gradient sums over the mini-batch.
+                        let scale = cfg.learning_rate / active_total as f64;
+                        for (m, g) in model.iter_mut().zip(&total) {
+                            *m -= scale * g;
+                        }
+                    }
+                }
+                iterations += 1;
+            }
+        }
+        history.push(sgd::mean_loss(alg, dataset, &model));
+        TrainOutcome { model, loss_history: history, iterations }
+    }
+
+    /// Node ids per group (Sigma first).
+    fn group_members(&self) -> Vec<Vec<usize>> {
+        use crate::role::Role;
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, role) in self.topology.roles.iter().enumerate() {
+            match role {
+                Role::MasterSigma { members, .. } | Role::GroupSigma { members, .. } => {
+                    let mut g = vec![i];
+                    g.extend(members);
+                    groups.push(g);
+                }
+                Role::Delta { .. } => {}
+            }
+        }
+        groups
+    }
+}
+
+/// One node's iteration: run every accelerator thread over its share of
+/// the mini-batch, then aggregate locally on chip. Returns the node
+/// partial and how many worker threads contributed.
+fn node_partial(
+    alg: &Algorithm,
+    subs: &[Dataset],
+    model: &[f64],
+    step: usize,
+    per_worker: usize,
+    cfg: &ClusterConfig,
+) -> (Vec<f64>, usize) {
+    let thread_results: Vec<Option<(Vec<f64>, usize)>> = thread::scope(|s| {
+        let handles: Vec<_> = subs
+            .iter()
+            .map(|sub| {
+                s.spawn(move || {
+                    let lo = (step * per_worker).min(sub.len());
+                    let hi = ((step + 1) * per_worker).min(sub.len());
+                    if lo == hi {
+                        return None;
+                    }
+                    let records = &sub.records()[lo..hi];
+                    let partial = match cfg.aggregation {
+                        Aggregation::Average => {
+                            let mut local = model.to_vec();
+                            for r in records {
+                                alg.sgd_update(r, &mut local, cfg.learning_rate);
+                            }
+                            local
+                        }
+                        Aggregation::Sum => {
+                            let mut grad = vec![0.0; model.len()];
+                            for r in records {
+                                alg.accumulate_gradient(r, model, &mut grad);
+                            }
+                            grad
+                        }
+                    };
+                    Some((partial, records.len()))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    });
+
+    // Local (on-chip) aggregation across the node's worker threads. The
+    // weight is what the final operator divides by: contributing threads
+    // for model averaging, records for a batched-gradient sum.
+    let mut sum = vec![0.0; model.len()];
+    let mut weight = 0;
+    for (result, records) in thread_results.into_iter().flatten() {
+        for (s, v) in sum.iter_mut().zip(&result) {
+            *s += v;
+        }
+        weight += match cfg.aggregation {
+            Aggregation::Average => 1,
+            Aggregation::Sum => records,
+        };
+    }
+    (sum, weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmic_ml::data;
+    use cosmic_ml::sgd::{train_parallel, TrainConfig};
+
+    #[test]
+    fn converges_on_every_algorithm_family() {
+        let algs = [
+            Algorithm::LinearRegression { features: 8 },
+            Algorithm::LogisticRegression { features: 8 },
+            Algorithm::Svm { features: 8 },
+            Algorithm::Backprop { inputs: 5, hidden: 4, outputs: 2 },
+            Algorithm::CollabFilter { users: 10, items: 10, factors: 3 },
+        ];
+        for alg in algs {
+            let ds = data::generate(&alg, 480, 33);
+            let trainer = ClusterTrainer::new(ClusterConfig {
+                nodes: 4,
+                groups: 2,
+                threads_per_node: 2,
+                minibatch: 96,
+                learning_rate: 0.2,
+                epochs: 4,
+                aggregation: Aggregation::Average,
+            });
+            let out = trainer.train(&alg, &ds, data::init_model(&alg, 5));
+            let first = out.loss_history[0];
+            let last = *out.loss_history.last().unwrap();
+            assert!(last < first, "{alg}: {first} -> {last}");
+            assert!(out.iterations > 0);
+        }
+    }
+
+    #[test]
+    fn matches_reference_parallel_sgd_exactly() {
+        // Even shard sizes ⇒ the cluster trainer must reproduce the
+        // single-process reference bit for bit.
+        let alg = Algorithm::Svm { features: 6 };
+        let ds = data::generate(&alg, 384, 7); // 384 = 8 workers * 48
+        let init = data::init_model(&alg, 2);
+
+        let trainer = ClusterTrainer::new(ClusterConfig {
+            nodes: 4,
+            groups: 2,
+            threads_per_node: 2,
+            minibatch: 64,
+            learning_rate: 0.1,
+            epochs: 2,
+            aggregation: Aggregation::Average,
+        });
+        let cluster = trainer.train(&alg, &ds, init.clone());
+
+        let reference = train_parallel(
+            &alg,
+            &ds,
+            init,
+            &TrainConfig {
+                learning_rate: 0.1,
+                epochs: 2,
+                minibatch: 64,
+                workers: 8,
+                aggregation: Aggregation::Average,
+            },
+        );
+        assert_eq!(cluster.iterations, reference.aggregations);
+        for (a, b) in cluster.model.iter().zip(&reference.model) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sum_aggregation_matches_reference() {
+        let alg = Algorithm::LinearRegression { features: 4 };
+        let ds = data::generate(&alg, 128, 9);
+        let init = data::init_model(&alg, 3);
+        let trainer = ClusterTrainer::new(ClusterConfig {
+            nodes: 2,
+            groups: 1,
+            threads_per_node: 2,
+            minibatch: 32,
+            learning_rate: 0.05,
+            epochs: 1,
+            aggregation: Aggregation::Sum,
+        });
+        let cluster = trainer.train(&alg, &ds, init.clone());
+        let reference = train_parallel(
+            &alg,
+            &ds,
+            init,
+            &TrainConfig {
+                learning_rate: 0.05,
+                epochs: 1,
+                minibatch: 32,
+                workers: 4,
+                aggregation: Aggregation::Sum,
+            },
+        );
+        for (a, b) in cluster.model.iter().zip(&reference.model) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn topology_is_exposed() {
+        let trainer = ClusterTrainer::new(ClusterConfig {
+            nodes: 8,
+            groups: 2,
+            ..ClusterConfig::default()
+        });
+        assert_eq!(trainer.topology().nodes(), 8);
+        assert_eq!(trainer.topology().sigmas().len(), 2);
+    }
+
+    #[test]
+    fn single_node_single_thread_works() {
+        let alg = Algorithm::LogisticRegression { features: 4 };
+        let ds = data::generate(&alg, 64, 4);
+        let trainer = ClusterTrainer::new(ClusterConfig {
+            nodes: 1,
+            groups: 1,
+            threads_per_node: 1,
+            minibatch: 16,
+            learning_rate: 0.3,
+            epochs: 3,
+            aggregation: Aggregation::Average,
+        });
+        let out = trainer.train(&alg, &ds, alg.zero_model());
+        assert!(out.loss_history.last().unwrap() < &out.loss_history[0]);
+    }
+}

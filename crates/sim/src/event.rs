@@ -1,0 +1,206 @@
+//! A minimal deterministic discrete-event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time in nanoseconds.
+pub type SimTime = u64;
+
+/// A time-ordered event queue. Events scheduled for the same instant pop
+/// in insertion order (a monotone sequence number breaks ties), which
+/// keeps simulations fully deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use cosmic_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(20, "b");
+/// q.schedule(10, "a");
+/// q.schedule(20, "c");
+/// assert_eq!(q.pop(), Some((10, "a")));
+/// assert_eq!(q.pop(), Some((20, "b")));
+/// assert_eq!(q.pop(), Some((20, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventSlot<E>)>>,
+    seq: u64,
+    now: SimTime,
+}
+
+// A wrapper giving events a total order without requiring E: Ord; the
+// (time, seq) prefix always differs so the payload is never compared.
+#[derive(Debug, Clone)]
+struct EventSlot<E>(E);
+
+impl<E> PartialEq for EventSlot<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventSlot<E> {}
+impl<E> PartialOrd for EventSlot<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventSlot<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0 }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the last popped event).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        self.heap.push(Reverse((at, self.seq, EventSlot(event))));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((at, _, EventSlot(event))) = self.heap.pop()?;
+        self.now = at;
+        Some((at, event))
+    }
+
+    /// Remaining event count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is drained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Runs the simulation to completion: pops events and feeds them to
+    /// `handler`, which may schedule more. Returns the final time.
+    pub fn run(mut self, mut handler: impl FnMut(&mut EventQueue<E>, SimTime, E)) -> SimTime {
+        // Pop into a scratch queue so the handler can schedule into self.
+        while let Some((at, event)) = self.pop() {
+            handler(&mut self, at, event);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_then_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1);
+        q.schedule(3, 2);
+        q.schedule(5, 3);
+        q.schedule(4, 4);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(7, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 7);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "first");
+        q.pop();
+        q.schedule_in(5, "second");
+        assert_eq!(q.pop(), Some((15, "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        q.schedule(5, ());
+    }
+
+    #[test]
+    fn run_drives_cascading_events() {
+        let mut q = EventQueue::new();
+        q.schedule(1, 3u32); // event payload = remaining cascade depth
+        let end = q.run(|q, _, depth| {
+            if depth > 0 {
+                q.schedule_in(10, depth - 1);
+            }
+        });
+        assert_eq!(end, 31);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever the schedule order, events pop in timestamp order with
+        /// ties broken by insertion sequence.
+        #[test]
+        fn pops_are_time_sorted(times in prop::collection::vec(0u64..1_000, 1..64)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(t, i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((t, id)) = q.pop() {
+                if let Some((lt, lid)) = last {
+                    prop_assert!(t > lt || (t == lt && id > lid), "ordering violated");
+                }
+                prop_assert_eq!(times[id], t, "event keeps its timestamp");
+                last = Some((t, id));
+            }
+        }
+    }
+}

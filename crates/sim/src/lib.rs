@@ -1,0 +1,23 @@
+//! # cosmic-sim — discrete-event simulation substrate
+//!
+//! The cluster-level substrate of the CoSMIC reproduction: a deterministic
+//! discrete-event engine ([`event`]), a commodity-Ethernet network model
+//! ([`net`]) matching the paper's testbed (TP-LINK gigabit switch,
+//! full-duplex 1 Gbps ports), and a PCIe expansion-slot model ([`pcie`])
+//! for host↔accelerator transfers.
+//!
+//! The paper's scale-out experiments ran on real clusters (EC2 and a
+//! three-node lab system); here the wire is simulated while the system
+//! software logic above it (role assignment, thread pools, circular
+//! buffers — see `cosmic-runtime`) executes for real.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod net;
+pub mod pcie;
+
+pub use event::{EventQueue, SimTime};
+pub use net::{LinkPort, NetworkModel};
+pub use pcie::PcieModel;

@@ -1,0 +1,185 @@
+//! Commodity-Ethernet network model.
+//!
+//! Models the paper's testbed: nodes with gigabit NICs (TP-Link TG-3468)
+//! behind a non-blocking store-and-forward switch (TP-LINK TL-SG1024,
+//! full duplex on all ports, 48 Gbps aggregate). The switch fabric never
+//! saturates at our scale, so contention happens at the *ports*: each
+//! node's ingress and egress links serialize their transfers
+//! independently (full duplex).
+
+use crate::event::SimTime;
+
+/// Parameters of the cluster network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Per-port line rate in Gbit/s.
+    pub link_gbps: f64,
+    /// One-way small-message latency in microseconds (NIC + switch +
+    /// kernel TCP path).
+    pub latency_us: f64,
+    /// Per-message fixed CPU/protocol overhead in microseconds (socket
+    /// syscalls, TCP segmentation) — paid per message, not per byte.
+    pub per_message_us: f64,
+    /// Protocol efficiency: fraction of the line rate usable as TCP
+    /// goodput (Ethernet + IP + TCP framing).
+    pub efficiency: f64,
+}
+
+impl NetworkModel {
+    /// The evaluation cluster's gigabit Ethernet.
+    pub fn gigabit() -> Self {
+        NetworkModel { link_gbps: 1.0, latency_us: 80.0, per_message_us: 25.0, efficiency: 0.94 }
+    }
+
+    /// Goodput in bytes per second.
+    pub fn goodput_bps(&self) -> f64 {
+        self.link_gbps * 1e9 / 8.0 * self.efficiency
+    }
+
+    /// Wire time to move `bytes` point-to-point once a port is free, in
+    /// nanoseconds (serialization + one-way latency + message overhead).
+    pub fn transfer_ns(&self, bytes: usize) -> SimTime {
+        let serialize = bytes as f64 / self.goodput_bps() * 1e9;
+        (serialize + (self.latency_us + self.per_message_us) * 1e3).round() as SimTime
+    }
+
+    /// Time for one node to *receive* the same `bytes`-sized message from
+    /// each of `senders` peers: the receiver's ingress port serializes
+    /// them (this is the Sigma-node hot spot the hierarchical aggregation
+    /// attacks).
+    pub fn fan_in_ns(&self, bytes: usize, senders: usize) -> SimTime {
+        if senders == 0 {
+            return 0;
+        }
+        let serialize = senders as f64 * bytes as f64 / self.goodput_bps() * 1e9;
+        (serialize + (self.latency_us + senders as f64 * self.per_message_us) * 1e3).round()
+            as SimTime
+    }
+
+    /// Time for one node to *send* the same message to `receivers` peers
+    /// (egress serialization — e.g. a Sigma node distributing the updated
+    /// model).
+    pub fn fan_out_ns(&self, bytes: usize, receivers: usize) -> SimTime {
+        self.fan_in_ns(bytes, receivers)
+    }
+}
+
+/// Tracks the busy time of one directed port so overlapping transfers
+/// serialize. Used by discrete-event simulations that interleave traffic
+/// from multiple sources.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkPort {
+    busy_until: SimTime,
+}
+
+impl LinkPort {
+    /// A free port.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves the port for a transfer arriving at `arrival` and taking
+    /// `duration`; returns the completion time.
+    pub fn reserve(&mut self, arrival: SimTime, duration: SimTime) -> SimTime {
+        let start = arrival.max(self.busy_until);
+        self.busy_until = start + duration;
+        self.busy_until
+    }
+
+    /// When the port next becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabit_goodput_is_under_line_rate() {
+        let n = NetworkModel::gigabit();
+        assert!(n.goodput_bps() < 125e6);
+        assert!(n.goodput_bps() > 110e6);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let n = NetworkModel::gigabit();
+        let small = n.transfer_ns(1_000);
+        let big = n.transfer_ns(1_000_000);
+        assert!(big > 8 * small);
+        // 1 MB at ~117.5 MB/s ≈ 8.5 ms plus fixed costs.
+        assert!((8_000_000..10_000_000).contains(&big), "{big}");
+    }
+
+    #[test]
+    fn fan_in_serializes_at_ingress() {
+        let n = NetworkModel::gigabit();
+        let one = n.fan_in_ns(1_000_000, 1);
+        let seven = n.fan_in_ns(1_000_000, 7);
+        assert!(seven > 6 * one, "ingress must serialize: {seven} vs {one}");
+        assert_eq!(n.fan_in_ns(1_000_000, 0), 0);
+        assert_eq!(n.fan_out_ns(1_000_000, 7), seven);
+    }
+
+    #[test]
+    fn latency_dominates_tiny_messages() {
+        let n = NetworkModel::gigabit();
+        let t = n.transfer_ns(64);
+        assert!(t >= 100_000, "fixed costs are ~105us, got {t} ns");
+    }
+
+    #[test]
+    fn link_port_serializes_reservations() {
+        let mut port = LinkPort::new();
+        let a = port.reserve(0, 100);
+        let b = port.reserve(10, 100); // arrives while busy
+        let c = port.reserve(500, 100); // arrives when free
+        assert_eq!(a, 100);
+        assert_eq!(b, 200);
+        assert_eq!(c, 600);
+        assert_eq!(port.busy_until(), 600);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Transfer time is monotone in payload size.
+        #[test]
+        fn transfer_monotone_in_bytes(a in 0usize..10_000_000, b in 0usize..10_000_000) {
+            let n = NetworkModel::gigabit();
+            let (lo, hi) = (a.min(b), a.max(b));
+            prop_assert!(n.transfer_ns(lo) <= n.transfer_ns(hi));
+        }
+
+        /// Fan-in is superadditive in senders: k senders take at least as
+        /// long as any subset, and at least the serialized share.
+        #[test]
+        fn fan_in_superadditive(bytes in 1usize..2_000_000, senders in 1usize..16) {
+            let n = NetworkModel::gigabit();
+            let all = n.fan_in_ns(bytes, senders);
+            prop_assert!(all >= n.fan_in_ns(bytes, senders - 1));
+            let serialized = (senders as f64 * bytes as f64 / n.goodput_bps() * 1e9) as SimTime;
+            prop_assert!(all >= serialized);
+        }
+
+        /// A port never reorders: completion times are non-decreasing in
+        /// reservation order regardless of arrival pattern.
+        #[test]
+        fn port_reservations_are_fifo(arrivals in prop::collection::vec(0u64..10_000, 1..32)) {
+            let mut port = LinkPort::new();
+            let mut last = 0;
+            for (i, &at) in arrivals.iter().enumerate() {
+                let done = port.reserve(at, 100 + i as u64);
+                prop_assert!(done >= last, "completion must not regress");
+                prop_assert!(done >= at + 100);
+                last = done;
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Quickstart: the paper's Figure 4 support-vector-machine example,
+//! end to end through every layer of the stack.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cosmic::cosmic_arch::Machine;
+use cosmic::cosmic_dfg::interp;
+use cosmic::cosmic_dsl;
+use cosmic::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Programming layer: the programmer writes the gradient, the
+    //    aggregation operator, and the mini-batch size — nothing else.
+    let source = cosmic_dsl::programs::svm(10_000);
+    println!("--- DSL source (what the programmer writes) ---\n{source}");
+
+    // 2-4. Translator, Planner, Compiler: one builder call.
+    let stack = CosmicStack::builder()
+        .source(&source)
+        .dim("n", 64) // 64-feature classifier
+        .accelerator(AcceleratorSpec::fpga_vu9p())
+        .nodes(16)
+        .build()?;
+
+    let dfg = stack.dfg();
+    println!(
+        "--- Dataflow graph ---\n{} nodes, {} ops, critical path {}, max width {}\n",
+        dfg.len(),
+        dfg.op_count(),
+        cosmic::cosmic_dfg::analysis::critical_path(dfg),
+        cosmic::cosmic_dfg::analysis::max_width(dfg),
+    );
+
+    let plan = stack.plan();
+    println!(
+        "--- Planner ---\nbest design point {} -> {:.0} records/s per accelerator\n",
+        plan.best.point, plan.best.records_per_sec
+    );
+
+    // 5. The compiled program runs on the cycle-level machine and matches
+    //    the reference interpreter exactly.
+    let compiled = stack.compile();
+    let record: Vec<f64> = (0..65).map(|i| ((i % 7) as f64 - 3.0) / 4.0).collect();
+    let model: Vec<f64> = (0..64).map(|i| ((i % 5) as f64 - 2.0) / 8.0).collect();
+    let machine = Machine::new(compiled.program.geometry, 16.0);
+    let run = machine.run(&compiled.program, &record, &model)?;
+    let reference = interp::evaluate(dfg, &record, &model);
+    let max_err = run
+        .gradients
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "--- Cycle-level machine ---\n{} cycles, {} transfers ({} neighbor / {} row bus / {} tree), \
+         {} of {} PEs active at {:.0}% issue utilization, \
+         max |machine - interpreter| = {max_err:.2e}\n",
+        run.cycles,
+        run.transfers(),
+        run.neighbor_transfers,
+        run.row_bus_transfers,
+        run.tree_bus_transfers,
+        run.active_pes(),
+        compiled.program.geometry.pes(),
+        100.0 * run.pe_utilization(),
+    );
+
+    // 6. The Constructor emits RTL for the same program.
+    let rtl = stack.rtl();
+    println!(
+        "--- Constructor ---\n{} lines of Verilog; first lines:\n{}\n",
+        rtl.lines().count(),
+        rtl.lines().take(4).collect::<Vec<_>>().join("\n"),
+    );
+
+    // 7. The system layer predicts cluster-scale training time.
+    let seconds = stack.predict_training_seconds(678_392, 100, 64 * 4);
+    println!(
+        "--- System layer ---\npredicted time to train 678,392 records x 100 epochs \
+         on 16 nodes: {seconds:.1} s"
+    );
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! # CoSMIC — scale-out acceleration for machine learning, in Rust
+//!
+//! A from-scratch reproduction of *Scale-Out Acceleration for Machine
+//! Learning* (MICRO 2017): the complete CoSMIC computing stack — DSL,
+//! translator, minimum-communication compiler, Planner, multi-threaded
+//! template accelerator (cycle-level simulator + RTL emitter), and the
+//! specialized Sigma/Delta system software — plus the baselines and
+//! benchmark harness that regenerate every table and figure of the
+//! paper's evaluation.
+//!
+//! This crate re-exports the facade crate [`cosmic_core`]; see its
+//! documentation (and the repository README) for the layer-by-layer tour.
+//!
+//! # Examples
+//!
+//! ```
+//! use cosmic::prelude::*;
+//!
+//! # fn main() -> Result<(), cosmic::StackError> {
+//! let stack = CosmicStack::builder()
+//!     .source(&cosmic::cosmic_dsl::programs::logistic_regression(512))
+//!     .dim("n", 16)
+//!     .nodes(4)
+//!     .build()?;
+//! assert!(stack.plan().best.records_per_sec > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use cosmic_core::*;

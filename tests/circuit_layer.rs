@@ -1,0 +1,85 @@
+//! Circuit-layer integration: the Constructor's two output paths — FPGA
+//! RTL and P-ASIC microcode — must both carry the compiled program
+//! faithfully.
+
+use cosmic::cosmic_arch::{microcode, rtl, Geometry, Machine};
+use cosmic::cosmic_compiler::{compile, CompileOptions};
+use cosmic::cosmic_dfg::{interp, lower, DimEnv};
+use cosmic::cosmic_dsl::{parse, programs};
+
+/// Encode → decode → execute: a P-ASIC image reconstructs instruction
+/// streams that compute the exact gradients of the original program.
+#[test]
+fn decoded_microcode_executes_identically() {
+    for (name, env) in [
+        ("logreg", DimEnv::new().with("n", 24)),
+        ("backprop", DimEnv::new().with("n", 6).with("h", 5).with("o", 3)),
+    ] {
+        let program = parse(&programs::by_name(name, 64).unwrap()).unwrap();
+        let dfg = lower(&program, &env).unwrap();
+        let geometry = Geometry::new(3, 4);
+        let compiled = compile(&dfg, geometry, &CompileOptions::default());
+
+        let image = microcode::encode(&compiled.program).unwrap();
+        let decoded_streams = microcode::decode(&image).unwrap();
+        assert_eq!(decoded_streams, compiled.program.instrs, "{name}: exact round-trip");
+
+        // Run a program whose instruction streams came from the image.
+        let mut from_image = compiled.program.clone();
+        from_image.instrs = decoded_streams;
+        let record: Vec<f64> = (0..dfg.data_len()).map(|i| ((i % 5) as f64 - 2.0) / 6.0).collect();
+        let model: Vec<f64> = (0..dfg.model_len()).map(|i| ((i % 7) as f64 - 3.0) / 8.0).collect();
+        let machine = Machine::new(geometry, 4.0);
+        let out = machine.run(&from_image, &record, &model).unwrap();
+        let expected = interp::evaluate(&dfg, &record, &model);
+        for (a, b) in out.gradients.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-9, "{name}: {a} vs {b}");
+        }
+
+        // The image is a plausible configuration payload.
+        let bytes = microcode::image_bytes(&image);
+        assert!(bytes >= compiled.program.instr_count() * 8, "{name}: {bytes} bytes");
+    }
+}
+
+/// The RTL mirrors the compiled structure: one PE module per PE, schedule
+/// states matching the instruction stream, and the memory-schedule ROM
+/// sized to the program's entries.
+#[test]
+fn rtl_reflects_the_compiled_program() {
+    let program = parse(&programs::svm(64)).unwrap();
+    let dfg = lower(&program, &DimEnv::new().with("n", 20)).unwrap();
+    let geometry = Geometry::new(2, 5);
+    let compiled = compile(&dfg, geometry, &CompileOptions::default());
+    let verilog = rtl::emit_accelerator(&compiled.program, "svm_accel");
+
+    assert_eq!(verilog.matches("\nmodule pe_").count(), geometry.pes());
+    for (pe, stream) in compiled.program.instrs.iter().enumerate() {
+        if !stream.is_empty() {
+            // The last schedule state of each PE appears in its FSM.
+            assert!(
+                verilog.contains(&format!("module pe_{pe} (")),
+                "pe_{pe} module missing"
+            );
+        }
+    }
+    let entries = compiled.program.mem_schedule.len();
+    assert!(verilog.contains(&format!("parameter ENTRIES = {entries}")));
+    // Every memory-schedule entry is a ROM initializer line.
+    assert_eq!(verilog.matches("schedule[").count(), entries);
+}
+
+/// The non-linear LUT unit appears only where scheduled (paper §5.1).
+#[test]
+fn lut_units_are_demand_instantiated() {
+    let logreg = parse(&programs::logistic_regression(64)).unwrap();
+    let dfg = lower(&logreg, &DimEnv::new().with("n", 8)).unwrap();
+    let compiled = compile(&dfg, Geometry::new(2, 4), &CompileOptions::default());
+    let nl = compiled.program.nonlinear_pes();
+    assert_eq!(nl.iter().filter(|&&b| b).count(), 1, "exactly one sigmoid site");
+
+    let linreg = parse(&programs::linear_regression(64)).unwrap();
+    let dfg = lower(&linreg, &DimEnv::new().with("n", 8)).unwrap();
+    let compiled = compile(&dfg, Geometry::new(2, 4), &CompileOptions::default());
+    assert!(compiled.program.nonlinear_pes().iter().all(|&b| !b));
+}

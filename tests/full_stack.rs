@@ -1,0 +1,164 @@
+//! End-to-end integration tests: DSL source through every layer of the
+//! stack — translator, planner, compiler, cycle-level machine, RTL
+//! constructor, and the distributed system software.
+
+use cosmic::cosmic_arch::Machine;
+use cosmic::cosmic_dfg::interp;
+use cosmic::cosmic_dsl;
+use cosmic::cosmic_ml::data;
+use cosmic::prelude::*;
+
+/// Every algorithm family: build the stack, verify the DSL gradient
+/// against the analytic one, and train functionally until the loss drops.
+#[test]
+fn every_family_trains_through_the_full_stack() {
+    let cases: Vec<(Algorithm, String, Vec<(&str, usize)>)> = vec![
+        (
+            Algorithm::LinearRegression { features: 10 },
+            cosmic_dsl::programs::linear_regression(96),
+            vec![("n", 10)],
+        ),
+        (
+            Algorithm::LogisticRegression { features: 10 },
+            cosmic_dsl::programs::logistic_regression(96),
+            vec![("n", 10)],
+        ),
+        (Algorithm::Svm { features: 10 }, cosmic_dsl::programs::svm(96), vec![("n", 10)]),
+        (
+            Algorithm::Backprop { inputs: 6, hidden: 5, outputs: 2 },
+            cosmic_dsl::programs::backpropagation(96),
+            vec![("n", 6), ("h", 5), ("o", 2)],
+        ),
+        (
+            Algorithm::CollabFilter { users: 20, items: 30, factors: 4 },
+            cosmic_dsl::programs::collaborative_filtering(96),
+            vec![("k", 4)],
+        ),
+    ];
+
+    for (alg, source, dims) in cases {
+        let mut builder = CosmicStack::builder()
+            .source(&source)
+            .nodes(4)
+            .groups(2)
+            .threads(2)
+            .learning_rate(0.3);
+        for (name, size) in dims {
+            builder = builder.dim(name, size);
+        }
+        let stack = builder.build().unwrap_or_else(|e| panic!("{alg}: {e}"));
+
+        // DSL gradient == analytic gradient on a probe point.
+        let record: Vec<f64> =
+            (0..alg.record_len()).map(|i| ((i % 7) as f64 - 3.0) / 11.0).collect();
+        let record = match alg {
+            Algorithm::CollabFilter { .. } => vec![0.4, 3.0, 25.0],
+            _ => record,
+        };
+        let model: Vec<f64> = (0..alg.model_len()).map(|i| ((i % 5) as f64 - 2.0) / 9.0).collect();
+        stack
+            .verify_gradient(&alg, &record, &model, 1e-9)
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+
+        // Functional distributed training converges.
+        let dataset = data::generate(&alg, 512, 41);
+        let outcome = stack.train(&alg, &dataset, data::init_model(&alg, 6), 5, Aggregation::Average);
+        let first = outcome.loss_history[0];
+        let last = *outcome.loss_history.last().unwrap();
+        assert!(last < first, "{alg}: loss {first} -> {last}");
+    }
+}
+
+/// The compiled accelerator program computes bit-identical gradients to
+/// the reference interpreter on the cycle-level machine, across
+/// geometries that exercise all three interconnect levels.
+#[test]
+fn machine_reproduces_interpreter_across_geometries() {
+    let stack = CosmicStack::builder()
+        .source(&cosmic_dsl::programs::logistic_regression(64))
+        .dim("n", 48)
+        .build()
+        .unwrap();
+    let dfg = stack.dfg();
+    let record: Vec<f64> = (0..49).map(|i| ((i * 13 % 17) as f64 - 8.0) / 17.0).collect();
+    let model: Vec<f64> = (0..48).map(|i| ((i * 7 % 11) as f64 - 5.0) / 13.0).collect();
+    let expected = interp::evaluate(dfg, &record, &model);
+
+    for geometry in [Geometry::new(1, 8), Geometry::new(4, 4), Geometry::new(6, 2)] {
+        let compiled =
+            cosmic::cosmic_compiler::compile(dfg, geometry, &CompileOptions::default());
+        let out = Machine::new(geometry, geometry.columns as f64)
+            .run(&compiled.program, &record, &model)
+            .unwrap_or_else(|e| panic!("{geometry}: {e}"));
+        for (slot, (a, b)) in out.gradients.iter().zip(&expected).enumerate() {
+            assert!((a - b).abs() < 1e-9, "{geometry} slot {slot}: {a} vs {b}");
+        }
+    }
+}
+
+/// The Constructor's RTL reflects the planned geometry and the compiled
+/// schedule.
+#[test]
+fn constructor_emits_consistent_rtl() {
+    let stack = CosmicStack::builder()
+        .source(&cosmic_dsl::programs::svm(64))
+        .dim("n", 24)
+        .build()
+        .unwrap();
+    let compiled = stack.compile();
+    let rtl = stack.rtl();
+    assert!(rtl.contains("module cosmic_accelerator"));
+    let pe_modules = rtl.matches("\nmodule pe_").count();
+    assert_eq!(pe_modules, compiled.program.geometry.pes());
+    assert!(rtl.contains("memory_interface"));
+    assert!(rtl.contains("tree_alu"));
+}
+
+/// Planner decisions respond to the workload: a compute-heavy DFG earns
+/// more rows per thread than a bandwidth-bound one.
+#[test]
+fn planner_adapts_to_workload_shape() {
+    let spec = AcceleratorSpec::fpga_vu9p();
+    let bandwidth_bound = CosmicStack::builder()
+        .source(&cosmic_dsl::programs::linear_regression(10_000))
+        .dim("n", 2_000)
+        .accelerator(spec)
+        .build()
+        .unwrap();
+    let compute_bound = CosmicStack::builder()
+        .source(&cosmic_dsl::programs::backpropagation(10_000))
+        .dim("n", 96)
+        .dim("h", 96)
+        .dim("o", 10)
+        .accelerator(spec)
+        .build()
+        .unwrap();
+    let bw_rows = bandwidth_bound.plan().best.point.rows_per_thread;
+    let cb_rows = compute_bound.plan().best.point.rows_per_thread;
+    assert!(
+        cb_rows >= bw_rows,
+        "compute-bound workloads should claim at least as many rows ({cb_rows} vs {bw_rows})"
+    );
+}
+
+/// Cluster predictions respect physics: more nodes help until
+/// communication dominates, and bigger exchanges cost more.
+#[test]
+fn cluster_predictions_are_monotone_where_physics_demands() {
+    let mk = |nodes| {
+        CosmicStack::builder()
+            .source(&cosmic_dsl::programs::svm(10_000))
+            .dim("n", 2_000)
+            .nodes(nodes)
+            .build()
+            .unwrap()
+    };
+    let t4 = mk(4).predict_training_seconds(400_000, 10, 8_000);
+    let t16 = mk(16).predict_training_seconds(400_000, 10, 8_000);
+    assert!(t16 < t4, "16 nodes must beat 4 on a dense mid-size workload");
+
+    let stack = mk(8);
+    let small = stack.predict_training_seconds(400_000, 10, 8_000);
+    let large = stack.predict_training_seconds(400_000, 10, 2_000_000);
+    assert!(large > small, "bigger exchanges must cost more");
+}

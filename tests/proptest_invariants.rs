@@ -1,0 +1,156 @@
+//! Property-based tests over the core invariants of the stack.
+
+use cosmic::cosmic_arch::{Geometry, Machine};
+use cosmic::cosmic_compiler::{compile, CompileOptions, MappingStrategy};
+use cosmic::cosmic_dfg::{analysis, interp, lower, DfgBuilder, DimEnv, OpKind};
+use cosmic::cosmic_dsl::{self, programs};
+use cosmic::cosmic_ml::{data, sgd, Aggregation, Algorithm};
+use cosmic::cosmic_runtime::node::{chunk_vector, CHUNK_WORDS};
+use proptest::prelude::*;
+
+proptest! {
+    /// The DSL front end never panics, whatever bytes it is fed — it
+    /// either parses or returns a diagnostic.
+    #[test]
+    fn parser_never_panics(src in "[ -~\\n]{0,160}") {
+        let _ = cosmic_dsl::parse(&src);
+    }
+
+    /// Balanced reduction trees compute exactly the serial sum (floats
+    /// here are small integers, so association cannot change the value).
+    #[test]
+    fn reduction_tree_equals_serial_sum(values in prop::collection::vec(-100i32..100, 1..64)) {
+        let mut b = DfgBuilder::new();
+        let leaves: Vec<_> = (0..values.len()).map(|i| b.data(i as u32)).collect();
+        let root = b.reduce(OpKind::Add, &leaves);
+        b.set_gradient(0, root, 0);
+        let dfg = b.finish(values.len(), 1);
+        let record: Vec<f64> = values.iter().map(|&v| f64::from(v)).collect();
+        let got = interp::evaluate(&dfg, &record, &[0.0; 1][..1.min(dfg.model_len())])[0];
+        let want: f64 = record.iter().sum();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The schedule makespan is never below the critical path, whatever
+    /// the problem size or geometry.
+    #[test]
+    fn makespan_respects_critical_path(
+        n in 2usize..40,
+        rows in 1usize..5,
+        cols in 1usize..9,
+    ) {
+        let program = cosmic_dsl::parse(&programs::linear_regression(64)).unwrap();
+        let dfg = lower(&program, &DimEnv::new().with("n", n)).unwrap();
+        let geometry = Geometry::new(rows, cols);
+        let compiled = compile(&dfg, geometry, &CompileOptions::default());
+        prop_assert!(
+            compiled.estimate.latency_cycles >= u64::from(analysis::critical_path(&dfg))
+        );
+        prop_assert!(compiled.estimate.cycles_per_record() >= 1);
+    }
+
+    /// The compiled program on the cycle-level machine equals the
+    /// reference interpreter for arbitrary sizes, geometries, strategies,
+    /// and input values.
+    #[test]
+    fn machine_equals_interpreter(
+        n in 2usize..24,
+        rows in 1usize..4,
+        cols in 1usize..6,
+        data_first in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let program = cosmic_dsl::parse(&programs::svm(64)).unwrap();
+        let dfg = lower(&program, &DimEnv::new().with("n", n)).unwrap();
+        let geometry = Geometry::new(rows, cols);
+        let strategy =
+            if data_first { MappingStrategy::DataFirst } else { MappingStrategy::OpFirst };
+        let compiled = compile(&dfg, geometry, &CompileOptions { strategy, ..Default::default() });
+
+        let mix = |i: usize, s: u64| (((i as u64 * 2654435761 + s) % 997) as f64 - 498.0) / 997.0;
+        let record: Vec<f64> = (0..n + 1).map(|i| mix(i, seed)).collect();
+        let model: Vec<f64> = (0..n).map(|i| mix(i, seed ^ 0xABCD)).collect();
+
+        let expected = interp::evaluate(&dfg, &record, &model);
+        let out = Machine::new(geometry, geometry.columns as f64)
+            .run(&compiled.program, &record, &model)
+            .unwrap();
+        for (a, b) in out.gradients.iter().zip(&expected) {
+            prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+        }
+    }
+
+    /// Parallelized SGD with one worker is exactly sequential SGD.
+    #[test]
+    fn one_worker_parallel_sgd_is_sequential(
+        records in 8usize..64,
+        minibatch in 1usize..32,
+        seed in 0u64..500,
+    ) {
+        let alg = Algorithm::LinearRegression { features: 4 };
+        let ds = data::generate(&alg, records, seed);
+        let init = data::init_model(&alg, seed ^ 7);
+
+        let config = sgd::TrainConfig {
+            learning_rate: 0.05,
+            epochs: 1,
+            minibatch,
+            workers: 1,
+            aggregation: Aggregation::Average,
+        };
+        let par = sgd::train_parallel(&alg, &ds, init.clone(), &config);
+
+        let mut seq = init;
+        for r in ds.records() {
+            alg.sgd_update(r, &mut seq, 0.05);
+        }
+        for (a, b) in par.model.iter().zip(&seq) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Chunking a vector and reassembling the chunks is the identity.
+    #[test]
+    fn chunking_round_trips(len in 0usize..(3 * CHUNK_WORDS + 7)) {
+        let v: Vec<f64> = (0..len).map(|i| i as f64 * 0.5).collect();
+        let chunks = chunk_vector(&v);
+        let mut rebuilt = vec![0.0; len];
+        for c in &chunks {
+            prop_assert_eq!(c.offset % CHUNK_WORDS, 0);
+            rebuilt[c.offset..c.offset + c.data.len()].copy_from_slice(&c.data);
+        }
+        prop_assert_eq!(rebuilt, v);
+    }
+
+    /// Dataset partitioning is a permutation-free, order-preserving cover.
+    #[test]
+    fn partition_is_exact_cover(records in 1usize..60, parts in 1usize..10) {
+        let alg = Algorithm::Svm { features: 3 };
+        let ds = data::generate(&alg, records, 1);
+        let chunks = ds.partition(parts.min(records).max(1));
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, records);
+        let max = chunks.iter().map(|c| c.len()).max().unwrap();
+        let min = chunks.iter().map(|c| c.len()).min().unwrap();
+        prop_assert!(max - min <= 1, "near-equal partitions: {}..{}", min, max);
+    }
+
+    /// Gradient descent direction: a small step along the analytic
+    /// gradient never increases the loss for the convex families.
+    #[test]
+    fn gradient_points_uphill(seed in 0u64..300) {
+        for alg in [
+            Algorithm::LinearRegression { features: 5 },
+            Algorithm::LogisticRegression { features: 5 },
+        ] {
+            let ds = data::generate(&alg, 1, seed);
+            let record = &ds.records()[0];
+            let model = data::init_model(&alg, seed ^ 3);
+            let before = alg.loss(record, &model);
+            let mut stepped = model.clone();
+            alg.sgd_update(record, &mut stepped, 1e-4);
+            let after = alg.loss(record, &stepped);
+            prop_assert!(after <= before + 1e-9, "{}: {} -> {}", alg, before, after);
+        }
+    }
+}
