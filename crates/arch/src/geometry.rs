@@ -165,7 +165,8 @@ mod tests {
     fn tree_latency_is_logarithmic() {
         // Paper §1: "communication latency only grows by a logarithmic
         // order with an increase in the number of compute units".
-        let lat = |rows| Geometry::new(rows, 16).route(PeId(0), PeId((rows as u32 - 1) * 16)).latency;
+        let lat =
+            |rows| Geometry::new(rows, 16).route(PeId(0), PeId((rows as u32 - 1) * 16)).latency;
         assert_eq!(lat(2), 4);
         assert_eq!(lat(4), 6);
         assert_eq!(lat(16), 10);

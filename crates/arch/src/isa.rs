@@ -155,11 +155,7 @@ impl ThreadProgram {
 
     /// Number of `Send` instructions — inter-PE transfers per record.
     pub fn transfer_count(&self) -> usize {
-        self.instrs
-            .iter()
-            .flatten()
-            .filter(|i| matches!(i, PeInstr::Send { .. }))
-            .count()
+        self.instrs.iter().flatten().filter(|i| matches!(i, PeInstr::Send { .. })).count()
     }
 
     /// Number of compute instructions.

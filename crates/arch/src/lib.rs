@@ -36,6 +36,8 @@ pub mod platform;
 pub mod rtl;
 
 pub use geometry::{Geometry, PeId};
-pub use isa::{AluOp, MemDirection, MemScheduleEntry, PeInstr, Placement, SendTarget, Src, Tag, ThreadProgram};
+pub use isa::{
+    AluOp, MemDirection, MemScheduleEntry, PeInstr, Placement, SendTarget, Src, Tag, ThreadProgram,
+};
 pub use machine::{Machine, RunOutcome};
 pub use platform::{AcceleratorSpec, CpuSpec, GpuSpec, Platform, PlatformKind};

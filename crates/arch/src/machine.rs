@@ -155,9 +155,8 @@ impl Machine {
         // simplicity (offsets are validated by placement, but values are
         // looked up by slot).
         // data_ready[slot] = cycle the shifter lands the word in its PE.
-        let data_ready: Vec<u64> = (0..record.len())
-            .map(|s| (s as f64 / self.words_per_cycle).floor() as u64)
-            .collect();
+        let data_ready: Vec<u64> =
+            (0..record.len()).map(|s| (s as f64 / self.words_per_cycle).floor() as u64).collect();
 
         // Per-PE local value stores: tag -> (value, ready_cycle).
         let mut store: Vec<HashMap<Tag, (f64, u64)>> = vec![HashMap::new(); pes];
@@ -242,8 +241,7 @@ impl Machine {
                                 (LinkClass::RowBus(my_row), 2, rcv)
                             }
                             SendTarget::All => {
-                                let route =
-                                    self.geometry.route(PeId(0), PeId((pes - 1) as u32));
+                                let route = self.geometry.route(PeId(0), PeId((pes - 1) as u32));
                                 let lat = if self.geometry.rows == 1 { 2 } else { route.latency };
                                 (LinkClass::TreeBus, lat, (0..pes).filter(|&q| q != p).collect())
                             }
@@ -252,12 +250,11 @@ impl Machine {
                             LinkClass::Local => true,
                             LinkClass::Neighbor => {
                                 let key = (p as u32, receivers[0] as u32);
-                                if neighbor_used.contains_key(&key) {
-                                    false
-                                } else {
-                                    neighbor_used.insert(key, ());
+                                if neighbor_used.insert(key, ()).is_none() {
                                     outcome.neighbor_transfers += 1;
                                     true
+                                } else {
+                                    false
                                 }
                             }
                             LinkClass::RowBus(row) => {
@@ -301,10 +298,8 @@ impl Machine {
                 // Nothing issued: legitimate if somebody is waiting on a
                 // value that becomes ready in the future (in-flight
                 // transfer or ALU latency, or the memory stream).
-                let future_value = store
-                    .iter()
-                    .flat_map(HashMap::values)
-                    .any(|&(_, ready)| ready > now);
+                let future_value =
+                    store.iter().flat_map(HashMap::values).any(|&(_, ready)| ready > now);
                 let future_data = data_ready.iter().any(|&r| r > now);
                 if !future_value && !future_data && !bus_stalled {
                     return Err(RunError::new(
@@ -558,12 +553,8 @@ mod tests {
             gradient_sources: vec![(PeId(0), 9)],
             mem_schedule: vec![entry()],
         };
-        let fast = Machine::new(geometry, 16.0)
-            .run(&program, &[0.0, 0.0, 0.0, 7.0], &[])
-            .unwrap();
-        let slow = Machine::new(geometry, 1.0)
-            .run(&program, &[0.0, 0.0, 0.0, 7.0], &[])
-            .unwrap();
+        let fast = Machine::new(geometry, 16.0).run(&program, &[0.0, 0.0, 0.0, 7.0], &[]).unwrap();
+        let slow = Machine::new(geometry, 1.0).run(&program, &[0.0, 0.0, 0.0, 7.0], &[]).unwrap();
         assert_eq!(fast.gradients, vec![7.0]);
         assert!(slow.cycles > fast.cycles);
     }

@@ -216,9 +216,8 @@ pub fn decode(image: &MicrocodeImage) -> Result<Vec<Vec<PeInstr>>, CodecError> {
                 let op = decode_opcode(word >> 56 & 0x7F)?;
                 let a = decode_src(word >> 28, &image.constants)?;
                 let tag = (word & 0xFFF_FFFF) as Tag;
-                let &w2 = words
-                    .get(cursor)
-                    .ok_or_else(|| CodecError("truncated compute pair".into()))?;
+                let &w2 =
+                    words.get(cursor).ok_or_else(|| CodecError("truncated compute pair".into()))?;
                 cursor += 1;
                 let b = decode_src(w2, &image.constants)?;
                 PeInstr::Compute { op, a, b, tag }

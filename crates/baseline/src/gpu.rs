@@ -78,11 +78,8 @@ impl GpuModel {
         let mem_s =
             bytes_per_record as f64 / (self.spec.mem_bw_gbps * 1e9 * self.mem_efficiency(alg));
         let fits = partition_bytes <= (self.spec_memory_bytes() as f64 * 0.9) as usize;
-        let staging_s = if fits {
-            0.0
-        } else {
-            bytes_per_record as f64 / self.pcie.streaming_bps()
-        };
+        let staging_s =
+            if fits { 0.0 } else { bytes_per_record as f64 / self.pcie.streaming_bps() };
         1.0 / (flop_s.max(mem_s).max(staging_s))
     }
 

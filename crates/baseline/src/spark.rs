@@ -67,8 +67,7 @@ impl SparkModel {
         // sampled mini-batch share — both spread over the node's cores
         // (the scan parallelizes across partition slices). Wide records
         // pay a per-byte heap-walk cost on top of the per-row overhead.
-        let scan_per_record =
-            (self.scan_ns / 1e9).max(bytes_per_record as f64 / 2.0e9);
+        let scan_per_record = (self.scan_ns / 1e9).max(bytes_per_record as f64 / 2.0e9);
         let scan_s = partition_records as f64 * scan_per_record / self.cpu.spec.cores as f64;
         let gradient_s = (minibatch as f64 / nodes as f64)
             * self.cpu.seconds_per_record(flops_per_record, bytes_per_record);
@@ -83,8 +82,8 @@ impl SparkModel {
         let l1_wire = self.net.fan_in_ns(model_bytes, l1_fan.saturating_sub(1)) as f64 / 1e9;
         let l2_wire =
             self.net.fan_in_ns(model_bytes, nodes.div_ceil(l1_fan).saturating_sub(1)) as f64 / 1e9;
-        let ser_s = 2.0 * nodes as f64 * model_bytes as f64 / self.ser_bps
-            / self.cpu.spec.cores as f64;
+        let ser_s =
+            2.0 * nodes as f64 * model_bytes as f64 / self.ser_bps / self.cpu.spec.cores as f64;
         let reduce_s = l1_wire + l2_wire + ser_s;
 
         // Torrent broadcast: ~log2(N) store-and-forward rounds.
@@ -96,6 +95,7 @@ impl SparkModel {
     }
 
     /// Total training time for `epochs` passes over `total_records`.
+    #[allow(clippy::too_many_arguments)]
     pub fn training_time_s(
         &self,
         nodes: usize,

@@ -40,7 +40,9 @@ fn bench_compiler(c: &mut Criterion) {
         b.iter(|| black_box(schedule::schedule(&dfg, &map, geometry, 16.0).estimate))
     });
     g.bench_function("codegen_16k_ops", |b| {
-        b.iter(|| black_box(compile(&dfg, geometry, &CompileOptions::default()).program.instr_count()))
+        b.iter(|| {
+            black_box(compile(&dfg, geometry, &CompileOptions::default()).program.instr_count())
+        })
     });
     g.finish();
 }

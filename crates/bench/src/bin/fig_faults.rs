@@ -1,0 +1,5 @@
+//! Regenerates the fault-tolerance study (throughput under faults plus a
+//! functional degraded run).
+fn main() {
+    print!("{}", cosmic_bench::figures::fig_faults::run());
+}

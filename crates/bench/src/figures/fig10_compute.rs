@@ -14,8 +14,7 @@ use crate::harness::{cosmic_node_rps, geomean, AccelKind};
 pub fn speedups(id: BenchmarkId) -> [f64; 3] {
     let b = DEFAULT_MINIBATCH;
     let fpga = cosmic_node_rps(id, AccelKind::Fpga, b);
-    [AccelKind::PasicF, AccelKind::PasicG, AccelKind::Gpu]
-        .map(|a| cosmic_node_rps(id, a, b) / fpga)
+    [AccelKind::PasicF, AccelKind::PasicG, AccelKind::Gpu].map(|a| cosmic_node_rps(id, a, b) / fpga)
 }
 
 /// Renders the figure.
@@ -35,7 +34,9 @@ pub fn run() -> String {
     }
     let g: Vec<f64> = cols.iter().map(|c| geomean(c)).collect();
     out.push_str(&format!("| **geomean** | {:.2} | {:.2} | {:.2} |\n", g[0], g[1], g[2]));
-    out.push_str("\nPaper: 1.5x / 11.4x / 1.9x; GPU spikes on mnist (20.3x) and acoustic (12.8x).\n");
+    out.push_str(
+        "\nPaper: 1.5x / 11.4x / 1.9x; GPU spikes on mnist (20.3x) and acoustic (12.8x).\n",
+    );
     out
 }
 

@@ -90,10 +90,7 @@ mod tests {
         // Spark's fixed costs amortize with b, so the ratio shrinks.
         let small = cosmic_over_spark(500, &SAMPLE);
         let large = cosmic_over_spark(100_000, &SAMPLE);
-        assert!(
-            small > large,
-            "advantage must narrow: {small:.1}x at 500 vs {large:.1}x at 100k"
-        );
+        assert!(small > large, "advantage must narrow: {small:.1}x at 500 vs {large:.1}x at 100k");
         assert!(large > 1.0, "CoSMIC still wins at b=100k: {large:.1}");
     }
 

@@ -4,7 +4,7 @@
 //! Paper: computation is 12% of runtime at b = 500 and 95% at b = 100,000
 //! — larger batches amortize the aggregation rounds.
 
-use cosmic_core::cosmic_ml::{BenchmarkId, suite::WORD_BYTES};
+use cosmic_core::cosmic_ml::{suite::WORD_BYTES, BenchmarkId};
 use cosmic_core::cosmic_runtime::{ClusterTiming, NodeCompute};
 
 use crate::harness::{cosmic_node_rps, AccelKind};
@@ -40,16 +40,12 @@ pub fn run() -> String {
          |---|---|---|---|---|---|---|\n",
     );
     for id in BenchmarkId::all() {
-        let cells: Vec<String> = BATCHES
-            .iter()
-            .map(|&b| format!("{:.0}%", 100.0 * compute_fraction(id, b)))
-            .collect();
+        let cells: Vec<String> =
+            BATCHES.iter().map(|&b| format!("{:.0}%", 100.0 * compute_fraction(id, b))).collect();
         out.push_str(&format!("| {id} | {} |\n", cells.join(" | ")));
     }
-    let means: Vec<String> = BATCHES
-        .iter()
-        .map(|&b| format!("{:.0}%", 100.0 * mean_compute_fraction(b)))
-        .collect();
+    let means: Vec<String> =
+        BATCHES.iter().map(|&b| format!("{:.0}%", 100.0 * mean_compute_fraction(b))).collect();
     out.push_str(&format!("| **mean** | {} |\n", means.join(" | ")));
     out.push_str("\nPaper: computation is 12% of runtime at b=500 and 95% at b=100,000.\n");
     out

@@ -5,8 +5,8 @@
 //! Paper: the FPGAs alone are 20.7× faster than Spark's compute; the
 //! specialized system software is 28.4× faster than Spark's system side.
 
-use cosmic_core::cosmic_ml::{suite::DEFAULT_MINIBATCH, suite::WORD_BYTES, BenchmarkId};
 use cosmic_core::cosmic_baseline::SparkModel;
+use cosmic_core::cosmic_ml::{suite::DEFAULT_MINIBATCH, suite::WORD_BYTES, BenchmarkId};
 use cosmic_core::cosmic_runtime::{ClusterTiming, NodeCompute};
 
 use crate::harness::{cosmic_node_rps, geomean, AccelKind};

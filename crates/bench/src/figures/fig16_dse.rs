@@ -85,10 +85,7 @@ mod tests {
         let one_thread = ds.curve(1);
         let at16 = one_thread.iter().find(|p| p.point.rows() >= 16).unwrap().speedup_vs_t1r1;
         let at48 = one_thread.last().unwrap().speedup_vs_t1r1;
-        assert!(
-            at48 < at16 * 1.6,
-            "stock must saturate: {at16:.1} at 16 rows vs {at48:.1} at 48"
-        );
+        assert!(at48 < at16 * 1.6, "stock must saturate: {at16:.1} at 16 rows vs {at48:.1} at 48");
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub mod fig14_sources;
 pub mod fig15_sensitivity;
 pub mod fig16_dse;
 pub mod fig17_tabla;
+pub mod fig_faults;
 pub mod table1_benchmarks;
 pub mod table2_platforms;
 pub mod table3_utilization;
@@ -35,6 +36,7 @@ pub fn run_all() -> String {
         fig16_dse::run(),
         table3_utilization::run(),
         fig17_tabla::run(),
+        fig_faults::run(),
     ]
     .join("\n")
 }

@@ -79,10 +79,12 @@ pub fn full_dfg(id: BenchmarkId) -> &'static Dfg {
     dfg
 }
 
+type PlanCache = Mutex<HashMap<(BenchmarkId, u64, usize), Plan>>;
+
 /// The Planner's output for a benchmark on a template accelerator,
 /// memoized per (benchmark, platform, mini-batch).
 pub fn plan_for(id: BenchmarkId, spec: &AcceleratorSpec, minibatch: usize) -> Plan {
-    static CACHE: OnceLock<Mutex<HashMap<(BenchmarkId, u64, usize), Plan>>> = OnceLock::new();
+    static CACHE: OnceLock<PlanCache> = OnceLock::new();
     let key = (id, spec.freq_mhz.to_bits() ^ (spec.total_pes as u64), minibatch);
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(plan) = cache.lock().expect("plan cache").get(&key) {
@@ -128,8 +130,7 @@ pub fn cosmic_training_time_s(
     let timing = ClusterTiming::commodity(nodes, groups);
     let node = NodeCompute { records_per_sec: cosmic_node_rps(id, accel, minibatch) };
     let exchange = exchange_bytes(&bench, minibatch, nodes);
-    let mut total =
-        timing.training_time_s(bench.input_vectors, minibatch, epochs, node, exchange);
+    let mut total = timing.training_time_s(bench.input_vectors, minibatch, epochs, node, exchange);
     if accel == AccelKind::Gpu {
         // The GPU pays kernel-launch + model staging per mini-batch on
         // top of the shared runtime costs.
@@ -140,7 +141,12 @@ pub fn cosmic_training_time_s(
 }
 
 /// End-to-end Spark training time for the same workload.
-pub fn spark_training_time_s(id: BenchmarkId, nodes: usize, minibatch: usize, epochs: usize) -> f64 {
+pub fn spark_training_time_s(
+    id: BenchmarkId,
+    nodes: usize,
+    minibatch: usize,
+    epochs: usize,
+) -> f64 {
     let bench = id.benchmark();
     SparkModel::v2_cluster().training_time_s(
         nodes,
@@ -222,10 +228,7 @@ mod tests {
             }
             let cosmic = cosmic_training_time_s(id, AccelKind::Fpga, 16, 10_000, 1);
             let spark = spark_training_time_s(id, 16, 10_000, 1);
-            assert!(
-                cosmic < spark,
-                "{id}: CoSMIC {cosmic:.1}s must beat Spark {spark:.1}s"
-            );
+            assert!(cosmic < spark, "{id}: CoSMIC {cosmic:.1}s must beat Spark {spark:.1}s");
         }
     }
 }

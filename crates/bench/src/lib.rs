@@ -18,6 +18,6 @@ pub mod figures;
 pub mod harness;
 
 pub use harness::{
-    cosmic_node_rps, cosmic_training_time_s, full_dfg, geomean, spark_training_time_s,
-    AccelKind, EPOCHS,
+    cosmic_node_rps, cosmic_training_time_s, full_dfg, geomean, spark_training_time_s, AccelKind,
+    EPOCHS,
 };

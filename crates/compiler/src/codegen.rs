@@ -12,7 +12,8 @@
 use std::collections::{HashMap, HashSet};
 
 use cosmic_arch::{
-    AluOp, Geometry, MemDirection, MemScheduleEntry, PeId, PeInstr, Placement, SendTarget, Src, ThreadProgram,
+    AluOp, Geometry, MemDirection, MemScheduleEntry, PeId, PeInstr, Placement, SendTarget, Src,
+    ThreadProgram,
 };
 use cosmic_dfg::{Dfg, Node, NodeId, OpKind};
 
@@ -50,28 +51,32 @@ pub fn generate(
     // Leaves with remote consumers (or serving as gradient outputs) must
     // be lifted into the tag space with a copy.
     let mut lifted: HashSet<u32> = HashSet::new();
-    let lift = |node_id: u32,
-                    items: &mut Vec<Vec<(u64, u8, u32, PeInstr)>>,
-                    lifted: &mut HashSet<u32>| {
-        if !lifted.insert(node_id) {
-            return;
-        }
-        let id = NodeId(node_id);
-        let src = match dfg.node(id) {
-            Node::Data { slot } => Src::Data(slot),
-            Node::Model { slot } => Src::Model(slot),
-            Node::Const { value } => Src::Imm(value),
-            _ => return, // computes already produce their tag
+    let lift =
+        |node_id: u32, items: &mut Vec<Vec<(u64, u8, u32, PeInstr)>>, lifted: &mut HashSet<u32>| {
+            if !lifted.insert(node_id) {
+                return;
+            }
+            let id = NodeId(node_id);
+            let src = match dfg.node(id) {
+                Node::Data { slot } => Src::Data(slot),
+                Node::Model { slot } => Src::Model(slot),
+                Node::Const { value } => Src::Imm(value),
+                _ => return, // computes already produce their tag
+            };
+            let pe = map.pe_of_node[id.index()];
+            let t = schedule.finish[id.index()];
+            items[pe.index()].push((
+                t,
+                0,
+                node_id,
+                PeInstr::Compute {
+                    op: AluOp::Bin(OpKind::Add),
+                    a: src,
+                    b: Src::Imm(0.0),
+                    tag: node_id,
+                },
+            ));
         };
-        let pe = map.pe_of_node[id.index()];
-        let t = schedule.finish[id.index()];
-        items[pe.index()].push((
-            t,
-            0,
-            node_id,
-            PeInstr::Compute { op: AluOp::Bin(OpKind::Add), a: src, b: Src::Imm(0.0), tag: node_id },
-        ));
-    };
 
     // Compute instructions.
     for (i, node) in dfg.nodes().iter().enumerate() {
@@ -104,9 +109,7 @@ pub fn generate(
         let target = match *kind {
             CommKind::None => continue,
             CommKind::Neighbor(dst) => SendTarget::Pe(dst),
-            CommKind::RowBroadcast => {
-                SendTarget::Row(geometry.row(map.pe_of_node[i]) as u32)
-            }
+            CommKind::RowBroadcast => SendTarget::Row(geometry.row(map.pe_of_node[i]) as u32),
             CommKind::AllBroadcast => SendTarget::All,
         };
         let tag = i as u32;
@@ -214,7 +217,7 @@ fn build_mem_schedule(dfg: &Dfg, map: &MapResult, geometry: Geometry) -> Vec<Mem
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mapping::{map, MappingStrategy};
+    use crate::mapping::MappingStrategy;
     use crate::{compile, CompileOptions};
     use cosmic_arch::Machine;
     use cosmic_dfg::{interp, lower, DimEnv};
@@ -245,7 +248,11 @@ mod tests {
 
             for strategy in [MappingStrategy::DataFirst, MappingStrategy::OpFirst] {
                 for geometry in [Geometry::new(1, 4), Geometry::new(2, 4), Geometry::new(3, 2)] {
-                    let opts = CompileOptions { strategy, words_per_cycle: None, ..CompileOptions::default() };
+                    let opts = CompileOptions {
+                        strategy,
+                        words_per_cycle: None,
+                        ..CompileOptions::default()
+                    };
                     let compiled = compile(&dfg, geometry, &opts);
                     let machine = Machine::new(geometry, geometry.columns as f64);
                     let out = machine
@@ -277,10 +284,7 @@ mod tests {
             let est = compiled.estimate.latency_cycles;
             let act = out.cycles;
             let ratio = est.max(act) as f64 / est.min(act).max(1) as f64;
-            assert!(
-                ratio <= 2.0,
-                "{name}: estimate {est} vs machine {act} (ratio {ratio:.2})"
-            );
+            assert!(ratio <= 2.0, "{name}: estimate {est} vs machine {act} (ratio {ratio:.2})");
         }
     }
 
@@ -307,8 +311,11 @@ mod tests {
         assert_eq!(last.dir, MemDirection::Write);
         assert_eq!(last.size as usize, dfg.gradient_len());
         // Streamed words cover the record exactly.
-        let streamed: u32 =
-            sched.iter().filter(|e| !e.broadcast && e.dir == MemDirection::Read).map(|e| e.size).sum();
+        let streamed: u32 = sched
+            .iter()
+            .filter(|e| !e.broadcast && e.dir == MemDirection::Read)
+            .map(|e| e.size)
+            .sum();
         assert_eq!(streamed as usize, dfg.data_len());
     }
 

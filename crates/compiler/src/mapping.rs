@@ -116,9 +116,7 @@ pub fn comm_kinds(dfg: &Dfg, map: &MapResult, geometry: Geometry) -> Vec<CommKin
         .map(|(i, f)| match f {
             None => CommKind::None,
             Some(f) if f.other_row => CommKind::AllBroadcast,
-            Some(f) if f.distinct == 1
-                && geometry.are_neighbors(map.pe_of_node[i], f.first_pe) =>
-            {
+            Some(f) if f.distinct == 1 && geometry.are_neighbors(map.pe_of_node[i], f.first_pe) => {
                 CommKind::Neighbor(f.first_pe)
             }
             Some(_) => CommKind::RowBroadcast,
@@ -191,7 +189,7 @@ fn map_data_first(dfg: &Dfg, geometry: Geometry, data_slot_pe: Vec<PeId>) -> Map
         // unplaced parameters get the next round-robin PE.
         else if let Some(op) = ops.iter().find(|o| class(o) == OperandClass::Model) {
             let Node::Model { slot } = dfg.node(*op) else { unreachable!() };
-            let pe = match model_slot_pe[slot as usize] {
+            match model_slot_pe[slot as usize] {
                 Some(pe) => pe,
                 None => {
                     let pe = PeId(rr as u32);
@@ -199,8 +197,7 @@ fn map_data_first(dfg: &Dfg, geometry: Geometry, data_slot_pe: Vec<PeId>) -> Map
                     model_slot_pe[slot as usize] = Some(pe);
                     pe
                 }
-            };
-            pe
+            }
         }
         // Step 5: an INTERIM operand keeps the op with the value.
         else if let Some(op) = ops.iter().find(|o| class(o) == OperandClass::Interim) {
@@ -241,7 +238,7 @@ fn map_op_first(dfg: &Dfg, geometry: Geometry, data_slot_pe: Vec<PeId>) -> MapRe
         }
     }
 
-    for i in 0..n {
+    for (i, mapped) in pe_of_node.iter_mut().enumerate() {
         let id = NodeId(i as u32);
         if !matches!(dfg.node(id), Node::Op { .. } | Node::Unary { .. }) {
             continue;
@@ -257,7 +254,7 @@ fn map_op_first(dfg: &Dfg, geometry: Geometry, data_slot_pe: Vec<PeId>) -> MapRe
         rr = (best + 1) % pes;
         load[best] += 1;
         let pe = PeId(best as u32);
-        pe_of_node[i] = Some(pe);
+        *mapped = Some(pe);
         for op in dfg.operands(id) {
             if let Node::Model { slot } = dfg.node(op) {
                 model_slot_pe[slot as usize].get_or_insert(pe);
@@ -368,12 +365,12 @@ mod tests {
         let m = map(&dfg, g, MappingStrategy::DataFirst);
         for (i, node) in dfg.nodes().iter().enumerate() {
             if let cosmic_dfg::Node::Op { a, b, .. } = node {
-                let data_op = [a, b].into_iter().find(|o| {
-                    matches!(dfg.node(**o), cosmic_dfg::Node::Data { .. })
-                });
-                let model_op = [a, b].into_iter().find(|o| {
-                    matches!(dfg.node(**o), cosmic_dfg::Node::Model { .. })
-                });
+                let data_op = [a, b]
+                    .into_iter()
+                    .find(|o| matches!(dfg.node(**o), cosmic_dfg::Node::Data { .. }));
+                let model_op = [a, b]
+                    .into_iter()
+                    .find(|o| matches!(dfg.node(**o), cosmic_dfg::Node::Model { .. }));
                 if let (Some(_), Some(mo)) = (data_op, model_op) {
                     assert_eq!(
                         m.pe_of_node[mo.index()],

@@ -81,12 +81,7 @@ pub enum BusModel {
 
 /// Schedules a mapped DFG. `words_per_cycle` is the thread's share of the
 /// off-chip bandwidth, controlling when streamed data operands arrive.
-pub fn schedule(
-    dfg: &Dfg,
-    map: &MapResult,
-    geometry: Geometry,
-    words_per_cycle: f64,
-) -> Schedule {
+pub fn schedule(dfg: &Dfg, map: &MapResult, geometry: Geometry, words_per_cycle: f64) -> Schedule {
     schedule_on(dfg, map, geometry, words_per_cycle, BusModel::Hierarchical)
 }
 
@@ -117,9 +112,7 @@ pub fn schedule_on(
     let depth = analysis::depth_map(dfg);
     let height = analysis::height_map(dfg);
     let mut order: Vec<u32> = (0..n as u32)
-        .filter(|&i| {
-            matches!(dfg.node(NodeId(i)), Node::Op { .. } | Node::Unary { .. })
-        })
+        .filter(|&i| matches!(dfg.node(NodeId(i)), Node::Op { .. } | Node::Unary { .. }))
         .collect();
     order.sort_by_key(|&i| (depth[i as usize], std::cmp::Reverse(height[i as usize]), i));
 
@@ -182,28 +175,28 @@ pub fn schedule_on(
                         depart + 2
                     }
                     _ => match kinds[j] {
-                    CommKind::Neighbor(dst) => {
-                        let slot = neighbor_free.entry((src_pe.0, dst.0)).or_insert(0);
-                        let depart = finish[j].max(*slot);
-                        *slot = depart + 1;
-                        est.neighbor_transfers += 1;
-                        depart + 1
-                    }
-                    CommKind::RowBroadcast => {
-                        let row = geometry.row(src_pe);
-                        let depart = finish[j].max(row_bus_free[row]);
-                        row_bus_free[row] = depart + 1;
-                        row_bus_count[row] += 1;
-                        est.row_bus_transfers += 1;
-                        depart + 2
-                    }
-                    CommKind::AllBroadcast => {
-                        let depart = finish[j].max(tree_bus_free);
-                        tree_bus_free = depart + 1;
-                        est.tree_bus_transfers += 1;
-                        depart + tree_latency
-                    }
-                    CommKind::None => unreachable!("remote consumer implies a transaction"),
+                        CommKind::Neighbor(dst) => {
+                            let slot = neighbor_free.entry((src_pe.0, dst.0)).or_insert(0);
+                            let depart = finish[j].max(*slot);
+                            *slot = depart + 1;
+                            est.neighbor_transfers += 1;
+                            depart + 1
+                        }
+                        CommKind::RowBroadcast => {
+                            let row = geometry.row(src_pe);
+                            let depart = finish[j].max(row_bus_free[row]);
+                            row_bus_free[row] = depart + 1;
+                            row_bus_count[row] += 1;
+                            est.row_bus_transfers += 1;
+                            depart + 2
+                        }
+                        CommKind::AllBroadcast => {
+                            let depart = finish[j].max(tree_bus_free);
+                            tree_bus_free = depart + 1;
+                            est.tree_bus_transfers += 1;
+                            depart + tree_latency
+                        }
+                        CommKind::None => unreachable!("remote consumer implies a transaction"),
                     },
                 };
                 delivered.insert(op.0, arr);
@@ -345,7 +338,9 @@ mod tests {
         let e = sched(&dfg, g, MappingStrategy::DataFirst).estimate;
         assert_eq!(e.compute_ops as usize, dfg.op_count());
         assert!(e.initiation_interval >= e.mem_stream_cycles);
-        assert!(e.initiation_interval <= e.latency_cycles.max(e.mem_stream_cycles).max(e.max_pe_instrs));
+        assert!(
+            e.initiation_interval <= e.latency_cycles.max(e.mem_stream_cycles).max(e.max_pe_instrs)
+        );
         assert!(e.cycles_per_record() >= 1);
     }
 

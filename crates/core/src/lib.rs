@@ -65,10 +65,12 @@ pub mod prelude {
     pub use crate::{CosmicStack, CosmicStackBuilder, StackError};
     pub use cosmic_arch::{AcceleratorSpec, Geometry, Machine, PlatformKind};
     pub use cosmic_compiler::{CompileOptions, MappingStrategy};
-    pub use cosmic_dfg::{DimEnv, analysis::DfgStats};
+    pub use cosmic_dfg::{analysis::DfgStats, DimEnv};
     pub use cosmic_ml::{Aggregation, Algorithm, Benchmark, BenchmarkId};
     pub use cosmic_planner::DesignPoint;
-    pub use cosmic_runtime::{ClusterConfig, ClusterTiming, ClusterTrainer};
+    pub use cosmic_runtime::{
+        ClusterConfig, ClusterTiming, ClusterTrainer, FaultPlan, FaultRates, RuntimeError,
+    };
 }
 
 use cosmic_arch::AcceleratorSpec;
@@ -78,7 +80,7 @@ use cosmic_dsl::Program;
 use cosmic_ml::data::Dataset;
 use cosmic_ml::{Aggregation, Algorithm};
 use cosmic_planner::Plan;
-use cosmic_runtime::{ClusterConfig, ClusterTrainer, TrainOutcome};
+use cosmic_runtime::{ClusterConfig, ClusterTrainer, FaultPlan, RuntimeError, TrainOutcome};
 
 /// An error from assembling or driving the stack.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +91,9 @@ pub enum StackError {
     Lower(cosmic_dfg::LowerError),
     /// The builder was configured inconsistently.
     Config(String),
+    /// The distributed runtime failed unrecoverably (every node dead,
+    /// no aggregator left to promote, …).
+    Runtime(RuntimeError),
 }
 
 impl fmt::Display for StackError {
@@ -97,6 +102,7 @@ impl fmt::Display for StackError {
             StackError::Dsl(e) => write!(f, "{e}"),
             StackError::Lower(e) => write!(f, "{e}"),
             StackError::Config(msg) => write!(f, "configuration error: {msg}"),
+            StackError::Runtime(e) => write!(f, "{e}"),
         }
     }
 }
@@ -107,7 +113,14 @@ impl Error for StackError {
             StackError::Dsl(e) => Some(e),
             StackError::Lower(e) => Some(e),
             StackError::Config(_) => None,
+            StackError::Runtime(e) => Some(e),
         }
+    }
+}
+
+impl From<RuntimeError> for StackError {
+    fn from(e: RuntimeError) -> Self {
+        StackError::Runtime(e)
     }
 }
 
@@ -134,6 +147,7 @@ pub struct CosmicStackBuilder {
     threads_override: Option<usize>,
     minibatch_override: Option<usize>,
     learning_rate: f64,
+    fault_plan: FaultPlan,
 }
 
 impl CosmicStackBuilder {
@@ -189,6 +203,15 @@ impl CosmicStackBuilder {
         self
     }
 
+    /// Injects a deterministic fault schedule into functional training
+    /// (defaults to the healthy [`FaultPlan::none`]). The run degrades
+    /// gracefully and reports what happened in
+    /// [`TrainOutcome::faults`](cosmic_runtime::TrainOutcome).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
     /// Runs the front end, the translator, and the Planner.
     ///
     /// # Errors
@@ -196,9 +219,7 @@ impl CosmicStackBuilder {
     /// Returns [`StackError`] if the source is missing or invalid, a
     /// dimension is unbound, or the configuration is inconsistent.
     pub fn build(self) -> Result<CosmicStack, StackError> {
-        let src = self
-            .source
-            .ok_or_else(|| StackError::Config("no DSL source provided".into()))?;
+        let src = self.source.ok_or_else(|| StackError::Config("no DSL source provided".into()))?;
         let program = cosmic_dsl::parse(&src)?;
         let dfg = cosmic_dfg::lower(&program, &self.dims)?;
         let spec = self.accelerator.unwrap_or_else(AcceleratorSpec::fpga_vu9p);
@@ -227,6 +248,7 @@ impl CosmicStackBuilder {
             minibatch,
             threads_override: self.threads_override,
             learning_rate: if self.learning_rate > 0.0 { self.learning_rate } else { 0.05 },
+            fault_plan: self.fault_plan,
         })
     }
 }
@@ -243,6 +265,7 @@ pub struct CosmicStack {
     minibatch: usize,
     threads_override: Option<usize>,
     learning_rate: f64,
+    fault_plan: FaultPlan,
 }
 
 impl CosmicStack {
@@ -295,10 +318,8 @@ impl CosmicStack {
     /// Compiles the per-thread accelerator program at the planned design
     /// point (Algorithm 1 mapping, scheduling, code generation).
     pub fn compile(&self) -> CompiledThread {
-        let geometry = cosmic_arch::Geometry::new(
-            self.plan.best.point.rows_per_thread,
-            self.spec.columns,
-        );
+        let geometry =
+            cosmic_arch::Geometry::new(self.plan.best.point.rows_per_thread, self.spec.columns);
         cosmic_compiler::compile(&self.dfg, geometry, &CompileOptions::default())
     }
 
@@ -328,6 +349,12 @@ impl CosmicStack {
     /// Functionally trains `alg` (whose analytic gradient must match this
     /// stack's DFG — see [`CosmicStack::verify_gradient`]) on `dataset`
     /// through the real system software.
+    ///
+    /// Degrades gracefully under the builder's
+    /// [`fault_plan`](CosmicStackBuilder::fault_plan): crashed Sigmas
+    /// are re-elected, stragglers past the deadline are excluded, and
+    /// the outcome's fault report records what happened. Errors with
+    /// [`StackError::Runtime`] only when the run is unrecoverable.
     pub fn train(
         &self,
         alg: &Algorithm,
@@ -335,7 +362,7 @@ impl CosmicStack {
         initial_model: Vec<f64>,
         epochs: usize,
         aggregation: Aggregation,
-    ) -> TrainOutcome {
+    ) -> Result<TrainOutcome, StackError> {
         let trainer = ClusterTrainer::new(ClusterConfig {
             nodes: self.nodes,
             groups: self.groups,
@@ -344,8 +371,10 @@ impl CosmicStack {
             learning_rate: self.learning_rate,
             epochs,
             aggregation,
-        });
-        trainer.train(alg, dataset, initial_model)
+            faults: self.fault_plan.clone(),
+            ..ClusterConfig::default()
+        })?;
+        Ok(trainer.train(alg, dataset, initial_model)?)
     }
 
     /// Checks that an analytic [`Algorithm`] gradient agrees with this
@@ -431,10 +460,8 @@ mod tests {
     fn dsl_errors_propagate() {
         let err = CosmicStack::builder().source("model w[n").build().unwrap_err();
         assert!(matches!(err, StackError::Dsl(_)));
-        let err = CosmicStack::builder()
-            .source(&cosmic_dsl::programs::svm(64))
-            .build()
-            .unwrap_err();
+        let err =
+            CosmicStack::builder().source(&cosmic_dsl::programs::svm(64)).build().unwrap_err();
         assert!(matches!(err, StackError::Lower(_)));
     }
 
@@ -470,7 +497,8 @@ mod tests {
             .unwrap();
         let alg = Algorithm::LogisticRegression { features: 8 };
         let ds = data::generate(&alg, 384, 17);
-        let out = stack.train(&alg, &ds, alg.zero_model(), 4, Aggregation::Average);
+        let out =
+            stack.train(&alg, &ds, alg.zero_model(), 4, Aggregation::Average).expect("healthy run");
         assert!(out.loss_history.last().unwrap() < &out.loss_history[0]);
     }
 

@@ -59,8 +59,7 @@ pub fn height_map(dfg: &Dfg) -> Vec<u32> {
     // Reverse topological order: consumers have larger ids than producers.
     for i in (0..dfg.len()).rev() {
         let id = NodeId(i as u32);
-        let is_compute =
-            matches!(dfg.node(id), Node::Op { .. } | Node::Unary { .. });
+        let is_compute = matches!(dfg.node(id), Node::Op { .. } | Node::Unary { .. });
         let own = u32::from(is_compute);
         for op in dfg.operands(id) {
             let j = op.index();

@@ -199,10 +199,7 @@ impl Dfg {
 
     /// Number of *compute* nodes (binary ops + unary LUT ops).
     pub fn op_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n, Node::Op { .. } | Node::Unary { .. }))
-            .count()
+        self.nodes.iter().filter(|n| matches!(n, Node::Op { .. } | Node::Unary { .. })).count()
     }
 
     /// Length of the flattened training record (inputs + expected outputs).

@@ -114,7 +114,8 @@ mod tests {
         let env = DimEnv::new().with("n", 3).with("h", 4).with("o", 2);
         let dfg = lower(&p, &env).unwrap();
         let record = [0.5, -0.2, 0.8, 1.0, 0.0];
-        let mut model: Vec<f64> = (0..dfg.model_len()).map(|i| ((i % 7) as f64 - 3.0) / 10.0).collect();
+        let mut model: Vec<f64> =
+            (0..dfg.model_len()).map(|i| ((i % 7) as f64 - 3.0) / 10.0).collect();
         let loss = |m: &[f64]| {
             // Forward pass replicated in plain Rust.
             let (n, h, o) = (3, 4, 2);

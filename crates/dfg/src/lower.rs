@@ -44,9 +44,9 @@ impl DimEnv {
     fn resolve(&self, dim: &Dim) -> Result<usize, LowerError> {
         match dim {
             Dim::Literal(n) => Ok(*n),
-            Dim::Symbol(s) => self
-                .get(s)
-                .ok_or_else(|| LowerError::new(format!("unbound dimension `{s}`"))),
+            Dim::Symbol(s) => {
+                self.get(s).ok_or_else(|| LowerError::new(format!("unbound dimension `{s}`")))
+            }
         }
     }
 }
@@ -356,9 +356,7 @@ impl<'p> Lowerer<'p> {
                 if let Some(info) = self.vars.get(name.as_str()).cloned() {
                     let slot = info.flatten(&indices, name)?;
                     match info.ty {
-                        DeclType::ModelInput | DeclType::ModelOutput => {
-                            Ok(self.builder.data(slot))
-                        }
+                        DeclType::ModelInput | DeclType::ModelOutput => Ok(self.builder.data(slot)),
                         DeclType::Model => Ok(self.builder.model(slot)),
                         DeclType::Gradient => Err(LowerError::new(format!(
                             "gradient `{name}` cannot be read inside the gradient program"
@@ -366,14 +364,11 @@ impl<'p> Lowerer<'p> {
                         DeclType::Iterator => unreachable!("validated earlier"),
                     }
                 } else {
-                    self.interims
-                        .get(&(name.clone(), indices.clone()))
-                        .copied()
-                        .ok_or_else(|| {
-                            LowerError::new(format!(
-                                "interim `{name}{indices:?}` referenced before assignment"
-                            ))
-                        })
+                    self.interims.get(&(name.clone(), indices.clone())).copied().ok_or_else(|| {
+                        LowerError::new(format!(
+                            "interim `{name}{indices:?}` referenced before assignment"
+                        ))
+                    })
                 }
             }
         }

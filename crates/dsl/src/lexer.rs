@@ -161,9 +161,8 @@ impl<'src> Lexer<'src> {
         }
         let text = &self.src[start..self.pos];
         let span = self.span_from(start, line, column);
-        let value: f64 = text
-            .parse()
-            .map_err(|_| DslError::lex(format!("malformed number `{text}`"), span))?;
+        let value: f64 =
+            text.parse().map_err(|_| DslError::lex(format!("malformed number `{text}`"), span))?;
         Ok(Token::new(TokenKind::Number(value), span))
     }
 

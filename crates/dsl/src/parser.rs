@@ -57,7 +57,8 @@ impl Parser {
                 TokenKind::Minibatch => minibatch = Some(self.parse_minibatch()?),
                 TokenKind::Ident(_) => stmts.push(self.parse_stmt()?),
                 other => {
-                    let msg = format!("expected declaration, statement, or directive, found {other}");
+                    let msg =
+                        format!("expected declaration, statement, or directive, found {other}");
                     return Err(DslError::parse(msg, self.peek_span()));
                 }
             }
@@ -103,9 +104,10 @@ impl Parser {
                 self.advance();
                 Ok((name, span))
             }
-            other => {
-                Err(DslError::parse(format!("expected identifier, found {other}"), self.peek_span()))
-            }
+            other => Err(DslError::parse(
+                format!("expected identifier, found {other}"),
+                self.peek_span(),
+            )),
         }
     }
 
@@ -338,18 +340,12 @@ impl Parser {
                         self.advance(); // `(`
                         let arg = self.parse_expr()?;
                         let end = self.expect(&TokenKind::RParen)?.span;
-                        return Ok(Expr::Unary {
-                            func,
-                            arg: Box::new(arg),
-                            span: span.merge(end),
-                        });
+                        return Ok(Expr::Unary { func, arg: Box::new(arg), span: span.merge(end) });
                     }
                 }
                 self.parse_ref()
             }
-            other => {
-                Err(DslError::parse(format!("expected expression, found {other}"), span))
-            }
+            other => Err(DslError::parse(format!("expected expression, found {other}"), span)),
         }
     }
 

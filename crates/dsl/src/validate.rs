@@ -253,8 +253,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_arity() {
-        let err =
-            parse("model w[n]; iterator i[0:n]; s = w[i][i];").unwrap_err();
+        let err = parse("model w[n]; iterator i[0:n]; s = w[i][i];").unwrap_err();
         assert!(err.message().contains("subscript"));
     }
 

@@ -127,8 +127,7 @@ impl Algorithm {
                 let mu = &model[u * factors..(u + 1) * factors];
                 let mv = &model[v * factors..(v + 1) * factors];
                 let e = dot(mu, mv) - r;
-                0.5 * e * e
-                    + 0.5 * CF_LAMBDA * (dot(mu, mu) + dot(mv, mv))
+                0.5 * e * e + 0.5 * CF_LAMBDA * (dot(mu, mu) + dot(mv, mv))
             }
         }
     }
@@ -285,9 +284,7 @@ impl Algorithm {
     /// The built-in DSL source for this algorithm family.
     pub fn dsl_source(&self, minibatch: usize) -> String {
         match self {
-            Algorithm::LinearRegression { .. } => {
-                cosmic_dsl_programs::linear_regression(minibatch)
-            }
+            Algorithm::LinearRegression { .. } => cosmic_dsl_programs::linear_regression(minibatch),
             Algorithm::LogisticRegression { .. } => {
                 cosmic_dsl_programs::logistic_regression(minibatch)
             }

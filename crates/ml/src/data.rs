@@ -174,12 +174,17 @@ fn with_label(mut x: Vec<f64>, y: f64) -> Vec<f64> {
     x
 }
 
-fn teacher_forward(model: &[f64], x: &[f64], inputs: usize, hidden: usize, outputs: usize) -> Vec<f64> {
+fn teacher_forward(
+    model: &[f64],
+    x: &[f64],
+    inputs: usize,
+    hidden: usize,
+    outputs: usize,
+) -> Vec<f64> {
     let sig = |v: f64| 1.0 / (1.0 + (-v).exp());
     let w1 = &model[..hidden * inputs];
     let w2 = &model[hidden * inputs..];
-    let a: Vec<f64> =
-        (0..hidden).map(|j| sig(dot(&w1[j * inputs..(j + 1) * inputs], x))).collect();
+    let a: Vec<f64> = (0..hidden).map(|j| sig(dot(&w1[j * inputs..(j + 1) * inputs], x))).collect();
     (0..outputs).map(|k| sig(dot(&w2[k * hidden..(k + 1) * hidden], &a))).collect()
 }
 

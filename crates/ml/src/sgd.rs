@@ -10,7 +10,7 @@ use crate::data::Dataset;
 pub fn train_sequential(
     alg: &Algorithm,
     dataset: &Dataset,
-    model: &mut Vec<f64>,
+    model: &mut [f64],
     learning_rate: f64,
     epochs: usize,
 ) -> Vec<f64> {
@@ -38,15 +38,14 @@ pub fn train_sequential(
 pub fn parallel_step(
     alg: &Algorithm,
     worker_batches: &[&[Vec<f64>]],
-    model: &mut Vec<f64>,
+    model: &mut [f64],
     learning_rate: f64,
     aggregation: Aggregation,
 ) {
     // Workers that received no records contribute nothing; with average
     // aggregation they must not drag the model toward its old value, so
     // only participating workers are counted.
-    let active: Vec<&&[Vec<f64>]> =
-        worker_batches.iter().filter(|b| !b.is_empty()).collect();
+    let active: Vec<&&[Vec<f64>]> = worker_batches.iter().filter(|b| !b.is_empty()).collect();
     if active.is_empty() {
         return;
     }
@@ -54,7 +53,7 @@ pub fn parallel_step(
         Aggregation::Average => {
             let mut sum = vec![0.0; model.len()];
             for batch in &active {
-                let mut local = model.clone();
+                let mut local = model.to_vec();
                 for record in batch.iter() {
                     alg.sgd_update(record, &mut local, learning_rate);
                 }
@@ -245,7 +244,7 @@ mod tests {
     #[test]
     fn sum_aggregation_is_one_batched_update() {
         let alg = Algorithm::LinearRegression { features: 2 };
-        let records = vec![vec![1.0, 0.0, 1.0], vec![0.0, 1.0, -1.0]];
+        let records = [vec![1.0, 0.0, 1.0], vec![0.0, 1.0, -1.0]];
         let mut model = vec![0.0, 0.0];
         let batches: Vec<&[Vec<f64>]> = vec![&records[..1], &records[1..]];
         parallel_step(&alg, &batches, &mut model, 0.5, Aggregation::Sum);
@@ -293,10 +292,7 @@ mod tests {
                 aggregation: Aggregation::Average,
             };
             let r = train_parallel(&alg, &ds, alg.zero_model(), &config);
-            assert!(
-                r.loss_history.last().unwrap() < &r.loss_history[0],
-                "workers={workers}"
-            );
+            assert!(r.loss_history.last().unwrap() < &r.loss_history[0], "workers={workers}");
         }
     }
 }

@@ -174,11 +174,7 @@ impl Benchmark {
                 id,
                 domain: "Recommender System",
                 description: "Movielens recommender system",
-                algorithm: Algorithm::CollabFilter {
-                    users: 10_034,
-                    items: 20_067,
-                    factors: 10,
-                },
+                algorithm: Algorithm::CollabFilter { users: 10_034, items: 20_067, factors: 10 },
                 features: 30_101,
                 topology: "301,010",
                 model_kb: 1176,
@@ -190,11 +186,7 @@ impl Benchmark {
                 id,
                 domain: "Recommender System",
                 description: "Netflix recommender system",
-                algorithm: Algorithm::CollabFilter {
-                    users: 24_355,
-                    items: 48_711,
-                    factors: 10,
-                },
+                algorithm: Algorithm::CollabFilter { users: 24_355, items: 48_711, factors: 10 },
                 features: 73_066,
                 topology: "730,660",
                 model_kb: 2854,
@@ -246,11 +238,9 @@ impl Benchmark {
                 Algorithm::LogisticRegression { features: s(features) }
             }
             Algorithm::Svm { features } => Algorithm::Svm { features: s(features) },
-            Algorithm::Backprop { inputs, hidden, outputs } => Algorithm::Backprop {
-                inputs: s(inputs),
-                hidden: s(hidden),
-                outputs: s(outputs),
-            },
+            Algorithm::Backprop { inputs, hidden, outputs } => {
+                Algorithm::Backprop { inputs: s(inputs), hidden: s(hidden), outputs: s(outputs) }
+            }
             Algorithm::CollabFilter { users, items, factors } => Algorithm::CollabFilter {
                 users: s(users),
                 items: s(items),
@@ -346,8 +336,16 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "mnist", "acoustic", "stock", "texture", "tumor", "cancer1", "movielens",
-                "netflix", "face", "cancer2"
+                "mnist",
+                "acoustic",
+                "stock",
+                "texture",
+                "tumor",
+                "cancer1",
+                "movielens",
+                "netflix",
+                "face",
+                "cancer2"
             ]
         );
     }
@@ -361,10 +359,7 @@ mod tests {
             let kb = b.model_bytes() as f64 / 1024.0;
             let published = b.model_kb as f64;
             let ratio = kb / published;
-            assert!(
-                (0.85..=1.15).contains(&ratio),
-                "{id}: {kb:.0} KB vs published {published} KB"
-            );
+            assert!((0.85..=1.15).contains(&ratio), "{id}: {kb:.0} KB vs published {published} KB");
         }
     }
 

@@ -72,7 +72,8 @@ pub fn sweep(dfg: &Dfg, spec: &AcceleratorSpec, minibatch: usize) -> DesignSpace
         // thread count; all are feasible for threads=1.
         let geometry = Geometry::new(rows_per_thread, spec.columns);
         let map = mapping::map(dfg, geometry, MappingStrategy::DataFirst);
-        let est = schedule::schedule(dfg, &map, geometry, spec.effective_words_per_cycle()).estimate;
+        let est =
+            schedule::schedule(dfg, &map, geometry, spec.effective_words_per_cycle()).estimate;
         for threads in 1..=t_max {
             if threads * rows_per_thread > row_max {
                 break;

@@ -99,7 +99,8 @@ pub fn plan(dfg: &Dfg, spec: &AcceleratorSpec, minibatch: usize) -> Plan {
         // Schedule once per geometry at full bandwidth; thread sharing is
         // applied analytically below.
         let map = mapping::map(dfg, geometry, MappingStrategy::DataFirst);
-        let est = schedule::schedule(dfg, &map, geometry, spec.effective_words_per_cycle()).estimate;
+        let est =
+            schedule::schedule(dfg, &map, geometry, spec.effective_words_per_cycle()).estimate;
 
         for threads in thread_sweep(t_max) {
             if threads * rows_per_thread > row_max {
@@ -125,7 +126,13 @@ pub fn plan(dfg: &Dfg, spec: &AcceleratorSpec, minibatch: usize) -> Plan {
         }
     }
 
-    Plan { spec: *spec, best: best.expect("at least one design point"), explored, t_max_storage, t_max }
+    Plan {
+        spec: *spec,
+        best: best.expect("at least one design point"),
+        explored,
+        t_max_storage,
+        t_max,
+    }
 }
 
 /// Estimates one design point from a geometry's full-bandwidth schedule.
@@ -139,19 +146,14 @@ pub(crate) fn perf_at(
     let mem_cycles = (dfg.data_len() as f64 / share).ceil() as u64;
     // Compute-side throughput bound is bandwidth-independent; the memory
     // stream is re-derived at the thread's share.
-    let ii_compute = est
-        .max_pe_instrs
-        .max(est.max_row_bus)
-        .max(est.tree_bus_transfers)
-        .max(1);
+    let ii_compute = est.max_pe_instrs.max(est.max_row_bus).max(est.tree_bus_transfers).max(1);
     // Local SGD update: the gradient's parameters are updated in place by
     // the thread's PEs, 2 ops per parameter spread over the thread's PEs.
     let pes = (point.rows_per_thread * spec.columns) as u64;
     let update_cycles = (2 * dfg.gradient_len() as u64).div_ceil(pes);
     let latency = est.latency_cycles.max(mem_cycles);
     let cycles_per_record = ii_compute.max(mem_cycles).max(latency.div_ceil(2)) + update_cycles;
-    let records_per_sec =
-        point.threads as f64 * spec.freq_mhz * 1e6 / cycles_per_record as f64;
+    let records_per_sec = point.threads as f64 * spec.freq_mhz * 1e6 / cycles_per_record as f64;
     AcceleratorPerf { point, cycles_per_record, records_per_sec, estimate: est }
 }
 

@@ -127,11 +127,8 @@ mod tests {
         // Table 3, stock: 8 threads on 16 rows -> 278,838 LUTs (23.6%),
         // 1,320 DSPs (19.3%).
         let spec = AcceleratorSpec::fpga_vu9p();
-        let u = utilization(
-            &dfg("linreg", 128),
-            &spec,
-            DesignPoint { threads: 8, rows_per_thread: 2 },
-        );
+        let u =
+            utilization(&dfg("linreg", 128), &spec, DesignPoint { threads: 8, rows_per_thread: 2 });
         assert!((0.18..0.30).contains(&u.luts_frac), "LUT frac {}", u.luts_frac);
         assert!((0.15..0.25).contains(&u.dsps_frac), "DSP frac {}", u.dsps_frac);
     }
@@ -149,8 +146,10 @@ mod tests {
     #[test]
     fn utilization_scales_with_active_rows() {
         let spec = AcceleratorSpec::fpga_vu9p();
-        let small = utilization(&dfg("svm", 64), &spec, DesignPoint { threads: 1, rows_per_thread: 4 });
-        let large = utilization(&dfg("svm", 64), &spec, DesignPoint { threads: 4, rows_per_thread: 12 });
+        let small =
+            utilization(&dfg("svm", 64), &spec, DesignPoint { threads: 1, rows_per_thread: 4 });
+        let large =
+            utilization(&dfg("svm", 64), &spec, DesignPoint { threads: 4, rows_per_thread: 12 });
         assert!(large.luts > small.luts);
         assert!(large.dsps > small.dsps);
         assert!(large.dsps_frac <= 1.0);

@@ -211,8 +211,7 @@ mod tests {
         assert_eq!(seen.len(), 3 * n);
         // Per-producer FIFO.
         for p in 0..3 {
-            let items: Vec<usize> =
-                seen.iter().filter(|(q, _)| *q == p).map(|&(_, i)| i).collect();
+            let items: Vec<usize> = seen.iter().filter(|(q, _)| *q == p).map(|&(_, i)| i).collect();
             assert_eq!(items, (0..n).collect::<Vec<_>>(), "producer {p} order");
         }
     }

@@ -1,0 +1,95 @@
+//! Typed runtime errors.
+//!
+//! The scale-out runtime distinguishes **recoverable degradation** —
+//! crashed nodes, stragglers past the deadline, quarantined peers —
+//! which is absorbed and reported in the
+//! [`FaultReport`](crate::trainer::FaultReport) of a successful run,
+//! from **unrecoverable failure**, which surfaces as a [`RuntimeError`].
+//! Runtime code never panics on these paths (enforced by the crate's
+//! clippy lint configuration); anything that can go wrong at run time is
+//! a value.
+
+use std::error::Error;
+use std::fmt;
+
+/// An unrecoverable runtime failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The system specification is degenerate (zero nodes, zero worker
+    /// threads, zero mini-batch, …). The message names the offending
+    /// field.
+    InvalidConfig(String),
+    /// The requested group structure cannot be built over the node
+    /// count.
+    InvalidTopology {
+        /// Requested node count.
+        nodes: usize,
+        /// Requested group count.
+        groups: usize,
+    },
+    /// The topology has no master Sigma (it was never assigned, or every
+    /// candidate has failed).
+    NoMaster,
+    /// Every node has failed; no partial updates can be computed.
+    AllNodesFailed {
+        /// The global aggregation iteration at which the cluster died.
+        iteration: usize,
+    },
+    /// A Sigma failed and no surviving node could be promoted to take
+    /// over its aggregation duties.
+    NoSurvivingAggregator {
+        /// The global aggregation iteration at which failover failed.
+        iteration: usize,
+    },
+    /// An OS-level worker thread panicked and the failure could not be
+    /// attributed to a single node (infrastructure fault, not data).
+    WorkerPoolFailure(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            RuntimeError::InvalidTopology { nodes, groups } => {
+                write!(f, "cannot split {nodes} node(s) into {groups} group(s)")
+            }
+            RuntimeError::NoMaster => write!(f, "topology has no master Sigma"),
+            RuntimeError::AllNodesFailed { iteration } => {
+                write!(f, "all nodes failed by iteration {iteration}")
+            }
+            RuntimeError::NoSurvivingAggregator { iteration } => {
+                write!(f, "no surviving node to promote to Sigma at iteration {iteration}")
+            }
+            RuntimeError::WorkerPoolFailure(what) => write!(f, "worker pool failure: {what}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(RuntimeError, &str)> = vec![
+            (RuntimeError::InvalidConfig("minibatch is zero".into()), "minibatch"),
+            (RuntimeError::InvalidTopology { nodes: 2, groups: 5 }, "2 node"),
+            (RuntimeError::NoMaster, "master"),
+            (RuntimeError::AllNodesFailed { iteration: 7 }, "iteration 7"),
+            (RuntimeError::NoSurvivingAggregator { iteration: 3 }, "promote"),
+            (RuntimeError::WorkerPoolFailure("spawn failed".into()), "spawn"),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error(_: &dyn Error) {}
+        takes_error(&RuntimeError::NoMaster);
+    }
+}

@@ -14,23 +14,36 @@
 //!   connection thread creation and OS-level context-switch cost;
 //! - [`node`] — the Sigma-node aggregation pipeline (incoming handler →
 //!   networking pool → circular buffers → aggregation pool → aggregation
-//!   buffer);
+//!   buffer), with per-chunk validation and peer quarantine;
 //! - [`trainer`] — the functional distributed trainer: data partitioned
 //!   across nodes and accelerator threads, per-mini-batch parallel SGD
-//!   with hierarchical aggregation, producing real trained models.
+//!   with hierarchical aggregation, producing real trained models and
+//!   degrading gracefully under injected faults.
 //!
 //! What is **modeled** (the wire and the silicon):
 //!
-//! - [`role`] — the System Director's Sigma/Delta/master role assignment;
+//! - [`role`] — the System Director's Sigma/Delta/master role assignment
+//!   and failure repair (re-election of dead Sigmas);
 //! - [`timing`] — the cluster-level performance model combining the
 //!   Planner's accelerator estimates with the Ethernet/PCIe models of
 //!   `cosmic-sim`, including the producer-consumer overlap of networking
-//!   and aggregation that the circular buffers buy.
+//!   and aggregation that the circular buffers buy, and the cost of
+//!   retries, timeouts, and failover under faults.
+//!
+//! ## Failure handling
+//!
+//! Runtime failure paths do not panic: anything that can go wrong at run
+//! time is either absorbed as degradation (reported in
+//! [`trainer::FaultReport`]) or returned as a typed
+//! [`error::RuntimeError`]. The lint configuration below enforces this
+//! for non-test code.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod circbuf;
+pub mod error;
 pub mod node;
 pub mod pool;
 pub mod role;
@@ -38,8 +51,16 @@ pub mod timing;
 pub mod trainer;
 
 pub use circbuf::CircularBuffer;
-pub use node::{Chunk, SigmaAggregator, CHUNK_WORDS};
+pub use error::RuntimeError;
+pub use node::{AggregateOutcome, Chunk, ChunkFault, SigmaAggregator, CHUNK_WORDS};
 pub use pool::ThreadPool;
-pub use role::{assign_roles, Role, Topology};
-pub use timing::{ClusterTiming, IterationBreakdown, NodeCompute};
-pub use trainer::{ClusterConfig, ClusterTrainer, TrainOutcome};
+pub use role::{assign_roles, Promotion, Role, Topology};
+pub use timing::{ClusterTiming, FaultTimingModel, IterationBreakdown, NodeCompute};
+pub use trainer::{
+    ClusterConfig, ClusterTrainer, Exclusion, ExclusionReason, FaultReport, Quarantine,
+    RetryPolicy, TrainOutcome,
+};
+
+// Re-export the fault-injection vocabulary so runtime users need not
+// depend on cosmic-sim directly.
+pub use cosmic_sim::faults::{FaultEvent, FaultKind, FaultPlan, FaultRates};

@@ -7,7 +7,13 @@
 //! chunks and fold them into the shared **Aggregation Buffer**. Producers
 //! and consumers overlap, so aggregation starts "as soon as the first
 //! chunk of data is copied".
+//!
+//! The pipeline validates every chunk (stripe alignment, buffer bounds,
+//! payload checksum, duplicate delivery). A peer that sends an invalid
+//! chunk is **quarantined** — its entire contribution is discarded and
+//! reported — rather than poisoning the aggregate or crashing the Sigma.
 
+use std::fmt;
 use std::sync::Arc;
 
 use crossbeam::channel::Receiver;
@@ -29,15 +35,118 @@ pub struct Chunk {
     pub offset: usize,
     /// The values (at most [`CHUNK_WORDS`] of them).
     pub data: Vec<f64>,
+    /// FNV-1a checksum over the offset and payload bits, computed at
+    /// send time and verified by the receiving Sigma.
+    pub checksum: u64,
 }
 
-/// Splits a vector into stripe-aligned chunks.
+impl Chunk {
+    /// Builds a chunk with a valid checksum.
+    pub fn new(offset: usize, data: Vec<f64>) -> Self {
+        let checksum = Chunk::checksum_of(offset, &data);
+        Chunk { offset, data, checksum }
+    }
+
+    /// The checksum a well-formed chunk at `offset` carrying `data`
+    /// must bear (FNV-1a over the offset and the payload's bit
+    /// patterns — cheap, deterministic, and sensitive to any flip).
+    pub fn checksum_of(offset: usize, data: &[f64]) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |bytes: [u8; 8]| {
+            for b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix((offset as u64).to_le_bytes());
+        for v in data {
+            mix(v.to_bits().to_le_bytes());
+        }
+        hash
+    }
+
+    /// Whether the payload still matches its checksum.
+    pub fn is_intact(&self) -> bool {
+        self.checksum == Chunk::checksum_of(self.offset, &self.data)
+    }
+
+    /// Returns the chunk with its payload damaged and the checksum left
+    /// stale, as a corrupting link would deliver it. Used by fault
+    /// injection; a validating receiver must reject the result.
+    pub fn corrupted(mut self) -> Self {
+        match self.data.first_mut() {
+            Some(v) => *v = f64::from_bits(v.to_bits() ^ 0x1), // one flipped bit
+            None => self.checksum ^= 0x1,                      // empty payload: damage the sum
+        }
+        self
+    }
+}
+
+/// Splits a vector into stripe-aligned, checksummed chunks.
 pub fn chunk_vector(values: &[f64]) -> Vec<Chunk> {
     values
         .chunks(CHUNK_WORDS)
         .enumerate()
-        .map(|(i, data)| Chunk { offset: i * CHUNK_WORDS, data: data.to_vec() })
+        .map(|(i, data)| Chunk::new(i * CHUNK_WORDS, data.to_vec()))
         .collect()
+}
+
+/// Why a peer's stream was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkFault {
+    /// A chunk's offset was not stripe-aligned.
+    Misaligned {
+        /// The offending offset.
+        offset: usize,
+    },
+    /// A chunk ran past the end of the aggregation buffer.
+    Overrun {
+        /// The offending offset.
+        offset: usize,
+        /// The chunk's payload length.
+        len: usize,
+    },
+    /// A chunk's payload failed its checksum.
+    Corrupt {
+        /// The offending offset.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for ChunkFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkFault::Misaligned { offset } => write!(f, "misaligned chunk at offset {offset}"),
+            ChunkFault::Overrun { offset, len } => {
+                write!(f, "chunk at offset {offset} ({len} words) overruns the buffer")
+            }
+            ChunkFault::Corrupt { offset } => write!(f, "corrupt chunk at offset {offset}"),
+        }
+    }
+}
+
+/// The result of a validated aggregation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateOutcome {
+    /// Element-wise sum over every peer that passed validation.
+    pub sum: Vec<f64>,
+    /// Peers whose streams were rejected, with the first fault seen.
+    /// Peer indices refer to positions in the `incoming` list.
+    pub quarantined: Vec<(usize, ChunkFault)>,
+    /// Duplicate chunk deliveries that were recognized and dropped
+    /// (delivery is idempotent; duplicates are not a quarantine
+    /// offence).
+    pub duplicates_dropped: usize,
+}
+
+/// Per-peer consumer state, collected after the pipeline drains.
+#[derive(Debug, Default)]
+struct PeerFold {
+    staged: Option<Vec<f64>>,
+    fault: Option<ChunkFault>,
+    duplicates: usize,
 }
 
 /// The Sigma node's aggregation machinery: two internally managed thread
@@ -51,7 +160,7 @@ pub fn chunk_vector(values: &[f64]) -> Vec<Chunk> {
 ///
 /// let sigma = SigmaAggregator::new(2, 2);
 /// let (tx, rx) = channel::unbounded();
-/// tx.send(Chunk { offset: 0, data: vec![1.0, 2.0] }).unwrap();
+/// tx.send(Chunk::new(0, vec![1.0, 2.0])).unwrap();
 /// drop(tx);
 /// let sum = sigma.aggregate(2, vec![rx]);
 /// assert_eq!(sum, vec![1.0, 2.0]);
@@ -76,25 +185,39 @@ impl SigmaAggregator {
     /// their element-wise **sum** (averaging, when requested by the
     /// aggregation operator, is a scalar division the caller applies).
     ///
-    /// Each `incoming` receiver is one peer's socket stream of chunks.
-    /// The call returns once every stream has been drained and folded.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a chunk is not stripe-aligned or overruns `model_len`.
+    /// Convenience wrapper over [`SigmaAggregator::aggregate_validated`]
+    /// that discards the fault report: peers that fail validation are
+    /// silently excluded from the sum.
     pub fn aggregate(&self, model_len: usize, incoming: Vec<Receiver<Chunk>>) -> Vec<f64> {
+        self.aggregate_validated(model_len, incoming).sum
+    }
+
+    /// Receives one partial vector from every connection, validating
+    /// every chunk, and returns the element-wise sum over the peers
+    /// that passed along with the quarantine report.
+    ///
+    /// Each `incoming` receiver is one peer's socket stream of chunks.
+    /// A peer whose stream contains a misaligned, out-of-bounds, or
+    /// checksum-failing chunk is quarantined: its entire contribution
+    /// is withheld from the sum (the rest of its stream is still
+    /// drained so the pipeline never stalls). Duplicate deliveries of a
+    /// stripe already received from the same peer are dropped
+    /// idempotently. The sum is folded peer-by-peer in `incoming`
+    /// order, so the result for a given set of surviving peers is
+    /// deterministic — quarantining peer *k* yields bit-for-bit the sum
+    /// over the remaining peers.
+    pub fn aggregate_validated(
+        &self,
+        model_len: usize,
+        incoming: Vec<Receiver<Chunk>>,
+    ) -> AggregateOutcome {
         let stripes = model_len.div_ceil(CHUNK_WORDS).max(1);
-        let agg: Arc<Vec<Mutex<Vec<f64>>>> = Arc::new(
-            (0..stripes)
-                .map(|s| {
-                    let len = CHUNK_WORDS.min(model_len - s * CHUNK_WORDS);
-                    Mutex::new(vec![0.0; len])
-                })
-                .collect(),
-        );
+        let peers = incoming.len();
+        let folds: Arc<Vec<Mutex<PeerFold>>> =
+            Arc::new((0..peers).map(|_| Mutex::new(PeerFold::default())).collect());
 
         let wg = WaitGroup::new();
-        for rx in incoming {
+        for (peer, rx) in incoming.into_iter().enumerate() {
             // Bounded ring: forces networking and aggregation to overlap
             // rather than buffering whole models.
             let ring = Arc::new(CircularBuffer::<Chunk>::with_capacity(4));
@@ -112,39 +235,74 @@ impl SigmaAggregator {
                 });
             }
 
-            // Aggregation-pool consumer: circular buffer -> agg buffer.
+            // Aggregation-pool consumer: circular buffer -> this peer's
+            // staging buffer, validating as it goes.
             {
                 let ring = Arc::clone(&ring);
-                let agg = Arc::clone(&agg);
+                let folds = Arc::clone(&folds);
                 let wg = wg.clone();
                 self.aggregation.execute(move || {
+                    let mut staged: Option<Vec<f64>> = None;
+                    let mut seen = vec![false; stripes];
+                    let mut fault: Option<ChunkFault> = None;
+                    let mut duplicates = 0usize;
                     while let Some(chunk) = ring.pop() {
-                        assert_eq!(
-                            chunk.offset % CHUNK_WORDS,
-                            0,
-                            "chunks must be stripe-aligned"
-                        );
-                        let stripe = chunk.offset / CHUNK_WORDS;
-                        let mut guard = agg[stripe].lock();
-                        assert!(
-                            chunk.data.len() <= guard.len(),
-                            "chunk overruns the aggregation buffer"
-                        );
-                        for (a, v) in guard.iter_mut().zip(&chunk.data) {
-                            *a += v;
+                        // A quarantined peer's stream is still drained so
+                        // its producer never blocks on a full ring.
+                        if fault.is_some() {
+                            continue;
                         }
+                        if chunk.offset % CHUNK_WORDS != 0 {
+                            fault = Some(ChunkFault::Misaligned { offset: chunk.offset });
+                            continue;
+                        }
+                        if chunk.offset + chunk.data.len() > model_len {
+                            fault = Some(ChunkFault::Overrun {
+                                offset: chunk.offset,
+                                len: chunk.data.len(),
+                            });
+                            continue;
+                        }
+                        if !chunk.is_intact() {
+                            fault = Some(ChunkFault::Corrupt { offset: chunk.offset });
+                            continue;
+                        }
+                        let stripe = chunk.offset / CHUNK_WORDS;
+                        if seen[stripe] {
+                            duplicates += 1;
+                            continue;
+                        }
+                        seen[stripe] = true;
+                        let dst = staged.get_or_insert_with(|| vec![0.0; model_len]);
+                        dst[chunk.offset..chunk.offset + chunk.data.len()]
+                            .copy_from_slice(&chunk.data);
                     }
+                    *folds[peer].lock() = PeerFold { staged, fault, duplicates };
                     drop(wg);
                 });
             }
         }
         wg.wait();
 
-        let mut out = Vec::with_capacity(model_len);
-        for stripe in agg.iter() {
-            out.extend_from_slice(&stripe.lock());
+        // Deterministic final fold: surviving peers in index order.
+        let mut sum = vec![0.0; model_len];
+        let mut quarantined = Vec::new();
+        let mut duplicates_dropped = 0;
+        for (peer, fold) in folds.iter().enumerate() {
+            let fold = fold.lock();
+            duplicates_dropped += fold.duplicates;
+            match fold.fault {
+                Some(fault) => quarantined.push((peer, fault)),
+                None => {
+                    if let Some(staged) = &fold.staged {
+                        for (s, v) in sum.iter_mut().zip(staged) {
+                            *s += v;
+                        }
+                    }
+                }
+            }
         }
-        out
+        AggregateOutcome { sum, quarantined, duplicates_dropped }
     }
 }
 
@@ -172,9 +330,8 @@ mod tests {
         let sigma = SigmaAggregator::new(3, 3);
         let len = 3 * CHUNK_WORDS + 17; // multiple stripes + ragged tail
         let peers = 7;
-        let incoming: Vec<Receiver<Chunk>> = (0..peers)
-            .map(|p| send_model((0..len).map(|i| (i + p) as f64).collect()))
-            .collect();
+        let incoming: Vec<Receiver<Chunk>> =
+            (0..peers).map(|p| send_model((0..len).map(|i| (i + p) as f64).collect())).collect();
         let sum = sigma.aggregate(len, incoming);
         for (i, v) in sum.iter().enumerate() {
             let expect: f64 = (0..peers).map(|p| (i + p) as f64).sum();
@@ -206,6 +363,7 @@ mod tests {
         let chunks = chunk_vector(&v);
         assert_eq!(chunks.len(), 3);
         assert_eq!(chunks[2].data.len(), 3);
+        assert!(chunks.iter().all(Chunk::is_intact));
         let mut rebuilt = vec![0.0; v.len()];
         for c in &chunks {
             rebuilt[c.offset..c.offset + c.data.len()].copy_from_slice(&c.data);
@@ -220,5 +378,81 @@ mod tests {
             let incoming = vec![send_model(vec![iter as f64; 10])];
             assert_eq!(sigma.aggregate(10, incoming), vec![iter as f64; 10]);
         }
+    }
+
+    #[test]
+    fn corruption_is_detected_and_flagged() {
+        let good = Chunk::new(0, vec![1.0, 2.0, 3.0]);
+        assert!(good.is_intact());
+        let bad = good.clone().corrupted();
+        assert!(!bad.is_intact());
+        assert_ne!(good.data, bad.data);
+        // Empty chunks are damaged through the checksum instead.
+        assert!(!Chunk::new(0, vec![]).corrupted().is_intact());
+    }
+
+    #[test]
+    fn corrupt_peer_is_quarantined_not_summed() {
+        let sigma = SigmaAggregator::new(2, 2);
+        let len = 2 * CHUNK_WORDS;
+        let (tx, rx) = channel::unbounded();
+        for (i, chunk) in chunk_vector(&vec![5.0; len]).into_iter().enumerate() {
+            tx.send(if i == 1 { chunk.corrupted() } else { chunk }).unwrap();
+        }
+        drop(tx);
+        let incoming = vec![send_model(vec![1.0; len]), rx, send_model(vec![2.0; len])];
+        let out = sigma.aggregate_validated(len, incoming);
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].0, 1);
+        assert!(matches!(out.quarantined[0].1, ChunkFault::Corrupt { .. }));
+        assert!(out.sum.iter().all(|&v| v == 3.0), "only honest peers contribute");
+    }
+
+    #[test]
+    fn misaligned_and_overrunning_chunks_quarantine_their_peer() {
+        let sigma = SigmaAggregator::new(2, 2);
+        let (tx, rx) = channel::unbounded();
+        tx.send(Chunk::new(3, vec![1.0])).unwrap(); // not stripe-aligned
+        drop(tx);
+        let out = sigma.aggregate_validated(8, vec![rx]);
+        assert!(matches!(out.quarantined[..], [(0, ChunkFault::Misaligned { offset: 3 })]));
+        assert_eq!(out.sum, vec![0.0; 8]);
+
+        let (tx, rx) = channel::unbounded();
+        tx.send(Chunk::new(0, vec![1.0; 9])).unwrap(); // longer than the model
+        drop(tx);
+        let out = sigma.aggregate_validated(8, vec![rx]);
+        assert!(matches!(out.quarantined[..], [(0, ChunkFault::Overrun { offset: 0, len: 9 })]));
+    }
+
+    #[test]
+    fn duplicate_chunks_are_dropped_idempotently() {
+        let sigma = SigmaAggregator::new(2, 2);
+        let (tx, rx) = channel::unbounded();
+        let chunk = Chunk::new(0, vec![4.0; 4]);
+        tx.send(chunk.clone()).unwrap();
+        tx.send(chunk).unwrap();
+        drop(tx);
+        let out = sigma.aggregate_validated(4, vec![rx]);
+        assert_eq!(out.sum, vec![4.0; 4], "duplicate must not double-count");
+        assert_eq!(out.duplicates_dropped, 1);
+        assert!(out.quarantined.is_empty());
+    }
+
+    #[test]
+    fn quarantined_peer_stream_is_fully_drained() {
+        // A long stream that goes bad on its first chunk must still be
+        // consumed to completion, or the networking producer would block
+        // forever on the capacity-4 ring.
+        let sigma = SigmaAggregator::new(1, 1);
+        let len = 16 * CHUNK_WORDS;
+        let (tx, rx) = channel::unbounded();
+        for (i, chunk) in chunk_vector(&vec![1.0; len]).into_iter().enumerate() {
+            tx.send(if i == 0 { chunk.corrupted() } else { chunk }).unwrap();
+        }
+        drop(tx);
+        let out = sigma.aggregate_validated(len, vec![rx]);
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.sum, vec![0.0; len]);
     }
 }

@@ -1,4 +1,5 @@
-//! The System Director: node role assignment (paper §4.3).
+//! The System Director: node role assignment and failure repair (paper
+//! §4.3).
 //!
 //! Roles are assigned from the system specification (number of nodes,
 //! number of groups, accelerator type): every group gets one **Sigma**
@@ -8,8 +9,17 @@
 //! combining group aggregates and redistributing the updated model.
 //! Sigma nodes also compute partial gradients — they carry accelerators
 //! like everyone else.
+//!
+//! When a node fails at run time, [`Topology::fail_node`] repairs the
+//! hierarchy in place: a dead Delta is dropped from its group, a dead
+//! Sigma triggers re-election of the lowest-id surviving group member
+//! (or, for the master, promotion of a surviving group Sigma), and the
+//! remaining nodes' role records are rewritten to point at the new
+//! aggregator.
 
 use std::fmt;
+
+use crate::error::RuntimeError;
 
 /// A node's role in the scale-out system.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,12 +45,21 @@ pub enum Role {
         /// The other groups' Sigma nodes.
         group_sigmas: Vec<usize>,
     },
+    /// The node has failed (crashed or been expelled) and holds no
+    /// duties. Failed nodes stay in the role table so node ids remain
+    /// stable.
+    Failed,
 }
 
 impl Role {
     /// Whether this node performs aggregation.
     pub fn is_sigma(&self) -> bool {
-        !matches!(self, Role::Delta { .. })
+        matches!(self, Role::GroupSigma { .. } | Role::MasterSigma { .. })
+    }
+
+    /// Whether this node has failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Role::Failed)
     }
 }
 
@@ -52,10 +71,27 @@ impl fmt::Display for Role {
                 write!(f, "sigma({} members, master={master})", members.len())
             }
             Role::MasterSigma { members, group_sigmas } => {
-                write!(f, "master-sigma({} members, {} groups)", members.len(), group_sigmas.len() + 1)
+                write!(
+                    f,
+                    "master-sigma({} members, {} groups)",
+                    members.len(),
+                    group_sigmas.len() + 1
+                )
             }
+            Role::Failed => write!(f, "failed"),
         }
     }
+}
+
+/// A Sigma re-election performed by [`Topology::fail_node`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Promotion {
+    /// The Sigma that failed.
+    pub failed: usize,
+    /// The surviving node promoted in its place.
+    pub elected: usize,
+    /// Whether the failed Sigma was the master.
+    pub was_master: bool,
 }
 
 /// The cluster topology produced by the System Director.
@@ -63,32 +99,30 @@ impl fmt::Display for Role {
 pub struct Topology {
     /// Role per node, indexed by node id.
     pub roles: Vec<Role>,
-    /// Number of groups.
+    /// Number of live groups.
     pub groups: usize,
 }
 
 impl Topology {
-    /// Total nodes.
+    /// Total nodes (live and failed).
     pub fn nodes(&self) -> usize {
         self.roles.len()
     }
 
-    /// The master Sigma's node id.
-    pub fn master(&self) -> usize {
-        self.roles
-            .iter()
-            .position(|r| matches!(r, Role::MasterSigma { .. }))
-            .expect("a topology always has a master")
+    /// Nodes that have not failed.
+    pub fn live_nodes(&self) -> usize {
+        self.roles.iter().filter(|r| !r.is_failed()).count()
+    }
+
+    /// The master Sigma's node id, or `None` if every candidate has
+    /// failed.
+    pub fn master(&self) -> Option<usize> {
+        self.roles.iter().position(|r| matches!(r, Role::MasterSigma { .. }))
     }
 
     /// Node ids of all Sigma nodes (group Sigmas + master).
     pub fn sigmas(&self) -> Vec<usize> {
-        self.roles
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.is_sigma())
-            .map(|(i, _)| i)
-            .collect()
+        self.roles.iter().enumerate().filter(|(_, r)| r.is_sigma()).map(|(i, _)| i).collect()
     }
 
     /// Largest group size (Sigma + members) — the fan-in the hot Sigma
@@ -100,10 +134,108 @@ impl Topology {
                 Role::GroupSigma { members, .. } | Role::MasterSigma { members, .. } => {
                     Some(members.len())
                 }
-                Role::Delta { .. } => None,
+                Role::Delta { .. } | Role::Failed => None,
             })
             .max()
             .unwrap_or(0)
+    }
+
+    /// Marks `node` as failed and repairs the aggregation hierarchy.
+    ///
+    /// - A failed **Delta** is removed from its group; no re-election.
+    /// - A failed **group Sigma** is replaced by its lowest-id surviving
+    ///   member; that member's peers (and the master's sigma list) are
+    ///   rewritten to point at the new Sigma. A group whose Sigma dies
+    ///   with no members left simply dissolves.
+    /// - A failed **master** promotes the lowest-id surviving member of
+    ///   its own group; if the group is empty, the lowest-id surviving
+    ///   group Sigma becomes master instead.
+    ///
+    /// Returns the [`Promotion`] performed, if any. Failing a node twice
+    /// is a no-op. Errors with [`RuntimeError::NoMaster`] when the
+    /// master dies and no surviving node can take over aggregation.
+    pub fn fail_node(&mut self, node: usize) -> Result<Option<Promotion>, RuntimeError> {
+        if node >= self.roles.len() {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "fail_node({node}) out of range for {} node(s)",
+                self.roles.len()
+            )));
+        }
+        let old = std::mem::replace(&mut self.roles[node], Role::Failed);
+        match old {
+            Role::Failed => Ok(None),
+            Role::Delta { sigma } => {
+                if let Role::GroupSigma { members, .. } | Role::MasterSigma { members, .. } =
+                    &mut self.roles[sigma]
+                {
+                    members.retain(|&m| m != node);
+                }
+                Ok(None)
+            }
+            Role::GroupSigma { members, master } => {
+                match members.iter().copied().min() {
+                    Some(elected) => {
+                        let rest: Vec<usize> =
+                            members.into_iter().filter(|&m| m != elected).collect();
+                        for &m in &rest {
+                            self.roles[m] = Role::Delta { sigma: elected };
+                        }
+                        self.roles[elected] = Role::GroupSigma { members: rest, master };
+                        if let Role::MasterSigma { group_sigmas, .. } = &mut self.roles[master] {
+                            for gs in group_sigmas.iter_mut() {
+                                if *gs == node {
+                                    *gs = elected;
+                                }
+                            }
+                        }
+                        Ok(Some(Promotion { failed: node, elected, was_master: false }))
+                    }
+                    None => {
+                        // The group died with its Sigma: dissolve it.
+                        if let Role::MasterSigma { group_sigmas, .. } = &mut self.roles[master] {
+                            group_sigmas.retain(|&gs| gs != node);
+                        }
+                        self.groups = self.groups.saturating_sub(1);
+                        Ok(None)
+                    }
+                }
+            }
+            Role::MasterSigma { members, group_sigmas } => {
+                if let Some(elected) = members.iter().copied().min() {
+                    let rest: Vec<usize> = members.into_iter().filter(|&m| m != elected).collect();
+                    for &m in &rest {
+                        self.roles[m] = Role::Delta { sigma: elected };
+                    }
+                    for &gs in &group_sigmas {
+                        if let Role::GroupSigma { master, .. } = &mut self.roles[gs] {
+                            *master = elected;
+                        }
+                    }
+                    self.roles[elected] = Role::MasterSigma { members: rest, group_sigmas };
+                    Ok(Some(Promotion { failed: node, elected, was_master: true }))
+                } else if let Some(elected) = group_sigmas.iter().copied().min() {
+                    // The master's own group is gone: hand the crown to
+                    // the lowest-id surviving group Sigma.
+                    let rest: Vec<usize> =
+                        group_sigmas.into_iter().filter(|&gs| gs != elected).collect();
+                    for &gs in &rest {
+                        if let Role::GroupSigma { master, .. } = &mut self.roles[gs] {
+                            *master = elected;
+                        }
+                    }
+                    let own_members = match &self.roles[elected] {
+                        Role::GroupSigma { members, .. } => members.clone(),
+                        _ => Vec::new(),
+                    };
+                    self.roles[elected] =
+                        Role::MasterSigma { members: own_members, group_sigmas: rest };
+                    self.groups = self.groups.saturating_sub(1);
+                    Ok(Some(Promotion { failed: node, elected, was_master: true }))
+                } else {
+                    Err(RuntimeError::NoMaster)
+                }
+            }
+        }
     }
 }
 
@@ -111,12 +243,12 @@ impl Topology {
 /// equal size. Node 0 is the master Sigma; the first node of each other
 /// group is its group Sigma.
 ///
-/// # Panics
-///
-/// Panics if `nodes` is zero, `groups` is zero, or `groups > nodes`.
-pub fn assign_roles(nodes: usize, groups: usize) -> Topology {
-    assert!(nodes > 0, "need at least one node");
-    assert!(groups > 0 && groups <= nodes, "groups must be in 1..=nodes");
+/// Errors with [`RuntimeError::InvalidTopology`] if `nodes` is zero,
+/// `groups` is zero, or `groups > nodes`.
+pub fn assign_roles(nodes: usize, groups: usize) -> Result<Topology, RuntimeError> {
+    if nodes == 0 || groups == 0 || groups > nodes {
+        return Err(RuntimeError::InvalidTopology { nodes, groups });
+    }
 
     // Nearly equal contiguous groups.
     let base = nodes / groups;
@@ -129,7 +261,7 @@ pub fn assign_roles(nodes: usize, groups: usize) -> Topology {
         bounds.push(cursor);
     }
 
-    let mut roles: Vec<Option<Role>> = vec![None; nodes];
+    let mut roles: Vec<Role> = vec![Role::Failed; nodes];
     let mut group_sigmas = Vec::new();
     for g in 0..groups {
         let (lo, hi) = (bounds[g], bounds[g + 1]);
@@ -137,19 +269,19 @@ pub fn assign_roles(nodes: usize, groups: usize) -> Topology {
         let members: Vec<usize> = (lo + 1..hi).collect();
         if g == 0 {
             // Filled in after we know the other sigmas.
-            roles[sigma] = Some(Role::MasterSigma { members, group_sigmas: Vec::new() });
+            roles[sigma] = Role::MasterSigma { members, group_sigmas: Vec::new() };
         } else {
             group_sigmas.push(sigma);
-            roles[sigma] = Some(Role::GroupSigma { members, master: 0 });
+            roles[sigma] = Role::GroupSigma { members, master: 0 };
         }
-        for m in lo + 1..hi {
-            roles[m] = Some(Role::Delta { sigma });
+        for role in &mut roles[lo + 1..hi] {
+            *role = Role::Delta { sigma };
         }
     }
-    if let Some(Role::MasterSigma { group_sigmas: gs, .. }) = roles[0].as_mut() {
+    if let Role::MasterSigma { group_sigmas: gs, .. } = &mut roles[0] {
         *gs = group_sigmas;
     }
-    Topology { roles: roles.into_iter().map(Option::unwrap).collect(), groups }
+    Ok(Topology { roles, groups })
 }
 
 /// The paper's group-count policy: enough groups that no Sigma ingress
@@ -167,11 +299,15 @@ pub fn default_groups(nodes: usize) -> usize {
 mod tests {
     use super::*;
 
+    fn roles(nodes: usize, groups: usize) -> Topology {
+        assign_roles(nodes, groups).expect("valid test configuration")
+    }
+
     #[test]
     fn sixteen_nodes_two_groups() {
-        let t = assign_roles(16, 2);
+        let t = roles(16, 2);
         assert_eq!(t.nodes(), 16);
-        assert_eq!(t.master(), 0);
+        assert_eq!(t.master(), Some(0));
         assert_eq!(t.sigmas(), vec![0, 8]);
         assert_eq!(t.max_group_fan_in(), 7);
         // Every delta points at its group's sigma.
@@ -184,7 +320,7 @@ mod tests {
 
     #[test]
     fn three_node_one_group() {
-        let t = assign_roles(3, 1);
+        let t = roles(3, 1);
         assert_eq!(t.sigmas(), vec![0]);
         assert_eq!(t.roles[1], Role::Delta { sigma: 0 });
         assert_eq!(t.roles[2], Role::Delta { sigma: 0 });
@@ -193,7 +329,7 @@ mod tests {
 
     #[test]
     fn uneven_groups_differ_by_at_most_one() {
-        let t = assign_roles(10, 3);
+        let t = roles(10, 3);
         let mut sizes: Vec<usize> = t
             .roles
             .iter()
@@ -210,7 +346,7 @@ mod tests {
 
     #[test]
     fn master_knows_other_sigmas() {
-        let t = assign_roles(12, 3);
+        let t = roles(12, 3);
         match &t.roles[0] {
             Role::MasterSigma { group_sigmas, .. } => assert_eq!(group_sigmas, &vec![4, 8]),
             other => panic!("node 0 must be master, got {other}"),
@@ -219,7 +355,7 @@ mod tests {
 
     #[test]
     fn single_node_cluster() {
-        let t = assign_roles(1, 1);
+        let t = roles(1, 1);
         assert_eq!(t.nodes(), 1);
         assert!(t.roles[0].is_sigma());
         assert_eq!(t.max_group_fan_in(), 0);
@@ -234,16 +370,157 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "groups must be in")]
-    fn too_many_groups_panics() {
-        let _ = assign_roles(2, 3);
+    fn degenerate_configurations_are_errors() {
+        for (nodes, groups) in [(0, 1), (4, 0), (2, 3), (0, 0)] {
+            assert_eq!(
+                assign_roles(nodes, groups),
+                Err(RuntimeError::InvalidTopology { nodes, groups }),
+                "nodes={nodes} groups={groups}"
+            );
+        }
+    }
+
+    #[test]
+    fn as_many_groups_as_nodes_makes_every_node_a_sigma() {
+        let t = roles(6, 6);
+        assert_eq!(t.sigmas(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(t.max_group_fan_in(), 0);
+        match &t.roles[0] {
+            Role::MasterSigma { members, group_sigmas } => {
+                assert!(members.is_empty());
+                assert_eq!(group_sigmas, &vec![1, 2, 3, 4, 5]);
+            }
+            other => panic!("expected master, got {other}"),
+        }
+    }
+
+    #[test]
+    fn exactly_one_master_in_every_configuration() {
+        for nodes in 1..=20 {
+            for groups in 1..=nodes {
+                let t = roles(nodes, groups);
+                let masters =
+                    t.roles.iter().filter(|r| matches!(r, Role::MasterSigma { .. })).count();
+                assert_eq!(masters, 1, "nodes={nodes} groups={groups}");
+                assert_eq!(t.sigmas().len(), groups);
+                assert_eq!(t.live_nodes(), nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn every_delta_points_at_a_real_sigma_in_its_own_group() {
+        for nodes in 1..=20 {
+            for groups in 1..=nodes {
+                let t = roles(nodes, groups);
+                for (i, role) in t.roles.iter().enumerate() {
+                    if let Role::Delta { sigma } = role {
+                        let sigma_role = &t.roles[*sigma];
+                        assert!(sigma_role.is_sigma(), "node {i}: sigma {sigma} is not a sigma");
+                        match sigma_role {
+                            Role::GroupSigma { members, .. }
+                            | Role::MasterSigma { members, .. } => {
+                                assert!(
+                                    members.contains(&i),
+                                    "node {i} missing from sigma {sigma}'s member list"
+                                );
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failing_a_delta_just_removes_it() {
+        let mut t = roles(6, 2);
+        let promo = t.fail_node(4).expect("in range");
+        assert_eq!(promo, None);
+        assert!(t.roles[4].is_failed());
+        match &t.roles[3] {
+            Role::GroupSigma { members, .. } => assert_eq!(members, &vec![5]),
+            other => panic!("expected group sigma, got {other}"),
+        }
+        assert_eq!(t.live_nodes(), 5);
+    }
+
+    #[test]
+    fn failing_a_group_sigma_reelects_lowest_member() {
+        let mut t = roles(9, 3); // groups {0,1,2} {3,4,5} {6,7,8}
+        let promo = t.fail_node(3).expect("in range").expect("a member must be promoted");
+        assert_eq!(promo, Promotion { failed: 3, elected: 4, was_master: false });
+        assert_eq!(t.roles[4], Role::GroupSigma { members: vec![5], master: 0 });
+        assert_eq!(t.roles[5], Role::Delta { sigma: 4 });
+        match &t.roles[0] {
+            Role::MasterSigma { group_sigmas, .. } => assert_eq!(group_sigmas, &vec![4, 6]),
+            other => panic!("expected master, got {other}"),
+        }
+        assert_eq!(t.groups, 3);
+    }
+
+    #[test]
+    fn failing_the_master_promotes_its_lowest_member() {
+        let mut t = roles(6, 2); // groups {0,1,2} {3,4,5}
+        let promo = t.fail_node(0).expect("in range").expect("re-election");
+        assert_eq!(promo, Promotion { failed: 0, elected: 1, was_master: true });
+        assert_eq!(t.master(), Some(1));
+        assert_eq!(t.roles[1], Role::MasterSigma { members: vec![2], group_sigmas: vec![3] });
+        assert_eq!(t.roles[3], Role::GroupSigma { members: vec![4, 5], master: 1 });
+    }
+
+    #[test]
+    fn lone_group_dissolves_when_its_sigma_dies() {
+        let mut t = roles(4, 2); // groups {0,1} {2,3}
+        t.fail_node(3).expect("delta removal");
+        let promo = t.fail_node(2).expect("in range");
+        assert_eq!(promo, None, "an empty group has nobody to promote");
+        assert_eq!(t.groups, 1);
+        match &t.roles[0] {
+            Role::MasterSigma { group_sigmas, .. } => assert!(group_sigmas.is_empty()),
+            other => panic!("expected master, got {other}"),
+        }
+    }
+
+    #[test]
+    fn master_crown_passes_to_group_sigma_when_its_group_is_empty() {
+        let mut t = roles(4, 2); // groups {0,1} {2,3}
+        t.fail_node(1).expect("delta removal");
+        let promo = t.fail_node(0).expect("in range").expect("failover");
+        assert_eq!(promo, Promotion { failed: 0, elected: 2, was_master: true });
+        assert_eq!(t.master(), Some(2));
+        assert_eq!(t.roles[2], Role::MasterSigma { members: vec![3], group_sigmas: vec![] });
+        assert_eq!(t.groups, 1);
+    }
+
+    #[test]
+    fn last_node_failure_reports_no_master() {
+        let mut t = roles(1, 1);
+        assert_eq!(t.fail_node(0), Err(RuntimeError::NoMaster));
+        assert_eq!(t.master(), None);
+        assert_eq!(t.live_nodes(), 0);
+    }
+
+    #[test]
+    fn failing_twice_is_idempotent() {
+        let mut t = roles(6, 2);
+        t.fail_node(5).expect("first failure");
+        assert_eq!(t.fail_node(5), Ok(None));
+    }
+
+    #[test]
+    fn out_of_range_failure_is_an_error() {
+        let mut t = roles(3, 1);
+        assert!(matches!(t.fail_node(7), Err(RuntimeError::InvalidConfig(_))));
     }
 
     #[test]
     fn display_forms() {
-        let t = assign_roles(6, 2);
+        let t = roles(6, 2);
         assert!(t.roles[0].to_string().contains("master-sigma"));
         assert!(t.roles[3].to_string().contains("sigma("));
         assert!(t.roles[1].to_string().contains("delta"));
+        assert_eq!(Role::Failed.to_string(), "failed");
     }
 }

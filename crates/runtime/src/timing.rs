@@ -12,6 +12,8 @@
 
 use cosmic_sim::{NetworkModel, PcieModel};
 
+use crate::error::RuntimeError;
+use crate::node::CHUNK_WORDS;
 use crate::role::{assign_roles, Topology};
 
 /// A node's gradient-computation capability, however produced (Planner
@@ -36,17 +38,70 @@ pub struct IterationBreakdown {
     pub broadcast_s: f64,
     /// Fixed orchestration overhead (invocation, bookkeeping).
     pub management_s: f64,
+    /// Fault-recovery overhead: chunk retransmissions and their backoff
+    /// waits, deadline waits on stragglers, and Sigma failover repair.
+    /// Zero on a healthy iteration.
+    pub recovery_s: f64,
 }
 
 impl IterationBreakdown {
     /// Total iteration time.
     pub fn total_s(&self) -> f64 {
-        self.compute_s + self.pcie_s + self.aggregate_s + self.broadcast_s + self.management_s
+        self.compute_s
+            + self.pcie_s
+            + self.aggregate_s
+            + self.broadcast_s
+            + self.management_s
+            + self.recovery_s
     }
 
     /// Everything except accelerator compute — the "system" share.
     pub fn communication_s(&self) -> f64 {
         self.total_s() - self.compute_s
+    }
+}
+
+/// Steady-state fault rates for the timing model — the analytic
+/// counterpart of the runtime's
+/// [`FaultPlan`](cosmic_sim::faults::FaultPlan), pricing what fault
+/// tolerance costs per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultTimingModel {
+    /// Probability any given chunk is dropped and needs retransmission.
+    pub chunk_drop_rate: f64,
+    /// Mean backoff latency per retransmission, in seconds.
+    pub retry_backoff_s: f64,
+    /// Probability a node straggles in a given iteration.
+    pub straggler_rate: f64,
+    /// Compute multiplier of a straggling node.
+    pub straggler_slowdown: f64,
+    /// Aggregation deadline in units of nominal compute time; the
+    /// barrier never waits longer than this for a straggler.
+    pub deadline_factor: f64,
+    /// Probability a Sigma node fails over in a given iteration.
+    pub sigma_failover_rate: f64,
+    /// Cost of one re-election + topology repair, in seconds.
+    pub failover_penalty_s: f64,
+}
+
+impl FaultTimingModel {
+    /// The healthy cluster: every rate zero, recovery cost zero.
+    pub fn none() -> Self {
+        FaultTimingModel {
+            chunk_drop_rate: 0.0,
+            retry_backoff_s: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 1.0,
+            deadline_factor: 4.0,
+            sigma_failover_rate: 0.0,
+            failover_penalty_s: 0.0,
+        }
+    }
+}
+
+impl Default for FaultTimingModel {
+    fn default() -> Self {
+        FaultTimingModel::none()
     }
 }
 
@@ -83,8 +138,19 @@ impl ClusterTiming {
     }
 
     /// The System Director's topology for this cluster.
-    pub fn topology(&self) -> Topology {
+    ///
+    /// Errors when the group structure cannot be built over the node
+    /// count (see [`assign_roles`]).
+    pub fn topology(&self) -> Result<Topology, RuntimeError> {
         assign_roles(self.nodes, self.groups)
+    }
+
+    /// Largest group fan-in (members per Sigma) under the nearly-equal
+    /// contiguous grouping [`assign_roles`] produces, computed without
+    /// materializing the topology. Degenerate configurations clamp.
+    fn group_fan_in(&self) -> usize {
+        let groups = self.groups.clamp(1, self.nodes.max(1));
+        self.nodes.max(1).div_ceil(groups).saturating_sub(1)
     }
 
     /// Times one mini-batch iteration.
@@ -99,7 +165,6 @@ impl ClusterTiming {
         node: NodeCompute,
         exchange_bytes: usize,
     ) -> IterationBreakdown {
-        let topo = self.topology();
         let records_per_node = minibatch as f64 / self.nodes as f64;
         let compute_s = records_per_node / node.records_per_sec;
 
@@ -108,11 +173,11 @@ impl ClusterTiming {
 
         // Level 1: every group Sigma absorbs its members' partials; the
         // circular-buffer pipeline overlaps folding with reception.
-        let group_fan_in = topo.max_group_fan_in();
+        let group_fan_in = self.group_fan_in();
         let wire1 = self.net.fan_in_ns(exchange_bytes, group_fan_in) as f64 / 1e9;
         let fold1 = group_fan_in as f64 * exchange_bytes as f64 / self.agg_bytes_per_sec;
         // Level 2: the master absorbs the other group Sigmas' aggregates.
-        let master_fan_in = self.groups - 1;
+        let master_fan_in = self.groups.saturating_sub(1);
         let wire2 = self.net.fan_in_ns(exchange_bytes, master_fan_in) as f64 / 1e9;
         let fold2 = master_fan_in as f64 * exchange_bytes as f64 / self.agg_bytes_per_sec;
         // The circular-buffer pipeline chunks partials, so the two
@@ -122,7 +187,8 @@ impl ClusterTiming {
         // Downward: master → group Sigmas and Sigmas → members pipeline
         // the same way (chunked store-and-forward).
         let broadcast_s = (self.net.fan_out_ns(exchange_bytes, master_fan_in))
-            .max(self.net.fan_out_ns(exchange_bytes, group_fan_in)) as f64
+            .max(self.net.fan_out_ns(exchange_bytes, group_fan_in))
+            as f64
             / 1e9;
 
         IterationBreakdown {
@@ -131,6 +197,7 @@ impl ClusterTiming {
             aggregate_s,
             broadcast_s,
             management_s: self.mgmt_us / 1e6,
+            recovery_s: 0.0,
         }
     }
 
@@ -141,9 +208,9 @@ impl ClusterTiming {
     /// motivates bounding group sizes and keeping aggregation off the
     /// critical path.
     ///
-    /// # Panics
-    ///
-    /// Panics if `slowdown < 1` or `stragglers > nodes`.
+    /// Out-of-range inputs clamp instead of panicking: `slowdown` below
+    /// 1 counts as nominal speed, and `stragglers` is capped at the
+    /// node count.
     pub fn iteration_with_stragglers(
         &self,
         minibatch: usize,
@@ -152,14 +219,73 @@ impl ClusterTiming {
         stragglers: usize,
         slowdown: f64,
     ) -> IterationBreakdown {
-        assert!(slowdown >= 1.0, "a straggler cannot be faster than nominal");
-        assert!(stragglers <= self.nodes, "more stragglers than nodes");
+        let slowdown = if slowdown.is_finite() { slowdown.max(1.0) } else { 1.0 };
+        let stragglers = stragglers.min(self.nodes);
         let mut it = self.iteration(minibatch, node, exchange_bytes);
         if stragglers > 0 {
             // The barrier waits for the slowest node's compute.
             it.compute_s *= slowdown;
         }
         it
+    }
+
+    /// Times one iteration under steady-state fault rates, attributing
+    /// the expected retry, timeout, and failover costs to
+    /// [`IterationBreakdown::recovery_s`].
+    pub fn iteration_with_faults(
+        &self,
+        minibatch: usize,
+        node: NodeCompute,
+        exchange_bytes: usize,
+        faults: &FaultTimingModel,
+    ) -> IterationBreakdown {
+        let mut it = self.iteration(minibatch, node, exchange_bytes);
+        let mut recovery = 0.0;
+
+        // Retries: a chunk dropped with probability p is retransmitted
+        // (geometrically) p/(1-p) extra times, inflating the aggregation
+        // wire share and adding one backoff wait per retransmission on
+        // the affected stream.
+        let p = faults.chunk_drop_rate.clamp(0.0, 0.99);
+        if p > 0.0 {
+            let inflation = p / (1.0 - p);
+            let chunks = exchange_bytes.div_ceil(CHUNK_WORDS * 8).max(1) as f64;
+            recovery += it.aggregate_s * inflation + chunks * inflation * faults.retry_backoff_s;
+        }
+
+        // Timeouts: the synchronous barrier waits for a straggler only
+        // up to the deadline; past it the node is excluded, so the cost
+        // of any straggling round is capped at deadline × nominal.
+        let s = faults.straggler_rate.clamp(0.0, 1.0);
+        if s > 0.0 {
+            let any_straggler = 1.0 - (1.0 - s).powi(self.nodes.min(i32::MAX as usize) as i32);
+            let waited = faults.straggler_slowdown.max(1.0).min(faults.deadline_factor.max(1.0));
+            recovery += any_straggler * (waited - 1.0) * it.compute_s;
+        }
+
+        // Failover: a Sigma death triggers re-election and topology
+        // repair, a fixed management-path penalty.
+        let f = faults.sigma_failover_rate.clamp(0.0, 1.0);
+        if f > 0.0 {
+            let any_sigma = 1.0 - (1.0 - f).powi(self.groups.clamp(1, i32::MAX as usize) as i32);
+            recovery += any_sigma * faults.failover_penalty_s;
+        }
+
+        it.recovery_s = recovery;
+        it
+    }
+
+    /// Steady-state training throughput in records/s under `faults`
+    /// (use [`FaultTimingModel::none`] for the healthy rate).
+    pub fn throughput_records_per_sec(
+        &self,
+        minibatch: usize,
+        node: NodeCompute,
+        exchange_bytes: usize,
+        faults: &FaultTimingModel,
+    ) -> f64 {
+        let it = self.iteration_with_faults(minibatch, node, exchange_bytes, faults);
+        minibatch as f64 / it.total_s()
     }
 
     /// Seconds to train for `epochs` passes over `total_records` with
@@ -190,9 +316,15 @@ mod tests {
     fn breakdown_sums_to_total() {
         let t = ClusterTiming::commodity(16, 2);
         let it = t.iteration(10_000, node(1e5), 1_000_000);
-        let sum = it.compute_s + it.pcie_s + it.aggregate_s + it.broadcast_s + it.management_s;
+        let sum = it.compute_s
+            + it.pcie_s
+            + it.aggregate_s
+            + it.broadcast_s
+            + it.management_s
+            + it.recovery_s;
         assert!((it.total_s() - sum).abs() < 1e-15);
         assert!(it.communication_s() < it.total_s());
+        assert_eq!(it.recovery_s, 0.0, "healthy iterations have no recovery cost");
     }
 
     #[test]
@@ -235,7 +367,7 @@ mod tests {
         // be slower than sequential handling.
         let t = ClusterTiming::commodity(8, 2);
         let it = t.iteration(10_000, node(1e5), 1_000_000);
-        let topo = t.topology();
+        let topo = t.topology().expect("valid cluster");
         let wire1 = t.net.fan_in_ns(1_000_000, topo.max_group_fan_in()) as f64 / 1e9;
         let fold1 = topo.max_group_fan_in() as f64 * 1_000_000.0 / t.agg_bytes_per_sec;
         assert!(it.aggregate_s <= (wire1 + fold1) * 2.0);
@@ -269,10 +401,86 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "faster than nominal")]
-    fn negative_slowdown_panics() {
+    fn out_of_range_straggler_inputs_clamp() {
         let t = ClusterTiming::commodity(4, 1);
-        let _ = t.iteration_with_stragglers(100, node(1e5), 100, 1, 0.5);
+        let clean = t.iteration(100, node(1e5), 100);
+        // A "straggler" faster than nominal clamps to nominal speed.
+        let sub_unit = t.iteration_with_stragglers(100, node(1e5), 100, 1, 0.5);
+        assert_eq!(sub_unit, clean);
+        let nan = t.iteration_with_stragglers(100, node(1e5), 100, 1, f64::NAN);
+        assert_eq!(nan, clean);
+        // More stragglers than nodes caps at the node count.
+        let capped = t.iteration_with_stragglers(100, node(1e5), 100, 99, 2.0);
+        assert_eq!(capped, t.iteration_with_stragglers(100, node(1e5), 100, 4, 2.0));
+    }
+
+    #[test]
+    fn fault_free_model_matches_plain_iteration() {
+        let t = ClusterTiming::commodity(8, 2);
+        let clean = t.iteration(10_000, node(1e5), 1_000_000);
+        let faulty =
+            t.iteration_with_faults(10_000, node(1e5), 1_000_000, &FaultTimingModel::none());
+        assert_eq!(clean, faulty);
+    }
+
+    #[test]
+    fn drop_rate_inflates_recovery_monotonically() {
+        let t = ClusterTiming::commodity(8, 2);
+        let mut last = 0.0;
+        for rate in [0.001, 0.01, 0.05, 0.2] {
+            let m = FaultTimingModel {
+                chunk_drop_rate: rate,
+                retry_backoff_s: 1e-4,
+                ..FaultTimingModel::none()
+            };
+            let it = t.iteration_with_faults(10_000, node(1e5), 1_000_000, &m);
+            assert!(it.recovery_s > last, "rate {rate}: {} !> {last}", it.recovery_s);
+            last = it.recovery_s;
+        }
+    }
+
+    #[test]
+    fn deadline_caps_the_straggler_wait() {
+        let t = ClusterTiming::commodity(8, 2);
+        let base = FaultTimingModel {
+            straggler_rate: 0.1,
+            straggler_slowdown: 100.0,
+            ..FaultTimingModel::none()
+        };
+        let tight = t.iteration_with_faults(
+            10_000,
+            node(1e5),
+            1_000_000,
+            &FaultTimingModel { deadline_factor: 2.0, ..base },
+        );
+        let loose = t.iteration_with_faults(
+            10_000,
+            node(1e5),
+            1_000_000,
+            &FaultTimingModel { deadline_factor: 50.0, ..base },
+        );
+        assert!(
+            tight.recovery_s < loose.recovery_s,
+            "a tighter deadline must bound the wait: {} vs {}",
+            tight.recovery_s,
+            loose.recovery_s
+        );
+    }
+
+    #[test]
+    fn failover_and_throughput_accounting() {
+        let t = ClusterTiming::commodity(16, 4);
+        let m = FaultTimingModel {
+            sigma_failover_rate: 0.05,
+            failover_penalty_s: 0.01,
+            ..FaultTimingModel::none()
+        };
+        let it = t.iteration_with_faults(10_000, node(1e5), 1_000_000, &m);
+        assert!(it.recovery_s > 0.0);
+        let healthy =
+            t.throughput_records_per_sec(10_000, node(1e5), 1_000_000, &FaultTimingModel::none());
+        let degraded = t.throughput_records_per_sec(10_000, node(1e5), 1_000_000, &m);
+        assert!(degraded < healthy, "faults must cost throughput: {degraded} vs {healthy}");
     }
 
     #[test]

@@ -7,6 +7,17 @@
 //! channel ("socket"), and the Sigma pipeline of [`crate::node`] folds
 //! the stream through its networking/aggregation pools. A master Sigma
 //! combines group aggregates and redistributes the model.
+//!
+//! The trainer is **fault tolerant**: a [`FaultPlan`] injects node
+//! crashes, straggler slowdowns, and chunk-level network pathologies
+//! deterministically. Crashed Sigmas are replaced by re-election
+//! ([`Topology::fail_node`]), stragglers that miss the per-iteration
+//! aggregation deadline are excluded and the update rescaled over the
+//! survivors, corrupt streams quarantine only the offending peer, and
+//! everything that degraded is returned in the [`FaultReport`] of a
+//! still-successful run. Fault timing is *virtual* — straggle factors
+//! and retry backoffs accumulate simulated cost measured against the
+//! deadline — so runs stay reproducible bit for bit from the plan alone.
 
 use crossbeam::channel;
 use std::thread;
@@ -14,13 +25,44 @@ use std::thread;
 use cosmic_ml::data::Dataset;
 use cosmic_ml::sgd;
 use cosmic_ml::{Aggregation, Algorithm};
+use cosmic_sim::faults::FaultPlan;
 
-use crate::node::{chunk_vector, SigmaAggregator};
-use crate::role::{assign_roles, Topology};
+use crate::error::RuntimeError;
+use crate::node::{chunk_vector, ChunkFault, SigmaAggregator, CHUNK_WORDS};
+use crate::role::{assign_roles, Promotion, Role, Topology};
+
+/// Chunk-retransmission policy for dropped chunks, in virtual time.
+///
+/// Delays are expressed in units of one nominal node-iteration compute
+/// time, the same unit as [`ClusterConfig::deadline_factor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retransmission.
+    pub backoff_base: f64,
+    /// Ceiling on any single backoff delay (capped exponential).
+    pub backoff_cap: f64,
+    /// Retransmissions attempted per chunk before the sender gives up
+    /// and the node is excluded as undeliverable.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { backoff_base: 0.125, backoff_cap: 1.0, max_retries: 5 }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay before retry `attempt` (0-based):
+    /// `min(base · 2^attempt, cap)`.
+    pub fn delay(&self, attempt: u32) -> f64 {
+        (self.backoff_base * 2f64.powi(attempt.min(62) as i32)).min(self.backoff_cap)
+    }
+}
 
 /// Scale-out system configuration (the "system specification" the
 /// programmer hands the System Director).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Total nodes (Sigmas included — they compute too).
     pub nodes: usize,
@@ -36,6 +78,14 @@ pub struct ClusterConfig {
     pub epochs: usize,
     /// Aggregation operator.
     pub aggregation: Aggregation,
+    /// Injected fault schedule; [`FaultPlan::none`] for a healthy run.
+    pub faults: FaultPlan,
+    /// Per-iteration aggregation deadline, in units of the nominal node
+    /// compute time: a node whose virtual completion time (straggle
+    /// factor + retry backoffs) exceeds this is excluded from the round.
+    pub deadline_factor: f64,
+    /// Retransmission policy for dropped chunks.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -48,7 +98,84 @@ impl Default for ClusterConfig {
             learning_rate: 0.05,
             epochs: 1,
             aggregation: Aggregation::Average,
+            faults: FaultPlan::none(),
+            deadline_factor: 4.0,
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+/// Why a node's contribution was left out of an aggregation round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExclusionReason {
+    /// The node's virtual completion time exceeded the deadline.
+    DeadlineExceeded {
+        /// The node's virtual completion time, in nominal-iteration
+        /// units (compare against [`ClusterConfig::deadline_factor`]).
+        virtual_cost: f64,
+    },
+    /// A chunk was dropped more times than the retry policy allows.
+    Undeliverable,
+    /// The node's OS thread panicked while computing its partial.
+    ThreadPanic,
+}
+
+/// One per-iteration exclusion of a node from aggregation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exclusion {
+    /// The global aggregation iteration.
+    pub iteration: usize,
+    /// The excluded node.
+    pub node: usize,
+    /// Why it was excluded.
+    pub reason: ExclusionReason,
+}
+
+/// One quarantined peer stream: the Sigma rejected the node's partial
+/// for this iteration because a chunk failed validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quarantine {
+    /// The global aggregation iteration.
+    pub iteration: usize,
+    /// The node whose stream was rejected.
+    pub node: usize,
+    /// The first fault seen in the stream.
+    pub fault: ChunkFault,
+}
+
+/// Everything that degraded during a (still successful) training run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultReport {
+    /// Injected fail-stop crashes, as `(iteration, node)`.
+    pub crashes: Vec<(usize, usize)>,
+    /// Per-iteration exclusions (stragglers, undeliverable streams,
+    /// panicked node threads).
+    pub exclusions: Vec<Exclusion>,
+    /// Sigma re-elections performed, as `(iteration, promotion)`.
+    pub reelections: Vec<(usize, Promotion)>,
+    /// Peer streams quarantined by Sigma-side validation.
+    pub quarantines: Vec<Quarantine>,
+    /// Successful chunk retransmissions (dropped chunks recovered by
+    /// the retry policy).
+    pub chunk_retries: usize,
+    /// Duplicate chunk deliveries recognized and dropped.
+    pub duplicates_dropped: usize,
+}
+
+impl FaultReport {
+    /// Whether the run saw no degradation at all.
+    pub fn is_clean(&self) -> bool {
+        self.crashes.is_empty()
+            && self.exclusions.is_empty()
+            && self.reelections.is_empty()
+            && self.quarantines.is_empty()
+            && self.chunk_retries == 0
+            && self.duplicates_dropped == 0
+    }
+
+    /// Nodes excluded at `iteration`.
+    pub fn excluded_at(&self, iteration: usize) -> Vec<usize> {
+        self.exclusions.iter().filter(|e| e.iteration == iteration).map(|e| e.node).collect()
     }
 }
 
@@ -61,6 +188,10 @@ pub struct TrainOutcome {
     pub loss_history: Vec<f64>,
     /// Aggregation steps performed (mini-batch iterations).
     pub iterations: usize,
+    /// What degraded along the way (empty for a healthy run).
+    pub faults: FaultReport,
+    /// The topology at the end of the run, with any failures repaired.
+    pub final_topology: Topology,
 }
 
 /// Orchestrates distributed training over an in-process cluster.
@@ -74,18 +205,32 @@ impl ClusterTrainer {
     /// Builds a trainer, assigning node roles through the System
     /// Director.
     ///
-    /// # Panics
-    ///
-    /// Panics on degenerate configurations (zero nodes/threads/minibatch
-    /// or more groups than nodes).
-    pub fn new(config: ClusterConfig) -> Self {
-        assert!(config.threads_per_node > 0, "need at least one worker thread");
-        assert!(config.minibatch > 0, "mini-batch must be positive");
-        let topology = assign_roles(config.nodes, config.groups);
-        ClusterTrainer { config, topology }
+    /// Errors with [`RuntimeError::InvalidConfig`] on degenerate worker
+    /// or deadline settings and [`RuntimeError::InvalidTopology`] when
+    /// the group structure cannot be built.
+    pub fn new(config: ClusterConfig) -> Result<Self, RuntimeError> {
+        if config.threads_per_node == 0 {
+            return Err(RuntimeError::InvalidConfig("threads_per_node is zero".into()));
+        }
+        if config.minibatch == 0 {
+            return Err(RuntimeError::InvalidConfig("minibatch is zero".into()));
+        }
+        if config.deadline_factor.is_nan() || config.deadline_factor < 1.0 {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "deadline_factor {} must be at least 1 (nominal compute time)",
+                config.deadline_factor
+            )));
+        }
+        let backoff_invalid = |b: f64| b.is_nan() || b < 0.0;
+        if backoff_invalid(config.retry.backoff_base) || backoff_invalid(config.retry.backoff_cap) {
+            return Err(RuntimeError::InvalidConfig("retry backoff must be non-negative".into()));
+        }
+        let topology = assign_roles(config.nodes, config.groups)?;
+        Ok(ClusterTrainer { config, topology })
     }
 
-    /// The role topology in use.
+    /// The role topology in use (as assigned; failures during a run
+    /// repair a private copy returned in the outcome).
     pub fn topology(&self) -> &Topology {
         &self.topology
     }
@@ -97,16 +242,26 @@ impl ClusterTrainer {
     /// shard sizes divide evenly), but executed through the real system
     /// software: parallel node threads, chunked transfers, and the Sigma
     /// aggregation pipeline.
+    ///
+    /// Faults scheduled in [`ClusterConfig::faults`] degrade the run —
+    /// exclusions, quarantines, and re-elections are absorbed, the
+    /// update is rescaled over the surviving contributors, and the
+    /// details land in [`TrainOutcome::faults`]. The run only errors
+    /// when nothing useful survives: every node dead
+    /// ([`RuntimeError::AllNodesFailed`]) or no aggregator left to
+    /// promote ([`RuntimeError::NoSurvivingAggregator`]).
     pub fn train(
         &self,
         alg: &Algorithm,
         dataset: &Dataset,
         initial_model: Vec<f64>,
-    ) -> TrainOutcome {
+    ) -> Result<TrainOutcome, RuntimeError> {
         let cfg = &self.config;
+        let plan = &cfg.faults;
         let model_len = initial_model.len();
         let workers = cfg.nodes * cfg.threads_per_node;
         let per_worker = cfg.minibatch.div_ceil(workers);
+        let chunks = model_len.div_ceil(CHUNK_WORDS).max(1);
 
         // Partition: dataset -> node partitions -> thread sub-partitions
         // (paper Figure 1's D_i and D_ij).
@@ -118,69 +273,158 @@ impl ClusterTrainer {
         let mut model = initial_model;
         let mut history = Vec::with_capacity(cfg.epochs + 1);
         let mut iterations = 0;
+        let mut iter_idx = 0; // global aggregation-step index, for fault keying
 
-        let steps = thread_parts
-            .iter()
-            .flatten()
-            .map(Dataset::len)
-            .max()
-            .unwrap_or(0)
-            .div_ceil(per_worker);
+        // The run's working topology: failures repair this copy.
+        let mut topology = self.topology.clone();
+        let mut alive = vec![true; cfg.nodes];
+        let mut report = FaultReport::default();
+
+        let steps =
+            thread_parts.iter().flatten().map(Dataset::len).max().unwrap_or(0).div_ceil(per_worker);
 
         for _ in 0..cfg.epochs {
             history.push(sgd::mean_loss(alg, dataset, &model));
             for step in 0..steps {
-                // Phase 1: every node computes its partial in parallel;
-                // within a node, every accelerator thread in parallel.
-                let partials: Vec<(Vec<f64>, usize)> = thread::scope(|s| {
-                    let handles: Vec<_> = thread_parts
-                        .iter()
-                        .map(|subs| {
-                            let model = &model;
-                            s.spawn(move || {
-                                node_partial(alg, subs, model, step, per_worker, cfg)
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
-                });
-
-                let active_total: usize = partials.iter().map(|(_, n)| n).sum();
-                if active_total == 0 {
-                    continue;
+                // Phase 0: fail-stop crashes scheduled for this
+                // iteration, with Sigma re-election where needed.
+                for node in 0..cfg.nodes {
+                    if alive[node] && plan.crashed(node, iter_idx) {
+                        report.crashes.push((iter_idx, node));
+                        kill_node(node, iter_idx, &mut topology, &mut alive, &mut report)?;
+                    }
                 }
 
-                // Phase 2: group-level aggregation through the Sigma
-                // pipeline — members stream chunked partials over
-                // channels ("sockets").
-                let mut group_sums: Vec<(Vec<f64>, usize)> = Vec::new();
-                for group in self.group_members() {
-                    let mut receivers = Vec::new();
-                    let mut active = 0;
-                    thread::scope(|s| {
-                        for &member in &group {
-                            let (part, n) = &partials[member];
-                            if *n == 0 {
-                                continue;
+                // Phase 1: every live node computes its partial in
+                // parallel; within a node, every accelerator thread in
+                // parallel.
+                let mut partials: Vec<Option<(Vec<f64>, usize)>> = thread::scope(|s| {
+                    let handles: Vec<Option<_>> = thread_parts
+                        .iter()
+                        .enumerate()
+                        .map(|(node, subs)| {
+                            if !alive[node] {
+                                return None;
                             }
-                            active += n;
+                            let model = &model;
+                            Some(s.spawn(move || {
+                                node_partial(alg, subs, model, step, per_worker, cfg)
+                            }))
+                        })
+                        .collect();
+                    // A panicked node thread yields None, handled below
+                    // as that node's infrastructure failure.
+                    handles.into_iter().map(|h| h.and_then(|h| h.join().ok().flatten())).collect()
+                });
+                for node in 0..cfg.nodes {
+                    if alive[node] && partials[node].is_none() {
+                        report.exclusions.push(Exclusion {
+                            iteration: iter_idx,
+                            node,
+                            reason: ExclusionReason::ThreadPanic,
+                        });
+                        kill_node(node, iter_idx, &mut topology, &mut alive, &mut report)?;
+                    }
+                }
+
+                // Phase 2: deadline admission in virtual time. A node's
+                // completion time is its straggle factor plus the
+                // backoff delays spent retransmitting dropped chunks;
+                // past the deadline it is excluded and the update will
+                // be rescaled over the survivors.
+                let mut contributions: Vec<Option<(Vec<f64>, usize)>> =
+                    (0..cfg.nodes).map(|_| None).collect();
+                for node in 0..cfg.nodes {
+                    if !alive[node] {
+                        continue;
+                    }
+                    let has_records = matches!(&partials[node], Some((_, n)) if *n > 0);
+                    if !has_records {
+                        continue;
+                    }
+                    let (reason, retries) =
+                        admit(plan, &cfg.retry, cfg.deadline_factor, node, iter_idx, chunks);
+                    report.chunk_retries += retries;
+                    match reason {
+                        None => contributions[node] = partials[node].take(),
+                        Some(reason) => {
+                            report.exclusions.push(Exclusion { iteration: iter_idx, node, reason });
+                        }
+                    }
+                }
+
+                // Phase 3: group-level aggregation through the Sigma
+                // pipeline — admitted members stream chunked partials
+                // over channels ("sockets"), with injected corruption
+                // and duplication applied on the wire. Quarantined
+                // peers are withheld from the group sum and from the
+                // contributor count.
+                let mut group_sums: Vec<(Vec<f64>, usize)> = Vec::new();
+                for group in group_members(&topology) {
+                    let senders: Vec<usize> =
+                        group.iter().copied().filter(|&m| contributions[m].is_some()).collect();
+                    let outcome = thread::scope(|s| {
+                        let mut receivers = Vec::new();
+                        for &member in &senders {
                             let (tx, rx) = channel::bounded(8);
                             receivers.push(rx);
-                            let part = part.clone();
+                            let contributions = &contributions;
                             s.spawn(move || {
-                                for chunk in chunk_vector(&part) {
+                                let Some((part, _)) = &contributions[member] else {
+                                    return;
+                                };
+                                for (ci, chunk) in chunk_vector(part).into_iter().enumerate() {
+                                    let chunk = if plan.chunk_corrupted(member, iter_idx, ci) {
+                                        chunk.corrupted()
+                                    } else {
+                                        chunk
+                                    };
+                                    let duplicate = plan
+                                        .chunk_duplicated(member, iter_idx, ci)
+                                        .then(|| chunk.clone());
                                     if tx.send(chunk).is_err() {
                                         break;
+                                    }
+                                    if let Some(dup) = duplicate {
+                                        if tx.send(dup).is_err() {
+                                            break;
+                                        }
                                     }
                                 }
                             });
                         }
-                        group_sums.push((sigma.aggregate(model_len, receivers), active));
+                        sigma.aggregate_validated(model_len, receivers)
                     });
+                    report.duplicates_dropped += outcome.duplicates_dropped;
+                    let mut rejected = vec![false; senders.len()];
+                    for &(peer, fault) in &outcome.quarantined {
+                        rejected[peer] = true;
+                        report.quarantines.push(Quarantine {
+                            iteration: iter_idx,
+                            node: senders[peer],
+                            fault,
+                        });
+                    }
+                    let active: usize = senders
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| !rejected[i])
+                        .filter_map(|(_, &m)| contributions[m].as_ref().map(|(_, n)| *n))
+                        .sum();
+                    group_sums.push((outcome.sum, active));
                 }
 
-                // Phase 3: the master Sigma combines group aggregates the
-                // same way and applies the aggregation operator.
+                // `active_total` is the single source of truth for the
+                // rescaling denominator: contributors that survived
+                // admission *and* Sigma validation.
+                let active_total: usize = group_sums.iter().map(|(_, n)| n).sum();
+                if active_total == 0 {
+                    iter_idx += 1;
+                    continue;
+                }
+
+                // Phase 4: the master Sigma combines group aggregates
+                // the same way and applies the aggregation operator.
                 let total: Vec<f64> = thread::scope(|s| {
                     let mut receivers = Vec::new();
                     for (sum, n) in &group_sums {
@@ -189,9 +433,8 @@ impl ClusterTrainer {
                         }
                         let (tx, rx) = channel::bounded(8);
                         receivers.push(rx);
-                        let sum = sum.clone();
                         s.spawn(move || {
-                            for chunk in chunk_vector(&sum) {
+                            for chunk in chunk_vector(sum) {
                                 if tx.send(chunk).is_err() {
                                     break;
                                 }
@@ -203,14 +446,16 @@ impl ClusterTrainer {
 
                 match cfg.aggregation {
                     Aggregation::Average => {
-                        // Partials are worker models; averaging yields the
+                        // Partials are worker models; averaging over the
+                        // surviving contributors yields the
                         // parallelized-SGD update (Eq. 3b).
                         for (m, s) in model.iter_mut().zip(&total) {
                             *m = s / active_total as f64;
                         }
                     }
                     Aggregation::Sum => {
-                        // Partials are gradient sums over the mini-batch.
+                        // Partials are gradient sums over the records the
+                        // survivors actually processed.
                         let scale = cfg.learning_rate / active_total as f64;
                         for (m, g) in model.iter_mut().zip(&total) {
                             *m -= scale * g;
@@ -218,33 +463,108 @@ impl ClusterTrainer {
                     }
                 }
                 iterations += 1;
+                iter_idx += 1;
             }
         }
         history.push(sgd::mean_loss(alg, dataset, &model));
-        TrainOutcome { model, loss_history: history, iterations }
-    }
-
-    /// Node ids per group (Sigma first).
-    fn group_members(&self) -> Vec<Vec<usize>> {
-        use crate::role::Role;
-        let mut groups: Vec<Vec<usize>> = Vec::new();
-        for (i, role) in self.topology.roles.iter().enumerate() {
-            match role {
-                Role::MasterSigma { members, .. } | Role::GroupSigma { members, .. } => {
-                    let mut g = vec![i];
-                    g.extend(members);
-                    groups.push(g);
-                }
-                Role::Delta { .. } => {}
-            }
-        }
-        groups
+        Ok(TrainOutcome {
+            model,
+            loss_history: history,
+            iterations,
+            faults: report,
+            final_topology: topology,
+        })
     }
 }
 
+/// Marks `node` dead and repairs the aggregation hierarchy, recording
+/// any re-election. Errors when the failure is unrecoverable.
+fn kill_node(
+    node: usize,
+    iteration: usize,
+    topology: &mut Topology,
+    alive: &mut [bool],
+    report: &mut FaultReport,
+) -> Result<(), RuntimeError> {
+    alive[node] = false;
+    if !alive.iter().any(|&a| a) {
+        return Err(RuntimeError::AllNodesFailed { iteration });
+    }
+    match topology.fail_node(node) {
+        Ok(Some(promotion)) => {
+            report.reelections.push((iteration, promotion));
+            Ok(())
+        }
+        Ok(None) => Ok(()),
+        Err(RuntimeError::NoMaster) => Err(RuntimeError::NoSurvivingAggregator { iteration }),
+        Err(other) => Err(other),
+    }
+}
+
+/// Deadline admission for one node: `(exclusion reason, retransmissions
+/// spent)`. `None` means the node made the deadline and contributes.
+fn admit(
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    deadline_factor: f64,
+    node: usize,
+    iteration: usize,
+    chunks: usize,
+) -> (Option<ExclusionReason>, usize) {
+    let mut cost = plan.straggle_factor(node, iteration);
+    let mut retries = 0;
+    let mut undeliverable = false;
+    if plan.has_chunk_faults(node, iteration) {
+        for chunk in 0..chunks {
+            let drops = plan.chunk_drops(node, iteration, chunk);
+            if drops == 0 {
+                continue;
+            }
+            if drops > retry.max_retries {
+                undeliverable = true;
+            }
+            let attempts = drops.min(retry.max_retries);
+            for attempt in 0..attempts {
+                cost += retry.delay(attempt);
+            }
+            retries += attempts as usize;
+        }
+    }
+    if undeliverable {
+        (Some(ExclusionReason::Undeliverable), retries)
+    } else if cost > deadline_factor {
+        (Some(ExclusionReason::DeadlineExceeded { virtual_cost: cost }), retries)
+    } else {
+        (None, retries)
+    }
+}
+
+/// Node ids per group (Sigma first), from the current (possibly
+/// repaired) topology.
+fn group_members(topology: &Topology) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, role) in topology.roles.iter().enumerate() {
+        match role {
+            Role::MasterSigma { members, .. } | Role::GroupSigma { members, .. } => {
+                let mut g = vec![i];
+                g.extend(members);
+                groups.push(g);
+            }
+            Role::Delta { .. } | Role::Failed => {}
+        }
+    }
+    groups
+}
+
+/// A worker thread's result: the outer `Option` is `None` when the
+/// thread panicked; the inner one is `None` when it had no records for
+/// this step.
+type ThreadResult = Option<Option<(Vec<f64>, usize)>>;
+
 /// One node's iteration: run every accelerator thread over its share of
 /// the mini-batch, then aggregate locally on chip. Returns the node
-/// partial and how many worker threads contributed.
+/// partial and how many worker threads contributed, or `None` if a
+/// worker thread panicked (the node counts as failed).
 fn node_partial(
     alg: &Algorithm,
     subs: &[Dataset],
@@ -252,8 +572,8 @@ fn node_partial(
     step: usize,
     per_worker: usize,
     cfg: &ClusterConfig,
-) -> (Vec<f64>, usize) {
-    let thread_results: Vec<Option<(Vec<f64>, usize)>> = thread::scope(|s| {
+) -> Option<(Vec<f64>, usize)> {
+    let thread_results: Vec<ThreadResult> = thread::scope(|s| {
         let handles: Vec<_> = subs
             .iter()
             .map(|sub| {
@@ -284,16 +604,20 @@ fn node_partial(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        handles.into_iter().map(|h| h.join().ok()).collect()
     });
 
     // Local (on-chip) aggregation across the node's worker threads. The
     // weight is what the final operator divides by: contributing threads
-    // for model averaging, records for a batched-gradient sum.
+    // for model averaging, records for a batched-gradient sum. A
+    // panicked worker fails the whole node.
     let mut sum = vec![0.0; model.len()];
     let mut weight = 0;
-    for (result, records) in thread_results.into_iter().flatten() {
-        for (s, v) in sum.iter_mut().zip(&result) {
+    for result in thread_results {
+        let Some((partial, records)) = result? else {
+            continue;
+        };
+        for (s, v) in sum.iter_mut().zip(&partial) {
             *s += v;
         }
         weight += match cfg.aggregation {
@@ -301,7 +625,7 @@ fn node_partial(
             Aggregation::Sum => records,
         };
     }
-    (sum, weight)
+    Some((sum, weight))
 }
 
 #[cfg(test)]
@@ -309,6 +633,10 @@ mod tests {
     use super::*;
     use cosmic_ml::data;
     use cosmic_ml::sgd::{train_parallel, TrainConfig};
+
+    fn trainer(config: ClusterConfig) -> ClusterTrainer {
+        ClusterTrainer::new(config).expect("valid test configuration")
+    }
 
     #[test]
     fn converges_on_every_algorithm_family() {
@@ -321,7 +649,7 @@ mod tests {
         ];
         for alg in algs {
             let ds = data::generate(&alg, 480, 33);
-            let trainer = ClusterTrainer::new(ClusterConfig {
+            let t = trainer(ClusterConfig {
                 nodes: 4,
                 groups: 2,
                 threads_per_node: 2,
@@ -329,12 +657,15 @@ mod tests {
                 learning_rate: 0.2,
                 epochs: 4,
                 aggregation: Aggregation::Average,
+                ..ClusterConfig::default()
             });
-            let out = trainer.train(&alg, &ds, data::init_model(&alg, 5));
+            let out = t.train(&alg, &ds, data::init_model(&alg, 5)).expect("healthy run");
             let first = out.loss_history[0];
             let last = *out.loss_history.last().unwrap();
             assert!(last < first, "{alg}: {first} -> {last}");
             assert!(out.iterations > 0);
+            assert!(out.faults.is_clean(), "healthy run must report no faults");
+            assert_eq!(&out.final_topology, t.topology());
         }
     }
 
@@ -346,7 +677,7 @@ mod tests {
         let ds = data::generate(&alg, 384, 7); // 384 = 8 workers * 48
         let init = data::init_model(&alg, 2);
 
-        let trainer = ClusterTrainer::new(ClusterConfig {
+        let t = trainer(ClusterConfig {
             nodes: 4,
             groups: 2,
             threads_per_node: 2,
@@ -354,8 +685,9 @@ mod tests {
             learning_rate: 0.1,
             epochs: 2,
             aggregation: Aggregation::Average,
+            ..ClusterConfig::default()
         });
-        let cluster = trainer.train(&alg, &ds, init.clone());
+        let cluster = t.train(&alg, &ds, init.clone()).expect("healthy run");
 
         let reference = train_parallel(
             &alg,
@@ -380,7 +712,7 @@ mod tests {
         let alg = Algorithm::LinearRegression { features: 4 };
         let ds = data::generate(&alg, 128, 9);
         let init = data::init_model(&alg, 3);
-        let trainer = ClusterTrainer::new(ClusterConfig {
+        let t = trainer(ClusterConfig {
             nodes: 2,
             groups: 1,
             threads_per_node: 2,
@@ -388,8 +720,9 @@ mod tests {
             learning_rate: 0.05,
             epochs: 1,
             aggregation: Aggregation::Sum,
+            ..ClusterConfig::default()
         });
-        let cluster = trainer.train(&alg, &ds, init.clone());
+        let cluster = t.train(&alg, &ds, init.clone()).expect("healthy run");
         let reference = train_parallel(
             &alg,
             &ds,
@@ -409,20 +742,16 @@ mod tests {
 
     #[test]
     fn topology_is_exposed() {
-        let trainer = ClusterTrainer::new(ClusterConfig {
-            nodes: 8,
-            groups: 2,
-            ..ClusterConfig::default()
-        });
-        assert_eq!(trainer.topology().nodes(), 8);
-        assert_eq!(trainer.topology().sigmas().len(), 2);
+        let t = trainer(ClusterConfig { nodes: 8, groups: 2, ..ClusterConfig::default() });
+        assert_eq!(t.topology().nodes(), 8);
+        assert_eq!(t.topology().sigmas().len(), 2);
     }
 
     #[test]
     fn single_node_single_thread_works() {
         let alg = Algorithm::LogisticRegression { features: 4 };
         let ds = data::generate(&alg, 64, 4);
-        let trainer = ClusterTrainer::new(ClusterConfig {
+        let t = trainer(ClusterConfig {
             nodes: 1,
             groups: 1,
             threads_per_node: 1,
@@ -430,8 +759,171 @@ mod tests {
             learning_rate: 0.3,
             epochs: 3,
             aggregation: Aggregation::Average,
+            ..ClusterConfig::default()
         });
-        let out = trainer.train(&alg, &ds, alg.zero_model());
+        let out = t.train(&alg, &ds, alg.zero_model()).expect("healthy run");
         assert!(out.loss_history.last().unwrap() < &out.loss_history[0]);
+    }
+
+    #[test]
+    fn degenerate_configurations_are_errors() {
+        let bad = [
+            ClusterConfig { threads_per_node: 0, ..ClusterConfig::default() },
+            ClusterConfig { minibatch: 0, ..ClusterConfig::default() },
+            ClusterConfig { deadline_factor: 0.5, ..ClusterConfig::default() },
+            ClusterConfig { deadline_factor: f64::NAN, ..ClusterConfig::default() },
+            ClusterConfig {
+                retry: RetryPolicy { backoff_base: -1.0, ..RetryPolicy::default() },
+                ..ClusterConfig::default()
+            },
+        ];
+        for config in bad {
+            assert!(matches!(
+                ClusterTrainer::new(config.clone()),
+                Err(RuntimeError::InvalidConfig(_))
+            ));
+        }
+        assert_eq!(
+            ClusterTrainer::new(ClusterConfig { nodes: 2, groups: 3, ..ClusterConfig::default() })
+                .err(),
+            Some(RuntimeError::InvalidTopology { nodes: 2, groups: 3 })
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_healthy_run() {
+        let alg = Algorithm::LinearRegression { features: 6 };
+        let ds = data::generate(&alg, 256, 12);
+        let init = data::init_model(&alg, 1);
+        let config = ClusterConfig {
+            nodes: 4,
+            groups: 2,
+            minibatch: 64,
+            epochs: 2,
+            ..ClusterConfig::default()
+        };
+        let a = trainer(config.clone()).train(&alg, &ds, init.clone()).expect("run a");
+        let b = trainer(config).train(&alg, &ds, init).expect("run b");
+        assert_eq!(a, b, "the healthy path must be deterministic");
+        assert!(a.faults.is_clean());
+    }
+
+    #[test]
+    fn crash_of_a_delta_degrades_gracefully() {
+        let alg = Algorithm::LinearRegression { features: 6 };
+        let ds = data::generate(&alg, 320, 17);
+        let t = trainer(ClusterConfig {
+            nodes: 4,
+            groups: 1,
+            minibatch: 80,
+            epochs: 3,
+            faults: FaultPlan::none().crash(2, 1),
+            ..ClusterConfig::default()
+        });
+        let out = t.train(&alg, &ds, data::init_model(&alg, 3)).expect("degraded, not dead");
+        assert_eq!(out.faults.crashes, vec![(1, 2)]);
+        assert!(out.final_topology.roles[2].is_failed());
+        assert_eq!(out.final_topology.live_nodes(), 3);
+        assert!(out.loss_history.last().unwrap() < &out.loss_history[0]);
+    }
+
+    #[test]
+    fn all_nodes_crashing_is_an_error() {
+        let alg = Algorithm::LinearRegression { features: 4 };
+        let ds = data::generate(&alg, 64, 3);
+        let plan = (0..2).fold(FaultPlan::none(), |p, n| p.crash(n, 0));
+        let t = trainer(ClusterConfig {
+            nodes: 2,
+            groups: 1,
+            minibatch: 16,
+            faults: plan,
+            ..ClusterConfig::default()
+        });
+        assert_eq!(
+            t.train(&alg, &ds, data::init_model(&alg, 3)).err(),
+            Some(RuntimeError::AllNodesFailed { iteration: 0 })
+        );
+    }
+
+    #[test]
+    fn straggler_within_deadline_still_contributes() {
+        let alg = Algorithm::LinearRegression { features: 4 };
+        let ds = data::generate(&alg, 128, 8);
+        let config = ClusterConfig {
+            nodes: 4,
+            groups: 1,
+            minibatch: 32,
+            epochs: 1,
+            ..ClusterConfig::default()
+        };
+        let healthy =
+            trainer(config.clone()).train(&alg, &ds, data::init_model(&alg, 2)).expect("ok");
+        let slowed = trainer(ClusterConfig {
+            faults: FaultPlan::none().straggle(1, 0, 2.0), // 2.0 < deadline 4.0
+            ..config
+        })
+        .train(&alg, &ds, data::init_model(&alg, 2))
+        .expect("ok");
+        assert_eq!(healthy.model, slowed.model, "an admitted straggler changes nothing");
+        assert!(slowed.faults.exclusions.is_empty());
+    }
+
+    #[test]
+    fn retries_are_counted_and_survive_within_deadline() {
+        let alg = Algorithm::LinearRegression { features: 4 };
+        let ds = data::generate(&alg, 128, 8);
+        let t = trainer(ClusterConfig {
+            nodes: 4,
+            groups: 1,
+            minibatch: 32,
+            epochs: 1,
+            faults: FaultPlan::none().drop_chunk(1, 0, 0, 2),
+            ..ClusterConfig::default()
+        });
+        let out = t.train(&alg, &ds, data::init_model(&alg, 2)).expect("ok");
+        assert_eq!(out.faults.chunk_retries, 2);
+        assert!(out.faults.exclusions.is_empty(), "two retries fit the deadline");
+    }
+
+    #[test]
+    fn undeliverable_chunks_exclude_the_node() {
+        let alg = Algorithm::LinearRegression { features: 4 };
+        let ds = data::generate(&alg, 128, 8);
+        let t = trainer(ClusterConfig {
+            nodes: 4,
+            groups: 1,
+            minibatch: 32,
+            epochs: 1,
+            faults: FaultPlan::none().drop_chunk(1, 0, 0, 99),
+            ..ClusterConfig::default()
+        });
+        let out = t.train(&alg, &ds, data::init_model(&alg, 2)).expect("ok");
+        assert_eq!(
+            out.faults.exclusions,
+            vec![Exclusion { iteration: 0, node: 1, reason: ExclusionReason::Undeliverable }]
+        );
+    }
+
+    #[test]
+    fn duplicated_chunks_do_not_change_the_result() {
+        let alg = Algorithm::LinearRegression { features: 6 };
+        let ds = data::generate(&alg, 256, 12);
+        let init = data::init_model(&alg, 1);
+        let config = ClusterConfig {
+            nodes: 4,
+            groups: 2,
+            minibatch: 64,
+            epochs: 2,
+            ..ClusterConfig::default()
+        };
+        let healthy = trainer(config.clone()).train(&alg, &ds, init.clone()).expect("ok");
+        let dup = trainer(ClusterConfig {
+            faults: FaultPlan::none().duplicate_chunk(1, 0, 0).duplicate_chunk(3, 1, 0),
+            ..config
+        })
+        .train(&alg, &ds, init)
+        .expect("ok");
+        assert_eq!(healthy.model, dup.model, "duplicate delivery must be idempotent");
+        assert_eq!(dup.faults.duplicates_dropped, 2);
     }
 }

@@ -1,0 +1,413 @@
+//! Deterministic fault injection for scale-out runs.
+//!
+//! A [`FaultPlan`] is a fully materialized schedule of faults — node
+//! crashes, straggler slowdowns, and per-chunk network pathologies —
+//! keyed by `(node, iteration)`. The runtime consults the plan at each
+//! aggregation step instead of rolling dice at execution time, so a run
+//! with a given plan is reproducible bit for bit: the same plan always
+//! produces the same exclusions, the same retries, and the same trained
+//! model. Plans are built explicitly with the chainable constructors or
+//! sampled from per-iteration rates with [`FaultPlan::random`], whose
+//! output is a pure function of the seed.
+
+use std::fmt;
+
+/// What a single injected fault does when the runtime reaches it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The node halts permanently at the start of the iteration and never
+    /// contributes again (fail-stop).
+    Crash,
+    /// The node's compute for this iteration takes `factor`× its nominal
+    /// time (e.g. a co-scheduled job or a thermally throttled card).
+    Straggle {
+        /// Slowdown multiplier; `1.0` means nominal speed.
+        factor: f64,
+    },
+    /// The chunk at index `chunk` of the node's partial is lost in
+    /// transit `repeats` times; each loss costs the sender one
+    /// backed-off retransmission.
+    DropChunk {
+        /// Stripe index of the affected chunk within the partial vector.
+        chunk: usize,
+        /// How many consecutive transmissions of this chunk are lost.
+        repeats: u32,
+    },
+    /// The chunk at index `chunk` arrives with a payload that fails its
+    /// checksum (bit rot / truncated frame).
+    CorruptChunk {
+        /// Stripe index of the affected chunk.
+        chunk: usize,
+    },
+    /// The chunk at index `chunk` is delivered twice (retransmission of
+    /// a frame that was not actually lost).
+    DuplicateChunk {
+        /// Stripe index of the affected chunk.
+        chunk: usize,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Crash => write!(f, "crash"),
+            FaultKind::Straggle { factor } => write!(f, "straggle(x{factor})"),
+            FaultKind::DropChunk { chunk, repeats } => {
+                write!(f, "drop(chunk={chunk}, x{repeats})")
+            }
+            FaultKind::CorruptChunk { chunk } => write!(f, "corrupt(chunk={chunk})"),
+            FaultKind::DuplicateChunk { chunk } => write!(f, "duplicate(chunk={chunk})"),
+        }
+    }
+}
+
+/// One scheduled fault: a [`FaultKind`] pinned to a node and an
+/// aggregation iteration (iterations count globally across epochs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// The node the fault strikes.
+    pub node: usize,
+    /// The global aggregation-iteration index at which it strikes.
+    pub iteration: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Per-iteration fault probabilities for [`FaultPlan::random`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability a live node crashes in a given iteration.
+    pub crash: f64,
+    /// Probability a node straggles in a given iteration.
+    pub straggle: f64,
+    /// Slowdown factor applied when a node straggles.
+    pub straggle_factor: f64,
+    /// Probability each chunk of a node's partial is dropped once.
+    pub drop_chunk: f64,
+    /// Probability each chunk arrives corrupted.
+    pub corrupt_chunk: f64,
+    /// Probability each chunk is delivered twice.
+    pub duplicate_chunk: f64,
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates {
+            crash: 0.0,
+            straggle: 0.0,
+            straggle_factor: 8.0,
+            drop_chunk: 0.0,
+            corrupt_chunk: 0.0,
+            duplicate_chunk: 0.0,
+        }
+    }
+}
+
+/// A deterministic, fully materialized fault schedule.
+///
+/// The empty plan ([`FaultPlan::none`], also [`Default`]) injects
+/// nothing: a run with it is identical to a run with no fault machinery
+/// at all.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, healthy run.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Adds an arbitrary event.
+    pub fn with_event(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Schedules a fail-stop crash of `node` at `iteration`.
+    pub fn crash(self, node: usize, iteration: usize) -> Self {
+        self.with_event(FaultEvent { node, iteration, kind: FaultKind::Crash })
+    }
+
+    /// Schedules `node` to compute `factor`× slower at `iteration`.
+    pub fn straggle(self, node: usize, iteration: usize, factor: f64) -> Self {
+        self.with_event(FaultEvent { node, iteration, kind: FaultKind::Straggle { factor } })
+    }
+
+    /// Schedules `repeats` consecutive losses of `node`'s chunk `chunk`
+    /// at `iteration`.
+    pub fn drop_chunk(self, node: usize, iteration: usize, chunk: usize, repeats: u32) -> Self {
+        self.with_event(FaultEvent {
+            node,
+            iteration,
+            kind: FaultKind::DropChunk { chunk, repeats },
+        })
+    }
+
+    /// Schedules corruption of `node`'s chunk `chunk` at `iteration`.
+    pub fn corrupt_chunk(self, node: usize, iteration: usize, chunk: usize) -> Self {
+        self.with_event(FaultEvent { node, iteration, kind: FaultKind::CorruptChunk { chunk } })
+    }
+
+    /// Schedules duplicate delivery of `node`'s chunk `chunk` at
+    /// `iteration`.
+    pub fn duplicate_chunk(self, node: usize, iteration: usize, chunk: usize) -> Self {
+        self.with_event(FaultEvent { node, iteration, kind: FaultKind::DuplicateChunk { chunk } })
+    }
+
+    /// Samples a plan from per-iteration `rates` for a cluster of
+    /// `nodes` nodes running `iterations` aggregation steps whose
+    /// partials span `chunks` chunks each.
+    ///
+    /// The plan is a pure function of `seed`: the same arguments always
+    /// produce the same plan, on every platform. Crashed nodes stop
+    /// accumulating further faults.
+    pub fn random(
+        seed: u64,
+        nodes: usize,
+        iterations: usize,
+        chunks: usize,
+        rates: &FaultRates,
+    ) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::none();
+        let mut alive = vec![true; nodes];
+        for iteration in 0..iterations {
+            for (node, live) in alive.iter_mut().enumerate() {
+                if !*live {
+                    continue;
+                }
+                if rng.chance(rates.crash) {
+                    *live = false;
+                    plan = plan.crash(node, iteration);
+                    continue;
+                }
+                if rng.chance(rates.straggle) {
+                    plan = plan.straggle(node, iteration, rates.straggle_factor.max(1.0));
+                }
+                for chunk in 0..chunks {
+                    if rng.chance(rates.drop_chunk) {
+                        plan = plan.drop_chunk(node, iteration, chunk, 1);
+                    }
+                    if rng.chance(rates.corrupt_chunk) {
+                        plan = plan.corrupt_chunk(node, iteration, chunk);
+                    }
+                    if rng.chance(rates.duplicate_chunk) {
+                        plan = plan.duplicate_chunk(node, iteration, chunk);
+                    }
+                }
+            }
+        }
+        plan
+    }
+
+    /// Whether `node` has crashed at or before `iteration`.
+    pub fn crashed(&self, node: usize, iteration: usize) -> bool {
+        self.events.iter().any(|e| {
+            e.node == node && e.iteration <= iteration && matches!(e.kind, FaultKind::Crash)
+        })
+    }
+
+    /// The iteration at which `node` crashes, if it ever does.
+    pub fn crash_iteration(&self, node: usize) -> Option<usize> {
+        self.events
+            .iter()
+            .filter(|e| e.node == node && matches!(e.kind, FaultKind::Crash))
+            .map(|e| e.iteration)
+            .min()
+    }
+
+    /// The node's compute slowdown for `iteration` (`1.0` = nominal).
+    /// Multiple straggle events on the same iteration compound.
+    pub fn straggle_factor(&self, node: usize, iteration: usize) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.node == node && e.iteration == iteration)
+            .filter_map(|e| match e.kind {
+                FaultKind::Straggle { factor } => Some(factor.max(1.0)),
+                _ => None,
+            })
+            .product::<f64>()
+            .max(1.0)
+    }
+
+    /// How many times `node`'s chunk `chunk` is lost at `iteration`.
+    pub fn chunk_drops(&self, node: usize, iteration: usize, chunk: usize) -> u32 {
+        self.events
+            .iter()
+            .filter(|e| e.node == node && e.iteration == iteration)
+            .filter_map(|e| match e.kind {
+                FaultKind::DropChunk { chunk: c, repeats } if c == chunk => Some(repeats),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Whether `node`'s chunk `chunk` arrives corrupted at `iteration`.
+    pub fn chunk_corrupted(&self, node: usize, iteration: usize, chunk: usize) -> bool {
+        self.events.iter().any(|e| {
+            e.node == node
+                && e.iteration == iteration
+                && matches!(e.kind, FaultKind::CorruptChunk { chunk: c } if c == chunk)
+        })
+    }
+
+    /// Whether `node`'s chunk `chunk` is delivered twice at `iteration`.
+    pub fn chunk_duplicated(&self, node: usize, iteration: usize, chunk: usize) -> bool {
+        self.events.iter().any(|e| {
+            e.node == node
+                && e.iteration == iteration
+                && matches!(e.kind, FaultKind::DuplicateChunk { chunk: c } if c == chunk)
+        })
+    }
+
+    /// Whether any chunk-level fault targets `node` at `iteration`
+    /// (cheap pre-check before walking every chunk index).
+    pub fn has_chunk_faults(&self, node: usize, iteration: usize) -> bool {
+        self.events.iter().any(|e| {
+            e.node == node
+                && e.iteration == iteration
+                && matches!(
+                    e.kind,
+                    FaultKind::DropChunk { .. }
+                        | FaultKind::CorruptChunk { .. }
+                        | FaultKind::DuplicateChunk { .. }
+                )
+        })
+    }
+}
+
+/// SplitMix64 (Steele et al.): a tiny, platform-independent PRNG. Kept
+/// private and inline so plan generation has no dependencies and its
+/// stream is frozen — changing it would silently re-seed every plan.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Bernoulli draw; always consumes exactly one PRNG step so event
+    /// streams stay aligned across probability changes.
+    fn chance(&mut self, p: f64) -> bool {
+        let draw = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        draw < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_reports_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.crashed(0, 100));
+        assert_eq!(p.straggle_factor(0, 0), 1.0);
+        assert_eq!(p.chunk_drops(0, 0, 0), 0);
+        assert!(!p.chunk_corrupted(0, 0, 0));
+        assert!(!p.chunk_duplicated(0, 0, 0));
+        assert!(!p.has_chunk_faults(0, 0));
+    }
+
+    #[test]
+    fn crash_is_permanent_from_its_iteration() {
+        let p = FaultPlan::none().crash(3, 5);
+        assert!(!p.crashed(3, 4));
+        assert!(p.crashed(3, 5));
+        assert!(p.crashed(3, 99));
+        assert!(!p.crashed(2, 99));
+        assert_eq!(p.crash_iteration(3), Some(5));
+        assert_eq!(p.crash_iteration(2), None);
+    }
+
+    #[test]
+    fn straggle_factors_compound_and_clamp() {
+        let p = FaultPlan::none().straggle(1, 2, 3.0).straggle(1, 2, 2.0).straggle(1, 3, 0.5);
+        assert_eq!(p.straggle_factor(1, 2), 6.0);
+        // Sub-unit factors clamp to nominal: a straggler is never faster.
+        assert_eq!(p.straggle_factor(1, 3), 1.0);
+        assert_eq!(p.straggle_factor(1, 4), 1.0);
+    }
+
+    #[test]
+    fn chunk_faults_are_keyed_precisely() {
+        let p = FaultPlan::none()
+            .drop_chunk(0, 1, 2, 3)
+            .drop_chunk(0, 1, 2, 1)
+            .corrupt_chunk(4, 0, 7)
+            .duplicate_chunk(2, 2, 0);
+        assert_eq!(p.chunk_drops(0, 1, 2), 4);
+        assert_eq!(p.chunk_drops(0, 1, 3), 0);
+        assert_eq!(p.chunk_drops(0, 2, 2), 0);
+        assert!(p.chunk_corrupted(4, 0, 7));
+        assert!(!p.chunk_corrupted(4, 0, 6));
+        assert!(p.chunk_duplicated(2, 2, 0));
+        assert!(p.has_chunk_faults(0, 1));
+        assert!(!p.has_chunk_faults(0, 0));
+    }
+
+    #[test]
+    fn random_plans_are_reproducible() {
+        let rates = FaultRates {
+            crash: 0.02,
+            straggle: 0.1,
+            straggle_factor: 6.0,
+            drop_chunk: 0.05,
+            corrupt_chunk: 0.01,
+            duplicate_chunk: 0.03,
+        };
+        let a = FaultPlan::random(42, 8, 20, 4, &rates);
+        let b = FaultPlan::random(42, 8, 20, 4, &rates);
+        assert_eq!(a, b, "same seed must reproduce the same plan");
+        let c = FaultPlan::random(43, 8, 20, 4, &rates);
+        assert_ne!(a, c, "different seeds should differ at these rates");
+    }
+
+    #[test]
+    fn random_crashed_nodes_stop_faulting() {
+        let rates = FaultRates { crash: 1.0, ..FaultRates::default() };
+        let p = FaultPlan::random(7, 4, 10, 2, &rates);
+        // Every node crashes exactly once, in iteration 0.
+        assert_eq!(p.events().len(), 4);
+        for e in p.events() {
+            assert_eq!(e.iteration, 0);
+            assert!(matches!(e.kind, FaultKind::Crash));
+        }
+    }
+
+    #[test]
+    fn zero_rates_give_empty_plan() {
+        let p = FaultPlan::random(1, 16, 50, 8, &FaultRates::default());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FaultKind::Crash.to_string(), "crash");
+        assert!(FaultKind::Straggle { factor: 4.0 }.to_string().contains("x4"));
+        assert!(FaultKind::DropChunk { chunk: 1, repeats: 2 }.to_string().contains("chunk=1"));
+    }
+}

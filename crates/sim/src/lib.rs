@@ -3,8 +3,10 @@
 //! The cluster-level substrate of the CoSMIC reproduction: a deterministic
 //! discrete-event engine ([`event`]), a commodity-Ethernet network model
 //! ([`net`]) matching the paper's testbed (TP-LINK gigabit switch,
-//! full-duplex 1 Gbps ports), and a PCIe expansion-slot model ([`pcie`])
-//! for host↔accelerator transfers.
+//! full-duplex 1 Gbps ports), a PCIe expansion-slot model ([`pcie`])
+//! for host↔accelerator transfers, and a deterministic fault-injection
+//! layer ([`faults`]) that schedules crashes, stragglers, and chunk-level
+//! network pathologies reproducibly from a seed.
 //!
 //! The paper's scale-out experiments ran on real clusters (EC2 and a
 //! three-node lab system); here the wire is simulated while the system
@@ -15,9 +17,11 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod faults;
 pub mod net;
 pub mod pcie;
 
 pub use event::{EventQueue, SimTime};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use net::{LinkPort, NetworkModel};
 pub use pcie::PcieModel;

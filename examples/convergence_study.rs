@@ -23,7 +23,10 @@ fn main() {
     let epochs = 4;
 
     println!("logistic regression, 24 features, 8,192 records, {epochs} epochs, 8x2 workers\n");
-    println!("{:>10} | {:>12} | {:>12} | {:>12}", "minibatch", "aggregations", "final loss", "vs b=128");
+    println!(
+        "{:>10} | {:>12} | {:>12} | {:>12}",
+        "minibatch", "aggregations", "final loss", "vs b=128"
+    );
     let mut baseline = None;
     for minibatch in [128usize, 512, 2_048, 8_192] {
         let trainer = ClusterTrainer::new(ClusterConfig {
@@ -34,8 +37,10 @@ fn main() {
             learning_rate: 2.5,
             epochs,
             aggregation: Aggregation::Average,
-        });
-        let outcome = trainer.train(&alg, &dataset, init.clone());
+            ..ClusterConfig::default()
+        })
+        .expect("valid config");
+        let outcome = trainer.train(&alg, &dataset, init.clone()).expect("healthy run");
         let final_loss = *outcome.loss_history.last().unwrap();
         let base = *baseline.get_or_insert(final_loss);
         println!(

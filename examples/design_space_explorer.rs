@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = AcceleratorSpec::fpga_vu9p();
     println!(
         "chip: {} — {} PEs as {} rows x {} columns, {:.1} GB/s\n",
-        spec.kind, spec.total_pes, spec.max_rows(), spec.columns, spec.bandwidth_gbps
+        spec.kind,
+        spec.total_pes,
+        spec.max_rows(),
+        spec.columns,
+        spec.bandwidth_gbps
     );
 
     for (label, source, env) in [

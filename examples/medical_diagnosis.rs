@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Train on a synthetic dataset with a hidden ground-truth classifier.
     let dataset = data::generate(&alg, 4_096, 2026);
-    let outcome = stack.train(&alg, &dataset, alg.zero_model(), 8, Aggregation::Average);
+    let outcome = stack.train(&alg, &dataset, alg.zero_model(), 8, Aggregation::Average)?;
     println!("\nepoch | mean loss");
     for (epoch, loss) in outcome.loss_history.iter().enumerate() {
         println!("{epoch:>5} | {loss:.5}");
@@ -62,8 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .dim("n", 2_000)
             .nodes(nodes)
             .build()?;
-        let secs =
-            full.predict_training_seconds(bench.input_vectors, 100, 2_000 * WORD_BYTES);
+        let secs = full.predict_training_seconds(bench.input_vectors, 100, 2_000 * WORD_BYTES);
         println!("  {nodes:>2} FPGA nodes: {secs:>8.1} s");
     }
     Ok(())

@@ -47,12 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = Machine::new(compiled.program.geometry, 16.0);
     let run = machine.run(&compiled.program, &record, &model)?;
     let reference = interp::evaluate(dfg, &record, &model);
-    let max_err = run
-        .gradients
-        .iter()
-        .zip(&reference)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_err =
+        run.gradients.iter().zip(&reference).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!(
         "--- Cycle-level machine ---\n{} cycles, {} transfers ({} neighbor / {} row bus / {} tree), \
          {} of {} PEs active at {:.0}% issue utilization, \

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = data::generate(&alg, 20_000, 77);
     let init = data::init_model(&alg, 9);
     let before = sgd::mean_loss(&alg, &dataset, &init);
-    let outcome = stack.train(&alg, &dataset, init, 12, Aggregation::Average);
+    let outcome = stack.train(&alg, &dataset, init, 12, Aggregation::Average)?;
     let after = outcome.loss_history.last().copied().unwrap_or(before);
     println!(
         "rating RMSE proxy: {:.4} -> {:.4} over {} aggregation rounds",

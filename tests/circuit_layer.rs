@@ -57,10 +57,7 @@ fn rtl_reflects_the_compiled_program() {
     for (pe, stream) in compiled.program.instrs.iter().enumerate() {
         if !stream.is_empty() {
             // The last schedule state of each PE appears in its FSM.
-            assert!(
-                verilog.contains(&format!("module pe_{pe} (")),
-                "pe_{pe} module missing"
-            );
+            assert!(verilog.contains(&format!("module pe_{pe} (")), "pe_{pe} module missing");
         }
     }
     let entries = compiled.program.mem_schedule.len();

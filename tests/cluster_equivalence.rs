@@ -29,8 +29,10 @@ fn cluster_matches_reference_across_topologies() {
                 learning_rate: 0.15,
                 epochs: 2,
                 aggregation,
-            });
-            let cluster = trainer.train(&alg, &ds, init.clone());
+                ..ClusterConfig::default()
+            })
+            .expect("valid config");
+            let cluster = trainer.train(&alg, &ds, init.clone()).expect("healthy run");
             let reference = train_parallel(
                 &alg,
                 &ds,
@@ -100,8 +102,10 @@ fn ragged_shards_still_converge() {
         learning_rate: 0.25,
         epochs: 6,
         aggregation: Aggregation::Average,
-    });
-    let out = trainer.train(&alg, &ds, alg.zero_model());
+        ..ClusterConfig::default()
+    })
+    .expect("valid config");
+    let out = trainer.train(&alg, &ds, alg.zero_model()).expect("healthy run");
     let first = out.loss_history[0];
     let last = *out.loss_history.last().unwrap();
     assert!(last < first, "loss {first} -> {last}");
@@ -113,7 +117,7 @@ fn topologies_used_by_the_evaluation_are_valid() {
     use cosmic::cosmic_runtime::role::{assign_roles, default_groups};
     for nodes in [1usize, 2, 3, 4, 8, 16, 32] {
         let groups = default_groups(nodes);
-        let topo = assign_roles(nodes, groups);
+        let topo = assign_roles(nodes, groups).expect("valid topology");
         assert_eq!(topo.nodes(), nodes);
         assert_eq!(topo.sigmas().len(), groups);
         assert!(topo.max_group_fan_in() <= 7, "nodes={nodes}: ingress fan-in bounded");

@@ -8,11 +8,13 @@ use cosmic::cosmic_dsl;
 use cosmic::cosmic_ml::data;
 use cosmic::prelude::*;
 
+type Case = (Algorithm, String, Vec<(&'static str, usize)>);
+
 /// Every algorithm family: build the stack, verify the DSL gradient
 /// against the analytic one, and train functionally until the loss drops.
 #[test]
 fn every_family_trains_through_the_full_stack() {
-    let cases: Vec<(Algorithm, String, Vec<(&str, usize)>)> = vec![
+    let cases: Vec<Case> = vec![
         (
             Algorithm::LinearRegression { features: 10 },
             cosmic_dsl::programs::linear_regression(96),
@@ -37,12 +39,8 @@ fn every_family_trains_through_the_full_stack() {
     ];
 
     for (alg, source, dims) in cases {
-        let mut builder = CosmicStack::builder()
-            .source(&source)
-            .nodes(4)
-            .groups(2)
-            .threads(2)
-            .learning_rate(0.3);
+        let mut builder =
+            CosmicStack::builder().source(&source).nodes(4).groups(2).threads(2).learning_rate(0.3);
         for (name, size) in dims {
             builder = builder.dim(name, size);
         }
@@ -56,13 +54,13 @@ fn every_family_trains_through_the_full_stack() {
             _ => record,
         };
         let model: Vec<f64> = (0..alg.model_len()).map(|i| ((i % 5) as f64 - 2.0) / 9.0).collect();
-        stack
-            .verify_gradient(&alg, &record, &model, 1e-9)
-            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        stack.verify_gradient(&alg, &record, &model, 1e-9).unwrap_or_else(|e| panic!("{alg}: {e}"));
 
         // Functional distributed training converges.
         let dataset = data::generate(&alg, 512, 41);
-        let outcome = stack.train(&alg, &dataset, data::init_model(&alg, 6), 5, Aggregation::Average);
+        let outcome = stack
+            .train(&alg, &dataset, data::init_model(&alg, 6), 5, Aggregation::Average)
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
         let first = outcome.loss_history[0];
         let last = *outcome.loss_history.last().unwrap();
         assert!(last < first, "{alg}: loss {first} -> {last}");
@@ -85,8 +83,7 @@ fn machine_reproduces_interpreter_across_geometries() {
     let expected = interp::evaluate(dfg, &record, &model);
 
     for geometry in [Geometry::new(1, 8), Geometry::new(4, 4), Geometry::new(6, 2)] {
-        let compiled =
-            cosmic::cosmic_compiler::compile(dfg, geometry, &CompileOptions::default());
+        let compiled = cosmic::cosmic_compiler::compile(dfg, geometry, &CompileOptions::default());
         let out = Machine::new(geometry, geometry.columns as f64)
             .run(&compiled.program, &record, &model)
             .unwrap_or_else(|e| panic!("{geometry}: {e}"));
@@ -100,11 +97,8 @@ fn machine_reproduces_interpreter_across_geometries() {
 /// schedule.
 #[test]
 fn constructor_emits_consistent_rtl() {
-    let stack = CosmicStack::builder()
-        .source(&cosmic_dsl::programs::svm(64))
-        .dim("n", 24)
-        .build()
-        .unwrap();
+    let stack =
+        CosmicStack::builder().source(&cosmic_dsl::programs::svm(64)).dim("n", 24).build().unwrap();
     let compiled = stack.compile();
     let rtl = stack.rtl();
     assert!(rtl.contains("module cosmic_accelerator"));

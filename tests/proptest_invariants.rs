@@ -5,8 +5,10 @@ use cosmic::cosmic_compiler::{compile, CompileOptions, MappingStrategy};
 use cosmic::cosmic_dfg::{analysis, interp, lower, DfgBuilder, DimEnv, OpKind};
 use cosmic::cosmic_dsl::{self, programs};
 use cosmic::cosmic_ml::{data, sgd, Aggregation, Algorithm};
-use cosmic::cosmic_runtime::node::{chunk_vector, CHUNK_WORDS};
+use cosmic::cosmic_runtime::node::{chunk_vector, SigmaAggregator};
+use cosmic::cosmic_runtime::{CircularBuffer, CHUNK_WORDS};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 proptest! {
     /// The DSL front end never panics, whatever bytes it is fed — it
@@ -133,6 +135,119 @@ proptest! {
         let max = chunks.iter().map(|c| c.len()).max().unwrap();
         let min = chunks.iter().map(|c| c.len()).min().unwrap();
         prop_assert!(max - min <= 1, "near-equal partitions: {}..{}", min, max);
+    }
+
+    /// Closing a circular buffer mid-stream never deadlocks — producers
+    /// blocked on a full ring are released, the consumer drains what was
+    /// accepted — and per-producer FIFO order survives the race: every
+    /// producer's consumed items are exactly the prefix it managed to
+    /// push, in order.
+    #[test]
+    fn circular_buffer_close_races_preserve_fifo(
+        capacity in 1usize..5,
+        producers in 1usize..4,
+        per_producer in 1usize..40,
+        close_after in 0usize..60,
+    ) {
+        let buf = Arc::new(CircularBuffer::<(usize, usize)>::with_capacity(capacity));
+        let (pushed, consumed) = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..producers)
+                .map(|p| {
+                    let buf = Arc::clone(&buf);
+                    s.spawn(move || {
+                        let mut ok = 0;
+                        for seq in 0..per_producer {
+                            if !buf.push((p, seq)) {
+                                break;
+                            }
+                            ok += 1;
+                        }
+                        ok
+                    })
+                })
+                .collect();
+            // The consumer takes a bounded number of items, then closes
+            // the ring under the producers (possibly while they are
+            // blocked on a full ring) and drains the remainder.
+            let consumer = {
+                let buf = Arc::clone(&buf);
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    // Capped by the total the producers will certainly
+                    // deliver while the ring is open, so this phase
+                    // cannot out-wait a finished producer set.
+                    for _ in 0..close_after.min(producers * per_producer) {
+                        match buf.pop() {
+                            Some(item) => got.push(item),
+                            None => break,
+                        }
+                    }
+                    buf.close();
+                    while let Some(item) = buf.pop() {
+                        got.push(item);
+                    }
+                    got
+                })
+            };
+            let pushed: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            (pushed, consumer.join().unwrap())
+        });
+        for (p, &ok) in pushed.iter().enumerate() {
+            let seqs: Vec<usize> =
+                consumed.iter().filter(|(who, _)| *who == p).map(|&(_, s)| s).collect();
+            let expect: Vec<usize> = (0..ok).collect();
+            prop_assert_eq!(&seqs, &expect, "producer {} out of order or lossy", p);
+        }
+    }
+
+    /// Quarantining a misbehaving peer is surgical: the validated
+    /// aggregate with one corrupt peer equals — bit for bit — the
+    /// aggregate over the remaining peers alone.
+    #[test]
+    fn quarantine_equals_aggregation_over_remaining_peers(
+        peers in 2usize..6,
+        model_len in 1usize..(CHUNK_WORDS + 300),
+        bad in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        use crossbeam::channel::unbounded;
+        let bad = bad % peers;
+        let mix = |p: usize, i: usize| {
+            (((i as u64 * 2654435761 + p as u64 * 97 + seed) % 1009) as f64 - 504.0) / 127.0
+        };
+        let vectors: Vec<Vec<f64>> =
+            (0..peers).map(|p| (0..model_len).map(|i| mix(p, i)).collect()).collect();
+
+        let send_all = |honest_only: bool| {
+            let sigma = SigmaAggregator::new(2, 2);
+            let mut receivers = Vec::new();
+            let mut txs = Vec::new();
+            for p in 0..peers {
+                if honest_only && p == bad {
+                    continue;
+                }
+                let (tx, rx) = unbounded();
+                receivers.push(rx);
+                txs.push((p, tx));
+            }
+            for (p, tx) in txs {
+                for (ci, chunk) in chunk_vector(&vectors[p]).into_iter().enumerate() {
+                    let chunk = if !honest_only && p == bad && ci == 0 {
+                        chunk.corrupted()
+                    } else {
+                        chunk
+                    };
+                    tx.send(chunk).unwrap();
+                }
+            }
+            sigma.aggregate_validated(model_len, receivers)
+        };
+
+        let with_bad = send_all(false);
+        let honest = send_all(true);
+        prop_assert_eq!(with_bad.quarantined.len(), 1);
+        prop_assert!(honest.quarantined.is_empty());
+        prop_assert_eq!(with_bad.sum, honest.sum);
     }
 
     /// Gradient descent direction: a small step along the analytic

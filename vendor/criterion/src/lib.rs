@@ -1,0 +1,160 @@
+#![allow(clippy::all)]
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the benchmarking API surface the workspace's benches
+//! use — [`Criterion`], benchmark groups, [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — as a lightweight
+//! timing harness. Each benchmark runs a small fixed number of
+//! iterations (3 timed, after 1 warm-up; `COSMIC_BENCH_ITERS`
+//! overrides) and prints the mean wall-clock time, so `cargo bench`
+//! gives quick comparative numbers and `cargo test` finishes fast. No
+//! statistics, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+fn iters() -> u32 {
+    std::env::var("COSMIC_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Throughput annotation for a benchmark (printed alongside the time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing context handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    runs: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, running one warm-up pass and a few timed passes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _warmup = routine();
+        let n = iters();
+        let start = Instant::now();
+        for _ in 0..n {
+            let _ = routine();
+        }
+        self.elapsed = start.elapsed();
+        self.runs = n;
+    }
+}
+
+fn report(group: &str, name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per_iter = if b.runs > 0 { b.elapsed / b.runs } else { Duration::ZERO };
+    let rate = throughput.map_or(String::new(), |t| {
+        let secs = per_iter.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Bytes(n) => format!("  {:>10.1} MiB/s", n as f64 / secs / (1 << 20) as f64),
+            Throughput::Elements(n) => format!("  {:>10.0} elem/s", n as f64 / secs),
+        }
+    });
+    let label = if group.is_empty() { name.to_owned() } else { format!("{group}/{name}") };
+    println!("bench  {label:<44} {per_iter:>12.2?}{rate}");
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; this
+    /// stand-in always runs a small fixed number of iterations).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&self.name, name, &b, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_owned(), throughput: None, _criterion: self }
+    }
+
+    /// Runs one stand-alone named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report("", name, &b, None);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a callable group, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` harness-less targets run with `--test`
+            // style invocations; the stand-in is fast enough to just run.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_closure() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10).throughput(Throughput::Elements(4));
+            g.bench_function("count", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran >= 2, "warm-up + timed iterations must run, got {ran}");
+    }
+}

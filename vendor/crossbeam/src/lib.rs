@@ -1,0 +1,14 @@
+#![allow(clippy::all)]
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the subset of `crossbeam` the workspace uses:
+//! multi-producer multi-consumer [`channel`]s (bounded and unbounded)
+//! and [`sync::WaitGroup`], with crossbeam-compatible semantics —
+//! blocking `send`/`recv`, disconnection on last-endpoint drop, and
+//! clone-to-register wait groups — implemented over `std::sync`.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod sync;

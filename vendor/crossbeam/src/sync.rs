@@ -1,0 +1,93 @@
+//! Synchronization helpers: the [`WaitGroup`] used by the Sigma
+//! aggregation pipeline to await its consumer jobs.
+
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+struct Inner {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+/// Waits for a set of tasks to finish, crossbeam-style: each clone
+/// registers one task, dropping a clone retires it, and
+/// [`WaitGroup::wait`] blocks until every registered clone is gone.
+pub struct WaitGroup {
+    inner: Arc<Inner>,
+}
+
+impl WaitGroup {
+    /// Creates a wait group counting this handle as its first member.
+    pub fn new() -> Self {
+        WaitGroup { inner: Arc::new(Inner { count: Mutex::new(1), zero: Condvar::new() }) }
+    }
+
+    /// Drops this handle and blocks until the remaining count reaches
+    /// zero.
+    pub fn wait(self) {
+        let inner = Arc::clone(&self.inner);
+        drop(self); // retire our own registration
+        let mut count = inner.count.lock().unwrap_or_else(PoisonError::into_inner);
+        while *count > 0 {
+            count = inner.zero.wait(count).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl Default for WaitGroup {
+    fn default() -> Self {
+        WaitGroup::new()
+    }
+}
+
+impl Clone for WaitGroup {
+    fn clone(&self) -> Self {
+        *self.inner.count.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+        WaitGroup { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl Drop for WaitGroup {
+    fn drop(&mut self) {
+        let mut count = self.inner.count.lock().unwrap_or_else(PoisonError::into_inner);
+        *count -= 1;
+        if *count == 0 {
+            self.inner.zero.notify_all();
+        }
+    }
+}
+
+impl fmt::Debug for WaitGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("WaitGroup { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn wait_blocks_for_all_clones() {
+        let wg = WaitGroup::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let wg = wg.clone();
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                thread::sleep(std::time::Duration::from_millis(5));
+                done.fetch_add(1, Ordering::SeqCst);
+                drop(wg);
+            });
+        }
+        wg.wait();
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn wait_returns_immediately_with_no_clones() {
+        WaitGroup::new().wait();
+    }
+}

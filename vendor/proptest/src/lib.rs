@@ -1,0 +1,364 @@
+#![allow(clippy::all)]
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the subset of proptest the workspace's property tests
+//! use: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`,
+//! integer-range and float-range strategies, `prop::collection::vec`,
+//! `any::<T>()`, and a character-class regex subset for `&str`
+//! strategies (`"[a-z\\n]{lo,hi}"`).
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! case number and generated inputs via the assertion message instead),
+//! and a default of 64 cases per property (override with the
+//! `PROPTEST_CASES` environment variable). Every case is derived
+//! deterministically from the test's module path and case index, so
+//! failures reproduce without a persistence file.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Deterministic per-case random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives the generator for `case` of the property named `name`
+    /// (use `module_path!()` + the function name for stability).
+    pub fn deterministic(name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = rng.below(span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// Character-class regex subset for string strategies: one `[...]` class
+/// (literals, `a-z` ranges, `\n`/`\t`/`\\`/`\-`/`\]` escapes) followed by
+/// a `{lo,hi}` repetition. This covers the patterns used in-tree;
+/// anything else panics with a clear message.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (ranges, lo, hi) = parse_class_pattern(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        let total: u64 = ranges.iter().map(|(a, b)| u64::from(*b) - u64::from(*a) + 1).sum();
+        (0..len)
+            .map(|_| {
+                let mut pick = rng.below(total);
+                for (a, b) in &ranges {
+                    let width = u64::from(*b) - u64::from(*a) + 1;
+                    if pick < width {
+                        return char::from_u32(*a as u32 + pick as u32).unwrap_or('?');
+                    }
+                    pick -= width;
+                }
+                unreachable!("pick is within total width")
+            })
+            .collect()
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_class_pattern(pattern: &str) -> (Vec<(char, char)>, usize, usize) {
+    let unsupported = || -> ! {
+        panic!(
+            "the vendored proptest supports only \"[class]{{lo,hi}}\" string strategies, \
+             got {pattern:?}"
+        )
+    };
+    let mut chars = pattern.chars().peekable();
+    if chars.next() != Some('[') {
+        unsupported();
+    }
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => break,
+            Some('\\') => match chars.next() {
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some(c @ ('\\' | '-' | ']' | '[')) => c,
+                _ => unsupported(),
+            },
+            Some(c) => c,
+            None => unsupported(),
+        };
+        if chars.peek() == Some(&'-') {
+            chars.next();
+            let hi = match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(c @ ('\\' | '-' | ']' | '[')) => c,
+                    _ => unsupported(),
+                },
+                Some(c) if c != ']' => c,
+                _ => unsupported(),
+            };
+            ranges.push((c, hi));
+        } else {
+            ranges.push((c, c));
+        }
+    }
+    let rest: String = chars.collect();
+    let body =
+        rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')).unwrap_or_else(|| unsupported());
+    let (lo, hi) = match body.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok(), h.trim().parse().ok()),
+        None => (body.trim().parse().ok(), body.trim().parse().ok()),
+    };
+    match (lo, hi, ranges.is_empty()) {
+        (Some(lo), Some(hi), false) if lo <= hi => (ranges, lo, hi),
+        _ => unsupported(),
+    }
+}
+
+/// Values with a canonical "anything" strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: `any::<bool>()` etc.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+/// The `prop::` strategy namespace (`prop::collection::vec(...)`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Vectors of `element`-generated values, `size.start..size.end`
+        /// long (half-open, as in upstream proptest).
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty vec size range");
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.size.end - self.size.start) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test module needs, in one import.
+pub mod prelude {
+    pub use crate::{any, cases, prop, Arbitrary, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`cases`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::cases() {
+                    let mut rng = $crate::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let _ = &mut rng;
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a property-test name (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("t", 0);
+        for _ in 0..1000 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let xs = prop::collection::vec(-5i32..5, 1..4).generate(&mut rng);
+            assert!(!xs.is_empty() && xs.len() < 4);
+            assert!(xs.iter().all(|x| (-5..5).contains(x)));
+        }
+    }
+
+    #[test]
+    fn string_class_pattern_generates_members() {
+        let mut rng = TestRng::deterministic("s", 1);
+        let strat = "[ -~\\n]{0,160}";
+        for _ in 0..200 {
+            let s = Strategy::generate(strat, &mut rng);
+            assert!(s.chars().count() <= 160);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..4).map(|c| TestRng::deterministic("x", c).next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|c| TestRng::deterministic("x", c).next_u64()).collect();
+        assert_eq!(a, b);
+        assert_ne!(a[0], TestRng::deterministic("y", 0).next_u64());
+    }
+
+    proptest! {
+        /// The macro itself: args bind, bodies run, asserts fire.
+        #[test]
+        fn macro_smoke(a in 1usize..50, b in 0u64..10, flag in any::<bool>()) {
+            prop_assert!(a >= 1 && a < 50);
+            prop_assert!(b < 10);
+            let _ = flag;
+            prop_assert_eq!(a + 1, 1 + a);
+            prop_assert_ne!(a, 0);
+        }
+
+        /// Trailing commas and collection strategies parse.
+        #[test]
+        fn macro_collections(
+            xs in prop::collection::vec(0i32..100, 1..16),
+            s in "[a-c]{2,5}",
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+}
