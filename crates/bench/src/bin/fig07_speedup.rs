@@ -1,4 +1,6 @@
 //! Regenerates Figure 7 (speedup over 4-node Spark).
 fn main() {
-    print!("{}", cosmic_bench::figures::fig07_speedup::run());
+    cosmic_bench::figures::figure_main("fig07_speedup", |_| {
+        cosmic_bench::figures::fig07_speedup::run()
+    });
 }

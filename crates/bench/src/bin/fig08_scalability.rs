@@ -1,4 +1,6 @@
 //! Regenerates Figure 8 (scalability vs own 4-node configuration).
 fn main() {
-    print!("{}", cosmic_bench::figures::fig08_scalability::run());
+    cosmic_bench::figures::figure_main("fig08_scalability", |_| {
+        cosmic_bench::figures::fig08_scalability::run()
+    });
 }

@@ -1,4 +1,6 @@
 //! Regenerates Figure 9 (system-wide speedup across acceleration platforms).
 fn main() {
-    print!("{}", cosmic_bench::figures::fig09_platforms::run());
+    cosmic_bench::figures::figure_main("fig09_platforms", |_| {
+        cosmic_bench::figures::fig09_platforms::run()
+    });
 }

@@ -1,4 +1,6 @@
 //! Regenerates Figure 10 (computation-only speedup over the FPGA).
 fn main() {
-    print!("{}", cosmic_bench::figures::fig10_compute::run());
+    cosmic_bench::figures::figure_main("fig10_compute", |_| {
+        cosmic_bench::figures::fig10_compute::run()
+    });
 }

@@ -1,4 +1,6 @@
 //! Regenerates Figure 11 (Performance-per-Watt vs the GPU system).
 fn main() {
-    print!("{}", cosmic_bench::figures::fig11_perf_per_watt::run());
+    cosmic_bench::figures::figure_main("fig11_perf_per_watt", |_| {
+        cosmic_bench::figures::fig11_perf_per_watt::run()
+    });
 }

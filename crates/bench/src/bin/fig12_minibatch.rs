@@ -1,4 +1,6 @@
 //! Regenerates Figure 12 (performance vs mini-batch size).
 fn main() {
-    print!("{}", cosmic_bench::figures::fig12_minibatch::run());
+    cosmic_bench::figures::figure_main("fig12_minibatch", |_| {
+        cosmic_bench::figures::fig12_minibatch::run()
+    });
 }

@@ -1,4 +1,7 @@
 //! Regenerates Figure 13 (compute vs communication fraction).
 fn main() {
-    print!("{}", cosmic_bench::figures::fig13_breakdown::run());
+    cosmic_bench::figures::figure_main(
+        "fig13_breakdown",
+        cosmic_bench::figures::fig13_breakdown::run_traced,
+    );
 }

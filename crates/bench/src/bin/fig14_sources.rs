@@ -1,4 +1,6 @@
 //! Regenerates Figure 14 (sources of speedup: FPGAs vs system software).
 fn main() {
-    print!("{}", cosmic_bench::figures::fig14_sources::run());
+    cosmic_bench::figures::figure_main("fig14_sources", |_| {
+        cosmic_bench::figures::fig14_sources::run()
+    });
 }

@@ -1,4 +1,6 @@
 //! Regenerates Figure 15 (sensitivity to PE count and memory bandwidth).
 fn main() {
-    print!("{}", cosmic_bench::figures::fig15_sensitivity::run());
+    cosmic_bench::figures::figure_main("fig15_sensitivity", |_| {
+        cosmic_bench::figures::fig15_sensitivity::run()
+    });
 }

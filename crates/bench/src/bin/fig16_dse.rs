@@ -1,4 +1,4 @@
 //! Regenerates Figure 16 (design-space exploration).
 fn main() {
-    print!("{}", cosmic_bench::figures::fig16_dse::run());
+    cosmic_bench::figures::figure_main("fig16_dse", |_| cosmic_bench::figures::fig16_dse::run());
 }

@@ -1,4 +1,7 @@
 //! Regenerates Figure 17 (CoSMIC vs TABLA).
 fn main() {
-    print!("{}", cosmic_bench::figures::fig17_tabla::run());
+    cosmic_bench::figures::figure_main(
+        "fig17_tabla",
+        cosmic_bench::figures::fig17_tabla::run_traced,
+    );
 }

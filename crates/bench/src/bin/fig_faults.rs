@@ -1,5 +1,5 @@
 //! Regenerates the fault-tolerance study (throughput under faults plus a
 //! functional degraded run).
 fn main() {
-    print!("{}", cosmic_bench::figures::fig_faults::run());
+    cosmic_bench::figures::figure_main("fig_faults", cosmic_bench::figures::fig_faults::run_traced);
 }

@@ -1,6 +1,11 @@
 //! Regenerates every table and figure of the paper's evaluation in order,
-//! printing one consolidated report (tee into a file to archive a run).
+//! printing one consolidated report (tee into a file to archive a run;
+//! pass `--trace <path>` to also export the run's telemetry).
 fn main() {
-    println!("# CoSMIC reproduction — full evaluation report\n");
-    print!("{}", cosmic_bench::figures::run_all());
+    cosmic_bench::figures::figure_main("reproduce", |sink| {
+        format!(
+            "# CoSMIC reproduction — full evaluation report\n\n{}",
+            cosmic_bench::figures::run_all_traced(sink)
+        )
+    });
 }

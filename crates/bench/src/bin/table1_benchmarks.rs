@@ -1,4 +1,6 @@
 //! Regenerates Table 1 (benchmarks and datasets).
 fn main() {
-    print!("{}", cosmic_bench::figures::table1_benchmarks::run());
+    cosmic_bench::figures::figure_main("table1_benchmarks", |_| {
+        cosmic_bench::figures::table1_benchmarks::run()
+    });
 }

@@ -1,4 +1,6 @@
 //! Regenerates Table 2 (platform specifications).
 fn main() {
-    print!("{}", cosmic_bench::figures::table2_platforms::run());
+    cosmic_bench::figures::figure_main("table2_platforms", |_| {
+        cosmic_bench::figures::table2_platforms::run()
+    });
 }

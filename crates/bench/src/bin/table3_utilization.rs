@@ -1,4 +1,6 @@
 //! Regenerates Table 3 (threads per FPGA and resource utilization).
 fn main() {
-    print!("{}", cosmic_bench::figures::table3_utilization::run());
+    cosmic_bench::figures::figure_main("table3_utilization", |_| {
+        cosmic_bench::figures::table3_utilization::run()
+    });
 }

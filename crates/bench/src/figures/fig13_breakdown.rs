@@ -5,7 +5,8 @@
 //! — larger batches amortize the aggregation rounds.
 
 use cosmic_core::cosmic_ml::{suite::WORD_BYTES, BenchmarkId};
-use cosmic_core::cosmic_runtime::{ClusterTiming, NodeCompute};
+use cosmic_core::cosmic_runtime::{ClusterTiming, FaultTimingModel, NodeCompute};
+use cosmic_core::cosmic_telemetry::TraceSink;
 
 use crate::harness::{cosmic_node_rps, AccelKind};
 
@@ -26,6 +27,17 @@ pub fn compute_fraction(id: BenchmarkId, minibatch: usize) -> f64 {
     it.compute_s / it.total_s()
 }
 
+/// [`compute_fraction`] that also books the iteration's phase spans and
+/// wire-byte counters into `sink` (fault-free timing model).
+pub fn compute_fraction_traced(id: BenchmarkId, minibatch: usize, sink: &TraceSink) -> f64 {
+    let bench = id.benchmark();
+    let timing = ClusterTiming::commodity(NODES, 1);
+    let node = NodeCompute { records_per_sec: cosmic_node_rps(id, AccelKind::Fpga, minibatch) };
+    let exchange = bench.exchanged_params(minibatch.div_ceil(NODES)) * WORD_BYTES;
+    let it = timing.iteration_traced(minibatch, node, exchange, &FaultTimingModel::none(), sink);
+    it.compute_s / it.total_s()
+}
+
 /// Mean compute fraction across all ten benchmarks.
 pub fn mean_compute_fraction(minibatch: usize) -> f64 {
     let ids = BenchmarkId::all();
@@ -34,14 +46,23 @@ pub fn mean_compute_fraction(minibatch: usize) -> f64 {
 
 /// Renders the figure.
 pub fn run() -> String {
+    run_traced(&TraceSink::new())
+}
+
+/// [`run`] with telemetry: every per-benchmark cell books its iteration
+/// spans and wire bytes into `sink` (the mean row reuses the untraced
+/// path so counters are not double-booked).
+pub fn run_traced(sink: &TraceSink) -> String {
     let mut out = String::from(
         "## Figure 13 — Fraction of 3-FPGA-CoSMIC runtime (compute vs communication)\n\n\
          | benchmark | b=500 | b=1k | b=5k | b=10k | b=50k | b=100k |\n\
          |---|---|---|---|---|---|---|\n",
     );
     for id in BenchmarkId::all() {
-        let cells: Vec<String> =
-            BATCHES.iter().map(|&b| format!("{:.0}%", 100.0 * compute_fraction(id, b))).collect();
+        let cells: Vec<String> = BATCHES
+            .iter()
+            .map(|&b| format!("{:.0}%", 100.0 * compute_fraction_traced(id, b, sink)))
+            .collect();
         out.push_str(&format!("| {id} | {} |\n", cells.join(" | ")));
     }
     let means: Vec<String> =
@@ -83,5 +104,17 @@ mod tests {
             let f = compute_fraction(BenchmarkId::Face, b);
             assert!((0.0..=1.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn traced_fraction_matches_untraced_and_books_spans() {
+        use cosmic_core::cosmic_telemetry::{counters, names};
+        let sink = TraceSink::new();
+        let traced = compute_fraction_traced(BenchmarkId::Tumor, 1_000, &sink);
+        let plain = compute_fraction(BenchmarkId::Tumor, 1_000);
+        assert_eq!(traced, plain, "fault-free traced model must equal iteration()");
+        assert!(sink.validate_tree().is_ok());
+        assert!(sink.spans().iter().any(|s| s.name == names::ITERATION));
+        assert!(sink.sums()[counters::NET_BYTES_LEVEL1] > 0.0);
     }
 }

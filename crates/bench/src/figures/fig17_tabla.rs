@@ -7,9 +7,12 @@
 //! transfers logarithmic.
 
 use cosmic_core::cosmic_arch::{AcceleratorSpec, Geometry};
-use cosmic_core::cosmic_compiler::{estimate, BusModel, CompileOptions, MappingStrategy};
+use cosmic_core::cosmic_compiler::{
+    estimate, estimate_traced, BusModel, CompileOptions, MappingStrategy,
+};
 use cosmic_core::cosmic_ml::{suite::DEFAULT_MINIBATCH, BenchmarkId};
 use cosmic_core::cosmic_planner;
+use cosmic_core::cosmic_telemetry::{Layer, TraceSink};
 
 use crate::harness::{full_dfg, geomean};
 
@@ -45,8 +48,51 @@ pub fn comparison(id: BenchmarkId) -> (f64, u64, u64) {
     )
 }
 
+/// [`comparison`] that also records both compilation pipelines (a
+/// `Dsl`-layer `lower` span around the shared DFG lookup, then one
+/// `compile` span tree per mapper) and their static counters into
+/// `sink`.
+pub fn comparison_traced(id: BenchmarkId, sink: &TraceSink) -> (f64, u64, u64) {
+    let dfg = {
+        let guard = sink.span(Layer::Dsl, "lower");
+        guard.arg("benchmark", &id.to_string());
+        full_dfg(id)
+    };
+    let spec = AcceleratorSpec::fpga_vu9p();
+    let _ = cosmic_planner::plan(dfg, &spec, DEFAULT_MINIBATCH); // warm shared caches
+    let geometry = Geometry::new(spec.max_rows(), spec.columns);
+
+    let cosmic = estimate_traced(
+        dfg,
+        geometry,
+        &CompileOptions { strategy: MappingStrategy::DataFirst, ..CompileOptions::default() },
+        sink,
+    );
+    let tabla = estimate_traced(
+        dfg,
+        geometry,
+        &CompileOptions {
+            strategy: MappingStrategy::OpFirst,
+            words_per_cycle: None,
+            bus: BusModel::FlatShared,
+        },
+        sink,
+    );
+    (
+        tabla.cycles_per_record() as f64 / cosmic.cycles_per_record() as f64,
+        cosmic.transfers(),
+        tabla.transfers(),
+    )
+}
+
 /// Renders the figure.
 pub fn run() -> String {
+    run_traced(&TraceSink::new())
+}
+
+/// [`run`] with telemetry: every head-to-head compilation books its
+/// `compile`/`map`/`schedule` spans and static counters into `sink`.
+pub fn run_traced(sink: &TraceSink) -> String {
     let mut out = String::from(
         "## Figure 17 — CoSMIC template architecture vs TABLA (same PEs, UltraScale+)\n\n\
          | benchmark | speedup | CoSMIC transfers/record | TABLA transfers/record |\n\
@@ -54,7 +100,7 @@ pub fn run() -> String {
     );
     let mut speedups = Vec::new();
     for id in BenchmarkId::all() {
-        let (s, ct, tt) = comparison(id);
+        let (s, ct, tt) = comparison_traced(id, sink);
         out.push_str(&format!("| {id} | {s:.1} | {ct} | {tt} |\n"));
         speedups.push(s);
     }
@@ -77,6 +123,16 @@ mod tests {
             assert!(s > 1.0, "{id}: speedup {s:.2}");
             assert!(ct < tt, "{id}: CoSMIC must communicate less ({ct} vs {tt})");
         }
+    }
+
+    #[test]
+    fn traced_comparison_matches_untraced() {
+        let sink = TraceSink::new();
+        let traced = comparison_traced(BenchmarkId::Stock, &sink);
+        assert_eq!(traced, comparison(BenchmarkId::Stock));
+        assert!(sink.validate_tree().is_ok());
+        let compiles = sink.spans().iter().filter(|s| s.name == "compile").count();
+        assert_eq!(compiles, 2, "one compile span per mapper");
     }
 
     #[test]

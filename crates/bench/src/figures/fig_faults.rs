@@ -18,6 +18,7 @@ use cosmic_core::cosmic_runtime::{
     ClusterConfig, ClusterTiming, ClusterTrainer, FaultPlan, FaultRates, FaultTimingModel,
     NodeCompute,
 };
+use cosmic_core::cosmic_telemetry::TraceSink;
 
 use crate::harness::{cosmic_node_rps, AccelKind};
 
@@ -44,11 +45,8 @@ fn study_point(id: BenchmarkId) -> (NodeCompute, usize) {
     (node, exchange)
 }
 
-/// Throughput (records/s) for `id` when every fault class runs at
-/// probability `rate` simultaneously.
-pub fn throughput_at(id: BenchmarkId, rate: f64) -> f64 {
-    let (node, exchange) = study_point(id);
-    let faults = FaultTimingModel {
+fn study_faults(rate: f64) -> FaultTimingModel {
+    FaultTimingModel {
         chunk_drop_rate: rate,
         retry_backoff_s: 250e-6,
         straggler_rate: rate,
@@ -56,8 +54,22 @@ pub fn throughput_at(id: BenchmarkId, rate: f64) -> f64 {
         deadline_factor: 4.0,
         sigma_failover_rate: rate / 10.0,
         failover_penalty_s: 5e-3,
-    };
-    timing().throughput_records_per_sec(MINIBATCH, node, exchange, &faults)
+    }
+}
+
+/// Throughput (records/s) for `id` when every fault class runs at
+/// probability `rate` simultaneously.
+pub fn throughput_at(id: BenchmarkId, rate: f64) -> f64 {
+    let (node, exchange) = study_point(id);
+    timing().throughput_records_per_sec(MINIBATCH, node, exchange, &study_faults(rate))
+}
+
+/// [`throughput_at`] that also books the degraded iteration's spans and
+/// counters (including the `recovery` phase) into `sink`.
+pub fn throughput_at_traced(id: BenchmarkId, rate: f64, sink: &TraceSink) -> f64 {
+    let (node, exchange) = study_point(id);
+    let it = timing().iteration_traced(MINIBATCH, node, exchange, &study_faults(rate), sink);
+    MINIBATCH as f64 / it.total_s()
 }
 
 /// Retained throughput fraction vs the healthy cluster.
@@ -68,6 +80,16 @@ pub fn retained_fraction(id: BenchmarkId, rate: f64) -> f64 {
 /// The functional half: a seeded random fault plan driven through the
 /// real trainer. Returns the outcome of the degraded run.
 pub fn degraded_run(seed: u64) -> cosmic_core::cosmic_runtime::TrainOutcome {
+    degraded_run_traced(seed, &TraceSink::new())
+}
+
+/// [`degraded_run`] that also records the trainer's full span tree
+/// (iterations, retransmits, re-elections, exclusions) and fault
+/// counters into `sink`. Same seed, byte-identical exported trace.
+pub fn degraded_run_traced(
+    seed: u64,
+    sink: &TraceSink,
+) -> cosmic_core::cosmic_runtime::TrainOutcome {
     let alg = Algorithm::LogisticRegression { features: 12 };
     let dataset = data::generate(&alg, 2_048, 7);
     let epochs = 6;
@@ -93,18 +115,25 @@ pub fn degraded_run(seed: u64) -> cosmic_core::cosmic_runtime::TrainOutcome {
         ..ClusterConfig::default()
     })
     .expect("valid config");
-    trainer.train(&alg, &dataset, alg.zero_model()).expect("recoverable plan")
+    trainer.train_traced(&alg, &dataset, alg.zero_model(), sink).expect("recoverable plan")
 }
 
 /// Renders the study.
 pub fn run() -> String {
+    run_traced(&TraceSink::new())
+}
+
+/// [`run`] with telemetry: the healthy column and the functional
+/// degraded run book their spans and counters into `sink` (the retained
+/// fractions reuse the untraced model so counters are not double-booked).
+pub fn run_traced(sink: &TraceSink) -> String {
     let mut out = String::from(
         "## Fault study — throughput retained under faults (8-node FPGA cluster, b=10k)\n\n\
          | benchmark | healthy rec/s | p=1% | p=5% | p=20% |\n\
          |---|---|---|---|---|\n",
     );
     for id in BenchmarkId::all() {
-        let healthy = throughput_at(id, 0.0);
+        let healthy = throughput_at_traced(id, 0.0, sink);
         let cells: Vec<String> = RATES[1..]
             .iter()
             .map(|&r| format!("{:.0}%", 100.0 * retained_fraction(id, r)))
@@ -117,7 +146,7 @@ pub fn run() -> String {
          and the barrier cost is capped.\n",
     );
 
-    let outcome = degraded_run(42);
+    let outcome = degraded_run_traced(42, sink);
     let first = outcome.loss_history.first().copied().unwrap_or(f64::NAN);
     let last = outcome.loss_history.last().copied().unwrap_or(f64::NAN);
     let r = &outcome.faults;
@@ -160,6 +189,16 @@ mod tests {
         let (node, exchange) = study_point(BenchmarkId::Tumor);
         let plain = MINIBATCH as f64 / timing().iteration(MINIBATCH, node, exchange).total_s();
         assert!((throughput_at(BenchmarkId::Tumor, 0.0) - plain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_throughput_matches_untraced_and_books_recovery() {
+        use cosmic_core::cosmic_telemetry::names;
+        let sink = TraceSink::new();
+        let traced = throughput_at_traced(BenchmarkId::Tumor, 0.05, &sink);
+        assert!((traced - throughput_at(BenchmarkId::Tumor, 0.05)).abs() < 1e-9);
+        assert!(sink.validate_tree().is_ok());
+        assert!(sink.spans().iter().any(|s| s.name == names::RECOVERY && s.dur > 0.0));
     }
 
     #[test]

@@ -1,6 +1,13 @@
 //! One module per table/figure of the paper's evaluation section. Every
 //! module exposes `run() -> String` (the printable reproduction) plus the
-//! underlying data functions the tests assert shapes on.
+//! underlying data functions the tests assert shapes on. Modules whose
+//! data paths are instrumented also expose `run_traced(&TraceSink)`, and
+//! [`figure_main`] gives every `fig*`/`table*` binary a uniform
+//! `--trace <path>` flag exporting `trace.json` + `metrics.json`.
+
+use std::path::PathBuf;
+
+use cosmic_core::cosmic_telemetry::{Layer, TraceSink};
 
 pub mod fig07_speedup;
 pub mod fig08_scalability;
@@ -21,22 +28,83 @@ pub mod table3_utilization;
 /// Runs every experiment, concatenating the printable reports in paper
 /// order (the `reproduce` binary's body).
 pub fn run_all() -> String {
+    run_all_traced(&TraceSink::new())
+}
+
+/// [`run_all`] with telemetry: each experiment runs inside its own
+/// `Exec`-layer span, and the instrumented figures (13, 17, faults) book
+/// their full span trees and counters into `sink`.
+pub fn run_all_traced(sink: &TraceSink) -> String {
+    fn section(sink: &TraceSink, name: &str, f: impl FnOnce(&TraceSink) -> String) -> String {
+        let _guard = sink.span(Layer::Exec, name);
+        f(sink)
+    }
     [
-        table1_benchmarks::run(),
-        table2_platforms::run(),
-        fig07_speedup::run(),
-        fig08_scalability::run(),
-        fig09_platforms::run(),
-        fig10_compute::run(),
-        fig11_perf_per_watt::run(),
-        fig12_minibatch::run(),
-        fig13_breakdown::run(),
-        fig14_sources::run(),
-        fig15_sensitivity::run(),
-        fig16_dse::run(),
-        table3_utilization::run(),
-        fig17_tabla::run(),
-        fig_faults::run(),
+        section(sink, "table1_benchmarks", |_| table1_benchmarks::run()),
+        section(sink, "table2_platforms", |_| table2_platforms::run()),
+        section(sink, "fig07_speedup", |_| fig07_speedup::run()),
+        section(sink, "fig08_scalability", |_| fig08_scalability::run()),
+        section(sink, "fig09_platforms", |_| fig09_platforms::run()),
+        section(sink, "fig10_compute", |_| fig10_compute::run()),
+        section(sink, "fig11_perf_per_watt", |_| fig11_perf_per_watt::run()),
+        section(sink, "fig12_minibatch", |_| fig12_minibatch::run()),
+        section(sink, "fig13_breakdown", fig13_breakdown::run_traced),
+        section(sink, "fig14_sources", |_| fig14_sources::run()),
+        section(sink, "fig15_sensitivity", |_| fig15_sensitivity::run()),
+        section(sink, "fig16_dse", |_| fig16_dse::run()),
+        section(sink, "table3_utilization", |_| table3_utilization::run()),
+        section(sink, "fig17_tabla", fig17_tabla::run_traced),
+        section(sink, "fig_faults", fig_faults::run_traced),
     ]
     .join("\n")
+}
+
+/// Extracts the `--trace <path>` / `--trace=<path>` flag from a binary's
+/// arguments.
+///
+/// # Errors
+///
+/// Returns a message when `--trace` is present without a path.
+pub fn trace_path_arg(args: &[String]) -> Result<Option<PathBuf>, String> {
+    let mut iter = args.iter().skip(1);
+    while let Some(arg) = iter.next() {
+        if arg == "--trace" {
+            return match iter.next() {
+                Some(path) => Ok(Some(PathBuf::from(path))),
+                None => Err("--trace requires a path argument".into()),
+            };
+        }
+        if let Some(path) = arg.strip_prefix("--trace=") {
+            return Ok(Some(PathBuf::from(path)));
+        }
+    }
+    Ok(None)
+}
+
+/// Shared `main` for every `fig*`/`table*` binary: renders the experiment
+/// inside a root span named after it, prints the report, and — when
+/// `--trace <path>` was passed — exports the Chrome-trace JSON to `path`
+/// and the flat counters to a sibling `metrics.json`. All timestamps are
+/// virtual, so identical seeds produce byte-identical exports.
+pub fn figure_main(name: &str, render: impl FnOnce(&TraceSink) -> String) {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_path = match trace_path_arg(&args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let sink = TraceSink::new();
+    let report = {
+        let _root = sink.span(Layer::Exec, name);
+        render(&sink)
+    };
+    print!("{report}");
+    if let Some(path) = trace_path {
+        if let Err(e) = sink.write(&path) {
+            eprintln!("error: could not write trace to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
 }

@@ -95,3 +95,118 @@ pub fn estimate(dfg: &Dfg, geometry: Geometry, options: &CompileOptions) -> Sche
     let map = mapping::map(dfg, geometry, options.strategy);
     schedule::schedule_on(dfg, &map, geometry, words_per_cycle, options.bus).estimate
 }
+
+/// [`compile`] that also records the pipeline into `sink`: a `compile`
+/// span wrapping `map` and `schedule` child spans, plus counters for
+/// ops, communication edges cut by the mapping, schedule length,
+/// transfers, per-PE load, and utilization.
+pub fn compile_traced(
+    dfg: &Dfg,
+    geometry: Geometry,
+    options: &CompileOptions,
+    sink: &cosmic_telemetry::TraceSink,
+) -> CompiledThread {
+    use cosmic_telemetry::Layer;
+    let words_per_cycle = options.words_per_cycle.unwrap_or(geometry.columns as f64);
+    let guard = sink.span(Layer::Compile, "compile");
+    let map = {
+        let _map_span = sink.span(Layer::Map, "map");
+        mapping::map(dfg, geometry, options.strategy)
+    };
+    let schedule = {
+        let _sched_span = sink.span(Layer::Schedule, "schedule");
+        schedule::schedule_on(dfg, &map, geometry, words_per_cycle, options.bus)
+    };
+    record_compile(dfg, geometry, &map, &schedule.estimate, sink);
+    drop(guard);
+    codegen::generate(dfg, &map, &schedule, geometry)
+}
+
+/// [`estimate`] that also records the pipeline into `sink` (same spans
+/// and counters as [`compile_traced`], without code generation).
+pub fn estimate_traced(
+    dfg: &Dfg,
+    geometry: Geometry,
+    options: &CompileOptions,
+    sink: &cosmic_telemetry::TraceSink,
+) -> ScheduleEstimate {
+    use cosmic_telemetry::Layer;
+    let words_per_cycle = options.words_per_cycle.unwrap_or(geometry.columns as f64);
+    let guard = sink.span(Layer::Compile, "compile");
+    let map = {
+        let _map_span = sink.span(Layer::Map, "map");
+        mapping::map(dfg, geometry, options.strategy)
+    };
+    let est = {
+        let _sched_span = sink.span(Layer::Schedule, "schedule");
+        schedule::schedule_on(dfg, &map, geometry, words_per_cycle, options.bus).estimate
+    };
+    record_compile(dfg, geometry, &map, &est, sink);
+    drop(guard);
+    est
+}
+
+/// Books one compiled thread's static metrics on the sink.
+fn record_compile(
+    dfg: &Dfg,
+    geometry: Geometry,
+    map: &MapResult,
+    est: &ScheduleEstimate,
+    sink: &cosmic_telemetry::TraceSink,
+) {
+    use cosmic_telemetry::counters;
+    sink.add(counters::COMPILE_OPS, est.compute_ops as f64);
+    sink.add(counters::COMPILE_REMOTE_EDGES, map.remote_edges(dfg) as f64);
+    sink.add(counters::COMPILE_SCHEDULE_CYCLES, est.latency_cycles as f64);
+    sink.add(counters::COMPILE_TRANSFERS, est.transfers() as f64);
+    sink.add(counters::COMPILE_MODEL_WORDS, dfg.model_len() as f64);
+    sink.record_max(counters::COMPILE_MAX_PE_INSTRS, est.max_pe_instrs as f64);
+    let pes = (geometry.rows * geometry.columns).max(1) as f64;
+    sink.record_max(counters::COMPILE_OPS_PER_PE, est.compute_ops as f64 / pes);
+    sink.record_max(
+        counters::PE_UTILIZATION,
+        est.compute_ops as f64 / (est.latency_cycles.max(1) as f64 * pes),
+    );
+}
+
+#[cfg(test)]
+mod traced_tests {
+    use super::*;
+    use cosmic_dfg::{lower, DimEnv};
+    use cosmic_dsl::{parse, programs};
+    use cosmic_telemetry::{counters, TraceSink};
+
+    #[test]
+    fn traced_compile_matches_untraced_and_books_counters() {
+        let program = parse(&programs::svm(64)).expect("parses");
+        let dfg = lower(&program, &DimEnv::new().with("n", 8)).expect("lowers");
+        let geometry = Geometry::new(2, 8);
+        let options = CompileOptions::default();
+
+        let sink = TraceSink::new();
+        let traced = compile_traced(&dfg, geometry, &options, &sink);
+        let plain = compile(&dfg, geometry, &options);
+        assert_eq!(traced.estimate, plain.estimate);
+        assert!(sink.validate_tree().is_ok());
+
+        let spans = sink.spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["compile", "map", "schedule"]);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].parent, Some(0));
+
+        let sums = sink.sums();
+        assert_eq!(sums[counters::COMPILE_OPS], plain.estimate.compute_ops as f64);
+        assert_eq!(sums[counters::COMPILE_SCHEDULE_CYCLES], plain.estimate.latency_cycles as f64);
+        assert_eq!(sums[counters::COMPILE_MODEL_WORDS], dfg.model_len() as f64);
+        let maxima = sink.maxima();
+        assert!(maxima[counters::PE_UTILIZATION] > 0.0);
+        assert!(maxima[counters::PE_UTILIZATION] <= 1.0);
+        assert!(maxima[counters::COMPILE_OPS_PER_PE] > 0.0);
+
+        let est_sink = TraceSink::new();
+        let est = estimate_traced(&dfg, geometry, &options, &est_sink);
+        assert_eq!(est, plain.estimate);
+        assert_eq!(est_sink.sums(), sums, "estimate books the same counters");
+    }
+}

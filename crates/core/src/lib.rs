@@ -59,6 +59,7 @@ pub use cosmic_ml;
 pub use cosmic_planner;
 pub use cosmic_runtime;
 pub use cosmic_sim;
+pub use cosmic_telemetry;
 
 /// The commonly used names, importable in one line.
 pub mod prelude {
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use cosmic_runtime::{
         ClusterConfig, ClusterTiming, ClusterTrainer, FaultPlan, FaultRates, RuntimeError,
     };
+    pub use cosmic_telemetry::{TraceSink, TraceSummary};
 }
 
 use cosmic_arch::AcceleratorSpec;
@@ -375,6 +377,32 @@ impl CosmicStack {
             ..ClusterConfig::default()
         })?;
         Ok(trainer.train(alg, dataset, initial_model)?)
+    }
+
+    /// [`CosmicStack::train`] that also records spans and counters into
+    /// `sink` (virtual-time telemetry; identical seeds produce
+    /// byte-identical exported traces).
+    pub fn train_traced(
+        &self,
+        alg: &Algorithm,
+        dataset: &Dataset,
+        initial_model: Vec<f64>,
+        epochs: usize,
+        aggregation: Aggregation,
+        sink: &cosmic_telemetry::TraceSink,
+    ) -> Result<TrainOutcome, StackError> {
+        let trainer = ClusterTrainer::new(ClusterConfig {
+            nodes: self.nodes,
+            groups: self.groups,
+            threads_per_node: self.threads_per_node(),
+            minibatch: self.minibatch,
+            learning_rate: self.learning_rate,
+            epochs,
+            aggregation,
+            faults: self.fault_plan.clone(),
+            ..ClusterConfig::default()
+        })?;
+        Ok(trainer.train_traced(alg, dataset, initial_model, sink)?)
     }
 
     /// Checks that an analytic [`Algorithm`] gradient agrees with this

@@ -86,7 +86,6 @@ struct VarInfo {
 }
 
 impl VarInfo {
-    #[allow(dead_code)]
     fn flat_len(&self) -> usize {
         self.shape.iter().product()
     }
@@ -157,32 +156,23 @@ impl<'p> Lowerer<'p> {
         let mut data_cursor = 0u32;
         for decl in program.decls_of(DeclType::ModelInput) {
             let shape = resolve_shape(decl)?;
-            let len = shape.iter().product::<usize>();
-            vars.insert(
-                decl.name.as_str(),
-                VarInfo { ty: DeclType::ModelInput, shape, base_slot: data_cursor },
-            );
-            data_cursor += u32::try_from(len).expect("input too large");
+            let info = VarInfo { ty: DeclType::ModelInput, shape, base_slot: data_cursor };
+            data_cursor += u32::try_from(info.flat_len()).expect("input too large");
+            vars.insert(decl.name.as_str(), info);
         }
         for decl in program.decls_of(DeclType::ModelOutput) {
             let shape = resolve_shape(decl)?;
-            let len = shape.iter().product::<usize>();
-            vars.insert(
-                decl.name.as_str(),
-                VarInfo { ty: DeclType::ModelOutput, shape, base_slot: data_cursor },
-            );
-            data_cursor += u32::try_from(len).expect("output too large");
+            let info = VarInfo { ty: DeclType::ModelOutput, shape, base_slot: data_cursor };
+            data_cursor += u32::try_from(info.flat_len()).expect("output too large");
+            vars.insert(decl.name.as_str(), info);
         }
 
         let mut model_cursor = 0u32;
         for decl in program.decls_of(DeclType::Model) {
             let shape = resolve_shape(decl)?;
-            let len = shape.iter().product::<usize>();
-            vars.insert(
-                decl.name.as_str(),
-                VarInfo { ty: DeclType::Model, shape, base_slot: model_cursor },
-            );
-            model_cursor += u32::try_from(len).expect("model too large");
+            let info = VarInfo { ty: DeclType::Model, shape, base_slot: model_cursor };
+            model_cursor += u32::try_from(info.flat_len()).expect("model too large");
+            vars.insert(decl.name.as_str(), info);
         }
 
         // Gradients pair positionally with models and must match shapes.
@@ -206,13 +196,10 @@ impl<'p> Lowerer<'p> {
                     g.name, m.name
                 )));
             }
-            let len = g_shape.iter().product::<usize>();
-            vars.insert(
-                g.name.as_str(),
-                VarInfo { ty: DeclType::Gradient, shape: g_shape, base_slot: grad_cursor },
-            );
+            let info = VarInfo { ty: DeclType::Gradient, shape: g_shape, base_slot: grad_cursor };
+            grad_cursor += u32::try_from(info.flat_len()).expect("gradient too large");
+            vars.insert(g.name.as_str(), info);
             gradient_pairs.insert(g.name.as_str(), vars[m.name.as_str()].base_slot);
-            grad_cursor += u32::try_from(len).expect("gradient too large");
         }
 
         for decl in program.decls_of(DeclType::Iterator) {

@@ -64,3 +64,10 @@ pub use trainer::{
 // Re-export the fault-injection vocabulary so runtime users need not
 // depend on cosmic-sim directly.
 pub use cosmic_sim::faults::{FaultEvent, FaultKind, FaultPlan, FaultRates};
+
+// Re-export the telemetry vocabulary the traced entry points
+// ([`trainer::ClusterTrainer::train_traced`],
+// [`timing::ClusterTiming::iteration_traced`]) speak.
+pub use cosmic_telemetry::{
+    counters, names, Layer, SpanGuard, SpanRecord, TraceSink, TraceSummary,
+};

@@ -139,6 +139,11 @@ pub struct AggregateOutcome {
     /// (delivery is idempotent; duplicates are not a quarantine
     /// offence).
     pub duplicates_dropped: usize,
+    /// Peak circular-buffer occupancy over every peer ring in this pass.
+    /// **Diagnostic**: with more chunks in flight than ring capacity the
+    /// peak depends on producer/consumer interleaving, so telemetry
+    /// keeps it out of the deterministic `metrics.json` exports.
+    pub ring_high_water: usize,
 }
 
 /// Per-peer consumer state, collected after the pipeline drains.
@@ -147,6 +152,7 @@ struct PeerFold {
     staged: Option<Vec<f64>>,
     fault: Option<ChunkFault>,
     duplicates: usize,
+    high_water: usize,
 }
 
 /// The Sigma node's aggregation machinery: two internally managed thread
@@ -277,7 +283,8 @@ impl SigmaAggregator {
                         dst[chunk.offset..chunk.offset + chunk.data.len()]
                             .copy_from_slice(&chunk.data);
                     }
-                    *folds[peer].lock() = PeerFold { staged, fault, duplicates };
+                    let high_water = ring.high_water();
+                    *folds[peer].lock() = PeerFold { staged, fault, duplicates, high_water };
                     drop(wg);
                 });
             }
@@ -288,9 +295,11 @@ impl SigmaAggregator {
         let mut sum = vec![0.0; model_len];
         let mut quarantined = Vec::new();
         let mut duplicates_dropped = 0;
+        let mut ring_high_water = 0;
         for (peer, fold) in folds.iter().enumerate() {
             let fold = fold.lock();
             duplicates_dropped += fold.duplicates;
+            ring_high_water = ring_high_water.max(fold.high_water);
             match fold.fault {
                 Some(fault) => quarantined.push((peer, fault)),
                 None => {
@@ -302,7 +311,14 @@ impl SigmaAggregator {
                 }
             }
         }
-        AggregateOutcome { sum, quarantined, duplicates_dropped }
+        AggregateOutcome { sum, quarantined, duplicates_dropped, ring_high_water }
+    }
+
+    /// Total jobs submitted to the networking + aggregation pools so
+    /// far: two per peer connection per aggregation pass, so the count
+    /// is a deterministic function of the call history.
+    pub fn jobs_submitted(&self) -> usize {
+        self.networking.jobs_submitted() + self.aggregation.jobs_submitted()
     }
 }
 
@@ -437,6 +453,20 @@ mod tests {
         assert_eq!(out.sum, vec![4.0; 4], "duplicate must not double-count");
         assert_eq!(out.duplicates_dropped, 1);
         assert!(out.quarantined.is_empty());
+    }
+
+    #[test]
+    fn outcome_reports_ring_high_water_and_job_counts() {
+        let sigma = SigmaAggregator::new(2, 2);
+        let len = 2 * CHUNK_WORDS;
+        let incoming = vec![send_model(vec![1.0; len]), send_model(vec![2.0; len])];
+        let out = sigma.aggregate_validated(len, incoming);
+        assert!(out.ring_high_water >= 1, "chunks flowed through the rings");
+        assert!(out.ring_high_water <= 4, "bounded by ring capacity");
+        // Two jobs (producer + consumer) per peer connection.
+        assert_eq!(sigma.jobs_submitted(), 4);
+        let _ = sigma.aggregate(len, vec![send_model(vec![3.0; len])]);
+        assert_eq!(sigma.jobs_submitted(), 6);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! a fixed set of workers pulling closures from a channel.
 
 use crossbeam::channel::{self, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -39,6 +40,7 @@ pub struct ThreadPool {
     sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     size: usize,
+    submitted: AtomicUsize,
 }
 
 impl ThreadPool {
@@ -68,7 +70,7 @@ impl ThreadPool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        ThreadPool { sender: Some(sender), workers, size }
+        ThreadPool { sender: Some(sender), workers, size, submitted: AtomicUsize::new(0) }
     }
 
     /// Number of workers.
@@ -76,14 +78,26 @@ impl ThreadPool {
         self.size
     }
 
+    /// Jobs submitted through [`ThreadPool::execute`] so far (the
+    /// internal barrier jobs of [`ThreadPool::wait_idle`] are not
+    /// counted — they are plumbing, not work).
+    pub fn jobs_submitted(&self) -> usize {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
     /// Submits a job for execution on some worker.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submit_inner(Box::new(job));
+    }
+
+    fn submit_inner(&self, job: Job) {
         // The sender lives until Drop and the workers hold the receiver
         // open as long as it does, so submission can only fail mid-Drop
         // — unreachable through the public API, and dropping the job is
         // then the correct outcome.
         if let Some(sender) = &self.sender {
-            let _ = sender.send(Box::new(job));
+            let _ = sender.send(job);
         }
     }
 
@@ -97,10 +111,10 @@ impl ThreadPool {
         for _ in 0..self.size {
             let wg = wg.clone();
             let barrier = std::sync::Arc::clone(&barrier);
-            self.execute(move || {
+            self.submit_inner(Box::new(move || {
                 barrier.wait();
                 drop(wg);
-            });
+            }));
         }
         barrier.wait();
         wg.wait();
@@ -174,6 +188,17 @@ mod tests {
         }
         drop(pool);
         assert!(ids.lock().len() <= 2);
+    }
+
+    #[test]
+    fn submission_counter_excludes_wait_idle_barriers() {
+        let pool = ThreadPool::new(2, "count");
+        assert_eq!(pool.jobs_submitted(), 0);
+        for _ in 0..17 {
+            pool.execute(|| {});
+        }
+        pool.wait_idle();
+        assert_eq!(pool.jobs_submitted(), 17);
     }
 
     #[test]

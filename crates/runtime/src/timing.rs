@@ -11,6 +11,7 @@
 //! the generic baseline.
 
 use cosmic_sim::{NetworkModel, PcieModel};
+use cosmic_telemetry::{counters, names, Layer, TraceSink};
 
 use crate::error::RuntimeError;
 use crate::node::CHUNK_WORDS;
@@ -275,6 +276,50 @@ impl ClusterTiming {
         it
     }
 
+    /// [`ClusterTiming::iteration_with_faults`] that also records the
+    /// iteration into `sink`: an `iteration` span enclosing one closed
+    /// span per phase (durations taken verbatim from the breakdown, so
+    /// [`cosmic_telemetry::TraceSummary`] reproduces it bit for bit) plus
+    /// the wire-byte counters for both hierarchy levels, the broadcast,
+    /// and PCIe. Advances the sink's virtual clock by the iteration's
+    /// total time.
+    pub fn iteration_traced(
+        &self,
+        minibatch: usize,
+        node: NodeCompute,
+        exchange_bytes: usize,
+        faults: &FaultTimingModel,
+        sink: &TraceSink,
+    ) -> IterationBreakdown {
+        let it = self.iteration_with_faults(minibatch, node, exchange_bytes, faults);
+
+        let guard = sink.span(Layer::Exec, names::ITERATION);
+        let mut t = sink.now();
+        let phases = [
+            (Layer::Exec, names::COMPUTE, it.compute_s),
+            (Layer::Net, names::PCIE, it.pcie_s),
+            (Layer::Aggregate, names::AGGREGATE, it.aggregate_s),
+            (Layer::Net, names::BROADCAST, it.broadcast_s),
+            (Layer::Exec, names::MANAGEMENT, it.management_s),
+            (Layer::Retry, names::RECOVERY, it.recovery_s),
+        ];
+        for (layer, name, dur) in phases {
+            sink.span_closed(layer, name, t, dur);
+            t += dur;
+        }
+
+        let fan1 = self.group_fan_in();
+        let fan2 = self.groups.saturating_sub(1);
+        self.net.fan_in_traced(exchange_bytes, fan1, 1, sink);
+        self.net.fan_in_traced(exchange_bytes, fan2, 2, sink);
+        self.net.fan_out_traced(exchange_bytes, fan1.max(fan2), sink);
+        sink.add(counters::PCIE_BYTES, (2 * exchange_bytes) as f64);
+
+        sink.advance(it.total_s());
+        drop(guard);
+        it
+    }
+
     /// Steady-state training throughput in records/s under `faults`
     /// (use [`FaultTimingModel::none`] for the healthy rate).
     pub fn throughput_records_per_sec(
@@ -481,6 +526,38 @@ mod tests {
             t.throughput_records_per_sec(10_000, node(1e5), 1_000_000, &FaultTimingModel::none());
         let degraded = t.throughput_records_per_sec(10_000, node(1e5), 1_000_000, &m);
         assert!(degraded < healthy, "faults must cost throughput: {degraded} vs {healthy}");
+    }
+
+    #[test]
+    fn traced_iteration_round_trips_through_the_summary() {
+        use cosmic_telemetry::{counters, TraceSink, TraceSummary};
+        let t = ClusterTiming::commodity(8, 2);
+        let faults = FaultTimingModel {
+            chunk_drop_rate: 0.02,
+            retry_backoff_s: 1e-4,
+            straggler_rate: 0.1,
+            straggler_slowdown: 6.0,
+            ..FaultTimingModel::none()
+        };
+        let sink = TraceSink::new();
+        let it = t.iteration_traced(10_000, node(1e5), 1_000_000, &faults, &sink);
+        assert_eq!(it, t.iteration_with_faults(10_000, node(1e5), 1_000_000, &faults));
+        assert!(sink.validate_tree().is_ok());
+
+        let summary = TraceSummary::of(&sink);
+        assert_eq!(summary.iterations, 1);
+        assert_eq!(summary.compute_s, it.compute_s);
+        assert_eq!(summary.recovery_s, it.recovery_s);
+        assert_eq!(summary.total_s(), it.total_s());
+        assert_eq!(summary.communication_s(), it.communication_s());
+
+        let sums = sink.sums();
+        // 8 nodes, 2 groups: 3 members per Sigma, 1 peer Sigma to master.
+        assert_eq!(sums[counters::NET_BYTES_LEVEL1], 3e6);
+        assert_eq!(sums[counters::NET_BYTES_LEVEL2], 1e6);
+        assert_eq!(sums[counters::NET_BYTES_BROADCAST], 3e6);
+        assert_eq!(sums[counters::PCIE_BYTES], 2e6);
+        assert!((sink.now() - it.total_s()).abs() < 1e-15);
     }
 
     #[test]

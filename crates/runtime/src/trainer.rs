@@ -26,6 +26,7 @@ use cosmic_ml::data::Dataset;
 use cosmic_ml::sgd;
 use cosmic_ml::{Aggregation, Algorithm};
 use cosmic_sim::faults::FaultPlan;
+use cosmic_telemetry::{counters, names, Layer, TraceSink};
 
 use crate::error::RuntimeError;
 use crate::node::{chunk_vector, ChunkFault, SigmaAggregator, CHUNK_WORDS};
@@ -256,6 +257,34 @@ impl ClusterTrainer {
         dataset: &Dataset,
         initial_model: Vec<f64>,
     ) -> Result<TrainOutcome, RuntimeError> {
+        self.train_inner(alg, dataset, initial_model, None)
+    }
+
+    /// [`ClusterTrainer::train`] that also records the run into `sink`:
+    /// a `train` root span over per-iteration spans (compute barrier,
+    /// retransmissions, exclusions, group and master aggregation,
+    /// broadcast, crashes, re-elections) plus the wire/chunk/fault
+    /// counters. Time is virtual — one nominal node-iteration compute
+    /// time is the unit, the same as [`ClusterConfig::deadline_factor`]
+    /// — so the trace from a given plan and seed is byte-identical
+    /// across runs.
+    pub fn train_traced(
+        &self,
+        alg: &Algorithm,
+        dataset: &Dataset,
+        initial_model: Vec<f64>,
+        sink: &TraceSink,
+    ) -> Result<TrainOutcome, RuntimeError> {
+        self.train_inner(alg, dataset, initial_model, Some(sink))
+    }
+
+    fn train_inner(
+        &self,
+        alg: &Algorithm,
+        dataset: &Dataset,
+        initial_model: Vec<f64>,
+        sink: Option<&TraceSink>,
+    ) -> Result<TrainOutcome, RuntimeError> {
         let cfg = &self.config;
         let plan = &cfg.faults;
         let model_len = initial_model.len();
@@ -283,15 +312,39 @@ impl ClusterTrainer {
         let steps =
             thread_parts.iter().flatten().map(Dataset::len).max().unwrap_or(0).div_ceil(per_worker);
 
+        // Root span for the whole run; the planned fault schedule is
+        // recorded first so the trace shows intent alongside effect.
+        let _root = sink.map(|s| {
+            plan.record_into(s);
+            let g = s.span(Layer::Exec, "train");
+            g.arg("nodes", &cfg.nodes.to_string());
+            g.arg("groups", &cfg.groups.to_string());
+            g.arg("minibatch", &cfg.minibatch.to_string());
+            g
+        });
+
         for _ in 0..cfg.epochs {
             history.push(sgd::mean_loss(alg, dataset, &model));
             for step in 0..steps {
+                let _iter_span = sink.map(|s| {
+                    let g = s.span(Layer::Exec, names::ITERATION);
+                    g.arg("iter", &iter_idx.to_string());
+                    g
+                });
+                let t0 = sink.map_or(0.0, TraceSink::now);
+
                 // Phase 0: fail-stop crashes scheduled for this
                 // iteration, with Sigma re-election where needed.
                 for node in 0..cfg.nodes {
                     if alive[node] && plan.crashed(node, iter_idx) {
                         report.crashes.push((iter_idx, node));
-                        kill_node(node, iter_idx, &mut topology, &mut alive, &mut report)?;
+                        if let Some(s) = sink {
+                            let idx = s.instant(Layer::Failover, "crash");
+                            s.set_arg(idx, "node", &node.to_string());
+                            s.set_arg(idx, "iter", &iter_idx.to_string());
+                            s.add(counters::FAULTS_CRASHES, 1.0);
+                        }
+                        kill_node(node, iter_idx, &mut topology, &mut alive, &mut report, sink)?;
                     }
                 }
 
@@ -323,7 +376,8 @@ impl ClusterTrainer {
                             node,
                             reason: ExclusionReason::ThreadPanic,
                         });
-                        kill_node(node, iter_idx, &mut topology, &mut alive, &mut report)?;
+                        record_exclusion(sink, node, iter_idx);
+                        kill_node(node, iter_idx, &mut topology, &mut alive, &mut report, sink)?;
                     }
                 }
 
@@ -334,6 +388,10 @@ impl ClusterTrainer {
                 // be rescaled over the survivors.
                 let mut contributions: Vec<Option<(Vec<f64>, usize)>> =
                     (0..cfg.nodes).map(|_| None).collect();
+                // The barrier's virtual wait: the slowest node's virtual
+                // completion time, capped at the deadline (past it the
+                // node is excluded, not waited for). Nominal is 1.
+                let mut round_cost = 1.0f64;
                 for node in 0..cfg.nodes {
                     if !alive[node] {
                         continue;
@@ -342,15 +400,27 @@ impl ClusterTrainer {
                     if !has_records {
                         continue;
                     }
-                    let (reason, retries) =
-                        admit(plan, &cfg.retry, cfg.deadline_factor, node, iter_idx, chunks);
-                    report.chunk_retries += retries;
-                    match reason {
+                    let adm = admit(plan, &cfg.retry, cfg.deadline_factor, node, iter_idx, chunks);
+                    report.chunk_retries += adm.retries;
+                    round_cost = round_cost.max(adm.cost.min(cfg.deadline_factor));
+                    if adm.retries > 0 {
+                        if let Some(s) = sink {
+                            let idx = s.span_closed(Layer::Retry, "retransmit", t0, adm.backoff);
+                            s.set_arg(idx, "node", &node.to_string());
+                            s.set_arg(idx, "retries", &adm.retries.to_string());
+                            s.add(counters::CHUNKS_RETRIED, adm.retries as f64);
+                        }
+                    }
+                    match adm.reason {
                         None => contributions[node] = partials[node].take(),
                         Some(reason) => {
                             report.exclusions.push(Exclusion { iteration: iter_idx, node, reason });
+                            record_exclusion(sink, node, iter_idx);
                         }
                     }
+                }
+                if let Some(s) = sink {
+                    s.span_closed(Layer::Exec, names::COMPUTE, t0, round_cost);
                 }
 
                 // Phase 3: group-level aggregation through the Sigma
@@ -396,6 +466,21 @@ impl ClusterTrainer {
                         sigma.aggregate_validated(model_len, receivers)
                     });
                     report.duplicates_dropped += outcome.duplicates_dropped;
+                    if let Some(s) = sink {
+                        let idx = s.instant(Layer::Aggregate, "group");
+                        s.set_arg(idx, "sigma", &group[0].to_string());
+                        s.set_arg(idx, "senders", &senders.len().to_string());
+                        // The Sigma's own partial never crosses the wire.
+                        let wire = senders.iter().filter(|&&m| m != group[0]).count();
+                        s.add(counters::NET_BYTES_LEVEL1, (wire * model_len * 8) as f64);
+                        s.add(counters::CHUNKS_SENT, (senders.len() * chunks) as f64);
+                        s.add(counters::CHUNKS_QUARANTINED, outcome.quarantined.len() as f64);
+                        s.add(counters::CHUNKS_DUPLICATED, outcome.duplicates_dropped as f64);
+                        s.record_max_diagnostic(
+                            counters::RING_HIGH_WATER,
+                            outcome.ring_high_water as f64,
+                        );
+                    }
                     let mut rejected = vec![false; senders.len()];
                     for &(peer, fault) in &outcome.quarantined {
                         rejected[peer] = true;
@@ -419,6 +504,9 @@ impl ClusterTrainer {
                 // admission *and* Sigma validation.
                 let active_total: usize = group_sums.iter().map(|(_, n)| n).sum();
                 if active_total == 0 {
+                    if let Some(s) = sink {
+                        s.advance(round_cost);
+                    }
                     iter_idx += 1;
                     continue;
                 }
@@ -444,6 +532,24 @@ impl ClusterTrainer {
                     sigma.aggregate(model_len, receivers)
                 });
 
+                if let Some(s) = sink {
+                    let contributing = group_sums.iter().filter(|(_, n)| *n > 0).count();
+                    let idx = s.instant(Layer::Aggregate, "master");
+                    s.set_arg(idx, "groups", &contributing.to_string());
+                    // The master's own group aggregate is already local.
+                    s.add(
+                        counters::NET_BYTES_LEVEL2,
+                        (contributing.saturating_sub(1) * model_len * 8) as f64,
+                    );
+                    let live = alive.iter().filter(|&&a| a).count();
+                    let bidx = s.instant(Layer::Net, names::BROADCAST);
+                    s.set_arg(bidx, "receivers", &live.saturating_sub(1).to_string());
+                    s.add(
+                        counters::NET_BYTES_BROADCAST,
+                        (live.saturating_sub(1) * model_len * 8) as f64,
+                    );
+                }
+
                 match cfg.aggregation {
                     Aggregation::Average => {
                         // Partials are worker models; averaging over the
@@ -463,10 +569,17 @@ impl ClusterTrainer {
                     }
                 }
                 iterations += 1;
+                if let Some(s) = sink {
+                    s.add(counters::TRAINER_ITERATIONS, 1.0);
+                    s.advance(round_cost);
+                }
                 iter_idx += 1;
             }
         }
         history.push(sgd::mean_loss(alg, dataset, &model));
+        if let Some(s) = sink {
+            s.add(counters::POOL_JOBS, sigma.jobs_submitted() as f64);
+        }
         Ok(TrainOutcome {
             model,
             loss_history: history,
@@ -485,6 +598,7 @@ fn kill_node(
     topology: &mut Topology,
     alive: &mut [bool],
     report: &mut FaultReport,
+    sink: Option<&TraceSink>,
 ) -> Result<(), RuntimeError> {
     alive[node] = false;
     if !alive.iter().any(|&a| a) {
@@ -492,6 +606,13 @@ fn kill_node(
     }
     match topology.fail_node(node) {
         Ok(Some(promotion)) => {
+            if let Some(s) = sink {
+                let idx = s.instant(Layer::Failover, "reelection");
+                s.set_arg(idx, "failed", &promotion.failed.to_string());
+                s.set_arg(idx, "elected", &promotion.elected.to_string());
+                s.set_arg(idx, "master", &promotion.was_master.to_string());
+                s.add(counters::FAILOVER_REELECTIONS, 1.0);
+            }
             report.reelections.push((iteration, promotion));
             Ok(())
         }
@@ -501,8 +622,30 @@ fn kill_node(
     }
 }
 
-/// Deadline admission for one node: `(exclusion reason, retransmissions
-/// spent)`. `None` means the node made the deadline and contributes.
+/// Records one node exclusion as a zero-duration span plus counter.
+fn record_exclusion(sink: Option<&TraceSink>, node: usize, iteration: usize) {
+    if let Some(s) = sink {
+        let idx = s.instant(Layer::Exec, "exclusion");
+        s.set_arg(idx, "node", &node.to_string());
+        s.set_arg(idx, "iter", &iteration.to_string());
+        s.add(counters::TRAINER_EXCLUSIONS, 1.0);
+    }
+}
+
+/// The outcome of deadline admission for one node.
+struct Admission {
+    /// `None` when the node made the deadline and contributes.
+    reason: Option<ExclusionReason>,
+    /// Retransmissions spent recovering dropped chunks.
+    retries: usize,
+    /// Total backoff delay spent on those retransmissions, in
+    /// nominal-iteration units.
+    backoff: f64,
+    /// The node's virtual completion time: straggle factor + backoff.
+    cost: f64,
+}
+
+/// Deadline admission for one node, in virtual time.
 fn admit(
     plan: &FaultPlan,
     retry: &RetryPolicy,
@@ -510,9 +653,9 @@ fn admit(
     node: usize,
     iteration: usize,
     chunks: usize,
-) -> (Option<ExclusionReason>, usize) {
-    let mut cost = plan.straggle_factor(node, iteration);
+) -> Admission {
     let mut retries = 0;
+    let mut backoff = 0.0;
     let mut undeliverable = false;
     if plan.has_chunk_faults(node, iteration) {
         for chunk in 0..chunks {
@@ -525,18 +668,20 @@ fn admit(
             }
             let attempts = drops.min(retry.max_retries);
             for attempt in 0..attempts {
-                cost += retry.delay(attempt);
+                backoff += retry.delay(attempt);
             }
             retries += attempts as usize;
         }
     }
-    if undeliverable {
-        (Some(ExclusionReason::Undeliverable), retries)
+    let cost = plan.straggle_factor(node, iteration) + backoff;
+    let reason = if undeliverable {
+        Some(ExclusionReason::Undeliverable)
     } else if cost > deadline_factor {
-        (Some(ExclusionReason::DeadlineExceeded { virtual_cost: cost }), retries)
+        Some(ExclusionReason::DeadlineExceeded { virtual_cost: cost })
     } else {
-        (None, retries)
-    }
+        None
+    };
+    Admission { reason, retries, backoff, cost }
 }
 
 /// Node ids per group (Sigma first), from the current (possibly
@@ -902,6 +1047,51 @@ mod tests {
             out.faults.exclusions,
             vec![Exclusion { iteration: 0, node: 1, reason: ExclusionReason::Undeliverable }]
         );
+    }
+
+    #[test]
+    fn traced_runs_are_byte_identical_and_well_formed() {
+        let alg = Algorithm::LogisticRegression { features: 6 };
+        let ds = data::generate(&alg, 256, 21);
+        let init = data::init_model(&alg, 2);
+        let config = ClusterConfig {
+            nodes: 4,
+            groups: 2,
+            minibatch: 64,
+            epochs: 2,
+            faults: FaultPlan::none().straggle(1, 0, 2.0).drop_chunk(2, 1, 0, 1).crash(3, 3),
+            ..ClusterConfig::default()
+        };
+        let run = |config: ClusterConfig| {
+            let sink = TraceSink::new();
+            let out = trainer(config).train_traced(&alg, &ds, init.clone(), &sink).expect("runs");
+            (out, sink)
+        };
+        let (out_a, sink_a) = run(config.clone());
+        let (out_b, sink_b) = run(config.clone());
+        assert_eq!(out_a, out_b);
+        assert!(sink_a.validate_tree().is_ok());
+        assert_eq!(sink_a.chrome_trace_json(), sink_b.chrome_trace_json());
+        assert_eq!(sink_a.metrics_json(), sink_b.metrics_json());
+
+        // Tracing must not perturb the training computation itself.
+        let untraced = trainer(config).train(&alg, &ds, init.clone()).expect("runs");
+        assert_eq!(out_a, untraced);
+
+        let sums = sink_a.sums();
+        assert_eq!(sums[counters::TRAINER_ITERATIONS], out_a.iterations as f64);
+        assert_eq!(sums[counters::CHUNKS_RETRIED], out_a.faults.chunk_retries as f64);
+        assert_eq!(sums[counters::FAULTS_CRASHES], out_a.faults.crashes.len() as f64);
+        let exclusions = sums.get(counters::TRAINER_EXCLUSIONS).copied().unwrap_or(0.0);
+        assert_eq!(exclusions, out_a.faults.exclusions.len() as f64);
+        assert!(sums[counters::NET_BYTES_LEVEL1] > 0.0);
+        assert!(sums[counters::POOL_JOBS] > 0.0);
+        // The straggler stretched iteration 0's barrier in virtual time.
+        assert!(sink_a.now() > out_a.iterations as f64);
+        // Ring high-water is diagnostic: out of metrics, but observable.
+        assert!(!sums.contains_key(counters::RING_HIGH_WATER));
+        let (_, diag_max) = sink_a.diagnostics();
+        assert!(diag_max[counters::RING_HIGH_WATER] >= 1.0);
     }
 
     #[test]

@@ -112,6 +112,32 @@ impl<E> EventQueue<E> {
         }
         self.now
     }
+
+    /// [`EventQueue::run`] that also records the run into `sink`: one
+    /// `sim.run` span covering the simulated interval (in seconds of
+    /// virtual time) and the processed-event count on
+    /// [`cosmic_telemetry::counters::SIM_EVENTS`].
+    pub fn run_traced(
+        mut self,
+        sink: &cosmic_telemetry::TraceSink,
+        mut handler: impl FnMut(&mut EventQueue<E>, SimTime, E),
+    ) -> SimTime {
+        let start_ns = self.now;
+        let mut events = 0u64;
+        while let Some((at, event)) = self.pop() {
+            events += 1;
+            handler(&mut self, at, event);
+        }
+        sink.add(cosmic_telemetry::counters::SIM_EVENTS, events as f64);
+        sink.span_closed(
+            cosmic_telemetry::Layer::Exec,
+            "sim.run",
+            start_ns as f64 / 1e9,
+            (self.now - start_ns) as f64 / 1e9,
+        );
+        sink.set_time(self.now as f64 / 1e9);
+        self.now
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +192,25 @@ mod tests {
             }
         });
         assert_eq!(end, 31);
+    }
+
+    #[test]
+    fn run_traced_counts_events_and_covers_the_interval() {
+        let sink = cosmic_telemetry::TraceSink::new();
+        let mut q = EventQueue::new();
+        q.schedule(1_000_000_000, 2u32);
+        let end = q.run_traced(&sink, |q, _, depth| {
+            if depth > 0 {
+                q.schedule_in(500_000_000, depth - 1);
+            }
+        });
+        assert_eq!(end, 2_000_000_000);
+        assert_eq!(sink.sums()[cosmic_telemetry::counters::SIM_EVENTS], 3.0);
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "sim.run");
+        assert_eq!(spans[0].dur, 2.0);
+        assert_eq!(sink.now(), 2.0);
     }
 
     #[test]

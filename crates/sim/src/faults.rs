@@ -272,6 +272,38 @@ impl FaultPlan {
         })
     }
 
+    /// Records the whole schedule into `sink`: one zero-duration span
+    /// per event (timestamped at its iteration index, annotated with the
+    /// target node and kind) plus a `faults.planned.*` counter per
+    /// [`FaultKind`]. The trainer calls this once up front so a trace
+    /// shows what was *planned* alongside what the run actually hit.
+    pub fn record_into(&self, sink: &cosmic_telemetry::TraceSink) {
+        use cosmic_telemetry::{counters, Layer};
+        for event in &self.events {
+            let (layer, name, counter) = match event.kind {
+                FaultKind::Crash => {
+                    (Layer::Failover, "fault.crash", counters::FAULTS_PLANNED_CRASHES)
+                }
+                FaultKind::Straggle { .. } => {
+                    (Layer::Exec, "fault.straggle", counters::FAULTS_PLANNED_STRAGGLES)
+                }
+                FaultKind::DropChunk { .. } => {
+                    (Layer::Retry, "fault.drop_chunk", counters::FAULTS_PLANNED_DROPS)
+                }
+                FaultKind::CorruptChunk { .. } => {
+                    (Layer::Retry, "fault.corrupt_chunk", counters::FAULTS_PLANNED_CORRUPTIONS)
+                }
+                FaultKind::DuplicateChunk { .. } => {
+                    (Layer::Retry, "fault.duplicate_chunk", counters::FAULTS_PLANNED_DUPLICATES)
+                }
+            };
+            let idx = sink.span_closed(layer, name, event.iteration as f64, 0.0);
+            sink.set_arg(idx, "node", &event.node.to_string());
+            sink.set_arg(idx, "kind", &event.kind.to_string());
+            sink.add(counter, 1.0);
+        }
+    }
+
     /// Whether any chunk-level fault targets `node` at `iteration`
     /// (cheap pre-check before walking every chunk index).
     pub fn has_chunk_faults(&self, node: usize, iteration: usize) -> bool {
@@ -402,6 +434,31 @@ mod tests {
     fn zero_rates_give_empty_plan() {
         let p = FaultPlan::random(1, 16, 50, 8, &FaultRates::default());
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn record_into_emits_planned_spans_and_counters() {
+        use cosmic_telemetry::{counters, TraceSink};
+        let plan = FaultPlan::none()
+            .crash(3, 5)
+            .straggle(1, 2, 4.0)
+            .drop_chunk(0, 1, 2, 3)
+            .corrupt_chunk(2, 0, 1)
+            .duplicate_chunk(2, 0, 1);
+        let sink = TraceSink::new();
+        plan.record_into(&sink);
+        let sums = sink.sums();
+        assert_eq!(sums[counters::FAULTS_PLANNED_CRASHES], 1.0);
+        assert_eq!(sums[counters::FAULTS_PLANNED_STRAGGLES], 1.0);
+        assert_eq!(sums[counters::FAULTS_PLANNED_DROPS], 1.0);
+        assert_eq!(sums[counters::FAULTS_PLANNED_CORRUPTIONS], 1.0);
+        assert_eq!(sums[counters::FAULTS_PLANNED_DUPLICATES], 1.0);
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 5);
+        assert_eq!(spans[0].name, "fault.crash");
+        assert_eq!(spans[0].start, 5.0);
+        assert_eq!(spans[0].args[0], ("node".to_string(), "3".to_string()));
+        assert!(sink.validate_tree().is_ok());
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! node's ingress and egress links serialize their transfers
 //! independently (full duplex).
 
+use cosmic_telemetry::{counters, TraceSink};
+
 use crate::event::SimTime;
 
 /// Parameters of the cluster network.
@@ -61,6 +63,33 @@ impl NetworkModel {
     /// model).
     pub fn fan_out_ns(&self, bytes: usize, receivers: usize) -> SimTime {
         self.fan_in_ns(bytes, receivers)
+    }
+
+    /// [`NetworkModel::fan_in_ns`] that also books the ingress bytes on
+    /// the sink's per-level wire counter: `level` 1 is group members →
+    /// Sigma, 2 is group Sigmas → master (anything else lands in
+    /// `net.bytes.other`).
+    pub fn fan_in_traced(
+        &self,
+        bytes: usize,
+        senders: usize,
+        level: usize,
+        sink: &TraceSink,
+    ) -> SimTime {
+        let counter = match level {
+            1 => counters::NET_BYTES_LEVEL1,
+            2 => counters::NET_BYTES_LEVEL2,
+            _ => "net.bytes.other",
+        };
+        sink.add(counter, (bytes * senders) as f64);
+        self.fan_in_ns(bytes, senders)
+    }
+
+    /// [`NetworkModel::fan_out_ns`] that also books the egress bytes on
+    /// the sink's broadcast counter.
+    pub fn fan_out_traced(&self, bytes: usize, receivers: usize, sink: &TraceSink) -> SimTime {
+        sink.add(counters::NET_BYTES_BROADCAST, (bytes * receivers) as f64);
+        self.fan_out_ns(bytes, receivers)
     }
 }
 
@@ -128,6 +157,19 @@ mod tests {
         let n = NetworkModel::gigabit();
         let t = n.transfer_ns(64);
         assert!(t >= 100_000, "fixed costs are ~105us, got {t} ns");
+    }
+
+    #[test]
+    fn traced_fans_book_wire_bytes_per_level() {
+        let n = NetworkModel::gigabit();
+        let sink = TraceSink::new();
+        assert_eq!(n.fan_in_traced(1_000, 3, 1, &sink), n.fan_in_ns(1_000, 3));
+        assert_eq!(n.fan_in_traced(2_000, 2, 2, &sink), n.fan_in_ns(2_000, 2));
+        assert_eq!(n.fan_out_traced(500, 4, &sink), n.fan_out_ns(500, 4));
+        let sums = sink.sums();
+        assert_eq!(sums[counters::NET_BYTES_LEVEL1], 3_000.0);
+        assert_eq!(sums[counters::NET_BYTES_LEVEL2], 4_000.0);
+        assert_eq!(sums[counters::NET_BYTES_BROADCAST], 2_000.0);
     }
 
     #[test]

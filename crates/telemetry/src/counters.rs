@@ -1,0 +1,68 @@
+//! Canonical counter names, so producers and consumers agree on the
+//! `metrics.json` vocabulary without stringly-typed drift.
+
+/// Bytes received over level-1 links (group members → their Sigma).
+pub const NET_BYTES_LEVEL1: &str = "net.bytes.level1";
+/// Bytes received over level-2 links (group Sigmas → the master).
+pub const NET_BYTES_LEVEL2: &str = "net.bytes.level2";
+/// Bytes sent redistributing the updated model.
+pub const NET_BYTES_BROADCAST: &str = "net.bytes.broadcast";
+/// Bytes moved over PCIe (partial readback + model write).
+pub const PCIE_BYTES: &str = "pcie.bytes";
+
+/// Chunks placed on the wire toward an aggregator.
+pub const CHUNKS_SENT: &str = "chunks.sent";
+/// Dropped chunks recovered by retransmission.
+pub const CHUNKS_RETRIED: &str = "chunks.retried";
+/// Peer streams quarantined by Sigma-side validation.
+pub const CHUNKS_QUARANTINED: &str = "chunks.quarantined";
+/// Duplicate chunk deliveries recognized and dropped.
+pub const CHUNKS_DUPLICATED: &str = "chunks.duplicated";
+
+/// Completed aggregation iterations.
+pub const TRAINER_ITERATIONS: &str = "trainer.iterations";
+/// Per-iteration node exclusions (stragglers, undeliverable, panics).
+pub const TRAINER_EXCLUSIONS: &str = "trainer.exclusions";
+/// Fail-stop node crashes absorbed.
+pub const FAULTS_CRASHES: &str = "faults.crashes";
+/// Sigma re-elections performed.
+pub const FAILOVER_REELECTIONS: &str = "failover.reelections";
+
+/// Crashes scheduled in a fault plan (planned, not necessarily reached
+/// by a short run).
+pub const FAULTS_PLANNED_CRASHES: &str = "faults.planned.crash";
+/// Straggle events scheduled in a fault plan.
+pub const FAULTS_PLANNED_STRAGGLES: &str = "faults.planned.straggle";
+/// Chunk-drop events scheduled in a fault plan.
+pub const FAULTS_PLANNED_DROPS: &str = "faults.planned.drop_chunk";
+/// Chunk-corruption events scheduled in a fault plan.
+pub const FAULTS_PLANNED_CORRUPTIONS: &str = "faults.planned.corrupt_chunk";
+/// Chunk-duplication events scheduled in a fault plan.
+pub const FAULTS_PLANNED_DUPLICATES: &str = "faults.planned.duplicate_chunk";
+
+/// Events processed by the discrete-event queue.
+pub const SIM_EVENTS: &str = "sim.events";
+
+/// Compute operations in the compiled dataflow graph.
+pub const COMPILE_OPS: &str = "compile.ops";
+/// Communication edges cut by the mapping (operands off-PE).
+pub const COMPILE_REMOTE_EDGES: &str = "compile.remote_edges";
+/// Schedule length (latency) in cycles.
+pub const COMPILE_SCHEDULE_CYCLES: &str = "compile.schedule_cycles";
+/// Interconnect transfers in the schedule.
+pub const COMPILE_TRANSFERS: &str = "compile.transfers";
+/// Longest per-PE instruction stream (maximum).
+pub const COMPILE_MAX_PE_INSTRS: &str = "compile.max_pe_instrs";
+/// Model words declared by the lowered program.
+pub const COMPILE_MODEL_WORDS: &str = "compile.model_words";
+/// Mean compute operations mapped per PE (maximum over compiles).
+pub const COMPILE_OPS_PER_PE: &str = "compile.ops_per_pe";
+/// PE-utilization sample: ops / (cycles × PEs) (maximum over compiles).
+pub const PE_UTILIZATION: &str = "pe.utilization";
+
+/// Jobs submitted to the Sigma's networking + aggregation pools.
+pub const POOL_JOBS: &str = "pool.jobs";
+/// Circular-buffer high-water mark (**diagnostic**: with more chunks
+/// than ring capacity the peak occupancy depends on thread scheduling,
+/// so this is excluded from `metrics.json`).
+pub const RING_HIGH_WATER: &str = "ring.high_water";

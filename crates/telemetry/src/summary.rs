@@ -1,0 +1,130 @@
+//! Folding raw spans back into a per-phase breakdown.
+
+use crate::sink::TraceSink;
+use crate::span::Layer;
+
+/// Canonical span names shared by producers (the runtime's timing model
+/// and trainer) and [`TraceSummary`].
+pub mod names {
+    /// One aggregation round (mini-batch iteration).
+    pub const ITERATION: &str = "iteration";
+    /// Partial-gradient computation on the accelerators.
+    pub const COMPUTE: &str = "compute";
+    /// PCIe readback of partials + write of the updated model.
+    pub const PCIE: &str = "pcie";
+    /// Hierarchical upward aggregation.
+    pub const AGGREGATE: &str = "aggregate";
+    /// Downward model redistribution.
+    pub const BROADCAST: &str = "broadcast";
+    /// Fixed orchestration overhead.
+    pub const MANAGEMENT: &str = "management";
+    /// Fault recovery: retransmissions, deadline waits, failover.
+    pub const RECOVERY: &str = "recovery";
+}
+
+/// Per-phase totals reconstructed from the raw spans of a sink — the
+/// telemetry-side mirror of the runtime's `IterationBreakdown`.
+///
+/// Phase fields sum the durations of spans bearing the canonical
+/// [`names`]; [`TraceSummary::recovery_s`] additionally includes every
+/// [`Layer::Retry`]/[`Layer::Failover`] span not already named
+/// `recovery`. Because producers store exact durations (never
+/// recomputed from timestamps), a single traced iteration reproduces
+/// the breakdown it came from bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TraceSummary {
+    /// Spans named [`names::ITERATION`].
+    pub iterations: usize,
+    /// Total accelerator-compute time.
+    pub compute_s: f64,
+    /// Total PCIe transfer time.
+    pub pcie_s: f64,
+    /// Total upward-aggregation time.
+    pub aggregate_s: f64,
+    /// Total redistribution time.
+    pub broadcast_s: f64,
+    /// Total orchestration overhead.
+    pub management_s: f64,
+    /// Total fault-recovery time.
+    pub recovery_s: f64,
+}
+
+impl TraceSummary {
+    /// Folds the sink's spans into per-phase totals.
+    pub fn of(sink: &TraceSink) -> Self {
+        let mut summary = TraceSummary::default();
+        for span in sink.spans() {
+            match span.name.as_str() {
+                names::ITERATION => summary.iterations += 1,
+                names::COMPUTE => summary.compute_s += span.dur,
+                names::PCIE => summary.pcie_s += span.dur,
+                names::AGGREGATE => summary.aggregate_s += span.dur,
+                names::BROADCAST => summary.broadcast_s += span.dur,
+                names::MANAGEMENT => summary.management_s += span.dur,
+                names::RECOVERY => summary.recovery_s += span.dur,
+                _ if matches!(span.layer, Layer::Retry | Layer::Failover) => {
+                    summary.recovery_s += span.dur;
+                }
+                _ => {}
+            }
+        }
+        summary
+    }
+
+    /// Total traced time, summed in the same field order as
+    /// `IterationBreakdown::total_s` so the two agree exactly.
+    pub fn total_s(&self) -> f64 {
+        self.compute_s
+            + self.pcie_s
+            + self.aggregate_s
+            + self.broadcast_s
+            + self.management_s
+            + self.recovery_s
+    }
+
+    /// Everything except accelerator compute — the "system" share.
+    pub fn communication_s(&self) -> f64 {
+        self.total_s() - self.compute_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_folds_named_phases_and_recovery_layers() {
+        let sink = TraceSink::new();
+        let iter = sink.span(Layer::Exec, names::ITERATION);
+        sink.span_closed(Layer::Exec, names::COMPUTE, 0.0, 2.0);
+        sink.span_closed(Layer::Net, names::PCIE, 2.0, 0.5);
+        sink.span_closed(Layer::Aggregate, names::AGGREGATE, 2.5, 1.0);
+        sink.span_closed(Layer::Net, names::BROADCAST, 3.5, 0.25);
+        sink.span_closed(Layer::Exec, names::MANAGEMENT, 3.75, 0.125);
+        sink.span_closed(Layer::Retry, "retransmit", 0.0, 0.375);
+        sink.span_closed(Layer::Failover, "reelection", 1.0, 0.125);
+        sink.advance(4.375);
+        drop(iter);
+
+        let s = TraceSummary::of(&sink);
+        assert_eq!(s.iterations, 1);
+        assert_eq!(s.compute_s, 2.0);
+        assert_eq!(s.pcie_s, 0.5);
+        assert_eq!(s.aggregate_s, 1.0);
+        assert_eq!(s.broadcast_s, 0.25);
+        assert_eq!(s.management_s, 0.125);
+        assert_eq!(s.recovery_s, 0.5);
+        assert_eq!(s.total_s(), 4.375);
+        assert_eq!(s.communication_s(), 2.375);
+    }
+
+    #[test]
+    fn unrelated_spans_do_not_contribute() {
+        let sink = TraceSink::new();
+        sink.span_closed(Layer::Exec, "sim.run", 0.0, 100.0);
+        sink.span_closed(Layer::Compile, "compile", 0.0, 100.0);
+        let s = TraceSummary::of(&sink);
+        assert_eq!(s.total_s(), 0.0);
+        assert_eq!(s.iterations, 0);
+    }
+}

@@ -3,9 +3,10 @@
 //! with graceful degradation asserted end to end.
 
 use cosmic::cosmic_ml::data::{self, Dataset};
-use cosmic::cosmic_ml::{Aggregation, Algorithm};
+use cosmic::cosmic_ml::{suite::WORD_BYTES, Aggregation, Algorithm, BenchmarkId};
 use cosmic::cosmic_runtime::{
-    ClusterConfig, ClusterTrainer, ExclusionReason, FaultPlan, Role, TrainOutcome,
+    ClusterConfig, ClusterTiming, ClusterTrainer, ExclusionReason, FaultPlan, FaultTimingModel,
+    NodeCompute, Role, TraceSink, TraceSummary, TrainOutcome,
 };
 
 fn run(
@@ -206,6 +207,100 @@ fn corrupted_chunk_quarantines_only_that_peer() {
 
     let want = survivor_average(&alg, &dataset, &init, &cfg, &[1]);
     assert_eq!(out.model, want, "update must exclude exactly the corrupt peer");
+}
+
+/// Telemetry cross-check: for every suite model, the `TraceSummary`
+/// folded back from the raw spans of a traced iteration reproduces the
+/// `IterationBreakdown` it came from — total, communication, and
+/// recovery — within 1e-12, both healthy and under fault injection.
+#[test]
+fn trace_summary_reproduces_iteration_breakdown_for_every_benchmark() {
+    let timing = ClusterTiming::commodity(8, 2);
+    let node = NodeCompute { records_per_sec: 1e5 };
+    let minibatch = 10_000usize;
+    let healthy = FaultTimingModel::none();
+    let degraded = FaultTimingModel {
+        chunk_drop_rate: 0.05,
+        retry_backoff_s: 250e-6,
+        straggler_rate: 0.05,
+        straggler_slowdown: 8.0,
+        deadline_factor: 4.0,
+        sigma_failover_rate: 0.005,
+        failover_penalty_s: 5e-3,
+    };
+    for id in BenchmarkId::all() {
+        let bench = id.benchmark();
+        let exchange = bench.exchanged_params(minibatch.div_ceil(8)) * WORD_BYTES;
+        for faults in [&healthy, &degraded] {
+            let sink = TraceSink::new();
+            let it = timing.iteration_traced(minibatch, node, exchange, faults, &sink);
+            assert!(sink.validate_tree().is_ok());
+            let summary = TraceSummary::of(&sink);
+            assert_eq!(summary.iterations, 1, "{id}");
+            assert!((summary.total_s() - it.total_s()).abs() <= 1e-12, "{id} total");
+            assert!(
+                (summary.communication_s() - it.communication_s()).abs() <= 1e-12,
+                "{id} communication"
+            );
+            assert!((summary.recovery_s - it.recovery_s).abs() <= 1e-12, "{id} recovery");
+        }
+    }
+}
+
+/// Failover scenario: the *master* Sigma dies mid-run. The crown passes
+/// to a surviving node, the re-election is recorded as such, and
+/// training continues to completion on the survivors.
+#[test]
+fn master_sigma_crash_passes_the_crown() {
+    // 4 nodes / 2 groups: groups {0,1} and {2,3}; node 0 is the master.
+    // Node 1 (the master's last group-mate) dies first, then the master
+    // itself mid-run.
+    let (_, _, out) = run(4, 2, 4, FaultPlan::none().crash(1, 0).crash(0, 1));
+    assert_eq!(out.faults.crashes, vec![(0, 1), (1, 0)]);
+
+    let master_handoffs: Vec<_> =
+        out.faults.reelections.iter().filter(|(_, p)| p.was_master).collect();
+    assert_eq!(master_handoffs.len(), 1, "exactly one crown-passing: {:?}", out.faults.reelections);
+    let (when, promotion) = master_handoffs[0];
+    assert_eq!(*when, 1);
+    assert_eq!(promotion.failed, 0);
+
+    let topo = &out.final_topology;
+    assert!(matches!(topo.roles[0], Role::Failed));
+    assert!(matches!(topo.roles[1], Role::Failed));
+    assert_eq!(topo.master(), Some(promotion.elected), "elected node must now be master");
+    assert_eq!(topo.live_nodes(), 2);
+
+    let first = out.loss_history[0];
+    let last = *out.loss_history.last().unwrap();
+    assert!(last < first, "loss {first} -> {last}");
+}
+
+/// Failover scenario: a group loses its last member. The group
+/// dissolves — no re-election is possible inside it — and the rest of
+/// the cluster trains on.
+#[test]
+fn group_dissolves_when_its_last_member_dies() {
+    // 4 nodes / 2 groups: group {2,3} loses its Delta (3) and then its
+    // Sigma (2), leaving nobody to promote.
+    let (_, _, out) = run(4, 2, 4, FaultPlan::none().crash(3, 0).crash(2, 1));
+    assert_eq!(out.faults.crashes, vec![(0, 3), (1, 2)]);
+    assert!(
+        out.faults.reelections.iter().all(|(_, p)| p.failed != 2 || p.elected != 3),
+        "a dead Delta must never be promoted: {:?}",
+        out.faults.reelections
+    );
+
+    let topo = &out.final_topology;
+    assert!(matches!(topo.roles[2], Role::Failed));
+    assert!(matches!(topo.roles[3], Role::Failed));
+    assert_eq!(topo.groups, 1, "the emptied group must dissolve");
+    assert_eq!(topo.live_nodes(), 2);
+    assert_eq!(topo.master(), Some(0), "master group is untouched");
+
+    let first = out.loss_history[0];
+    let last = *out.loss_history.last().unwrap();
+    assert!(last < first, "loss {first} -> {last}");
 }
 
 /// Determinism: the same seeded random plan produces bit-identical

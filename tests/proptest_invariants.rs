@@ -7,6 +7,7 @@ use cosmic::cosmic_dsl::{self, programs};
 use cosmic::cosmic_ml::{data, sgd, Aggregation, Algorithm};
 use cosmic::cosmic_runtime::node::{chunk_vector, SigmaAggregator};
 use cosmic::cosmic_runtime::{CircularBuffer, CHUNK_WORDS};
+use cosmic::cosmic_telemetry::{Layer, TraceSink};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -248,6 +249,74 @@ proptest! {
         prop_assert_eq!(with_bad.quarantined.len(), 1);
         prop_assert!(honest.quarantined.is_empty());
         prop_assert_eq!(with_bad.sum, honest.sum);
+    }
+
+    /// Arbitrary interleavings of span begin/end across worker threads
+    /// always leave the sink with a well-formed tree: every span closed,
+    /// every duration finite and non-negative, every parent earlier.
+    #[test]
+    fn span_interleavings_always_form_a_well_formed_tree(
+        threads in 1usize..4,
+        spans_per_thread in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let sink = TraceSink::new();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let sink = sink.clone();
+                s.spawn(move || {
+                    for i in 0..spans_per_thread {
+                        let salt = seed.wrapping_add((t * 31 + i) as u64);
+                        let outer = sink.span(Layer::Exec, "outer");
+                        outer.arg("thread", &t.to_string());
+                        if salt % 3 == 0 {
+                            let _inner = sink.span(Layer::Net, "inner");
+                            sink.advance(0.125);
+                        }
+                        if salt % 5 == 0 {
+                            sink.span_closed(Layer::Retry, "measured", 0.0, 0.25);
+                        }
+                    }
+                });
+            }
+        });
+        prop_assert!(sink.validate_tree().is_ok(), "{:?}", sink.validate_tree());
+        for span in sink.spans() {
+            prop_assert!(span.dur.is_finite() && span.dur >= 0.0);
+            if let Some(parent) = span.parent {
+                prop_assert!(parent < sink.span_count());
+            }
+        }
+    }
+
+    /// Counter updates are commutative: two identical multi-threaded
+    /// runs export byte-identical `metrics.json`, whatever the
+    /// scheduling.
+    #[test]
+    fn threaded_counter_runs_export_identical_metrics(
+        threads in 1usize..5,
+        updates in 1usize..32,
+        scale in 1u32..1000,
+    ) {
+        let run = || {
+            let sink = TraceSink::new();
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let sink = sink.clone();
+                    s.spawn(move || {
+                        for i in 0..updates {
+                            sink.add("wire.bytes", (t * 7 + i) as f64 * f64::from(scale));
+                            sink.record_max("peak", (t * i) as f64 / f64::from(scale));
+                            sink.add_diagnostic("sched.noise", t as f64);
+                        }
+                    });
+                }
+            });
+            sink.metrics_json()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(&a, &b, "same-seed metrics must be byte-identical");
+        prop_assert!(!a.contains("sched.noise"), "diagnostics must stay out of exports");
     }
 
     /// Gradient descent direction: a small step along the analytic

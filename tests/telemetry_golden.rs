@@ -1,0 +1,86 @@
+//! Golden-trace acceptance test: the canonical logistic-regression run
+//! on a 4-node cluster, with a fixed seed and a deterministic fault
+//! plan, must reproduce the checked-in trace and metrics byte for byte.
+//!
+//! Regenerate the goldens after an intentional telemetry change with
+//!
+//! ```text
+//! BLESS=1 cargo test --test telemetry_golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use cosmic::cosmic_ml::{data, Aggregation, Algorithm};
+use cosmic::cosmic_runtime::{ClusterConfig, ClusterTrainer, FaultPlan, TraceSink};
+
+fn golden_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(file)
+}
+
+/// The canonical run: LR with 8 features, 256 records (seed 11), 4 nodes
+/// in 2 groups, 2 worker threads per node, mini-batch 64, 2 epochs, and
+/// a fixed fault plan exercising a straggler, a dropped chunk, and a
+/// Delta crash.
+fn canonical_run(sink: &TraceSink) {
+    let alg = Algorithm::LogisticRegression { features: 8 };
+    let dataset = data::generate(&alg, 256, 11);
+    let trainer = ClusterTrainer::new(ClusterConfig {
+        nodes: 4,
+        groups: 2,
+        threads_per_node: 2,
+        minibatch: 64,
+        learning_rate: 0.3,
+        epochs: 2,
+        aggregation: Aggregation::Average,
+        faults: FaultPlan::none().straggle(2, 1, 2.0).drop_chunk(1, 0, 0, 1).crash(3, 2),
+        ..ClusterConfig::default()
+    })
+    .expect("valid config");
+    trainer.train_traced(&alg, &dataset, alg.zero_model(), sink).expect("recoverable plan");
+}
+
+#[test]
+fn canonical_lr_trace_matches_golden() {
+    let sink = TraceSink::new();
+    canonical_run(&sink);
+    assert!(sink.validate_tree().is_ok(), "{:?}", sink.validate_tree());
+
+    let trace = sink.chrome_trace_json();
+    let metrics = sink.metrics_json();
+    if std::env::var("BLESS").as_deref() == Ok("1") {
+        fs::create_dir_all(golden_path("")).expect("create tests/golden");
+        fs::write(golden_path("trace_lr_4node.json"), &trace).expect("bless trace");
+        fs::write(golden_path("metrics_lr_4node.json"), &metrics).expect("bless metrics");
+    }
+
+    let want_trace = fs::read_to_string(golden_path("trace_lr_4node.json"))
+        .expect("golden trace checked in (BLESS=1 to regenerate)");
+    let want_metrics = fs::read_to_string(golden_path("metrics_lr_4node.json"))
+        .expect("golden metrics checked in (BLESS=1 to regenerate)");
+    assert_eq!(trace, want_trace, "span tree drifted from golden (BLESS=1 to re-bless)");
+    assert_eq!(metrics, want_metrics, "counters drifted from golden (BLESS=1 to re-bless)");
+}
+
+#[test]
+fn same_seed_runs_export_byte_identical_artifacts() {
+    let a = TraceSink::new();
+    canonical_run(&a);
+    let b = TraceSink::new();
+    canonical_run(&b);
+    assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
+    assert_eq!(a.metrics_json(), b.metrics_json());
+}
+
+#[test]
+fn golden_run_records_the_planned_faults() {
+    use cosmic::cosmic_telemetry::counters;
+    let sink = TraceSink::new();
+    canonical_run(&sink);
+    let sums = sink.sums();
+    assert_eq!(sums[counters::FAULTS_PLANNED_STRAGGLES], 1.0);
+    assert_eq!(sums[counters::FAULTS_PLANNED_DROPS], 1.0);
+    assert_eq!(sums[counters::FAULTS_PLANNED_CRASHES], 1.0);
+    assert_eq!(sums[counters::FAULTS_CRASHES], 1.0);
+    assert!(sums[counters::TRAINER_ITERATIONS] >= 8.0);
+}
