@@ -1,0 +1,8 @@
+//! Regenerates the collective-strategy study (throughput per schedule
+//! and the cost-based selector's picks across cluster sizes).
+fn main() {
+    cosmic_bench::figures::figure_main(
+        "fig_collectives",
+        cosmic_bench::figures::fig_collectives::run_traced,
+    );
+}

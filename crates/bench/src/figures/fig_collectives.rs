@@ -1,0 +1,190 @@
+//! Collective-strategy study (beyond the paper's figures): what each
+//! pluggable aggregation schedule costs on the commodity wire, and
+//! which one the cost-based selector picks as the cluster grows.
+//!
+//! Two sweeps over node count, one per model-size regime:
+//!
+//! 1. **Large model** — bandwidth-bound rounds, where the ring's
+//!    constant per-port traffic beats every rooted tree on small
+//!    clusters;
+//! 2. **Small model** — latency-bound rounds, where the shallow
+//!    two-level tree overtakes the ring's `2(p-1)` round trips as the
+//!    cluster widens.
+//!
+//! Throughput comes from [`ClusterTiming::iteration_with_collective`]
+//! (same compute/PCIe/management costs across strategies, only the
+//! aggregation and broadcast phases repriced through each schedule), so
+//! the columns isolate exactly what the wire pattern changes. The
+//! `selector` column is the pick of [`CollectiveSelector::host_side`]
+//! under the same gigabit cost model.
+
+use cosmic_core::cosmic_runtime::collectives::{CollectiveKind, CollectiveSelector};
+use cosmic_core::cosmic_runtime::role::{assign_roles, default_groups};
+use cosmic_core::cosmic_runtime::{ClusterTiming, FaultTimingModel, NodeCompute, CHUNK_WORDS};
+use cosmic_core::cosmic_telemetry::TraceSink;
+
+/// Swept cluster sizes.
+pub const NODE_COUNTS: [usize; 4] = [4, 8, 16, 32];
+
+/// The bandwidth-bound regime: a 300k-parameter model (2.4 MB/round).
+pub const LARGE_WORDS: usize = 300_000;
+
+/// The latency-bound regime: a 1k-parameter model (8 KB/round).
+pub const SMALL_WORDS: usize = 1_024;
+
+/// Mini-batch of the sweep (the Figure 12 midpoint).
+pub const MINIBATCH: usize = 10_000;
+
+/// Per-node accelerator throughput of the sweep, records/s.
+const NODE_RPS: f64 = 1e5;
+
+fn timing(nodes: usize) -> ClusterTiming {
+    ClusterTiming::commodity(nodes, default_groups(nodes))
+}
+
+/// Steady-state throughput (records/s) of `kind` on an `nodes`-node
+/// commodity cluster exchanging `words` f64 parameters per round.
+pub fn throughput(nodes: usize, words: usize, kind: CollectiveKind) -> f64 {
+    let it = timing(nodes)
+        .iteration_with_collective(
+            MINIBATCH,
+            NodeCompute { records_per_sec: NODE_RPS },
+            words * 8,
+            kind,
+        )
+        .expect("valid sweep configuration");
+    MINIBATCH as f64 / it.total_s()
+}
+
+/// The cost-based selector's pick for the operating point, over the
+/// four host-side strategies under the gigabit cost model.
+pub fn selector_pick(nodes: usize, words: usize) -> CollectiveKind {
+    let topology = assign_roles(nodes, default_groups(nodes)).expect("valid sweep topology");
+    CollectiveSelector::host_side()
+        .select(&topology, words, CHUNK_WORDS)
+        .expect("valid sweep selection")
+        .kind
+}
+
+fn sweep_table(title: &str, words: usize) -> String {
+    let mut out = format!(
+        "### {title} ({words} params, {:.1} KB/round)\n\n\
+         | nodes | groups | flat-star | two-level-tree | ring | halving-doubling | selector picks |\n\
+         |---|---|---|---|---|---|---|\n",
+        words as f64 * 8.0 / 1024.0,
+    );
+    for nodes in NODE_COUNTS {
+        let cells: Vec<String> = CollectiveSelector::host_side()
+            .candidates
+            .iter()
+            .map(|&k| format!("{:.0}", throughput(nodes, words, k)))
+            .collect();
+        out.push_str(&format!(
+            "| {nodes} | {} | {} | {} |\n",
+            default_groups(nodes),
+            cells.join(" | "),
+            selector_pick(nodes, words),
+        ));
+    }
+    out
+}
+
+/// Renders the study.
+pub fn run() -> String {
+    run_traced(&TraceSink::new())
+}
+
+/// [`run`] with telemetry: for every cluster size, the selector's
+/// large-model winner replays one iteration through
+/// [`ClusterTiming::iteration_with_collective_traced`], booking the
+/// per-round `collective` spans and per-level wire counters into
+/// `sink`. All time is virtual, so same-seed traces are byte-identical.
+pub fn run_traced(sink: &TraceSink) -> String {
+    let mut out = String::from(
+        "## Collective strategies — throughput (records/s) by node count (FPGA cluster, b=10k)\n\n",
+    );
+    out.push_str(&sweep_table("Large model", LARGE_WORDS));
+    out.push('\n');
+    out.push_str(&sweep_table("Small model", SMALL_WORDS));
+    out.push_str(
+        "\nAll strategies fold bit-identically; the columns differ only in wire cost\n\
+         (per-port serialization, per-message overhead, and per-round latency).\n",
+    );
+
+    for nodes in NODE_COUNTS {
+        let kind = selector_pick(nodes, LARGE_WORDS);
+        timing(nodes)
+            .iteration_with_collective_traced(
+                MINIBATCH,
+                NodeCompute { records_per_sec: NODE_RPS },
+                LARGE_WORDS * 8,
+                kind,
+                &FaultTimingModel::none(),
+                sink,
+            )
+            .expect("valid traced sweep point");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Selection restricted to the tree-vs-ring pair the paper's
+    /// hierarchy debate is about.
+    fn tree_or_ring(nodes: usize, words: usize) -> CollectiveKind {
+        let topology = assign_roles(nodes, default_groups(nodes)).expect("valid topology");
+        CollectiveSelector::host_side()
+            .with_candidates(vec![CollectiveKind::TwoLevelTree, CollectiveKind::RingAllReduce])
+            .select(&topology, words, CHUNK_WORDS)
+            .expect("valid selection")
+            .kind
+    }
+
+    #[test]
+    fn ring_beats_the_tree_for_large_models_on_small_clusters() {
+        assert_eq!(tree_or_ring(4, LARGE_WORDS), CollectiveKind::RingAllReduce);
+        assert!(
+            throughput(4, LARGE_WORDS, CollectiveKind::RingAllReduce)
+                > throughput(4, LARGE_WORDS, CollectiveKind::TwoLevelTree)
+        );
+    }
+
+    #[test]
+    fn tree_beats_the_ring_for_small_models_on_wide_clusters() {
+        assert_eq!(tree_or_ring(32, SMALL_WORDS), CollectiveKind::TwoLevelTree);
+        assert!(
+            throughput(32, SMALL_WORDS, CollectiveKind::TwoLevelTree)
+                > throughput(32, SMALL_WORDS, CollectiveKind::RingAllReduce)
+        );
+    }
+
+    #[test]
+    fn every_sweep_point_is_finite_and_positive() {
+        for nodes in NODE_COUNTS {
+            for words in [LARGE_WORDS, SMALL_WORDS] {
+                for kind in CollectiveKind::ALL {
+                    let t = throughput(nodes, words, kind);
+                    assert!(t.is_finite() && t > 0.0, "{kind} at {nodes} nodes: {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traced_report_is_deterministic() {
+        let run = || {
+            let sink = TraceSink::new();
+            let report = run_traced(&sink);
+            assert!(sink.validate_tree().is_ok());
+            (report, sink.chrome_trace_json(), sink.metrics_json())
+        };
+        let (report_a, trace_a, metrics_a) = run();
+        let (report_b, trace_b, metrics_b) = run();
+        assert_eq!(report_a, report_b);
+        assert_eq!(trace_a, trace_b);
+        assert_eq!(metrics_a, metrics_b);
+        assert!(report_a.contains("ring"), "the report names the strategies");
+    }
+}

@@ -54,6 +54,7 @@ fn study_faults(rate: f64) -> FaultTimingModel {
         deadline_factor: 4.0,
         sigma_failover_rate: rate / 10.0,
         failover_penalty_s: 5e-3,
+        reschedule_penalty_s: 1e-3,
     }
 }
 

@@ -20,6 +20,7 @@ pub mod fig14_sources;
 pub mod fig15_sensitivity;
 pub mod fig16_dse;
 pub mod fig17_tabla;
+pub mod fig_collectives;
 pub mod fig_faults;
 pub mod table1_benchmarks;
 pub mod table2_platforms;
@@ -55,6 +56,7 @@ pub fn run_all_traced(sink: &TraceSink) -> String {
         section(sink, "table3_utilization", |_| table3_utilization::run()),
         section(sink, "fig17_tabla", fig17_tabla::run_traced),
         section(sink, "fig_faults", fig_faults::run_traced),
+        section(sink, "fig_collectives", fig_collectives::run_traced),
     ]
     .join("\n")
 }

@@ -1,0 +1,57 @@
+//! # cosmic-collectives — the pluggable collective-aggregation layer
+//!
+//! CoSMIC's System Director (paper §4.3) hard-codes one aggregation
+//! shape: the two-level Sigma/Delta hierarchy. This crate makes the
+//! *collective* itself a first-class, swappable subsystem, in the spirit
+//! of SwitchML's in-network aggregation and MLFabric's communication
+//! scheduling:
+//!
+//! - [`topology`] — the System Director's role assignment and failure
+//!   repair (moved here from `cosmic-runtime` so strategies and the
+//!   runtime share one vocabulary);
+//! - [`schedule`] — [`CommSchedule`]: a deterministic, ordered list of
+//!   send/reduce/share steps with word ranges and link levels, plus a
+//!   symbolic executor that *proves* a schedule moves every contribution
+//!   exactly once and derives the aggregate by the canonical
+//!   ascending-node fold;
+//! - [`strategy`] — the [`Collective`] trait and five implementations:
+//!   [`FlatStar`], [`TwoLevelTree`] (the paper's default re-expressed
+//!   through the trait), [`RingAllReduce`], [`RecursiveHalvingDoubling`],
+//!   and [`InNetworkSwitch`];
+//! - [`selector`] — [`CollectiveSelector`]: prices every candidate
+//!   schedule through the per-port serialization model of
+//!   `cosmic-sim`'s [`NetworkModel`](cosmic_sim::NetworkModel) and picks
+//!   the cheapest — Algorithm 1's data-first minimum-communication
+//!   search lifted from the PE interconnect to the cluster level.
+//!
+//! ## Determinism and bit-identity
+//!
+//! Floating-point addition is not associative, so two collectives that
+//! fold partial sums along different tree shapes would disagree in the
+//! last ulp. This crate sidesteps the problem structurally: the schedule
+//! executor tracks *which* contributions reach the aggregate (set
+//! algebra, validated exactly-once), and the arithmetic is always the
+//! canonical fold over contributors in ascending node order — the same
+//! invariant the runtime's `SigmaAggregator` maintains. A strategy
+//! changes the wire pattern and therefore the cost, never the result:
+//! every strategy is bit-identical to [`FlatStar`] by construction, and
+//! the property tests pin that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+pub mod schedule;
+pub mod selector;
+pub mod strategy;
+pub mod topology;
+
+pub use schedule::{
+    CommSchedule, CommStep, ExecReport, LinkLevel, ScheduleError, StepKind, SWITCH,
+};
+pub use selector::{CollectiveSelector, CostModel, RoundCost, Selection};
+pub use strategy::{
+    Collective, CollectiveKind, FlatStar, InNetworkSwitch, RecursiveHalvingDoubling, RingAllReduce,
+    TwoLevelTree,
+};
+pub use topology::{assign_roles, default_groups, Promotion, Role, Topology, TopologyError};

@@ -1,0 +1,356 @@
+//! Cost-based collective selection.
+//!
+//! [`CostModel`] prices a [`CommSchedule`] through the same per-port
+//! serialization law as `cosmic-sim`'s [`NetworkModel`]: within a
+//! round, every directed port (a node's ingress or egress) serializes
+//! the bytes and per-message overheads scheduled across it, an ingress
+//! port additionally folds reduce payloads at the node's aggregation
+//! rate, and the round lasts as long as its busiest port plus one
+//! propagation latency. Rounds are sequential (a round's payloads
+//! depend on the previous round's results), so the schedule cost is the
+//! sum over rounds.
+//!
+//! [`CollectiveSelector`] walks a candidate list, prices each
+//! strategy's schedule for the topology's live nodes, and picks the
+//! cheapest — Algorithm 1's data-first minimum-communication search
+//! lifted from the PE interconnect to the cluster. The trade it
+//! navigates is classic: star/tree shapes pay few latencies but
+//! concentrate bytes on root ports; ring/halving-doubling spread bytes
+//! thin at the price of many rounds. Large models on small clusters
+//! favour [`CollectiveKind::RingAllReduce`]; small models on wide
+//! clusters favour [`CollectiveKind::TwoLevelTree`].
+
+use std::collections::BTreeMap;
+
+use cosmic_sim::NetworkModel;
+
+use crate::schedule::{CommSchedule, ScheduleError, StepKind, SWITCH};
+use crate::strategy::CollectiveKind;
+use crate::topology::Topology;
+
+/// Prices schedules: a network model for the wire plus the node-local
+/// fold rate for reduce payloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-port wire behaviour (serialization, latency, per-message
+    /// overhead).
+    pub net: NetworkModel,
+    /// Rate at which a node folds incoming gradients into its partial
+    /// aggregate, in bytes per second.
+    pub agg_bytes_per_sec: f64,
+}
+
+/// The priced cost of one schedule round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundCost {
+    /// Round index.
+    pub round: usize,
+    /// Wall-clock seconds the round occupies.
+    pub seconds: f64,
+    /// Reduce bytes moved in this round (across all ports).
+    pub reduce_bytes: usize,
+    /// Share bytes moved in this round.
+    pub share_bytes: usize,
+}
+
+/// Directed-port load accumulated within one round.
+#[derive(Debug, Clone, Copy, Default)]
+struct PortLoad {
+    bytes: usize,
+    messages: usize,
+    reduce_bytes: usize,
+}
+
+impl CostModel {
+    /// The evaluation cluster: gigabit Ethernet ports and a ~6 GB/s
+    /// host-side fold (matches `ClusterTiming::commodity`).
+    pub fn commodity() -> Self {
+        CostModel { net: NetworkModel::gigabit(), agg_bytes_per_sec: 6.0e9 }
+    }
+
+    /// Prices every round of `schedule`.
+    pub fn round_costs_s(&self, schedule: &CommSchedule) -> Vec<RoundCost> {
+        let rounds = schedule.rounds();
+        let chunk_words = schedule.chunk_words.max(1);
+        let goodput = self.net.goodput_bps();
+        let mut costs = Vec::with_capacity(rounds);
+        for round in 0..rounds {
+            // Directed ports: (node, egress?) → load. The switch's own
+            // ports are skipped (the fabric is non-blocking and folds at
+            // line rate); its traffic still loads the host-side ports.
+            let mut ports: BTreeMap<(usize, bool), PortLoad> = BTreeMap::new();
+            let mut reduce_bytes = 0usize;
+            let mut share_bytes = 0usize;
+            for step in schedule.steps.iter().filter(|s| s.round == round && s.words() > 0) {
+                let bytes = step.bytes();
+                let messages = step.words().div_ceil(chunk_words);
+                match step.kind {
+                    StepKind::Reduce => reduce_bytes += bytes,
+                    StepKind::Share => share_bytes += bytes,
+                }
+                if step.src != SWITCH {
+                    let load = ports.entry((step.src, true)).or_default();
+                    load.bytes += bytes;
+                    load.messages += messages;
+                }
+                if step.dst != SWITCH {
+                    let load = ports.entry((step.dst, false)).or_default();
+                    load.bytes += bytes;
+                    load.messages += messages;
+                    if step.kind == StepKind::Reduce {
+                        load.reduce_bytes += bytes;
+                    }
+                }
+            }
+            let mut busiest = 0.0f64;
+            for load in ports.values() {
+                let wire = load.bytes as f64 / goodput
+                    + load.messages as f64 * self.net.per_message_us * 1e-6;
+                let fold = load.reduce_bytes as f64 / self.agg_bytes_per_sec;
+                busiest = busiest.max(wire.max(fold));
+            }
+            let seconds = if ports.is_empty() { 0.0 } else { busiest + self.net.latency_us * 1e-6 };
+            costs.push(RoundCost { round, seconds, reduce_bytes, share_bytes });
+        }
+        costs
+    }
+
+    /// Total schedule cost: rounds are sequential, so their costs sum.
+    pub fn schedule_cost_s(&self, schedule: &CommSchedule) -> f64 {
+        self.round_costs_s(schedule).iter().map(|r| r.seconds).sum()
+    }
+}
+
+/// The outcome of a selection: the winner, its schedule, and the full
+/// priced ranking for telemetry/reporting.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// The cheapest strategy.
+    pub kind: CollectiveKind,
+    /// The winner's schedule (for the topology's live nodes).
+    pub schedule: CommSchedule,
+    /// The winner's priced cost in seconds.
+    pub cost_s: f64,
+    /// Every candidate with its cost, cheapest first (ties keep
+    /// candidate order).
+    pub ranking: Vec<(CollectiveKind, f64)>,
+}
+
+/// Walks a candidate strategy list and picks the cheapest schedule for
+/// a given cluster and model size.
+#[derive(Debug, Clone)]
+pub struct CollectiveSelector {
+    /// The pricing model.
+    pub cost: CostModel,
+    /// Candidate strategies, in tie-breaking order.
+    pub candidates: Vec<CollectiveKind>,
+}
+
+impl CollectiveSelector {
+    /// The four host-side strategies (no programmable switch required).
+    /// [`CollectiveKind::InNetworkSwitch`] is deliberately opt-in — it
+    /// assumes fabric hardware the commodity testbed does not have.
+    pub fn host_side() -> Self {
+        CollectiveSelector {
+            cost: CostModel::commodity(),
+            candidates: vec![
+                CollectiveKind::FlatStar,
+                CollectiveKind::TwoLevelTree,
+                CollectiveKind::RingAllReduce,
+                CollectiveKind::RecursiveHalvingDoubling,
+            ],
+        }
+    }
+
+    /// Adds the in-network switch to the candidate set.
+    pub fn with_in_network(mut self) -> Self {
+        if !self.candidates.contains(&CollectiveKind::InNetworkSwitch) {
+            self.candidates.push(CollectiveKind::InNetworkSwitch);
+        }
+        self
+    }
+
+    /// Restricts the candidate set.
+    pub fn with_candidates(mut self, candidates: Vec<CollectiveKind>) -> Self {
+        self.candidates = candidates;
+        self
+    }
+
+    /// Prices every candidate over the topology's live nodes and
+    /// returns the cheapest (first candidate wins ties).
+    pub fn select(
+        &self,
+        topology: &Topology,
+        model_words: usize,
+        chunk_words: usize,
+    ) -> Result<Selection, ScheduleError> {
+        let participants = topology.live_node_ids();
+        if self.candidates.is_empty() || participants.is_empty() {
+            return Err(ScheduleError::NoParticipants);
+        }
+        let mut best: Option<(CollectiveKind, CommSchedule, f64)> = None;
+        let mut ranking = Vec::with_capacity(self.candidates.len());
+        for &kind in &self.candidates {
+            let schedule =
+                kind.strategy().schedule(topology, &participants, model_words, chunk_words)?;
+            let cost_s = self.cost.schedule_cost_s(&schedule);
+            ranking.push((kind, cost_s));
+            let cheaper = best.as_ref().is_none_or(|(_, _, c)| cost_s < *c);
+            if cheaper {
+                best = Some((kind, schedule, cost_s));
+            }
+        }
+        ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
+        match best {
+            Some((kind, schedule, cost_s)) => Ok(Selection { kind, schedule, cost_s, ranking }),
+            None => Err(ScheduleError::NoParticipants),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{assign_roles, default_groups};
+
+    const CHUNK_WORDS: usize = 4096; // runtime's CHUNK_WORDS
+
+    fn cost_of(kind: CollectiveKind, topo: &Topology, words: usize) -> f64 {
+        let participants = topo.live_node_ids();
+        let s = kind
+            .strategy()
+            .schedule(topo, &participants, words, CHUNK_WORDS)
+            .expect("schedule builds");
+        CostModel::commodity().schedule_cost_s(&s)
+    }
+
+    /// Acceptance criterion: large model, small cluster → the ring's
+    /// thin per-port load beats the tree's concentrated root ports.
+    #[test]
+    fn ring_beats_tree_for_large_models_on_small_clusters() {
+        let nodes = 4;
+        let topo = assign_roles(nodes, default_groups(nodes)).expect("valid");
+        let large = 1_000_000; // 8 MB of f64 gradients
+        let ring = cost_of(CollectiveKind::RingAllReduce, &topo, large);
+        let tree = cost_of(CollectiveKind::TwoLevelTree, &topo, large);
+        assert!(
+            ring < tree,
+            "ring ({ring:.4}s) must beat tree ({tree:.4}s) at {large} words on {nodes} nodes"
+        );
+
+        let selector = CollectiveSelector::host_side()
+            .with_candidates(vec![CollectiveKind::TwoLevelTree, CollectiveKind::RingAllReduce]);
+        let selection = selector.select(&topo, large, CHUNK_WORDS).expect("selects");
+        assert_eq!(selection.kind, CollectiveKind::RingAllReduce);
+    }
+
+    /// Acceptance criterion, reversed: small model, wide cluster → the
+    /// ring's 2(P−1) latencies dominate and the tree wins.
+    #[test]
+    fn tree_beats_ring_for_small_models_on_wide_clusters() {
+        let nodes = 32;
+        let topo = assign_roles(nodes, default_groups(nodes)).expect("valid");
+        let small = 1_024; // 8 KB
+        let tree = cost_of(CollectiveKind::TwoLevelTree, &topo, small);
+        let ring = cost_of(CollectiveKind::RingAllReduce, &topo, small);
+        assert!(
+            tree < ring,
+            "tree ({tree:.6}s) must beat ring ({ring:.6}s) at {small} words on {nodes} nodes"
+        );
+
+        let selector = CollectiveSelector::host_side()
+            .with_candidates(vec![CollectiveKind::TwoLevelTree, CollectiveKind::RingAllReduce]);
+        let selection = selector.select(&topo, small, CHUNK_WORDS).expect("selects");
+        assert_eq!(selection.kind, CollectiveKind::TwoLevelTree);
+    }
+
+    /// The paper's core claim, priced: the two-level hierarchy beats the
+    /// TABLA flat star once the cluster outgrows one Sigma's ingress.
+    #[test]
+    fn tree_beats_flat_star_on_big_clusters() {
+        let topo = assign_roles(15, 3).expect("valid");
+        let words = 300_000;
+        let tree = cost_of(CollectiveKind::TwoLevelTree, &topo, words);
+        let flat = cost_of(CollectiveKind::FlatStar, &topo, words);
+        assert!(tree < flat, "tree ({tree:.4}s) vs flat ({flat:.4}s)");
+    }
+
+    #[test]
+    fn the_switch_is_opt_in_and_wins_when_enabled() {
+        let nodes = 32;
+        let topo = assign_roles(nodes, default_groups(nodes)).expect("valid");
+        let small = 1_024;
+        let host = CollectiveSelector::host_side();
+        assert!(!host.candidates.contains(&CollectiveKind::InNetworkSwitch));
+        let host_pick = host.select(&topo, small, CHUNK_WORDS).expect("selects");
+        assert_ne!(host_pick.kind, CollectiveKind::InNetworkSwitch);
+
+        // Line-rate in-fabric folding beats every host-side shape for a
+        // small model on a wide cluster: two rounds, W bytes per port.
+        let with_switch = CollectiveSelector::host_side().with_in_network();
+        let pick = with_switch.select(&topo, small, CHUNK_WORDS).expect("selects");
+        assert_eq!(pick.kind, CollectiveKind::InNetworkSwitch);
+        assert!(pick.cost_s < host_pick.cost_s);
+    }
+
+    #[test]
+    fn round_costs_decompose_the_total() {
+        let topo = assign_roles(8, 2).expect("valid");
+        let participants = topo.live_node_ids();
+        let model = CostModel::commodity();
+        for kind in CollectiveKind::ALL {
+            let s = kind
+                .strategy()
+                .schedule(&topo, &participants, 50_000, CHUNK_WORDS)
+                .expect("builds");
+            let rounds = model.round_costs_s(&s);
+            assert_eq!(rounds.len(), s.rounds(), "{kind}");
+            let sum: f64 = rounds.iter().map(|r| r.seconds).sum();
+            let total = model.schedule_cost_s(&s);
+            assert!((sum - total).abs() < 1e-12, "{kind}: {sum} != {total}");
+            for r in &rounds {
+                assert!(r.seconds > 0.0, "{kind} round {} costs nothing", r.round);
+            }
+            // Reduce/share byte split covers the whole schedule.
+            let reduce: usize = rounds.iter().map(|r| r.reduce_bytes).sum();
+            let share: usize = rounds.iter().map(|r| r.share_bytes).sum();
+            assert_eq!(reduce + share, s.total_bytes(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let topo = assign_roles(6, 2).expect("valid");
+        let selector = CollectiveSelector::host_side().with_in_network();
+        let selection = selector.select(&topo, 10_000, CHUNK_WORDS).expect("selects");
+        assert_eq!(selection.ranking.len(), 5);
+        for pair in selection.ranking.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "ranking must be sorted by cost");
+        }
+        assert_eq!(selection.ranking[0].0, selection.kind);
+        assert_eq!(selection.ranking[0].1, selection.cost_s);
+        assert_eq!(selection.schedule.kind, selection.kind);
+    }
+
+    #[test]
+    fn selection_respects_failed_nodes() {
+        let mut topo = assign_roles(8, 2).expect("valid");
+        topo.fail_node(3).expect("in range");
+        let selection =
+            CollectiveSelector::host_side().select(&topo, 10_000, CHUNK_WORDS).expect("selects");
+        assert_eq!(selection.schedule.participants, topo.live_node_ids());
+        assert!(!selection.schedule.participants.contains(&3));
+    }
+
+    #[test]
+    fn empty_clusters_and_empty_candidate_lists_are_errors() {
+        let mut topo = assign_roles(1, 1).expect("valid");
+        let _ = topo.fail_node(0); // NoMaster, but the roles table says failed
+        let err = CollectiveSelector::host_side().select(&topo, 10, 1);
+        assert_eq!(err.map(|s| s.kind), Err(ScheduleError::NoParticipants));
+
+        let topo = assign_roles(4, 1).expect("valid");
+        let err = CollectiveSelector::host_side().with_candidates(vec![]).select(&topo, 10, 1);
+        assert_eq!(err.map(|s| s.kind), Err(ScheduleError::NoParticipants));
+    }
+}

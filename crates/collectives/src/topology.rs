@@ -15,11 +15,51 @@
 //! Sigma triggers re-election of the lowest-id surviving group member
 //! (or, for the master, promotion of a surviving group Sigma), and the
 //! remaining nodes' role records are rewritten to point at the new
-//! aggregator.
+//! aggregator. Collective strategies consume the repaired topology, so
+//! a failure also invalidates (and rebuilds) their communication
+//! schedules.
 
+use std::error::Error;
 use std::fmt;
 
-use crate::error::RuntimeError;
+/// A topology construction or repair failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The requested group structure cannot be built over the node
+    /// count.
+    InvalidTopology {
+        /// Requested node count.
+        nodes: usize,
+        /// Requested group count.
+        groups: usize,
+    },
+    /// A node id outside the role table was named.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The role-table size.
+        nodes: usize,
+    },
+    /// The topology has no master Sigma (it was never assigned, or every
+    /// candidate has failed).
+    NoMaster,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::InvalidTopology { nodes, groups } => {
+                write!(f, "cannot split {nodes} node(s) into {groups} group(s)")
+            }
+            TopologyError::NodeOutOfRange { node, nodes } => {
+                write!(f, "fail_node({node}) out of range for {nodes} node(s)")
+            }
+            TopologyError::NoMaster => write!(f, "topology has no master Sigma"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
 
 /// A node's role in the scale-out system.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +154,11 @@ impl Topology {
         self.roles.iter().filter(|r| !r.is_failed()).count()
     }
 
+    /// Node ids of every live node, ascending.
+    pub fn live_node_ids(&self) -> Vec<usize> {
+        self.roles.iter().enumerate().filter(|(_, r)| !r.is_failed()).map(|(i, _)| i).collect()
+    }
+
     /// The master Sigma's node id, or `None` if every candidate has
     /// failed.
     pub fn master(&self) -> Option<usize> {
@@ -152,14 +197,11 @@ impl Topology {
     ///   group Sigma becomes master instead.
     ///
     /// Returns the [`Promotion`] performed, if any. Failing a node twice
-    /// is a no-op. Errors with [`RuntimeError::NoMaster`] when the
+    /// is a no-op. Errors with [`TopologyError::NoMaster`] when the
     /// master dies and no surviving node can take over aggregation.
-    pub fn fail_node(&mut self, node: usize) -> Result<Option<Promotion>, RuntimeError> {
+    pub fn fail_node(&mut self, node: usize) -> Result<Option<Promotion>, TopologyError> {
         if node >= self.roles.len() {
-            return Err(RuntimeError::InvalidConfig(format!(
-                "fail_node({node}) out of range for {} node(s)",
-                self.roles.len()
-            )));
+            return Err(TopologyError::NodeOutOfRange { node, nodes: self.roles.len() });
         }
         let old = std::mem::replace(&mut self.roles[node], Role::Failed);
         match old {
@@ -232,7 +274,7 @@ impl Topology {
                     self.groups = self.groups.saturating_sub(1);
                     Ok(Some(Promotion { failed: node, elected, was_master: true }))
                 } else {
-                    Err(RuntimeError::NoMaster)
+                    Err(TopologyError::NoMaster)
                 }
             }
         }
@@ -243,11 +285,11 @@ impl Topology {
 /// equal size. Node 0 is the master Sigma; the first node of each other
 /// group is its group Sigma.
 ///
-/// Errors with [`RuntimeError::InvalidTopology`] if `nodes` is zero,
+/// Errors with [`TopologyError::InvalidTopology`] if `nodes` is zero,
 /// `groups` is zero, or `groups > nodes`.
-pub fn assign_roles(nodes: usize, groups: usize) -> Result<Topology, RuntimeError> {
+pub fn assign_roles(nodes: usize, groups: usize) -> Result<Topology, TopologyError> {
     if nodes == 0 || groups == 0 || groups > nodes {
-        return Err(RuntimeError::InvalidTopology { nodes, groups });
+        return Err(TopologyError::InvalidTopology { nodes, groups });
     }
 
     // Nearly equal contiguous groups.
@@ -374,7 +416,7 @@ mod tests {
         for (nodes, groups) in [(0, 1), (4, 0), (2, 3), (0, 0)] {
             assert_eq!(
                 assign_roles(nodes, groups),
-                Err(RuntimeError::InvalidTopology { nodes, groups }),
+                Err(TopologyError::InvalidTopology { nodes, groups }),
                 "nodes={nodes} groups={groups}"
             );
         }
@@ -404,6 +446,7 @@ mod tests {
                 assert_eq!(masters, 1, "nodes={nodes} groups={groups}");
                 assert_eq!(t.sigmas().len(), groups);
                 assert_eq!(t.live_nodes(), nodes);
+                assert_eq!(t.live_node_ids().len(), nodes);
             }
         }
     }
@@ -497,7 +540,7 @@ mod tests {
     #[test]
     fn last_node_failure_reports_no_master() {
         let mut t = roles(1, 1);
-        assert_eq!(t.fail_node(0), Err(RuntimeError::NoMaster));
+        assert_eq!(t.fail_node(0), Err(TopologyError::NoMaster));
         assert_eq!(t.master(), None);
         assert_eq!(t.live_nodes(), 0);
     }
@@ -512,7 +555,7 @@ mod tests {
     #[test]
     fn out_of_range_failure_is_an_error() {
         let mut t = roles(3, 1);
-        assert!(matches!(t.fail_node(7), Err(RuntimeError::InvalidConfig(_))));
+        assert_eq!(t.fail_node(7), Err(TopologyError::NodeOutOfRange { node: 7, nodes: 3 }));
     }
 
     #[test]
@@ -522,5 +565,87 @@ mod tests {
         assert!(t.roles[3].to_string().contains("sigma("));
         assert!(t.roles[1].to_string().contains("delta"));
         assert_eq!(Role::Failed.to_string(), "failed");
+        let err = TopologyError::NodeOutOfRange { node: 7, nodes: 3 };
+        assert!(err.to_string().contains("fail_node(7)"));
+    }
+
+    /// Cascade: the master and *every* group Sigma fail in one round,
+    /// each with an empty group — total dissolution, ending in
+    /// [`TopologyError::NoMaster`] only when nobody at all is left.
+    #[test]
+    fn master_and_every_group_sigma_failing_in_one_round_dissolves_everything() {
+        // 3 nodes / 3 groups: every node is a Sigma with no members.
+        let mut t = roles(3, 3);
+        assert_eq!(t.sigmas(), vec![0, 1, 2]);
+
+        // Group Sigmas die first: their memberless groups dissolve.
+        assert_eq!(t.fail_node(1), Ok(None));
+        assert_eq!(t.groups, 2);
+        assert_eq!(t.fail_node(2), Ok(None));
+        assert_eq!(t.groups, 1);
+        match &t.roles[0] {
+            Role::MasterSigma { members, group_sigmas } => {
+                assert!(members.is_empty());
+                assert!(group_sigmas.is_empty(), "dissolved groups leave the sigma list");
+            }
+            other => panic!("expected master, got {other}"),
+        }
+
+        // The master is the last node standing: its failure is terminal.
+        assert_eq!(t.fail_node(0), Err(TopologyError::NoMaster));
+        assert_eq!(t.live_nodes(), 0);
+        assert_eq!(t.master(), None);
+    }
+
+    /// Cascade: every aggregator in a 9-node cluster dies in the same
+    /// round; each group re-elects, so the hierarchy survives with an
+    /// entirely new set of Sigmas.
+    #[test]
+    fn all_sigmas_failing_in_one_round_reelect_a_full_new_hierarchy() {
+        let mut t = roles(9, 3); // sigmas 0 (master), 3, 6
+        let p0 = t.fail_node(0).expect("in range").expect("master re-election");
+        assert_eq!(p0, Promotion { failed: 0, elected: 1, was_master: true });
+        let p3 = t.fail_node(3).expect("in range").expect("group re-election");
+        assert_eq!(p3, Promotion { failed: 3, elected: 4, was_master: false });
+        let p6 = t.fail_node(6).expect("in range").expect("group re-election");
+        assert_eq!(p6, Promotion { failed: 6, elected: 7, was_master: false });
+
+        assert_eq!(t.master(), Some(1));
+        assert_eq!(t.sigmas(), vec![1, 4, 7]);
+        assert_eq!(t.groups, 3);
+        assert_eq!(t.live_nodes(), 6);
+        // Every new group Sigma points at the new master.
+        for gs in [4, 7] {
+            match &t.roles[gs] {
+                Role::GroupSigma { master, .. } => assert_eq!(*master, 1),
+                other => panic!("node {gs} must be a group sigma, got {other}"),
+            }
+        }
+    }
+
+    /// Cascade: after the original master fails and a new master is
+    /// elected, the *new* master fails too — the crown must pass again,
+    /// and every surviving group Sigma must track the second re-election.
+    #[test]
+    fn reelection_after_the_new_master_also_fails() {
+        let mut t = roles(6, 2); // groups {0,1,2} {3,4,5}; master 0
+        let first = t.fail_node(0).expect("in range").expect("first crown-passing");
+        assert_eq!(first, Promotion { failed: 0, elected: 1, was_master: true });
+        assert_eq!(t.master(), Some(1));
+
+        let second = t.fail_node(1).expect("in range").expect("second crown-passing");
+        assert_eq!(second, Promotion { failed: 1, elected: 2, was_master: true });
+        assert_eq!(t.master(), Some(2));
+        assert_eq!(t.roles[2], Role::MasterSigma { members: vec![], group_sigmas: vec![3] });
+        assert_eq!(t.roles[3], Role::GroupSigma { members: vec![4, 5], master: 2 });
+        assert_eq!(t.live_nodes(), 4);
+
+        // A third failure exhausts the master's own group; the crown
+        // crosses groups to the surviving group Sigma.
+        let third = t.fail_node(2).expect("in range").expect("cross-group crown-passing");
+        assert_eq!(third, Promotion { failed: 2, elected: 3, was_master: true });
+        assert_eq!(t.master(), Some(3));
+        assert_eq!(t.roles[3], Role::MasterSigma { members: vec![4, 5], group_sigmas: vec![] });
+        assert_eq!(t.groups, 1);
     }
 }

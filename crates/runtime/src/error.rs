@@ -12,6 +12,8 @@
 use std::error::Error;
 use std::fmt;
 
+use cosmic_collectives::{ScheduleError, TopologyError};
+
 /// An unrecoverable runtime failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuntimeError {
@@ -67,6 +69,29 @@ impl fmt::Display for RuntimeError {
 
 impl Error for RuntimeError {}
 
+impl From<TopologyError> for RuntimeError {
+    /// Topology failures keep their historical `RuntimeError` shapes
+    /// (and message texts) from before the role module moved to
+    /// `cosmic-collectives`.
+    fn from(err: TopologyError) -> Self {
+        match err {
+            TopologyError::InvalidTopology { nodes, groups } => {
+                RuntimeError::InvalidTopology { nodes, groups }
+            }
+            TopologyError::NodeOutOfRange { .. } => RuntimeError::InvalidConfig(err.to_string()),
+            TopologyError::NoMaster => RuntimeError::NoMaster,
+        }
+    }
+}
+
+impl From<ScheduleError> for RuntimeError {
+    /// A collective strategy refusing to build (or validate) a schedule
+    /// means the system specification it was handed is degenerate.
+    fn from(err: ScheduleError) -> Self {
+        RuntimeError::InvalidConfig(format!("collective schedule: {err}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +116,25 @@ mod tests {
     fn implements_std_error() {
         fn takes_error(_: &dyn Error) {}
         takes_error(&RuntimeError::NoMaster);
+    }
+
+    #[test]
+    fn topology_errors_convert_to_their_historical_shapes() {
+        assert_eq!(
+            RuntimeError::from(TopologyError::InvalidTopology { nodes: 2, groups: 5 }),
+            RuntimeError::InvalidTopology { nodes: 2, groups: 5 }
+        );
+        assert_eq!(RuntimeError::from(TopologyError::NoMaster), RuntimeError::NoMaster);
+        let oor = RuntimeError::from(TopologyError::NodeOutOfRange { node: 7, nodes: 3 });
+        assert_eq!(
+            oor,
+            RuntimeError::InvalidConfig("fail_node(7) out of range for 3 node(s)".into())
+        );
+    }
+
+    #[test]
+    fn schedule_errors_convert_to_invalid_config() {
+        let err = RuntimeError::from(ScheduleError::NoParticipants);
+        assert!(matches!(&err, RuntimeError::InvalidConfig(m) if m.contains("participants")));
     }
 }

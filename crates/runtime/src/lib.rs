@@ -23,7 +23,9 @@
 //! What is **modeled** (the wire and the silicon):
 //!
 //! - [`role`] — the System Director's Sigma/Delta/master role assignment
-//!   and failure repair (re-election of dead Sigmas);
+//!   and failure repair (re-election of dead Sigmas), now provided by
+//!   `cosmic-collectives` and re-exported here so existing paths keep
+//!   working;
 //! - [`timing`] — the cluster-level performance model combining the
 //!   Planner's accelerator estimates with the Ethernet/PCIe models of
 //!   `cosmic-sim`, including the producer-consumer overlap of networking
@@ -46,16 +48,30 @@ pub mod circbuf;
 pub mod error;
 pub mod node;
 pub mod pool;
-pub mod role;
 pub mod timing;
 pub mod trainer;
 
+/// The System Director's role assignment and failure repair, now living
+/// in `cosmic-collectives` (strategies and the runtime share one
+/// topology vocabulary); re-exported under its historical path.
+pub use cosmic_collectives::topology as role;
+
 pub use circbuf::CircularBuffer;
 pub use error::RuntimeError;
-pub use node::{AggregateOutcome, Chunk, ChunkFault, SigmaAggregator, CHUNK_WORDS};
+pub use node::{
+    AggregateOutcome, Chunk, ChunkFault, SigmaAggregator, CHUNK_WORDS, DEFAULT_RING_CAPACITY,
+};
 pub use pool::ThreadPool;
 pub use role::{assign_roles, Promotion, Role, Topology};
 pub use timing::{ClusterTiming, FaultTimingModel, IterationBreakdown, NodeCompute};
+
+// Re-export the collective-aggregation layer: the trainer executes the
+// schedules these strategies produce, so its vocabulary is part of the
+// runtime's public surface.
+pub use cosmic_collectives as collectives;
+pub use cosmic_collectives::{
+    CollectiveKind, CollectiveSelector, CommSchedule, CostModel, ScheduleError,
+};
 pub use trainer::{
     ClusterConfig, ClusterTrainer, Exclusion, ExclusionReason, FaultReport, Quarantine,
     RetryPolicy, TrainOutcome,

@@ -27,6 +27,11 @@ use crate::pool::ThreadPool;
 /// data" of paper §3).
 pub const CHUNK_WORDS: usize = 4096;
 
+/// Default per-peer circular-buffer capacity, in chunks. Deep enough to
+/// keep the networking producer ahead of the aggregation consumer,
+/// shallow enough that a whole model never buffers.
+pub const DEFAULT_RING_CAPACITY: usize = 4;
+
 /// A contiguous piece of a partial model/gradient vector in flight.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Chunk {
@@ -175,16 +180,37 @@ struct PeerFold {
 pub struct SigmaAggregator {
     networking: ThreadPool,
     aggregation: ThreadPool,
+    ring_capacity: usize,
 }
 
 impl SigmaAggregator {
-    /// Creates the two pools. The paper sizes them to the host CPU's
-    /// hardware threads; 4+4 matches the quad-core Xeon E3.
+    /// Creates the two pools with the default per-peer ring capacity
+    /// ([`DEFAULT_RING_CAPACITY`]). The paper sizes the pools to the
+    /// host CPU's hardware threads; 4+4 matches the quad-core Xeon E3.
     pub fn new(networking_threads: usize, aggregation_threads: usize) -> Self {
+        Self::with_ring_capacity(networking_threads, aggregation_threads, DEFAULT_RING_CAPACITY)
+    }
+
+    /// Creates the two pools with an explicit per-peer circular-buffer
+    /// capacity in chunks (clamped to at least 1 — a zero-capacity ring
+    /// could never pass a chunk). Capacity 1 degenerates to strict
+    /// lock-step hand-off between networking and aggregation; larger
+    /// rings let the producer run ahead.
+    pub fn with_ring_capacity(
+        networking_threads: usize,
+        aggregation_threads: usize,
+        ring_capacity: usize,
+    ) -> Self {
         SigmaAggregator {
             networking: ThreadPool::new(networking_threads, "networking"),
             aggregation: ThreadPool::new(aggregation_threads, "aggregation"),
+            ring_capacity: ring_capacity.max(1),
         }
+    }
+
+    /// The per-peer circular-buffer capacity in chunks.
+    pub fn ring_capacity(&self) -> usize {
+        self.ring_capacity
     }
 
     /// Receives one partial vector from every connection and returns
@@ -226,7 +252,7 @@ impl SigmaAggregator {
         for (peer, rx) in incoming.into_iter().enumerate() {
             // Bounded ring: forces networking and aggregation to overlap
             // rather than buffering whole models.
-            let ring = Arc::new(CircularBuffer::<Chunk>::with_capacity(4));
+            let ring = Arc::new(CircularBuffer::<Chunk>::with_capacity(self.ring_capacity));
 
             // Networking-pool producer: socket -> circular buffer.
             {
@@ -467,6 +493,29 @@ mod tests {
         assert_eq!(sigma.jobs_submitted(), 4);
         let _ = sigma.aggregate(len, vec![send_model(vec![3.0; len])]);
         assert_eq!(sigma.jobs_submitted(), 6);
+    }
+
+    #[test]
+    fn capacity_one_ring_completes_in_strict_lockstep() {
+        // Satellite regression: with the ring squeezed to a single slot
+        // the pipeline degrades to hand-to-hand chunk passing but must
+        // still complete, and the high-water mark can only ever be 1.
+        let sigma = SigmaAggregator::with_ring_capacity(2, 2, 1);
+        assert_eq!(sigma.ring_capacity(), 1);
+        let len = 8 * CHUNK_WORDS + 5;
+        let incoming = vec![send_model(vec![1.5; len]), send_model(vec![2.5; len])];
+        let out = sigma.aggregate_validated(len, incoming);
+        assert!(out.sum.iter().all(|&v| v == 4.0));
+        assert!(out.quarantined.is_empty());
+        assert_eq!(out.ring_high_water, 1);
+    }
+
+    #[test]
+    fn zero_ring_capacity_is_clamped_to_one() {
+        let sigma = SigmaAggregator::with_ring_capacity(1, 1, 0);
+        assert_eq!(sigma.ring_capacity(), 1);
+        let out = sigma.aggregate_validated(4, vec![send_model(vec![1.0; 4])]);
+        assert_eq!(out.sum, vec![1.0; 4]);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! *the* specialization that distinguishes CoSMIC's system software from
 //! the generic baseline.
 
-use cosmic_sim::{NetworkModel, PcieModel};
+use cosmic_collectives::{CollectiveKind, CommSchedule, CostModel};
+use cosmic_sim::{level_counter, NetworkModel, PcieModel};
 use cosmic_telemetry::{counters, names, Layer, TraceSink};
 
 use crate::error::RuntimeError;
@@ -43,6 +44,10 @@ pub struct IterationBreakdown {
     /// waits, deadline waits on stragglers, and Sigma failover repair.
     /// Zero on a healthy iteration.
     pub recovery_s: f64,
+    /// Communication rounds of the collective schedule that priced the
+    /// aggregation and broadcast phases; zero when the fixed two-level
+    /// analytic path produced them instead.
+    pub rounds: usize,
 }
 
 impl IterationBreakdown {
@@ -83,6 +88,9 @@ pub struct FaultTimingModel {
     pub sigma_failover_rate: f64,
     /// Cost of one re-election + topology repair, in seconds.
     pub failover_penalty_s: f64,
+    /// Cost of rebuilding the collective communication schedule over
+    /// the survivors after a failover, in seconds.
+    pub reschedule_penalty_s: f64,
 }
 
 impl FaultTimingModel {
@@ -96,6 +104,7 @@ impl FaultTimingModel {
             deadline_factor: 4.0,
             sigma_failover_rate: 0.0,
             failover_penalty_s: 0.0,
+            reschedule_penalty_s: 0.0,
         }
     }
 }
@@ -143,7 +152,7 @@ impl ClusterTiming {
     /// Errors when the group structure cannot be built over the node
     /// count (see [`assign_roles`]).
     pub fn topology(&self) -> Result<Topology, RuntimeError> {
-        assign_roles(self.nodes, self.groups)
+        Ok(assign_roles(self.nodes, self.groups)?)
     }
 
     /// Largest group fan-in (members per Sigma) under the nearly-equal
@@ -199,6 +208,7 @@ impl ClusterTiming {
             broadcast_s,
             management_s: self.mgmt_us / 1e6,
             recovery_s: 0.0,
+            rounds: 0,
         }
     }
 
@@ -241,6 +251,18 @@ impl ClusterTiming {
         faults: &FaultTimingModel,
     ) -> IterationBreakdown {
         let mut it = self.iteration(minibatch, node, exchange_bytes);
+        it.recovery_s = self.recovery_s(&it, exchange_bytes, faults);
+        it
+    }
+
+    /// The expected per-iteration fault-recovery cost for a breakdown
+    /// whose healthy phases are already priced.
+    fn recovery_s(
+        &self,
+        it: &IterationBreakdown,
+        exchange_bytes: usize,
+        faults: &FaultTimingModel,
+    ) -> f64 {
         let mut recovery = 0.0;
 
         // Retries: a chunk dropped with probability p is retransmitted
@@ -264,16 +286,138 @@ impl ClusterTiming {
             recovery += any_straggler * (waited - 1.0) * it.compute_s;
         }
 
-        // Failover: a Sigma death triggers re-election and topology
-        // repair, a fixed management-path penalty.
+        // Failover: a Sigma death triggers re-election, topology repair,
+        // and a rebuild of the collective schedule over the survivors —
+        // fixed management-path penalties.
         let f = faults.sigma_failover_rate.clamp(0.0, 1.0);
         if f > 0.0 {
             let any_sigma = 1.0 - (1.0 - f).powi(self.groups.clamp(1, i32::MAX as usize) as i32);
-            recovery += any_sigma * faults.failover_penalty_s;
+            recovery += any_sigma * (faults.failover_penalty_s + faults.reschedule_penalty_s);
         }
 
-        it.recovery_s = recovery;
-        it
+        recovery
+    }
+
+    /// The cost model that prices [`CommSchedule`]s for this cluster:
+    /// the same wire and host fold rate the analytic path uses, handed
+    /// to the collective layer's per-port accounting.
+    pub fn collective_cost_model(&self) -> CostModel {
+        CostModel { net: self.net, agg_bytes_per_sec: self.agg_bytes_per_sec }
+    }
+
+    /// Builds `kind`'s communication schedule for this cluster's full
+    /// topology and the given update size.
+    fn collective_schedule(
+        &self,
+        exchange_bytes: usize,
+        kind: CollectiveKind,
+    ) -> Result<CommSchedule, RuntimeError> {
+        let topology = self.topology()?;
+        let participants = topology.live_node_ids();
+        let words = exchange_bytes.div_ceil(8);
+        Ok(kind.strategy().schedule(&topology, &participants, words, CHUNK_WORDS)?)
+    }
+
+    /// Times one mini-batch iteration with aggregation and broadcast
+    /// priced through `kind`'s [`CommSchedule`] instead of the fixed
+    /// two-level analytic path: reduce-carrying rounds become
+    /// [`IterationBreakdown::aggregate_s`], pure-share rounds become
+    /// [`IterationBreakdown::broadcast_s`], and
+    /// [`IterationBreakdown::rounds`] reports the schedule depth.
+    pub fn iteration_with_collective(
+        &self,
+        minibatch: usize,
+        node: NodeCompute,
+        exchange_bytes: usize,
+        kind: CollectiveKind,
+    ) -> Result<IterationBreakdown, RuntimeError> {
+        let mut it = self.iteration(minibatch, node, exchange_bytes);
+        let schedule = self.collective_schedule(exchange_bytes, kind)?;
+        let costs = self.collective_cost_model().round_costs_s(&schedule);
+        it.aggregate_s = costs.iter().filter(|r| r.reduce_bytes > 0).map(|r| r.seconds).sum();
+        it.broadcast_s = costs.iter().filter(|r| r.reduce_bytes == 0).map(|r| r.seconds).sum();
+        it.rounds = schedule.rounds();
+        Ok(it)
+    }
+
+    /// [`ClusterTiming::iteration_with_collective`] under steady-state
+    /// fault rates, with the schedule-rebuild penalty
+    /// ([`FaultTimingModel::reschedule_penalty_s`]) attributed alongside
+    /// the failover cost.
+    pub fn iteration_with_collective_and_faults(
+        &self,
+        minibatch: usize,
+        node: NodeCompute,
+        exchange_bytes: usize,
+        kind: CollectiveKind,
+        faults: &FaultTimingModel,
+    ) -> Result<IterationBreakdown, RuntimeError> {
+        let mut it = self.iteration_with_collective(minibatch, node, exchange_bytes, kind)?;
+        it.recovery_s = self.recovery_s(&it, exchange_bytes, faults);
+        Ok(it)
+    }
+
+    /// [`ClusterTiming::iteration_with_collective_and_faults`] that also
+    /// records the iteration into `sink`: the usual per-phase spans,
+    /// with one closed [`names::COLLECTIVE`] span per schedule round
+    /// nested inside the aggregation and broadcast phases, and the wire
+    /// bytes booked per link level through [`level_counter`].
+    pub fn iteration_with_collective_traced(
+        &self,
+        minibatch: usize,
+        node: NodeCompute,
+        exchange_bytes: usize,
+        kind: CollectiveKind,
+        faults: &FaultTimingModel,
+        sink: &TraceSink,
+    ) -> Result<IterationBreakdown, RuntimeError> {
+        let it = self.iteration_with_collective_and_faults(
+            minibatch,
+            node,
+            exchange_bytes,
+            kind,
+            faults,
+        )?;
+        let schedule = self.collective_schedule(exchange_bytes, kind)?;
+        let costs = self.collective_cost_model().round_costs_s(&schedule);
+
+        let guard = sink.span(Layer::Exec, names::ITERATION);
+        let mut t = sink.now();
+        let phases = [
+            (Layer::Exec, names::COMPUTE, it.compute_s),
+            (Layer::Net, names::PCIE, it.pcie_s),
+            (Layer::Aggregate, names::AGGREGATE, it.aggregate_s),
+            (Layer::Net, names::BROADCAST, it.broadcast_s),
+            (Layer::Exec, names::MANAGEMENT, it.management_s),
+            (Layer::Retry, names::RECOVERY, it.recovery_s),
+        ];
+        for (layer, name, dur) in phases {
+            sink.span_closed(layer, name, t, dur);
+            if name == names::AGGREGATE || name == names::BROADCAST {
+                // The phase's schedule rounds run back to back inside it.
+                let wants_reduce = name == names::AGGREGATE;
+                let mut rt = t;
+                for cost in costs.iter().filter(|r| (r.reduce_bytes > 0) == wants_reduce) {
+                    let idx =
+                        sink.span_closed(Layer::Aggregate, names::COLLECTIVE, rt, cost.seconds);
+                    sink.set_arg(idx, "round", &cost.round.to_string());
+                    sink.set_arg(idx, "strategy", kind.label());
+                    rt += cost.seconds;
+                }
+            }
+            t += dur;
+        }
+
+        for (level, bytes) in schedule.bytes_by_level().into_iter().enumerate() {
+            if bytes > 0 {
+                sink.add(level_counter(level), bytes as f64);
+            }
+        }
+        sink.add(counters::PCIE_BYTES, (2 * exchange_bytes) as f64);
+
+        sink.advance(it.total_s());
+        drop(guard);
+        Ok(it)
     }
 
     /// [`ClusterTiming::iteration_with_faults`] that also records the
@@ -558,6 +702,117 @@ mod tests {
         assert_eq!(sums[counters::NET_BYTES_BROADCAST], 3e6);
         assert_eq!(sums[counters::PCIE_BYTES], 2e6);
         assert!((sink.now() - it.total_s()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn collective_pricing_matches_the_cost_model_round_sum() {
+        let t = ClusterTiming::commodity(8, 2);
+        let plain = t.iteration(10_000, node(1e5), 1_000_000);
+        for kind in CollectiveKind::ALL {
+            let it = t
+                .iteration_with_collective(10_000, node(1e5), 1_000_000, kind)
+                .expect("valid cluster");
+            assert!(it.rounds > 0, "{kind}: a real schedule has rounds");
+            assert_eq!(it.compute_s, plain.compute_s, "{kind}: compute is untouched");
+            assert_eq!(it.pcie_s, plain.pcie_s);
+            let schedule = t.collective_schedule(1_000_000, kind).expect("schedules");
+            let total = t.collective_cost_model().schedule_cost_s(&schedule);
+            assert!(
+                (it.aggregate_s + it.broadcast_s - total).abs() < 1e-12,
+                "{kind}: phase split must preserve the schedule's total cost"
+            );
+        }
+    }
+
+    #[test]
+    fn reschedule_penalty_is_priced_on_failover() {
+        let t = ClusterTiming::commodity(16, 4);
+        let base = FaultTimingModel {
+            sigma_failover_rate: 0.05,
+            failover_penalty_s: 0.01,
+            ..FaultTimingModel::none()
+        };
+        let without = t
+            .iteration_with_collective_and_faults(
+                10_000,
+                node(1e5),
+                1_000_000,
+                CollectiveKind::RingAllReduce,
+                &base,
+            )
+            .expect("valid");
+        let with = t
+            .iteration_with_collective_and_faults(
+                10_000,
+                node(1e5),
+                1_000_000,
+                CollectiveKind::RingAllReduce,
+                &FaultTimingModel { reschedule_penalty_s: 0.02, ..base },
+            )
+            .expect("valid");
+        assert!(
+            with.recovery_s > without.recovery_s,
+            "rebuilding schedules after failover must cost: {} vs {}",
+            with.recovery_s,
+            without.recovery_s
+        );
+        // The legacy fault path prices the same rebuild penalty.
+        let legacy = t.iteration_with_faults(
+            10_000,
+            node(1e5),
+            1_000_000,
+            &FaultTimingModel { reschedule_penalty_s: 0.02, ..base },
+        );
+        assert!(legacy.recovery_s > base.failover_penalty_s * 0.0);
+    }
+
+    #[test]
+    fn collective_traced_iteration_books_rounds_and_levels() {
+        use cosmic_telemetry::TraceSink;
+        let t = ClusterTiming::commodity(8, 2);
+        let run = || {
+            let sink = TraceSink::new();
+            let it = t
+                .iteration_with_collective_traced(
+                    10_000,
+                    node(1e5),
+                    1_000_000,
+                    CollectiveKind::TwoLevelTree,
+                    &FaultTimingModel::none(),
+                    &sink,
+                )
+                .expect("valid");
+            (it, sink)
+        };
+        let (it, sink) = run();
+        assert!(sink.validate_tree().is_ok());
+        assert_eq!(
+            it,
+            t.iteration_with_collective_and_faults(
+                10_000,
+                node(1e5),
+                1_000_000,
+                CollectiveKind::TwoLevelTree,
+                &FaultTimingModel::none(),
+            )
+            .expect("valid")
+        );
+
+        // One collective span per schedule round, nested in the phases.
+        let spans = sink.spans();
+        let rounds = spans.iter().filter(|s| s.name == cosmic_telemetry::names::COLLECTIVE).count();
+        assert_eq!(rounds, it.rounds);
+
+        // Tree traffic books onto the hierarchy's level counters.
+        let sums = sink.sums();
+        assert!(sums[counters::NET_BYTES_LEVEL1] > 0.0);
+        assert!(sums[counters::NET_BYTES_LEVEL2] > 0.0);
+        assert!(sums[counters::NET_BYTES_BROADCAST] > 0.0);
+        assert!((sink.now() - it.total_s()).abs() < 1e-15);
+
+        let (it2, sink2) = run();
+        assert_eq!(it, it2);
+        assert_eq!(sink.chrome_trace_json(), sink2.chrome_trace_json());
     }
 
     #[test]

@@ -22,15 +22,17 @@
 use crossbeam::channel;
 use std::thread;
 
+use cosmic_collectives::CollectiveKind;
 use cosmic_ml::data::Dataset;
 use cosmic_ml::sgd;
 use cosmic_ml::{Aggregation, Algorithm};
 use cosmic_sim::faults::FaultPlan;
+use cosmic_sim::level_counter;
 use cosmic_telemetry::{counters, names, Layer, TraceSink};
 
 use crate::error::RuntimeError;
-use crate::node::{chunk_vector, ChunkFault, SigmaAggregator, CHUNK_WORDS};
-use crate::role::{assign_roles, Promotion, Role, Topology};
+use crate::node::{chunk_vector, ChunkFault, SigmaAggregator, CHUNK_WORDS, DEFAULT_RING_CAPACITY};
+use crate::role::{assign_roles, Promotion, Topology, TopologyError};
 
 /// Chunk-retransmission policy for dropped chunks, in virtual time.
 ///
@@ -87,6 +89,16 @@ pub struct ClusterConfig {
     pub deadline_factor: f64,
     /// Retransmission policy for dropped chunks.
     pub retry: RetryPolicy,
+    /// The collective-aggregation strategy whose [`cosmic_collectives::CommSchedule`]
+    /// the round executes. The strategy decides the wire pattern (and
+    /// therefore what the trace books per link level); the arithmetic
+    /// is always the canonical ascending fold over the surviving
+    /// contributors, so every strategy trains bit-identically.
+    pub collective: CollectiveKind,
+    /// Per-peer circular-buffer capacity of the Sigma pipeline, in
+    /// chunks. Capacity 1 degenerates to strict lock-step hand-off
+    /// between networking and aggregation.
+    pub ring_capacity: usize,
 }
 
 impl Default for ClusterConfig {
@@ -102,6 +114,8 @@ impl Default for ClusterConfig {
             faults: FaultPlan::none(),
             deadline_factor: 4.0,
             retry: RetryPolicy::default(),
+            collective: CollectiveKind::TwoLevelTree,
+            ring_capacity: DEFAULT_RING_CAPACITY,
         }
     }
 }
@@ -226,6 +240,9 @@ impl ClusterTrainer {
         if backoff_invalid(config.retry.backoff_base) || backoff_invalid(config.retry.backoff_cap) {
             return Err(RuntimeError::InvalidConfig("retry backoff must be non-negative".into()));
         }
+        if config.ring_capacity == 0 {
+            return Err(RuntimeError::InvalidConfig("ring_capacity is zero".into()));
+        }
         let topology = assign_roles(config.nodes, config.groups)?;
         Ok(ClusterTrainer { config, topology })
     }
@@ -298,14 +315,18 @@ impl ClusterTrainer {
         let thread_parts: Vec<Vec<Dataset>> =
             node_parts.iter().map(|p| p.partition(cfg.threads_per_node)).collect();
 
-        let sigma = SigmaAggregator::default();
+        let sigma = SigmaAggregator::with_ring_capacity(4, 4, cfg.ring_capacity);
         let mut model = initial_model;
         let mut history = Vec::with_capacity(cfg.epochs + 1);
         let mut iterations = 0;
         let mut iter_idx = 0; // global aggregation-step index, for fault keying
 
-        // The run's working topology: failures repair this copy.
+        // The run's working topology: failures repair this copy. The
+        // epoch counts repairs so the collective schedule is rebuilt
+        // over the survivors after every failure.
         let mut topology = self.topology.clone();
+        let mut topo_epoch: u64 = 0;
+        let mut schedule_cache: Option<ScheduleCache> = None;
         let mut alive = vec![true; cfg.nodes];
         let mut report = FaultReport::default();
 
@@ -344,7 +365,15 @@ impl ClusterTrainer {
                             s.set_arg(idx, "iter", &iter_idx.to_string());
                             s.add(counters::FAULTS_CRASHES, 1.0);
                         }
-                        kill_node(node, iter_idx, &mut topology, &mut alive, &mut report, sink)?;
+                        kill_node(
+                            node,
+                            iter_idx,
+                            &mut topology,
+                            &mut alive,
+                            &mut topo_epoch,
+                            &mut report,
+                            sink,
+                        )?;
                     }
                 }
 
@@ -377,7 +406,15 @@ impl ClusterTrainer {
                             reason: ExclusionReason::ThreadPanic,
                         });
                         record_exclusion(sink, node, iter_idx);
-                        kill_node(node, iter_idx, &mut topology, &mut alive, &mut report, sink)?;
+                        kill_node(
+                            node,
+                            iter_idx,
+                            &mut topology,
+                            &mut alive,
+                            &mut topo_epoch,
+                            &mut report,
+                            sink,
+                        )?;
                     }
                 }
 
@@ -423,86 +460,126 @@ impl ClusterTrainer {
                     s.span_closed(Layer::Exec, names::COMPUTE, t0, round_cost);
                 }
 
-                // Phase 3: group-level aggregation through the Sigma
-                // pipeline — admitted members stream chunked partials
-                // over channels ("sockets"), with injected corruption
-                // and duplication applied on the wire. Quarantined
-                // peers are withheld from the group sum and from the
-                // contributor count.
-                let mut group_sums: Vec<(Vec<f64>, usize)> = Vec::new();
-                for group in group_members(&topology) {
-                    let senders: Vec<usize> =
-                        group.iter().copied().filter(|&m| contributions[m].is_some()).collect();
-                    let outcome = thread::scope(|s| {
-                        let mut receivers = Vec::new();
-                        for &member in &senders {
-                            let (tx, rx) = channel::bounded(8);
-                            receivers.push(rx);
-                            let contributions = &contributions;
-                            s.spawn(move || {
-                                let Some((part, _)) = &contributions[member] else {
-                                    return;
+                // Phase 3: collective aggregation. The admitted members
+                // stream chunked partials over channels ("sockets") into
+                // the Sigma pipeline, with injected corruption and
+                // duplication applied on the wire; quarantined peers are
+                // withheld from the fold and from the contributor count.
+                // The configured collective strategy supplies the
+                // round's [`cosmic_collectives::CommSchedule`] — rebuilt
+                // whenever the topology epoch or the admitted set
+                // changes — which decides the wire pattern the trace
+                // books per link level. The arithmetic is the canonical
+                // ascending fold the schedule validates (peers in
+                // `senders` order), so every strategy trains
+                // bit-identically.
+                let senders: Vec<usize> =
+                    (0..cfg.nodes).filter(|&n| contributions[n].is_some()).collect();
+                if senders.is_empty() {
+                    if let Some(s) = sink {
+                        s.advance(round_cost);
+                    }
+                    iter_idx += 1;
+                    continue;
+                }
+                let stale = schedule_cache
+                    .as_ref()
+                    .is_none_or(|c| c.epoch != topo_epoch || c.participants != senders);
+                if stale {
+                    let schedule = cfg.collective.strategy().schedule(
+                        &topology,
+                        &senders,
+                        model_len,
+                        CHUNK_WORDS,
+                    )?;
+                    schedule.validate()?;
+                    if let Some(s) = sink {
+                        let idx = s.instant(Layer::Aggregate, "collective_rebuild");
+                        s.set_arg(idx, "strategy", cfg.collective.label());
+                        s.set_arg(idx, "participants", &senders.len().to_string());
+                        s.add(counters::COLLECTIVE_REBUILDS, 1.0);
+                    }
+                    schedule_cache = Some(ScheduleCache {
+                        epoch: topo_epoch,
+                        participants: senders.clone(),
+                        levels: schedule.bytes_by_level(),
+                        rounds: schedule.rounds(),
+                    });
+                }
+
+                let outcome = thread::scope(|s| {
+                    let mut receivers = Vec::new();
+                    for &member in &senders {
+                        let (tx, rx) = channel::bounded(8);
+                        receivers.push(rx);
+                        let contributions = &contributions;
+                        s.spawn(move || {
+                            let Some((part, _)) = &contributions[member] else {
+                                return;
+                            };
+                            for (ci, chunk) in chunk_vector(part).into_iter().enumerate() {
+                                let chunk = if plan.chunk_corrupted(member, iter_idx, ci) {
+                                    chunk.corrupted()
+                                } else {
+                                    chunk
                                 };
-                                for (ci, chunk) in chunk_vector(part).into_iter().enumerate() {
-                                    let chunk = if plan.chunk_corrupted(member, iter_idx, ci) {
-                                        chunk.corrupted()
-                                    } else {
-                                        chunk
-                                    };
-                                    let duplicate = plan
-                                        .chunk_duplicated(member, iter_idx, ci)
-                                        .then(|| chunk.clone());
-                                    if tx.send(chunk).is_err() {
+                                let duplicate = plan
+                                    .chunk_duplicated(member, iter_idx, ci)
+                                    .then(|| chunk.clone());
+                                if tx.send(chunk).is_err() {
+                                    break;
+                                }
+                                if let Some(dup) = duplicate {
+                                    if tx.send(dup).is_err() {
                                         break;
                                     }
-                                    if let Some(dup) = duplicate {
-                                        if tx.send(dup).is_err() {
-                                            break;
-                                        }
-                                    }
                                 }
-                            });
-                        }
-                        sigma.aggregate_validated(model_len, receivers)
-                    });
-                    report.duplicates_dropped += outcome.duplicates_dropped;
-                    if let Some(s) = sink {
-                        let idx = s.instant(Layer::Aggregate, "group");
-                        s.set_arg(idx, "sigma", &group[0].to_string());
-                        s.set_arg(idx, "senders", &senders.len().to_string());
-                        // The Sigma's own partial never crosses the wire.
-                        let wire = senders.iter().filter(|&&m| m != group[0]).count();
-                        s.add(counters::NET_BYTES_LEVEL1, (wire * model_len * 8) as f64);
-                        s.add(counters::CHUNKS_SENT, (senders.len() * chunks) as f64);
-                        s.add(counters::CHUNKS_QUARANTINED, outcome.quarantined.len() as f64);
-                        s.add(counters::CHUNKS_DUPLICATED, outcome.duplicates_dropped as f64);
-                        s.record_max_diagnostic(
-                            counters::RING_HIGH_WATER,
-                            outcome.ring_high_water as f64,
-                        );
-                    }
-                    let mut rejected = vec![false; senders.len()];
-                    for &(peer, fault) in &outcome.quarantined {
-                        rejected[peer] = true;
-                        report.quarantines.push(Quarantine {
-                            iteration: iter_idx,
-                            node: senders[peer],
-                            fault,
+                            }
                         });
                     }
-                    let active: usize = senders
-                        .iter()
-                        .enumerate()
-                        .filter(|&(i, _)| !rejected[i])
-                        .filter_map(|(_, &m)| contributions[m].as_ref().map(|(_, n)| *n))
-                        .sum();
-                    group_sums.push((outcome.sum, active));
+                    sigma.aggregate_validated(model_len, receivers)
+                });
+                report.duplicates_dropped += outcome.duplicates_dropped;
+                if let Some(s) = sink {
+                    if let Some(cache) = &schedule_cache {
+                        for round in 0..cache.rounds {
+                            let idx = s.instant(Layer::Aggregate, names::COLLECTIVE);
+                            s.set_arg(idx, "round", &round.to_string());
+                            s.set_arg(idx, "strategy", cfg.collective.label());
+                        }
+                        for (level, bytes) in cache.levels.into_iter().enumerate() {
+                            if bytes > 0 {
+                                s.add(level_counter(level), bytes as f64);
+                            }
+                        }
+                    }
+                    s.add(counters::CHUNKS_SENT, (senders.len() * chunks) as f64);
+                    s.add(counters::CHUNKS_QUARANTINED, outcome.quarantined.len() as f64);
+                    s.add(counters::CHUNKS_DUPLICATED, outcome.duplicates_dropped as f64);
+                    s.record_max_diagnostic(
+                        counters::RING_HIGH_WATER,
+                        outcome.ring_high_water as f64,
+                    );
+                }
+                let mut rejected = vec![false; senders.len()];
+                for &(peer, fault) in &outcome.quarantined {
+                    rejected[peer] = true;
+                    report.quarantines.push(Quarantine {
+                        iteration: iter_idx,
+                        node: senders[peer],
+                        fault,
+                    });
                 }
 
                 // `active_total` is the single source of truth for the
                 // rescaling denominator: contributors that survived
                 // admission *and* Sigma validation.
-                let active_total: usize = group_sums.iter().map(|(_, n)| n).sum();
+                let active_total: usize = senders
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| !rejected[i])
+                    .filter_map(|(_, &m)| contributions[m].as_ref().map(|(_, n)| *n))
+                    .sum();
                 if active_total == 0 {
                     if let Some(s) = sink {
                         s.advance(round_cost);
@@ -510,45 +587,7 @@ impl ClusterTrainer {
                     iter_idx += 1;
                     continue;
                 }
-
-                // Phase 4: the master Sigma combines group aggregates
-                // the same way and applies the aggregation operator.
-                let total: Vec<f64> = thread::scope(|s| {
-                    let mut receivers = Vec::new();
-                    for (sum, n) in &group_sums {
-                        if *n == 0 {
-                            continue;
-                        }
-                        let (tx, rx) = channel::bounded(8);
-                        receivers.push(rx);
-                        s.spawn(move || {
-                            for chunk in chunk_vector(sum) {
-                                if tx.send(chunk).is_err() {
-                                    break;
-                                }
-                            }
-                        });
-                    }
-                    sigma.aggregate(model_len, receivers)
-                });
-
-                if let Some(s) = sink {
-                    let contributing = group_sums.iter().filter(|(_, n)| *n > 0).count();
-                    let idx = s.instant(Layer::Aggregate, "master");
-                    s.set_arg(idx, "groups", &contributing.to_string());
-                    // The master's own group aggregate is already local.
-                    s.add(
-                        counters::NET_BYTES_LEVEL2,
-                        (contributing.saturating_sub(1) * model_len * 8) as f64,
-                    );
-                    let live = alive.iter().filter(|&&a| a).count();
-                    let bidx = s.instant(Layer::Net, names::BROADCAST);
-                    s.set_arg(bidx, "receivers", &live.saturating_sub(1).to_string());
-                    s.add(
-                        counters::NET_BYTES_BROADCAST,
-                        (live.saturating_sub(1) * model_len * 8) as f64,
-                    );
-                }
+                let total = outcome.sum;
 
                 match cfg.aggregation {
                     Aggregation::Average => {
@@ -590,17 +629,31 @@ impl ClusterTrainer {
     }
 }
 
+/// The cost summary of the collective schedule currently in force,
+/// keyed by the topology epoch and the admitted participant set it was
+/// built over.
+struct ScheduleCache {
+    epoch: u64,
+    participants: Vec<usize>,
+    levels: [usize; 5],
+    rounds: usize,
+}
+
 /// Marks `node` dead and repairs the aggregation hierarchy, recording
-/// any re-election. Errors when the failure is unrecoverable.
+/// any re-election and bumping the topology epoch so the collective
+/// schedule is rebuilt over the survivors. Errors when the failure is
+/// unrecoverable.
 fn kill_node(
     node: usize,
     iteration: usize,
     topology: &mut Topology,
     alive: &mut [bool],
+    epoch: &mut u64,
     report: &mut FaultReport,
     sink: Option<&TraceSink>,
 ) -> Result<(), RuntimeError> {
     alive[node] = false;
+    *epoch += 1;
     if !alive.iter().any(|&a| a) {
         return Err(RuntimeError::AllNodesFailed { iteration });
     }
@@ -617,8 +670,8 @@ fn kill_node(
             Ok(())
         }
         Ok(None) => Ok(()),
-        Err(RuntimeError::NoMaster) => Err(RuntimeError::NoSurvivingAggregator { iteration }),
-        Err(other) => Err(other),
+        Err(TopologyError::NoMaster) => Err(RuntimeError::NoSurvivingAggregator { iteration }),
+        Err(other) => Err(other.into()),
     }
 }
 
@@ -682,23 +735,6 @@ fn admit(
         None
     };
     Admission { reason, retries, backoff, cost }
-}
-
-/// Node ids per group (Sigma first), from the current (possibly
-/// repaired) topology.
-fn group_members(topology: &Topology) -> Vec<Vec<usize>> {
-    let mut groups: Vec<Vec<usize>> = Vec::new();
-    for (i, role) in topology.roles.iter().enumerate() {
-        match role {
-            Role::MasterSigma { members, .. } | Role::GroupSigma { members, .. } => {
-                let mut g = vec![i];
-                g.extend(members);
-                groups.push(g);
-            }
-            Role::Delta { .. } | Role::Failed => {}
-        }
-    }
-    groups
 }
 
 /// A worker thread's result: the outer `Option` is `None` when the
@@ -921,6 +957,7 @@ mod tests {
                 retry: RetryPolicy { backoff_base: -1.0, ..RetryPolicy::default() },
                 ..ClusterConfig::default()
             },
+            ClusterConfig { ring_capacity: 0, ..ClusterConfig::default() },
         ];
         for config in bad {
             assert!(matches!(
@@ -1092,6 +1129,118 @@ mod tests {
         assert!(!sums.contains_key(counters::RING_HIGH_WATER));
         let (_, diag_max) = sink_a.diagnostics();
         assert!(diag_max[counters::RING_HIGH_WATER] >= 1.0);
+    }
+
+    #[test]
+    fn every_collective_strategy_trains_bit_identically() {
+        // The strategy decides the wire pattern, never the arithmetic:
+        // all five collectives must produce the same model bit for bit.
+        let alg = Algorithm::LogisticRegression { features: 6 };
+        let ds = data::generate(&alg, 320, 19);
+        let init = data::init_model(&alg, 4);
+        let config = ClusterConfig {
+            nodes: 5,
+            groups: 2,
+            minibatch: 80,
+            epochs: 2,
+            ..ClusterConfig::default()
+        };
+        let outcomes: Vec<TrainOutcome> = CollectiveKind::ALL
+            .into_iter()
+            .map(|collective| {
+                trainer(ClusterConfig { collective, ..config.clone() })
+                    .train(&alg, &ds, init.clone())
+                    .expect("healthy run")
+            })
+            .collect();
+        for pair in outcomes.windows(2) {
+            assert_eq!(pair[0], pair[1], "strategies must be numerically interchangeable");
+        }
+    }
+
+    #[test]
+    fn collectives_stay_bit_identical_under_fault_injection() {
+        // A crash forces a re-election and a schedule rebuild over the
+        // survivors; a quarantined stream and recovered drops shrink
+        // the contributor set. None of it may depend on the strategy.
+        let alg = Algorithm::LinearRegression { features: 6 };
+        let ds = data::generate(&alg, 384, 23);
+        let init = data::init_model(&alg, 5);
+        let config = ClusterConfig {
+            nodes: 6,
+            groups: 2,
+            minibatch: 96,
+            epochs: 2,
+            faults: FaultPlan::none()
+                .crash(3, 1) // group 1's Sigma dies -> re-election
+                .straggle(4, 0, 2.0)
+                .drop_chunk(2, 0, 0, 1)
+                .duplicate_chunk(5, 2, 0),
+            ..ClusterConfig::default()
+        };
+        let outcomes: Vec<TrainOutcome> = CollectiveKind::ALL
+            .into_iter()
+            .map(|collective| {
+                trainer(ClusterConfig { collective, ..config.clone() })
+                    .train(&alg, &ds, init.clone())
+                    .expect("degraded, not dead")
+            })
+            .collect();
+        assert!(!outcomes[0].faults.crashes.is_empty());
+        assert!(!outcomes[0].faults.reelections.is_empty(), "the Sigma crash must re-elect");
+        for pair in outcomes.windows(2) {
+            assert_eq!(pair[0], pair[1], "fault handling must be strategy-independent");
+        }
+    }
+
+    #[test]
+    fn failures_rebuild_the_schedule_over_the_survivors() {
+        let alg = Algorithm::LinearRegression { features: 6 };
+        let ds = data::generate(&alg, 256, 11);
+        let t = trainer(ClusterConfig {
+            nodes: 4,
+            groups: 2,
+            minibatch: 64,
+            epochs: 2,
+            faults: FaultPlan::none().crash(3, 2),
+            collective: CollectiveKind::RingAllReduce,
+            ..ClusterConfig::default()
+        });
+        let sink = TraceSink::new();
+        let out = t.train_traced(&alg, &ds, data::init_model(&alg, 2), &sink).expect("runs");
+        assert_eq!(out.final_topology.live_nodes(), 3);
+        let sums = sink.sums();
+        // One build at the start, one rebuild after the crash.
+        assert_eq!(sums[counters::COLLECTIVE_REBUILDS], 2.0);
+        // Ring traffic is peer-to-peer, not hierarchical.
+        assert!(sums[counters::NET_BYTES_PEER] > 0.0);
+    }
+
+    #[test]
+    fn capacity_one_ring_trains_identically_and_in_lockstep() {
+        let alg = Algorithm::Svm { features: 6 };
+        let ds = data::generate(&alg, 256, 31);
+        let init = data::init_model(&alg, 6);
+        let config = ClusterConfig {
+            nodes: 4,
+            groups: 2,
+            minibatch: 64,
+            epochs: 2,
+            ..ClusterConfig::default()
+        };
+        let roomy = trainer(config.clone()).train(&alg, &ds, init.clone()).expect("ok");
+
+        let strict = ClusterConfig { ring_capacity: 1, ..config };
+        let sink = TraceSink::new();
+        let tight =
+            trainer(strict).train_traced(&alg, &ds, init, &sink).expect("capacity 1 completes");
+        assert_eq!(roomy.model, tight.model, "ring depth must not change the arithmetic");
+        let (_, diag_max) = sink.diagnostics();
+        assert_eq!(
+            diag_max[counters::RING_HIGH_WATER],
+            1.0,
+            "a one-slot ring is strict lock-step: occupancy can never exceed one"
+        );
     }
 
     #[test]

@@ -23,5 +23,5 @@ pub mod pcie;
 
 pub use event::{EventQueue, SimTime};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRates};
-pub use net::{LinkPort, NetworkModel};
+pub use net::{level_counter, LinkPort, NetworkModel};
 pub use pcie::PcieModel;

@@ -11,6 +11,22 @@ use cosmic_telemetry::{counters, TraceSink};
 
 use crate::event::SimTime;
 
+/// Maps a collective link level to its wire-byte counter. One shared
+/// table so fan-in, fan-out, and the collective executor book bytes
+/// under the same names: 0 = peer links, 1 = group members → Sigma,
+/// 2 = group Sigmas → master, 3 = model redistribution, 4 = in-network
+/// fabric (anything else lands in `net.bytes.other`).
+pub fn level_counter(level: usize) -> &'static str {
+    match level {
+        0 => counters::NET_BYTES_PEER,
+        1 => counters::NET_BYTES_LEVEL1,
+        2 => counters::NET_BYTES_LEVEL2,
+        3 => counters::NET_BYTES_BROADCAST,
+        4 => counters::NET_BYTES_FABRIC,
+        _ => "net.bytes.other",
+    }
+}
+
 /// Parameters of the cluster network.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkModel {
@@ -66,9 +82,7 @@ impl NetworkModel {
     }
 
     /// [`NetworkModel::fan_in_ns`] that also books the ingress bytes on
-    /// the sink's per-level wire counter: `level` 1 is group members →
-    /// Sigma, 2 is group Sigmas → master (anything else lands in
-    /// `net.bytes.other`).
+    /// the sink's per-level wire counter (see [`level_counter`]).
     pub fn fan_in_traced(
         &self,
         bytes: usize,
@@ -76,20 +90,28 @@ impl NetworkModel {
         level: usize,
         sink: &TraceSink,
     ) -> SimTime {
-        let counter = match level {
-            1 => counters::NET_BYTES_LEVEL1,
-            2 => counters::NET_BYTES_LEVEL2,
-            _ => "net.bytes.other",
-        };
-        sink.add(counter, (bytes * senders) as f64);
+        sink.add(level_counter(level), (bytes * senders) as f64);
         self.fan_in_ns(bytes, senders)
     }
 
     /// [`NetworkModel::fan_out_ns`] that also books the egress bytes on
-    /// the sink's broadcast counter.
-    pub fn fan_out_traced(&self, bytes: usize, receivers: usize, sink: &TraceSink) -> SimTime {
-        sink.add(counters::NET_BYTES_BROADCAST, (bytes * receivers) as f64);
+    /// the per-level wire counter (see [`level_counter`]) — previously
+    /// the fan-out path could only book broadcast traffic.
+    pub fn fan_out_traced_level(
+        &self,
+        bytes: usize,
+        receivers: usize,
+        level: usize,
+        sink: &TraceSink,
+    ) -> SimTime {
+        sink.add(level_counter(level), (bytes * receivers) as f64);
         self.fan_out_ns(bytes, receivers)
+    }
+
+    /// [`NetworkModel::fan_out_ns`] that books the egress bytes on the
+    /// sink's broadcast counter (level 3).
+    pub fn fan_out_traced(&self, bytes: usize, receivers: usize, sink: &TraceSink) -> SimTime {
+        self.fan_out_traced_level(bytes, receivers, 3, sink)
     }
 }
 
@@ -170,6 +192,26 @@ mod tests {
         assert_eq!(sums[counters::NET_BYTES_LEVEL1], 3_000.0);
         assert_eq!(sums[counters::NET_BYTES_LEVEL2], 4_000.0);
         assert_eq!(sums[counters::NET_BYTES_BROADCAST], 2_000.0);
+    }
+
+    #[test]
+    fn fan_in_and_fan_out_share_one_level_table() {
+        assert_eq!(level_counter(0), counters::NET_BYTES_PEER);
+        assert_eq!(level_counter(1), counters::NET_BYTES_LEVEL1);
+        assert_eq!(level_counter(2), counters::NET_BYTES_LEVEL2);
+        assert_eq!(level_counter(3), counters::NET_BYTES_BROADCAST);
+        assert_eq!(level_counter(4), counters::NET_BYTES_FABRIC);
+        assert_eq!(level_counter(9), "net.bytes.other");
+
+        // The fan-out path books the same counters as fan-in for the
+        // same level (it used to alias fan-in untraced).
+        let n = NetworkModel::gigabit();
+        let sink = TraceSink::new();
+        assert_eq!(n.fan_out_traced_level(100, 2, 0, &sink), n.fan_out_ns(100, 2));
+        assert_eq!(n.fan_out_traced_level(100, 3, 4, &sink), n.fan_out_ns(100, 3));
+        let sums = sink.sums();
+        assert_eq!(sums[counters::NET_BYTES_PEER], 200.0);
+        assert_eq!(sums[counters::NET_BYTES_FABRIC], 300.0);
     }
 
     #[test]

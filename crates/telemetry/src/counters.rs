@@ -1,12 +1,18 @@
 //! Canonical counter names, so producers and consumers agree on the
 //! `metrics.json` vocabulary without stringly-typed drift.
 
+/// Bytes moved over peer links (ring neighbours, halving-doubling
+/// partners — collective level 0).
+pub const NET_BYTES_PEER: &str = "net.bytes.peer";
 /// Bytes received over level-1 links (group members → their Sigma).
 pub const NET_BYTES_LEVEL1: &str = "net.bytes.level1";
 /// Bytes received over level-2 links (group Sigmas → the master).
 pub const NET_BYTES_LEVEL2: &str = "net.bytes.level2";
 /// Bytes sent redistributing the updated model.
 pub const NET_BYTES_BROADCAST: &str = "net.bytes.broadcast";
+/// Bytes exchanged with the in-network aggregation fabric (collective
+/// level 4, SwitchML-style strategies only).
+pub const NET_BYTES_FABRIC: &str = "net.bytes.fabric";
 /// Bytes moved over PCIe (partial readback + model write).
 pub const PCIE_BYTES: &str = "pcie.bytes";
 
@@ -27,6 +33,9 @@ pub const TRAINER_EXCLUSIONS: &str = "trainer.exclusions";
 pub const FAULTS_CRASHES: &str = "faults.crashes";
 /// Sigma re-elections performed.
 pub const FAILOVER_REELECTIONS: &str = "failover.reelections";
+/// Communication-schedule rebuilds after topology changes (crashes or
+/// per-round participant churn).
+pub const COLLECTIVE_REBUILDS: &str = "collective.rebuilds";
 
 /// Crashes scheduled in a fault plan (planned, not necessarily reached
 /// by a short run).

@@ -20,6 +20,9 @@ pub mod names {
     pub const MANAGEMENT: &str = "management";
     /// Fault recovery: retransmissions, deadline waits, failover.
     pub const RECOVERY: &str = "recovery";
+    /// One collective-schedule round (nested inside aggregate/broadcast
+    /// phases; not folded into the per-phase totals).
+    pub const COLLECTIVE: &str = "collective";
 }
 
 /// Per-phase totals reconstructed from the raw spans of a sink — the

@@ -227,6 +227,7 @@ fn trace_summary_reproduces_iteration_breakdown_for_every_benchmark() {
         deadline_factor: 4.0,
         sigma_failover_rate: 0.005,
         failover_penalty_s: 5e-3,
+        reschedule_penalty_s: 1e-3,
     };
     for id in BenchmarkId::all() {
         let bench = id.benchmark();
