@@ -1,0 +1,8 @@
+//! Regenerates the elastic-membership study (virtual throughput vs
+//! churn under φ-accrual detection, checkpointing, and rejoin).
+fn main() {
+    cosmic_bench::figures::figure_main(
+        "fig_elastic",
+        cosmic_bench::figures::fig_elastic::run_traced,
+    );
+}

@@ -21,6 +21,7 @@ pub mod fig15_sensitivity;
 pub mod fig16_dse;
 pub mod fig17_tabla;
 pub mod fig_collectives;
+pub mod fig_elastic;
 pub mod fig_faults;
 pub mod table1_benchmarks;
 pub mod table2_platforms;
@@ -57,6 +58,7 @@ pub fn run_all_traced(sink: &TraceSink) -> String {
         section(sink, "fig17_tabla", fig17_tabla::run_traced),
         section(sink, "fig_faults", fig_faults::run_traced),
         section(sink, "fig_collectives", fig_collectives::run_traced),
+        section(sink, "fig_elastic", fig_elastic::run_traced),
     ]
     .join("\n")
 }

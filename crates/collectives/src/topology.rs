@@ -141,12 +141,24 @@ pub struct Topology {
     pub roles: Vec<Role>,
     /// Number of live groups.
     pub groups: usize,
+    /// Membership epoch: bumped exactly once per *effective* membership
+    /// change ([`Topology::fail_node`] on a live node,
+    /// [`Topology::rejoin_node`] on a failed one). Consumers key their
+    /// communication-schedule caches on this, so joins invalidate them
+    /// the same way leaves do. No-op repairs (double-failing a node)
+    /// leave it untouched.
+    epoch: u64,
 }
 
 impl Topology {
     /// Total nodes (live and failed).
     pub fn nodes(&self) -> usize {
         self.roles.len()
+    }
+
+    /// The membership epoch (see the field docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Nodes that have not failed.
@@ -204,6 +216,11 @@ impl Topology {
             return Err(TopologyError::NodeOutOfRange { node, nodes: self.roles.len() });
         }
         let old = std::mem::replace(&mut self.roles[node], Role::Failed);
+        if !matches!(old, Role::Failed) {
+            // One bump per effective change, even when the repair itself
+            // errors (the last master dying still empties the cluster).
+            self.epoch += 1;
+        }
         match old {
             Role::Failed => Ok(None),
             Role::Delta { sigma } => {
@@ -279,6 +296,53 @@ impl Topology {
             }
         }
     }
+
+    /// Re-admits a previously failed node as a Delta in the smallest
+    /// live group (ties broken toward the lowest-id Sigma), bumping the
+    /// membership epoch so collective schedules rebuild on join exactly
+    /// as they do on leave.
+    ///
+    /// The returned value is the Sigma the node was attached to, or
+    /// `None` if the node is already live (rejoining twice is a no-op,
+    /// mirroring [`Topology::fail_node`]). The node never resumes its
+    /// old aggregation duties — re-election already rewired those — it
+    /// starts over at the bottom of the hierarchy.
+    ///
+    /// Errors with [`TopologyError::NodeOutOfRange`] for unknown ids and
+    /// [`TopologyError::NoMaster`] when no aggregator survives to adopt
+    /// the node.
+    pub fn rejoin_node(&mut self, node: usize) -> Result<Option<usize>, TopologyError> {
+        if node >= self.roles.len() {
+            return Err(TopologyError::NodeOutOfRange { node, nodes: self.roles.len() });
+        }
+        if !self.roles[node].is_failed() {
+            return Ok(None);
+        }
+        let sigma = self
+            .roles
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match r {
+                Role::GroupSigma { members, .. } | Role::MasterSigma { members, .. } => {
+                    Some((members.len(), i))
+                }
+                Role::Delta { .. } | Role::Failed => None,
+            })
+            .min()
+            .map(|(_, i)| i)
+            .ok_or(TopologyError::NoMaster)?;
+        if let Role::GroupSigma { members, .. } | Role::MasterSigma { members, .. } =
+            &mut self.roles[sigma]
+        {
+            // Member lists stay ascending so downstream iteration order
+            // (and therefore every schedule) is deterministic.
+            let at = members.partition_point(|&m| m < node);
+            members.insert(at, node);
+        }
+        self.roles[node] = Role::Delta { sigma };
+        self.epoch += 1;
+        Ok(Some(sigma))
+    }
 }
 
 /// Assigns roles to `nodes` nodes split into `groups` groups of nearly
@@ -323,7 +387,7 @@ pub fn assign_roles(nodes: usize, groups: usize) -> Result<Topology, TopologyErr
     if let Role::MasterSigma { group_sigmas: gs, .. } = &mut roles[0] {
         *gs = group_sigmas;
     }
-    Ok(Topology { roles, groups })
+    Ok(Topology { roles, groups, epoch: 0 })
 }
 
 /// The paper's group-count policy: enough groups that no Sigma ingress
@@ -550,6 +614,75 @@ mod tests {
         let mut t = roles(6, 2);
         t.fail_node(5).expect("first failure");
         assert_eq!(t.fail_node(5), Ok(None));
+    }
+
+    /// Regression (satellite): double-failing a node must not mutate
+    /// epoch state twice — schedule caches keyed on the epoch would
+    /// rebuild for a membership change that never happened.
+    #[test]
+    fn epoch_bumps_once_per_effective_change_only() {
+        let mut t = roles(6, 2);
+        assert_eq!(t.epoch(), 0);
+        t.fail_node(5).expect("first failure");
+        assert_eq!(t.epoch(), 1);
+        assert_eq!(t.fail_node(5), Ok(None), "second failure is a no-op");
+        assert_eq!(t.epoch(), 1, "no-op repair must not bump the epoch");
+        t.rejoin_node(5).expect("rejoin");
+        assert_eq!(t.epoch(), 2);
+        assert_eq!(t.rejoin_node(5), Ok(None), "second rejoin is a no-op");
+        assert_eq!(t.epoch(), 2, "no-op rejoin must not bump the epoch");
+        assert_eq!(t.fail_node(9), Err(TopologyError::NodeOutOfRange { node: 9, nodes: 6 }),);
+        assert_eq!(t.epoch(), 2, "rejected repairs must not bump the epoch");
+    }
+
+    #[test]
+    fn rejoin_attaches_to_the_smallest_group_lowest_sigma_first() {
+        let mut t = roles(9, 3); // groups {0,1,2} {3,4,5} {6,7,8}
+        t.fail_node(4).expect("delta removal");
+        t.fail_node(7).expect("delta removal");
+        // Groups at sigma 3 and 6 both have one member; the tie breaks
+        // toward the lowest-id sigma.
+        assert_eq!(t.rejoin_node(4), Ok(Some(3)));
+        assert_eq!(t.roles[4], Role::Delta { sigma: 3 });
+        assert_eq!(t.roles[3], Role::GroupSigma { members: vec![4, 5], master: 0 });
+        // Now sigma 6's group is the unique smallest.
+        assert_eq!(t.rejoin_node(7), Ok(Some(6)));
+        assert_eq!(t.roles[6], Role::GroupSigma { members: vec![7, 8], master: 0 });
+        assert_eq!(t.live_nodes(), 9);
+    }
+
+    #[test]
+    fn rejoined_member_lists_stay_ascending() {
+        let mut t = roles(5, 1); // master 0, members 1..=4
+        t.fail_node(2).expect("delta removal");
+        t.fail_node(1).expect("delta removal");
+        t.rejoin_node(2).expect("rejoin");
+        t.rejoin_node(1).expect("rejoin");
+        assert_eq!(
+            t.roles[0],
+            Role::MasterSigma { members: vec![1, 2, 3, 4], group_sigmas: vec![] },
+        );
+    }
+
+    #[test]
+    fn a_failed_sigma_rejoins_as_a_delta_not_a_sigma() {
+        let mut t = roles(6, 2); // groups {0,1,2} {3,4,5}
+        t.fail_node(3).expect("re-election");
+        assert_eq!(t.sigmas(), vec![0, 4]);
+        let sigma = t.rejoin_node(3).expect("rejoin").expect("adopted");
+        assert_eq!(sigma, 4, "its old (re-elected) group is the smallest");
+        assert_eq!(t.roles[3], Role::Delta { sigma: 4 });
+        assert_eq!(t.sigmas(), vec![0, 4], "re-election is not reversed by rejoin");
+    }
+
+    #[test]
+    fn rejoin_errors_match_fail_node_errors() {
+        let mut t = roles(3, 1);
+        assert_eq!(t.rejoin_node(7), Err(TopologyError::NodeOutOfRange { node: 7, nodes: 3 }));
+        t.fail_node(1).expect("delta");
+        t.fail_node(2).expect("delta");
+        assert_eq!(t.fail_node(0), Err(TopologyError::NoMaster));
+        assert_eq!(t.rejoin_node(1), Err(TopologyError::NoMaster), "nobody left to adopt");
     }
 
     #[test]

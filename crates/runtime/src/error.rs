@@ -46,6 +46,13 @@ pub enum RuntimeError {
     /// An OS-level worker thread panicked and the failure could not be
     /// attributed to a single node (infrastructure fault, not data).
     WorkerPoolFailure(String),
+    /// A rejoining node's recovery checkpoint failed checksum
+    /// verification — catching up from it would silently fork the
+    /// model.
+    CheckpointCorrupt {
+        /// The corrupt snapshot's iteration stamp.
+        iteration: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -63,6 +70,9 @@ impl fmt::Display for RuntimeError {
                 write!(f, "no surviving node to promote to Sigma at iteration {iteration}")
             }
             RuntimeError::WorkerPoolFailure(what) => write!(f, "worker pool failure: {what}"),
+            RuntimeError::CheckpointCorrupt { iteration } => {
+                write!(f, "recovery checkpoint at iteration {iteration} failed verification")
+            }
         }
     }
 }
@@ -80,6 +90,16 @@ impl From<TopologyError> for RuntimeError {
             }
             TopologyError::NodeOutOfRange { .. } => RuntimeError::InvalidConfig(err.to_string()),
             TopologyError::NoMaster => RuntimeError::NoMaster,
+        }
+    }
+}
+
+impl From<crate::checkpoint::CheckpointError> for RuntimeError {
+    fn from(err: crate::checkpoint::CheckpointError) -> Self {
+        match err {
+            crate::checkpoint::CheckpointError::Corrupt { iteration } => {
+                RuntimeError::CheckpointCorrupt { iteration }
+            }
         }
     }
 }
@@ -105,6 +125,7 @@ mod tests {
             (RuntimeError::AllNodesFailed { iteration: 7 }, "iteration 7"),
             (RuntimeError::NoSurvivingAggregator { iteration: 3 }, "promote"),
             (RuntimeError::WorkerPoolFailure("spawn failed".into()), "spawn"),
+            (RuntimeError::CheckpointCorrupt { iteration: 9 }, "iteration 9"),
         ];
         for (err, needle) in cases {
             let text = err.to_string();
@@ -129,6 +150,15 @@ mod tests {
         assert_eq!(
             oor,
             RuntimeError::InvalidConfig("fail_node(7) out of range for 3 node(s)".into())
+        );
+    }
+
+    #[test]
+    fn checkpoint_errors_convert_to_checkpoint_corrupt() {
+        use crate::checkpoint::CheckpointError;
+        assert_eq!(
+            RuntimeError::from(CheckpointError::Corrupt { iteration: 12 }),
+            RuntimeError::CheckpointCorrupt { iteration: 12 }
         );
     }
 

@@ -18,7 +18,11 @@
 //! - [`trainer`] — the functional distributed trainer: data partitioned
 //!   across nodes and accelerator threads, per-mini-batch parallel SGD
 //!   with hierarchical aggregation, producing real trained models and
-//!   degrading gracefully under injected faults.
+//!   degrading gracefully under injected faults;
+//! - [`detector`] / [`checkpoint`] — elastic membership: φ-accrual
+//!   heartbeat failure detection on virtual time, and deterministic
+//!   checkpoint + replay catch-up so expelled nodes can rejoin with a
+//!   bit-identical model.
 //!
 //! What is **modeled** (the wire and the silicon):
 //!
@@ -44,7 +48,9 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
+pub mod checkpoint;
 pub mod circbuf;
+pub mod detector;
 pub mod error;
 pub mod node;
 pub mod pool;
@@ -56,7 +62,12 @@ pub mod trainer;
 /// topology vocabulary); re-exported under its historical path.
 pub use cosmic_collectives::topology as role;
 
+pub use checkpoint::{
+    model_checksum, CatchUp, Checkpoint, CheckpointConfig, CheckpointError, CheckpointStore,
+    ReplayOp,
+};
 pub use circbuf::CircularBuffer;
+pub use detector::{DetectorConfig, FailureDetector, SuspicionLevel};
 pub use error::RuntimeError;
 pub use node::{
     AggregateOutcome, Chunk, ChunkFault, SigmaAggregator, CHUNK_WORDS, DEFAULT_RING_CAPACITY,
@@ -73,8 +84,8 @@ pub use cosmic_collectives::{
     CollectiveKind, CollectiveSelector, CommSchedule, CostModel, ScheduleError,
 };
 pub use trainer::{
-    ClusterConfig, ClusterTrainer, Exclusion, ExclusionReason, FaultReport, Quarantine,
-    RetryPolicy, TrainOutcome,
+    ClusterConfig, ClusterTrainer, Exclusion, ExclusionReason, FaultReport, MembershipMode,
+    PartitionOutage, Quarantine, RejoinEvent, RetryPolicy, Suspicion, TrainOutcome,
 };
 
 // Re-export the fault-injection vocabulary so runtime users need not

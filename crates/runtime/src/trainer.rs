@@ -26,13 +26,33 @@ use cosmic_collectives::CollectiveKind;
 use cosmic_ml::data::Dataset;
 use cosmic_ml::sgd;
 use cosmic_ml::{Aggregation, Algorithm};
-use cosmic_sim::faults::FaultPlan;
+use cosmic_sim::faults::{minority_nodes, FaultPlan};
 use cosmic_sim::level_counter;
 use cosmic_telemetry::{counters, names, Layer, TraceSink};
 
+use crate::checkpoint::{CheckpointConfig, CheckpointStore, ReplayOp};
+use crate::detector::{DetectorConfig, FailureDetector, SuspicionLevel};
 use crate::error::RuntimeError;
 use crate::node::{chunk_vector, ChunkFault, SigmaAggregator, CHUNK_WORDS, DEFAULT_RING_CAPACITY};
 use crate::role::{assign_roles, Promotion, Topology, TopologyError};
+
+/// How the runtime learns about node failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MembershipMode {
+    /// The fault plan declares crashes directly (PR 1 behavior): the
+    /// trainer expels a node the instant its plan entry fires. Perfect
+    /// knowledge, zero detection latency — the baseline every detector
+    /// run is measured against.
+    #[default]
+    Oracle,
+    /// Elastic membership: the runtime learns about failures only from
+    /// missing heartbeats (per-iteration chunk arrivals) through the
+    /// φ-accrual [`FailureDetector`]. Silent nodes are suspected, then
+    /// expelled; an expelled node that delivers again (a healed
+    /// partition, a rejoined crash, a false declaration) is re-admitted
+    /// through the checkpoint/replay rejoin protocol.
+    Detector,
+}
 
 /// Chunk-retransmission policy for dropped chunks, in virtual time.
 ///
@@ -99,6 +119,16 @@ pub struct ClusterConfig {
     /// chunks. Capacity 1 degenerates to strict lock-step hand-off
     /// between networking and aggregation.
     pub ring_capacity: usize,
+    /// How failures are learned: oracle declarations (the default,
+    /// PR 1 behavior) or φ-accrual heartbeat detection with rejoin.
+    pub membership: MembershipMode,
+    /// φ-accrual detector tuning (used in
+    /// [`MembershipMode::Detector`]).
+    pub detector: DetectorConfig,
+    /// Model-snapshot cadence backing the rejoin catch-up protocol.
+    /// Checkpoints are taken in both membership modes so the recovery
+    /// path is always live.
+    pub checkpoint: CheckpointConfig,
 }
 
 impl Default for ClusterConfig {
@@ -116,6 +146,9 @@ impl Default for ClusterConfig {
             retry: RetryPolicy::default(),
             collective: CollectiveKind::TwoLevelTree,
             ring_capacity: DEFAULT_RING_CAPACITY,
+            membership: MembershipMode::default(),
+            detector: DetectorConfig::default(),
+            checkpoint: CheckpointConfig::default(),
         }
     }
 }
@@ -158,6 +191,47 @@ pub struct Quarantine {
     pub fault: ChunkFault,
 }
 
+/// One detector suspicion: a node's φ crossed the suspicion threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Suspicion {
+    /// The global aggregation iteration.
+    pub iteration: usize,
+    /// The suspected node.
+    pub node: usize,
+    /// The φ value at the moment of suspicion.
+    pub phi: f64,
+}
+
+/// One node re-admitted through the rejoin protocol, with its catch-up
+/// accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RejoinEvent {
+    /// The iteration at which the node was re-admitted.
+    pub iteration: usize,
+    /// The rejoined node.
+    pub node: usize,
+    /// Iteration of the checkpoint the catch-up started from.
+    pub base_iteration: usize,
+    /// Aggregated updates replayed on top of the checkpoint.
+    pub replayed: usize,
+    /// Bytes shipped to the joining node (snapshot + replayed deltas).
+    pub bytes: usize,
+    /// Whether the caught-up model equals the survivors' model bit for
+    /// bit (the elastic-membership correctness invariant).
+    pub matched: bool,
+}
+
+/// One planned network partition absorbed by the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionOutage {
+    /// The iteration the split began.
+    pub start: usize,
+    /// The iteration the partition healed (minority reachable again).
+    pub heal: usize,
+    /// The quiesced minority side.
+    pub minority: Vec<usize>,
+}
+
 /// Everything that degraded during a (still successful) training run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultReport {
@@ -175,10 +249,27 @@ pub struct FaultReport {
     pub chunk_retries: usize,
     /// Duplicate chunk deliveries recognized and dropped.
     pub duplicates_dropped: usize,
+    /// Detector suspicions raised (detector mode only).
+    pub suspicions: Vec<Suspicion>,
+    /// Suspicions or expulsions of nodes that were alive all along
+    /// (cleared by a later delivery from the node).
+    pub false_suspicions: usize,
+    /// Suspected nodes reinstated to healthy by a delivery, as
+    /// `(iteration, node)`.
+    pub reinstatements: Vec<(usize, usize)>,
+    /// Nodes re-admitted through the rejoin protocol.
+    pub rejoins: Vec<RejoinEvent>,
+    /// Planned network partitions absorbed.
+    pub partitions: Vec<PartitionOutage>,
+    /// Cadence model snapshots taken (genesis excluded). Healthy runs
+    /// checkpoint too, so this does not count against
+    /// [`FaultReport::is_clean`].
+    pub checkpoints: usize,
 }
 
 impl FaultReport {
-    /// Whether the run saw no degradation at all.
+    /// Whether the run saw no degradation at all. (Checkpoints are
+    /// routine maintenance, not degradation.)
     pub fn is_clean(&self) -> bool {
         self.crashes.is_empty()
             && self.exclusions.is_empty()
@@ -186,6 +277,11 @@ impl FaultReport {
             && self.quarantines.is_empty()
             && self.chunk_retries == 0
             && self.duplicates_dropped == 0
+            && self.suspicions.is_empty()
+            && self.false_suspicions == 0
+            && self.reinstatements.is_empty()
+            && self.rejoins.is_empty()
+            && self.partitions.is_empty()
     }
 
     /// Nodes excluded at `iteration`.
@@ -243,6 +339,8 @@ impl ClusterTrainer {
         if config.ring_capacity == 0 {
             return Err(RuntimeError::InvalidConfig("ring_capacity is zero".into()));
         }
+        config.detector.validate().map_err(RuntimeError::InvalidConfig)?;
+        config.checkpoint.validate().map_err(RuntimeError::InvalidConfig)?;
         let topology = assign_roles(config.nodes, config.groups)?;
         Ok(ClusterTrainer { config, topology })
     }
@@ -321,13 +419,31 @@ impl ClusterTrainer {
         let mut iterations = 0;
         let mut iter_idx = 0; // global aggregation-step index, for fault keying
 
-        // The run's working topology: failures repair this copy. The
-        // epoch counts repairs so the collective schedule is rebuilt
-        // over the survivors after every failure.
+        // The run's working topology: failures repair this copy, and
+        // its membership epoch drives collective-schedule rebuilds on
+        // both leave and join.
         let mut topology = self.topology.clone();
-        let mut topo_epoch: u64 = 0;
         let mut schedule_cache: Option<ScheduleCache> = None;
-        let mut alive = vec![true; cfg.nodes];
+        // Physical liveness per the plan (is the node's hardware up?)
+        // versus runtime membership (does the topology include it?). In
+        // oracle mode the two move together; in detector mode
+        // membership lags physical truth by detection and rejoin
+        // latency, and the two views disagreeing is exactly what the
+        // elastic-membership machinery manages.
+        let mut up = vec![true; cfg.nodes];
+        let mut member = vec![true; cfg.nodes];
+        let mut suspected = vec![false; cfg.nodes];
+        let mut expelled_while_up = vec![false; cfg.nodes];
+        let oracle = matches!(cfg.membership, MembershipMode::Oracle);
+        let mut detector = FailureDetector::new(cfg.nodes, cfg.detector);
+        let mut store = CheckpointStore::new(cfg.checkpoint, &model);
+        // Arrivals from expelled nodes observed this round, pending
+        // re-admission at the end of the iteration.
+        let mut rejoiners: Vec<(usize, f64)> = Vec::new();
+        // The local virtual clock. Mirrors the sink's time when
+        // tracing, but is kept independently so detector verdicts are
+        // identical whether or not a trace is attached.
+        let mut vclock = 0.0f64;
         let mut report = FaultReport::default();
 
         let steps =
@@ -354,10 +470,53 @@ impl ClusterTrainer {
                 });
                 let t0 = sink.map_or(0.0, TraceSink::now);
 
-                // Phase 0: fail-stop crashes scheduled for this
-                // iteration, with Sigma re-election where needed.
+                // Phase 0: membership maintenance. The *physical* fate
+                // of every node comes from the plan in both modes —
+                // crash windows open and close, partitions quiesce and
+                // heal. What differs is how the runtime learns about
+                // it: the oracle expels and re-admits instantly; the
+                // detector only ever reacts to heartbeats.
+                for (mask, heal) in plan.partitions_starting_at(iter_idx) {
+                    let minority = minority_nodes(mask);
+                    if let Some(s) = sink {
+                        let idx = s.instant(Layer::Membership, "partition_start");
+                        s.set_arg(idx, "minority", &format!("{minority:?}"));
+                        s.set_arg(idx, "heal", &heal.to_string());
+                        s.set_arg(idx, "iter", &iter_idx.to_string());
+                    }
+                    report.partitions.push(PartitionOutage { start: iter_idx, heal, minority });
+                }
+                let healing = report.partitions.iter().filter(|p| p.heal == iter_idx).count();
+                if let Some(s) = sink {
+                    for _ in 0..healing {
+                        let idx = s.instant(Layer::Membership, "partition_heal");
+                        s.set_arg(idx, "iter", &iter_idx.to_string());
+                        s.add(counters::MEMBERSHIP_PARTITION_HEALS, 1.0);
+                    }
+                }
                 for node in 0..cfg.nodes {
-                    if alive[node] && plan.crashed(node, iter_idx) {
+                    // A rejoin event closes the down window unless a
+                    // fresh crash re-opens it at the same iteration.
+                    if !up[node]
+                        && plan.rejoined_at(node, iter_idx)
+                        && !plan.crashed(node, iter_idx)
+                    {
+                        up[node] = true;
+                        if oracle && !member[node] {
+                            readmit(
+                                node,
+                                iter_idx,
+                                &mut topology,
+                                &mut member,
+                                &store,
+                                &model,
+                                &mut report,
+                                sink,
+                            )?;
+                        }
+                    }
+                    if up[node] && plan.crashed(node, iter_idx) {
+                        up[node] = false;
                         report.crashes.push((iter_idx, node));
                         if let Some(s) = sink {
                             let idx = s.instant(Layer::Failover, "crash");
@@ -365,27 +524,83 @@ impl ClusterTrainer {
                             s.set_arg(idx, "iter", &iter_idx.to_string());
                             s.add(counters::FAULTS_CRASHES, 1.0);
                         }
-                        kill_node(
-                            node,
-                            iter_idx,
-                            &mut topology,
-                            &mut alive,
-                            &mut topo_epoch,
-                            &mut report,
-                            sink,
-                        )?;
+                        if oracle && member[node] {
+                            kill_node(
+                                node,
+                                iter_idx,
+                                &mut topology,
+                                &mut member,
+                                &mut report,
+                                sink,
+                            )?;
+                        }
                     }
                 }
 
-                // Phase 1: every live node computes its partial in
-                // parallel; within a node, every accelerator thread in
-                // parallel.
+                // Detector sweep: suspicion is evaluated on the virtual
+                // clock at the top of the round, over the heartbeats of
+                // every previous round.
+                if !oracle {
+                    for node in 0..cfg.nodes {
+                        if !member[node] {
+                            continue;
+                        }
+                        match detector.level(node, vclock) {
+                            SuspicionLevel::Healthy => {}
+                            SuspicionLevel::Suspected => {
+                                if !suspected[node] {
+                                    suspected[node] = true;
+                                    let phi = detector.phi(node, vclock);
+                                    report.suspicions.push(Suspicion {
+                                        iteration: iter_idx,
+                                        node,
+                                        phi,
+                                    });
+                                    if let Some(s) = sink {
+                                        let idx = s.instant(Layer::Membership, "suspicion");
+                                        s.set_arg(idx, "node", &node.to_string());
+                                        s.set_arg(idx, "iter", &iter_idx.to_string());
+                                        s.set_arg(idx, "phi", &format!("{phi:.3}"));
+                                        s.add(counters::MEMBERSHIP_SUSPICIONS, 1.0);
+                                    }
+                                }
+                            }
+                            SuspicionLevel::Failed => {
+                                suspected[node] = false;
+                                expelled_while_up[node] =
+                                    up[node] && !plan.quiesced(node, iter_idx);
+                                if let Some(s) = sink {
+                                    let phi = detector.phi(node, vclock);
+                                    let idx = s.instant(Layer::Membership, "declare_failed");
+                                    s.set_arg(idx, "node", &node.to_string());
+                                    s.set_arg(idx, "iter", &iter_idx.to_string());
+                                    s.set_arg(idx, "phi", &format!("{phi:.3}"));
+                                }
+                                kill_node(
+                                    node,
+                                    iter_idx,
+                                    &mut topology,
+                                    &mut member,
+                                    &mut report,
+                                    sink,
+                                )?;
+                            }
+                        }
+                    }
+                }
+
+                // Phase 1: every physically-up, unpartitioned node
+                // computes its partial in parallel; within a node,
+                // every accelerator thread in parallel. In detector
+                // mode this includes nodes the runtime has expelled —
+                // they don't know they're out, and their traffic is
+                // what triggers re-admission.
                 let mut partials: Vec<Option<(Vec<f64>, usize)>> = thread::scope(|s| {
                     let handles: Vec<Option<_>> = thread_parts
                         .iter()
                         .enumerate()
                         .map(|(node, subs)| {
-                            if !alive[node] {
+                            if !up[node] || plan.quiesced(node, iter_idx) {
                                 return None;
                             }
                             let model = &model;
@@ -399,22 +614,27 @@ impl ClusterTrainer {
                     handles.into_iter().map(|h| h.and_then(|h| h.join().ok().flatten())).collect()
                 });
                 for node in 0..cfg.nodes {
-                    if alive[node] && partials[node].is_none() {
-                        report.exclusions.push(Exclusion {
-                            iteration: iter_idx,
-                            node,
-                            reason: ExclusionReason::ThreadPanic,
-                        });
-                        record_exclusion(sink, node, iter_idx);
-                        kill_node(
-                            node,
-                            iter_idx,
-                            &mut topology,
-                            &mut alive,
-                            &mut topo_epoch,
-                            &mut report,
-                            sink,
-                        )?;
+                    let computing = up[node] && !plan.quiesced(node, iter_idx);
+                    if computing && partials[node].is_none() {
+                        // The pool sees the panic locally — no
+                        // detection latency in either mode.
+                        up[node] = false;
+                        if member[node] {
+                            report.exclusions.push(Exclusion {
+                                iteration: iter_idx,
+                                node,
+                                reason: ExclusionReason::ThreadPanic,
+                            });
+                            record_exclusion(sink, node, iter_idx);
+                            kill_node(
+                                node,
+                                iter_idx,
+                                &mut topology,
+                                &mut member,
+                                &mut report,
+                                sink,
+                            )?;
+                        }
                     }
                 }
 
@@ -430,7 +650,7 @@ impl ClusterTrainer {
                 // node is excluded, not waited for). Nominal is 1.
                 let mut round_cost = 1.0f64;
                 for node in 0..cfg.nodes {
-                    if !alive[node] {
+                    if !up[node] || plan.quiesced(node, iter_idx) {
                         continue;
                     }
                     let has_records = matches!(&partials[node], Some((_, n)) if *n > 0);
@@ -438,15 +658,45 @@ impl ClusterTrainer {
                         continue;
                     }
                     let adm = admit(plan, &cfg.retry, cfg.deadline_factor, node, iter_idx, chunks);
-                    report.chunk_retries += adm.retries;
-                    round_cost = round_cost.max(adm.cost.min(cfg.deadline_factor));
-                    if adm.retries > 0 {
-                        if let Some(s) = sink {
-                            let idx = s.span_closed(Layer::Retry, "retransmit", t0, adm.backoff);
-                            s.set_arg(idx, "node", &node.to_string());
-                            s.set_arg(idx, "retries", &adm.retries.to_string());
-                            s.add(counters::CHUNKS_RETRIED, adm.retries as f64);
+                    if member[node] {
+                        // Only members hold up the barrier or count in
+                        // the round's retry traffic; an expelled node's
+                        // stream is background noise until it rejoins.
+                        report.chunk_retries += adm.retries;
+                        round_cost = round_cost.max(adm.cost.min(cfg.deadline_factor));
+                        if adm.retries > 0 {
+                            if let Some(s) = sink {
+                                let idx =
+                                    s.span_closed(Layer::Retry, "retransmit", t0, adm.backoff);
+                                s.set_arg(idx, "node", &node.to_string());
+                                s.set_arg(idx, "retries", &adm.retries.to_string());
+                                s.add(counters::CHUNKS_RETRIED, adm.retries as f64);
+                            }
                         }
+                    }
+                    // Every arrival is a heartbeat — even one past the
+                    // deadline (late is not lost). Only an undeliverable
+                    // stream never registers.
+                    if !oracle && !matches!(adm.reason, Some(ExclusionReason::Undeliverable)) {
+                        let at = vclock + adm.cost;
+                        detector.observe(node, at);
+                        if member[node] && suspected[node] {
+                            suspected[node] = false;
+                            report.false_suspicions += 1;
+                            report.reinstatements.push((iter_idx, node));
+                            if let Some(s) = sink {
+                                let idx = s.instant(Layer::Membership, "reinstatement");
+                                s.set_arg(idx, "node", &node.to_string());
+                                s.set_arg(idx, "iter", &iter_idx.to_string());
+                                s.add(counters::MEMBERSHIP_REINSTATEMENTS, 1.0);
+                                s.add(counters::MEMBERSHIP_FALSE_SUSPICIONS, 1.0);
+                            }
+                        } else if !member[node] {
+                            rejoiners.push((node, at));
+                        }
+                    }
+                    if !member[node] {
+                        continue;
                     }
                     match adm.reason {
                         None => contributions[node] = partials[node].take(),
@@ -476,15 +726,28 @@ impl ClusterTrainer {
                 let senders: Vec<usize> =
                     (0..cfg.nodes).filter(|&n| contributions[n].is_some()).collect();
                 if senders.is_empty() {
+                    process_rejoins(
+                        &mut rejoiners,
+                        iter_idx,
+                        &mut topology,
+                        &mut member,
+                        &mut expelled_while_up,
+                        &mut detector,
+                        &store,
+                        &model,
+                        &mut report,
+                        sink,
+                    )?;
                     if let Some(s) = sink {
                         s.advance(round_cost);
                     }
+                    vclock += round_cost;
                     iter_idx += 1;
                     continue;
                 }
                 let stale = schedule_cache
                     .as_ref()
-                    .is_none_or(|c| c.epoch != topo_epoch || c.participants != senders);
+                    .is_none_or(|c| c.epoch != topology.epoch() || c.participants != senders);
                 if stale {
                     let schedule = cfg.collective.strategy().schedule(
                         &topology,
@@ -500,7 +763,7 @@ impl ClusterTrainer {
                         s.add(counters::COLLECTIVE_REBUILDS, 1.0);
                     }
                     schedule_cache = Some(ScheduleCache {
-                        epoch: topo_epoch,
+                        epoch: topology.epoch(),
                         participants: senders.clone(),
                         levels: schedule.bytes_by_level(),
                         rounds: schedule.rounds(),
@@ -581,9 +844,22 @@ impl ClusterTrainer {
                     .filter_map(|(_, &m)| contributions[m].as_ref().map(|(_, n)| *n))
                     .sum();
                 if active_total == 0 {
+                    process_rejoins(
+                        &mut rejoiners,
+                        iter_idx,
+                        &mut topology,
+                        &mut member,
+                        &mut expelled_while_up,
+                        &mut detector,
+                        &store,
+                        &model,
+                        &mut report,
+                        sink,
+                    )?;
                     if let Some(s) = sink {
                         s.advance(round_cost);
                     }
+                    vclock += round_cost;
                     iter_idx += 1;
                     continue;
                 }
@@ -597,6 +873,10 @@ impl ClusterTrainer {
                         for (m, s) in model.iter_mut().zip(&total) {
                             *m = s / active_total as f64;
                         }
+                        store.record_update(ReplayOp::Average {
+                            sum: total,
+                            active_total: active_total as f64,
+                        });
                     }
                     Aggregation::Sum => {
                         // Partials are gradient sums over the records the
@@ -605,13 +885,36 @@ impl ClusterTrainer {
                         for (m, g) in model.iter_mut().zip(&total) {
                             *m -= scale * g;
                         }
+                        store.record_update(ReplayOp::Step { grad: total, scale });
                     }
                 }
                 iterations += 1;
+                if store.maybe_checkpoint(iter_idx + 1, &model) {
+                    report.checkpoints += 1;
+                    if let Some(s) = sink {
+                        let idx = s.instant(Layer::Membership, "checkpoint");
+                        s.set_arg(idx, "iter", &iter_idx.to_string());
+                        s.set_arg(idx, "words", &model.len().to_string());
+                        s.add(counters::MEMBERSHIP_CHECKPOINTS, 1.0);
+                    }
+                }
+                process_rejoins(
+                    &mut rejoiners,
+                    iter_idx,
+                    &mut topology,
+                    &mut member,
+                    &mut expelled_while_up,
+                    &mut detector,
+                    &store,
+                    &model,
+                    &mut report,
+                    sink,
+                )?;
                 if let Some(s) = sink {
                     s.add(counters::TRAINER_ITERATIONS, 1.0);
                     s.advance(round_cost);
                 }
+                vclock += round_cost;
                 iter_idx += 1;
             }
         }
@@ -639,22 +942,20 @@ struct ScheduleCache {
     rounds: usize,
 }
 
-/// Marks `node` dead and repairs the aggregation hierarchy, recording
-/// any re-election and bumping the topology epoch so the collective
-/// schedule is rebuilt over the survivors. Errors when the failure is
-/// unrecoverable.
+/// Expels `node` from membership and repairs the aggregation
+/// hierarchy, recording any re-election. The repair bumps the
+/// topology's membership epoch, so the collective schedule is rebuilt
+/// over the survivors. Errors when the failure is unrecoverable.
 fn kill_node(
     node: usize,
     iteration: usize,
     topology: &mut Topology,
-    alive: &mut [bool],
-    epoch: &mut u64,
+    member: &mut [bool],
     report: &mut FaultReport,
     sink: Option<&TraceSink>,
 ) -> Result<(), RuntimeError> {
-    alive[node] = false;
-    *epoch += 1;
-    if !alive.iter().any(|&a| a) {
+    member[node] = false;
+    if !member.iter().any(|&a| a) {
         return Err(RuntimeError::AllNodesFailed { iteration });
     }
     match topology.fail_node(node) {
@@ -673,6 +974,91 @@ fn kill_node(
         Err(TopologyError::NoMaster) => Err(RuntimeError::NoSurvivingAggregator { iteration }),
         Err(other) => Err(other.into()),
     }
+}
+
+/// Whether two models are equal bit for bit (the elastic-membership
+/// correctness bar: `==` would conflate `0.0` with `-0.0` and choke on
+/// NaN).
+fn model_bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Re-admits `node` through the rejoin protocol: attach it to the
+/// repaired topology (bumping the membership epoch, so the collective
+/// schedule rebuilds on join), reconstruct the current model from the
+/// latest checkpoint plus replayed aggregated deltas, and record the
+/// catch-up accounting — including whether the reconstruction matched
+/// the survivors' model bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn readmit(
+    node: usize,
+    iteration: usize,
+    topology: &mut Topology,
+    member: &mut [bool],
+    store: &CheckpointStore,
+    model: &[f64],
+    report: &mut FaultReport,
+    sink: Option<&TraceSink>,
+) -> Result<(), RuntimeError> {
+    topology.rejoin_node(node)?;
+    member[node] = true;
+    let caught = store.catch_up()?;
+    let matched = model_bits_equal(&caught.model, model);
+    if let Some(s) = sink {
+        let idx = s.instant(Layer::Membership, "rejoin");
+        s.set_arg(idx, "node", &node.to_string());
+        s.set_arg(idx, "iter", &iteration.to_string());
+        s.set_arg(idx, "base", &caught.base_iteration.to_string());
+        s.set_arg(idx, "replayed", &caught.replayed.to_string());
+        s.set_arg(idx, "bytes", &caught.bytes.to_string());
+        s.set_arg(idx, "matched", &matched.to_string());
+        s.add(counters::MEMBERSHIP_REJOINS, 1.0);
+        s.add(counters::MEMBERSHIP_CATCHUP_BYTES, caught.bytes as f64);
+    }
+    report.rejoins.push(RejoinEvent {
+        iteration,
+        node,
+        base_iteration: caught.base_iteration,
+        replayed: caught.replayed,
+        bytes: caught.bytes,
+        matched,
+    });
+    Ok(())
+}
+
+/// Detector-mode re-admission: every expelled node whose heartbeat was
+/// observed this round rejoins at the end of the iteration (so it
+/// participates from the next round on, with a caught-up model). An
+/// expulsion that turns out to have been wrong — the node was up the
+/// whole time — is additionally booked as a false suspicion.
+#[allow(clippy::too_many_arguments)]
+fn process_rejoins(
+    rejoiners: &mut Vec<(usize, f64)>,
+    iteration: usize,
+    topology: &mut Topology,
+    member: &mut [bool],
+    expelled_while_up: &mut [bool],
+    detector: &mut FailureDetector,
+    store: &CheckpointStore,
+    model: &[f64],
+    report: &mut FaultReport,
+    sink: Option<&TraceSink>,
+) -> Result<(), RuntimeError> {
+    for (node, at) in rejoiners.drain(..) {
+        if member[node] {
+            continue;
+        }
+        detector.reset(node, at);
+        if expelled_while_up[node] {
+            expelled_while_up[node] = false;
+            report.false_suspicions += 1;
+            if let Some(s) = sink {
+                s.add(counters::MEMBERSHIP_FALSE_SUSPICIONS, 1.0);
+            }
+        }
+        readmit(node, iteration, topology, member, store, model, report, sink)?;
+    }
+    Ok(())
 }
 
 /// Records one node exclusion as a zero-duration span plus counter.
@@ -1264,5 +1650,325 @@ mod tests {
         .expect("ok");
         assert_eq!(healthy.model, dup.model, "duplicate delivery must be idempotent");
         assert_eq!(dup.faults.duplicates_dropped, 2);
+    }
+
+    /// Regression (satellite): the exact capped-exponential-backoff
+    /// sequence in virtual time. Guards the PR 1 retry math — any drift
+    /// here silently changes every deadline-admission decision.
+    #[test]
+    fn retry_backoff_sequence_is_pinned() {
+        let policy = RetryPolicy::default();
+        let delays: Vec<f64> = (0..8).map(|a| policy.delay(a)).collect();
+        assert_eq!(delays, vec![0.125, 0.25, 0.5, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        // Cumulative virtual cost of a node that needs n retransmits.
+        let cumulative: Vec<f64> =
+            (0..6).map(|n| (0..n).map(|a| policy.delay(a)).sum::<f64>()).collect();
+        assert_eq!(cumulative, vec![0.0, 0.125, 0.375, 0.875, 1.875, 2.875]);
+        // The cap binds immediately when base exceeds it, and huge
+        // attempt indices must not overflow the exponent.
+        let tight = RetryPolicy { backoff_base: 3.0, backoff_cap: 2.0, max_retries: 4 };
+        assert_eq!(tight.delay(0), 2.0);
+        assert_eq!(tight.delay(u32::MAX), 2.0);
+    }
+
+    #[test]
+    fn invalid_membership_configurations_are_errors() {
+        let bad = [
+            ClusterConfig {
+                detector: DetectorConfig { suspect_phi: 3.0, fail_phi: 2.0, ..Default::default() },
+                ..ClusterConfig::default()
+            },
+            ClusterConfig {
+                detector: DetectorConfig { window: 0, ..Default::default() },
+                ..ClusterConfig::default()
+            },
+            ClusterConfig {
+                checkpoint: CheckpointConfig { cadence: 0 },
+                ..ClusterConfig::default()
+            },
+        ];
+        for config in bad {
+            assert!(matches!(ClusterTrainer::new(config), Err(RuntimeError::InvalidConfig(_))));
+        }
+    }
+
+    /// Acceptance: a healthy run with the detector enabled is
+    /// bit-identical — model, report, and byte-for-byte trace — to the
+    /// same run on the oracle path. Zero false exclusions.
+    #[test]
+    fn healthy_detector_run_is_bit_identical_to_oracle() {
+        let alg = Algorithm::LogisticRegression { features: 6 };
+        let ds = data::generate(&alg, 256, 29);
+        let init = data::init_model(&alg, 3);
+        let config = ClusterConfig {
+            nodes: 4,
+            groups: 2,
+            minibatch: 64,
+            epochs: 2,
+            ..ClusterConfig::default()
+        };
+        let run = |membership: MembershipMode| {
+            let sink = TraceSink::new();
+            let out = trainer(ClusterConfig { membership, ..config.clone() })
+                .train_traced(&alg, &ds, init.clone(), &sink)
+                .expect("healthy run");
+            (out, sink)
+        };
+        let (oracle, sink_o) = run(MembershipMode::Oracle);
+        let (detector, sink_d) = run(MembershipMode::Detector);
+        assert_eq!(oracle, detector, "an idle detector must be invisible");
+        assert!(detector.faults.is_clean());
+        assert!(detector.faults.suspicions.is_empty(), "no false positives on a healthy cluster");
+        assert_eq!(sink_o.chrome_trace_json(), sink_d.chrome_trace_json());
+        assert_eq!(sink_o.metrics_json(), sink_d.metrics_json());
+    }
+
+    #[test]
+    fn checkpoints_follow_the_cadence_and_stay_clean() {
+        let alg = Algorithm::LinearRegression { features: 6 };
+        let ds = data::generate(&alg, 256, 12); // 4 iterations per epoch
+        let sink = TraceSink::new();
+        let out = trainer(ClusterConfig {
+            nodes: 4,
+            groups: 2,
+            minibatch: 64,
+            epochs: 2,
+            checkpoint: CheckpointConfig { cadence: 4 },
+            ..ClusterConfig::default()
+        })
+        .train_traced(&alg, &ds, data::init_model(&alg, 1), &sink)
+        .expect("healthy run");
+        assert_eq!(out.iterations, 8);
+        assert_eq!(out.faults.checkpoints, 2, "snapshots after iterations 4 and 8");
+        assert!(out.faults.is_clean(), "routine checkpointing is not degradation");
+        assert_eq!(sink.sums()[counters::MEMBERSHIP_CHECKPOINTS], 2.0);
+    }
+
+    /// Acceptance: oracle-mode crash-then-rejoin is deterministic, the
+    /// rejoined node's caught-up model equals the survivors' bit for
+    /// bit, and the schedule rebuilds on join as well as leave.
+    #[test]
+    fn oracle_crash_then_rejoin_catches_up_bit_exactly() {
+        let alg = Algorithm::LinearRegression { features: 6 };
+        let ds = data::generate(&alg, 256, 11);
+        let init = data::init_model(&alg, 2);
+        let config = ClusterConfig {
+            nodes: 4,
+            groups: 2,
+            minibatch: 64,
+            epochs: 2,
+            faults: FaultPlan::none().crash_then_rejoin(3, 2, 3),
+            ..ClusterConfig::default()
+        };
+        let run = || {
+            let sink = TraceSink::new();
+            let out = trainer(config.clone())
+                .train_traced(&alg, &ds, init.clone(), &sink)
+                .expect("degraded, not dead");
+            (out, sink)
+        };
+        let (out, sink) = run();
+        assert_eq!(out.faults.crashes, vec![(2, 3)]);
+        assert_eq!(out.faults.rejoins.len(), 1);
+        let rejoin = out.faults.rejoins[0];
+        assert_eq!((rejoin.iteration, rejoin.node), (5, 3));
+        assert!(rejoin.matched, "catch-up must reproduce the survivors' model bit for bit");
+        assert!(rejoin.bytes > 0);
+        assert_eq!(out.final_topology.live_nodes(), 4, "the cluster healed");
+        assert!(!out.final_topology.roles[3].is_failed());
+        let sums = sink.sums();
+        // Initial build, rebuild on leave, rebuild on join.
+        assert_eq!(sums[counters::COLLECTIVE_REBUILDS], 3.0);
+        assert_eq!(sums[counters::MEMBERSHIP_REJOINS], 1.0);
+        assert_eq!(sums[counters::MEMBERSHIP_CATCHUP_BYTES], rejoin.bytes as f64);
+
+        let (out_b, sink_b) = run();
+        assert_eq!(out, out_b, "crash-then-rejoin must be deterministic");
+        assert_eq!(sink.chrome_trace_json(), sink_b.chrome_trace_json());
+        assert_eq!(sink.metrics_json(), sink_b.metrics_json());
+    }
+
+    /// Detector mode: a silent crash is suspected, declared, and
+    /// repaired without any oracle involvement; when the node comes
+    /// back, its heartbeat alone re-admits it with a bit-exact model.
+    #[test]
+    fn detector_expels_a_silent_crash_and_readmits_it_on_return() {
+        let alg = Algorithm::LinearRegression { features: 6 };
+        let ds = data::generate(&alg, 256, 13);
+        let init = data::init_model(&alg, 4);
+        let config = ClusterConfig {
+            nodes: 4,
+            groups: 2,
+            minibatch: 64,
+            epochs: 3, // 12 iterations: detect, expel, rejoin, settle
+            faults: FaultPlan::none().crash_then_rejoin(1, 1, 6),
+            membership: MembershipMode::Detector,
+            ..ClusterConfig::default()
+        };
+        let run = || {
+            let sink = TraceSink::new();
+            let out = trainer(config.clone())
+                .train_traced(&alg, &ds, init.clone(), &sink)
+                .expect("degraded, not dead");
+            (out, sink)
+        };
+        let (out, sink) = run();
+        assert_eq!(out.faults.crashes, vec![(1, 1)]);
+        assert!(
+            out.faults.suspicions.iter().any(|s| s.node == 1),
+            "silence must raise suspicion before expulsion"
+        );
+        assert_eq!(out.faults.rejoins.len(), 1);
+        let rejoin = out.faults.rejoins[0];
+        assert_eq!(rejoin.node, 1);
+        assert!(rejoin.iteration >= 7, "rejoin cannot precede the node's return");
+        assert!(rejoin.matched, "catch-up must reproduce the survivors' model bit for bit");
+        assert_eq!(out.faults.false_suspicions, 0, "the node really was down");
+        assert!(out.faults.reinstatements.is_empty());
+        assert_eq!(out.final_topology.live_nodes(), 4);
+        assert!(out.loss_history.last().unwrap() < &out.loss_history[0]);
+
+        let (out_b, sink_b) = run();
+        assert_eq!(out, out_b, "detection and rejoin must be deterministic");
+        assert_eq!(sink.chrome_trace_json(), sink_b.chrome_trace_json());
+        assert_eq!(sink.metrics_json(), sink_b.metrics_json());
+    }
+
+    /// Detector mode: one undeliverable round stretches the barrier —
+    /// the retry backoff extends the round for everyone, so at the next
+    /// sweep *every* member looks silent relative to the virtual clock
+    /// and is suspected. All of them deliver that round and are
+    /// reinstated. Suspicion is bookkeeping: nobody is expelled, nobody
+    /// rejoins, and accrual detection absorbs the barrier stretch.
+    #[test]
+    fn suspected_stragglers_are_reinstated_not_expelled() {
+        let alg = Algorithm::LinearRegression { features: 6 };
+        let ds = data::generate(&alg, 256, 17);
+        let out = trainer(ClusterConfig {
+            nodes: 4,
+            groups: 2,
+            minibatch: 64,
+            epochs: 2,
+            faults: FaultPlan::none().drop_chunk(1, 2, 0, 99),
+            membership: MembershipMode::Detector,
+            ..ClusterConfig::default()
+        })
+        .train(&alg, &ds, data::init_model(&alg, 5))
+        .expect("degraded, not dead");
+        assert_eq!(
+            out.faults.suspicions.iter().map(|s| (s.iteration, s.node)).collect::<Vec<_>>(),
+            vec![(3, 0), (3, 1), (3, 2), (3, 3)],
+            "the stretched round makes every member look late at the next sweep"
+        );
+        let mut reinstated = out.faults.reinstatements.clone();
+        reinstated.sort_unstable();
+        assert_eq!(reinstated, vec![(3, 0), (3, 1), (3, 2), (3, 3)]);
+        assert_eq!(out.faults.false_suspicions, 4);
+        assert!(out.faults.rejoins.is_empty(), "a reinstated node never left");
+        assert!(out.faults.reelections.is_empty());
+        assert_eq!(out.final_topology.live_nodes(), 4, "suspicion is not expulsion");
+    }
+
+    #[test]
+    fn oracle_partition_quiesces_the_minority_and_heals() {
+        let alg = Algorithm::LinearRegression { features: 6 };
+        let ds = data::generate(&alg, 256, 19);
+        let sink = TraceSink::new();
+        let out = trainer(ClusterConfig {
+            nodes: 4,
+            groups: 2,
+            minibatch: 64,
+            epochs: 2,
+            faults: FaultPlan::none().partition(2, &[1], 2),
+            ..ClusterConfig::default()
+        })
+        .train_traced(&alg, &ds, data::init_model(&alg, 6), &sink)
+        .expect("majority side progresses");
+        assert_eq!(
+            out.faults.partitions,
+            vec![PartitionOutage { start: 2, heal: 4, minority: vec![1] }]
+        );
+        assert!(!out.faults.is_clean(), "a partition is degradation");
+        assert!(out.faults.exclusions.is_empty(), "quiesce is not an exclusion");
+        assert_eq!(out.final_topology.live_nodes(), 4, "nobody is expelled by an outage");
+        assert_eq!(out.iterations, 8, "the majority side never stopped");
+        let sums = sink.sums();
+        assert_eq!(sums[counters::MEMBERSHIP_PARTITION_HEALS], 1.0);
+        // Build over 4, rebuild over the majority, rebuild at heal.
+        assert_eq!(sums[counters::COLLECTIVE_REBUILDS], 3.0);
+        assert!(out.loss_history.last().unwrap() < &out.loss_history[0]);
+    }
+
+    /// Detector mode: a partition long enough to cross the fail
+    /// threshold expels the minority; the heal's first heartbeat brings
+    /// it back through the rejoin protocol with a matched model.
+    #[test]
+    fn detector_partition_expels_then_rejoins_the_minority() {
+        let alg = Algorithm::LinearRegression { features: 6 };
+        let ds = data::generate(&alg, 256, 23);
+        let out = trainer(ClusterConfig {
+            nodes: 4,
+            groups: 2,
+            minibatch: 64,
+            epochs: 3,
+            faults: FaultPlan::none().partition(1, &[3], 6),
+            membership: MembershipMode::Detector,
+            ..ClusterConfig::default()
+        })
+        .train(&alg, &ds, data::init_model(&alg, 7))
+        .expect("majority side progresses");
+        assert!(out.faults.crashes.is_empty(), "a partition is not a crash");
+        assert!(out.faults.suspicions.iter().any(|s| s.node == 3));
+        assert_eq!(out.faults.rejoins.len(), 1);
+        let rejoin = out.faults.rejoins[0];
+        assert_eq!(rejoin.node, 3);
+        assert!(rejoin.matched);
+        assert_eq!(
+            out.faults.false_suspicions, 0,
+            "a quiesced node was genuinely unreachable — expelling it was right"
+        );
+        assert_eq!(out.final_topology.live_nodes(), 4, "heal-and-merge restores the cluster");
+    }
+
+    /// Every collective strategy must absorb churn — crash, rejoin,
+    /// partition — with bit-identical results, in both membership
+    /// modes.
+    #[test]
+    fn collectives_stay_bit_identical_under_churn() {
+        let alg = Algorithm::LinearRegression { features: 6 };
+        let ds = data::generate(&alg, 384, 37);
+        let init = data::init_model(&alg, 8);
+        for membership in [MembershipMode::Oracle, MembershipMode::Detector] {
+            let config = ClusterConfig {
+                nodes: 6,
+                groups: 2,
+                minibatch: 96,
+                epochs: 3,
+                faults: FaultPlan::none()
+                    .crash_then_rejoin(4, 1, 6)
+                    .partition(2, &[2], 2)
+                    .straggle(1, 0, 2.0),
+                membership,
+                ..ClusterConfig::default()
+            };
+            let outcomes: Vec<TrainOutcome> = CollectiveKind::ALL
+                .into_iter()
+                .map(|collective| {
+                    trainer(ClusterConfig { collective, ..config.clone() })
+                        .train(&alg, &ds, init.clone())
+                        .expect("degraded, not dead")
+                })
+                .collect();
+            for pair in outcomes.windows(2) {
+                assert_eq!(
+                    pair[0], pair[1],
+                    "churn handling must be strategy-independent ({membership:?})"
+                );
+            }
+            assert!(
+                outcomes[0].faults.rejoins.iter().all(|r| r.matched),
+                "every rejoin must catch up bit-exactly ({membership:?})"
+            );
+        }
     }
 }

@@ -45,6 +45,36 @@ pub enum FaultKind {
         /// Stripe index of the affected chunk.
         chunk: usize,
     },
+    /// The node, previously crashed, powers back up at the start of the
+    /// iteration and starts delivering again. The runtime re-admits it
+    /// through the rejoin protocol (catch-up from the latest checkpoint
+    /// plus replayed aggregated deltas).
+    Rejoin,
+    /// The network splits: the nodes in `minority` (a bitmask over node
+    /// ids, so the kind stays `Copy`) are cut off from the rest for
+    /// `heal_after` iterations. The majority side keeps training; the
+    /// minority quiesces, then heals and merges back deterministically
+    /// at `iteration + heal_after`.
+    Partition {
+        /// Bitmask of the quiesced (minority) node ids; node `n` is cut
+        /// off iff bit `n` is set. Ids ≥ 64 are not representable.
+        minority: u64,
+        /// Iterations the split lasts; the heal-and-merge happens at
+        /// `iteration + heal_after`.
+        heal_after: usize,
+    },
+}
+
+/// Builds the minority bitmask for [`FaultKind::Partition`] from a node
+/// list. Ids ≥ 64 are ignored (the mask cannot represent them).
+pub fn minority_mask(nodes: &[usize]) -> u64 {
+    nodes.iter().filter(|&&n| n < 64).fold(0u64, |m, &n| m | (1u64 << n))
+}
+
+/// Expands a [`FaultKind::Partition`] minority bitmask back into an
+/// ascending node list.
+pub fn minority_nodes(mask: u64) -> Vec<usize> {
+    (0..64).filter(|&n| mask & (1u64 << n) != 0).collect()
 }
 
 impl fmt::Display for FaultKind {
@@ -57,6 +87,12 @@ impl fmt::Display for FaultKind {
             }
             FaultKind::CorruptChunk { chunk } => write!(f, "corrupt(chunk={chunk})"),
             FaultKind::DuplicateChunk { chunk } => write!(f, "duplicate(chunk={chunk})"),
+            FaultKind::Rejoin => write!(f, "rejoin"),
+            FaultKind::Partition { minority, heal_after } => {
+                let nodes: Vec<String> =
+                    minority_nodes(*minority).iter().map(usize::to_string).collect();
+                write!(f, "partition(minority=[{}], heal_after={heal_after})", nodes.join(","))
+            }
         }
     }
 }
@@ -88,6 +124,14 @@ pub struct FaultRates {
     pub corrupt_chunk: f64,
     /// Probability each chunk is delivered twice.
     pub duplicate_chunk: f64,
+    /// Iterations a crashed node stays down before it rejoins; `0`
+    /// makes crashes permanent (the pre-elastic behavior).
+    pub rejoin_after: usize,
+    /// Probability a network partition starts in a given iteration
+    /// (when none is already active).
+    pub partition: f64,
+    /// Iterations a sampled partition lasts before it heals.
+    pub partition_heal_after: usize,
 }
 
 impl Default for FaultRates {
@@ -99,6 +143,9 @@ impl Default for FaultRates {
             drop_chunk: 0.0,
             corrupt_chunk: 0.0,
             duplicate_chunk: 0.0,
+            rejoin_after: 0,
+            partition: 0.0,
+            partition_heal_after: 3,
         }
     }
 }
@@ -166,13 +213,45 @@ impl FaultPlan {
         self.with_event(FaultEvent { node, iteration, kind: FaultKind::DuplicateChunk { chunk } })
     }
 
+    /// Schedules `node` (crashed earlier) to power back up at
+    /// `iteration`. The node is down over `[crash, rejoin)` and alive
+    /// again from the rejoin iteration.
+    pub fn rejoin(self, node: usize, iteration: usize) -> Self {
+        self.with_event(FaultEvent { node, iteration, kind: FaultKind::Rejoin })
+    }
+
+    /// Schedules a crash of `node` at `iteration` that heals on its own:
+    /// the node is down for `rejoin_after` iterations, then rejoins.
+    pub fn crash_then_rejoin(self, node: usize, iteration: usize, rejoin_after: usize) -> Self {
+        self.crash(node, iteration).rejoin(node, iteration + rejoin_after.max(1))
+    }
+
+    /// Schedules a network partition at `iteration`: the nodes in
+    /// `minority` are cut off for `heal_after` iterations, then the
+    /// split heals and the minority merges back. The partition event is
+    /// keyed to node 0 (it is cluster-wide, not per-node). Node ids
+    /// ≥ 64 cannot be represented and are ignored.
+    pub fn partition(self, iteration: usize, minority: &[usize], heal_after: usize) -> Self {
+        self.with_event(FaultEvent {
+            node: 0,
+            iteration,
+            kind: FaultKind::Partition {
+                minority: minority_mask(minority),
+                heal_after: heal_after.max(1),
+            },
+        })
+    }
+
     /// Samples a plan from per-iteration `rates` for a cluster of
     /// `nodes` nodes running `iterations` aggregation steps whose
     /// partials span `chunks` chunks each.
     ///
     /// The plan is a pure function of `seed`: the same arguments always
     /// produce the same plan, on every platform. Crashed nodes stop
-    /// accumulating further faults.
+    /// accumulating further faults while they are down; with a non-zero
+    /// [`FaultRates::rejoin_after`] they come back (churn) and can fault
+    /// again. At most one partition is active at a time, its minority a
+    /// strict minority of the cluster.
     pub fn random(
         seed: u64,
         nodes: usize,
@@ -182,15 +261,38 @@ impl FaultPlan {
     ) -> Self {
         let mut rng = SplitMix64::new(seed);
         let mut plan = FaultPlan::none();
-        let mut alive = vec![true; nodes];
+        // Iteration at which each node is back up (`usize::MAX` = never).
+        let mut down_until = vec![0usize; nodes];
+        let mut partition_until = 0usize;
         for iteration in 0..iterations {
-            for (node, live) in alive.iter_mut().enumerate() {
-                if !*live {
+            if nodes > 1 && iteration >= partition_until && rng.chance(rates.partition) {
+                // Each node sides with the minority at ~1/3 odds, then
+                // the mask is trimmed (highest ids first) to a strict
+                // minority; an empty draw conscripts the last node.
+                let mut picked: Vec<usize> =
+                    (0..nodes.min(64)).filter(|_| rng.chance(1.0 / 3.0)).collect();
+                while 2 * picked.len() >= nodes {
+                    picked.pop();
+                }
+                if picked.is_empty() {
+                    picked.push(nodes.min(64) - 1);
+                }
+                let heal_after = rates.partition_heal_after.max(1);
+                plan = plan.partition(iteration, &picked, heal_after);
+                partition_until = iteration + heal_after;
+            }
+            for (node, down) in down_until.iter_mut().enumerate() {
+                if iteration < *down {
                     continue;
                 }
                 if rng.chance(rates.crash) {
-                    *live = false;
-                    plan = plan.crash(node, iteration);
+                    if rates.rejoin_after > 0 {
+                        plan = plan.crash_then_rejoin(node, iteration, rates.rejoin_after);
+                        *down = iteration + rates.rejoin_after.max(1);
+                    } else {
+                        plan = plan.crash(node, iteration);
+                        *down = usize::MAX;
+                    }
                     continue;
                 }
                 if rng.chance(rates.straggle) {
@@ -212,11 +314,75 @@ impl FaultPlan {
         plan
     }
 
-    /// Whether `node` has crashed at or before `iteration`.
+    /// Whether `node` is down at `iteration`: crashed at or before it
+    /// with no [`FaultKind::Rejoin`] since. A node is down over
+    /// `[crash, rejoin)` and alive again from the rejoin iteration.
     pub fn crashed(&self, node: usize, iteration: usize) -> bool {
+        let latest = |kind: FaultKind| {
+            self.events
+                .iter()
+                .filter(|e| e.node == node && e.iteration <= iteration && e.kind == kind)
+                .map(|e| e.iteration)
+                .max()
+        };
+        match (latest(FaultKind::Crash), latest(FaultKind::Rejoin)) {
+            (Some(crash), Some(rejoin)) => rejoin <= crash,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Whether a [`FaultKind::Rejoin`] of `node` fires exactly at
+    /// `iteration`.
+    pub fn rejoined_at(&self, node: usize, iteration: usize) -> bool {
         self.events.iter().any(|e| {
-            e.node == node && e.iteration <= iteration && matches!(e.kind, FaultKind::Crash)
+            e.node == node && e.iteration == iteration && matches!(e.kind, FaultKind::Rejoin)
         })
+    }
+
+    /// Whether `node` is cut off by an active partition at `iteration`
+    /// (it sits on the minority side of a split that has not healed).
+    pub fn quiesced(&self, node: usize, iteration: usize) -> bool {
+        if node >= 64 {
+            return false;
+        }
+        self.events.iter().any(|e| {
+            matches!(e.kind, FaultKind::Partition { minority, heal_after }
+                if minority & (1u64 << node) != 0
+                    && e.iteration <= iteration
+                    && iteration < e.iteration + heal_after)
+        })
+    }
+
+    /// The union of minority masks of partitions that heal exactly at
+    /// `iteration` (zero when nothing heals).
+    pub fn partition_heals_at(&self, iteration: usize) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Partition { minority, heal_after }
+                    if e.iteration + heal_after == iteration =>
+                {
+                    Some(minority)
+                }
+                _ => None,
+            })
+            .fold(0, |acc, m| acc | m)
+    }
+
+    /// Partitions that start exactly at `iteration`, as
+    /// `(minority_mask, heal_iteration)` pairs.
+    pub fn partitions_starting_at(&self, iteration: usize) -> Vec<(u64, usize)> {
+        self.events
+            .iter()
+            .filter(|e| e.iteration == iteration)
+            .filter_map(|e| match e.kind {
+                FaultKind::Partition { minority, heal_after } => {
+                    Some((minority, iteration + heal_after))
+                }
+                _ => None,
+            })
+            .collect()
     }
 
     /// The iteration at which `node` crashes, if it ever does.
@@ -295,6 +461,12 @@ impl FaultPlan {
                 }
                 FaultKind::DuplicateChunk { .. } => {
                     (Layer::Retry, "fault.duplicate_chunk", counters::FAULTS_PLANNED_DUPLICATES)
+                }
+                FaultKind::Rejoin => {
+                    (Layer::Membership, "fault.rejoin", counters::FAULTS_PLANNED_REJOINS)
+                }
+                FaultKind::Partition { .. } => {
+                    (Layer::Membership, "fault.partition", counters::FAULTS_PLANNED_PARTITIONS)
                 }
             };
             let idx = sink.span_closed(layer, name, event.iteration as f64, 0.0);
@@ -410,6 +582,7 @@ mod tests {
             drop_chunk: 0.05,
             corrupt_chunk: 0.01,
             duplicate_chunk: 0.03,
+            ..FaultRates::default()
         };
         let a = FaultPlan::random(42, 8, 20, 4, &rates);
         let b = FaultPlan::random(42, 8, 20, 4, &rates);
@@ -466,5 +639,101 @@ mod tests {
         assert_eq!(FaultKind::Crash.to_string(), "crash");
         assert!(FaultKind::Straggle { factor: 4.0 }.to_string().contains("x4"));
         assert!(FaultKind::DropChunk { chunk: 1, repeats: 2 }.to_string().contains("chunk=1"));
+        assert_eq!(FaultKind::Rejoin.to_string(), "rejoin");
+        let p = FaultKind::Partition { minority: minority_mask(&[1, 3]), heal_after: 2 };
+        assert_eq!(p.to_string(), "partition(minority=[1,3], heal_after=2)");
+    }
+
+    #[test]
+    fn rejoin_closes_the_down_window() {
+        let p = FaultPlan::none().crash_then_rejoin(3, 5, 4);
+        assert!(!p.crashed(3, 4));
+        assert!(p.crashed(3, 5));
+        assert!(p.crashed(3, 8));
+        assert!(!p.crashed(3, 9), "the node is back from the rejoin iteration");
+        assert!(p.rejoined_at(3, 9));
+        assert!(!p.rejoined_at(3, 8));
+        // A second crash after the rejoin opens a new window.
+        let p = p.crash(3, 12);
+        assert!(!p.crashed(3, 11));
+        assert!(p.crashed(3, 12));
+        assert!(p.crashed(3, 99));
+    }
+
+    #[test]
+    fn partition_quiesces_exactly_the_minority_for_exactly_the_window() {
+        let p = FaultPlan::none().partition(4, &[1, 2], 3);
+        for node in [1, 2] {
+            assert!(!p.quiesced(node, 3));
+            assert!(p.quiesced(node, 4));
+            assert!(p.quiesced(node, 6));
+            assert!(!p.quiesced(node, 7), "healed at start of iteration 7");
+        }
+        assert!(!p.quiesced(0, 5), "the majority side keeps running");
+        assert_eq!(p.partition_heals_at(7), minority_mask(&[1, 2]));
+        assert_eq!(p.partition_heals_at(6), 0);
+        assert_eq!(p.partitions_starting_at(4), vec![(minority_mask(&[1, 2]), 7)]);
+        assert!(p.partitions_starting_at(5).is_empty());
+    }
+
+    #[test]
+    fn minority_mask_roundtrips_and_ignores_unrepresentable_ids() {
+        assert_eq!(minority_nodes(minority_mask(&[0, 5, 63])), vec![0, 5, 63]);
+        assert_eq!(minority_mask(&[64, 100]), 0);
+        assert!(!FaultPlan::none().partition(0, &[2], 2).quiesced(64, 0));
+    }
+
+    #[test]
+    fn random_churn_brings_crashed_nodes_back() {
+        let rates = FaultRates { crash: 1.0, rejoin_after: 2, ..FaultRates::default() };
+        let p = FaultPlan::random(9, 3, 8, 2, &rates);
+        // crash=1.0: every node crashes the moment it is up, rejoins two
+        // iterations later, and immediately crashes again.
+        for node in 0..3 {
+            assert!(p.crashed(node, 0));
+            assert!(p.rejoined_at(node, 2));
+            assert!(p.crashed(node, 2), "re-crash on the rejoin iteration");
+        }
+        let rejoins = p.events().iter().filter(|e| matches!(e.kind, FaultKind::Rejoin)).count();
+        assert!(rejoins >= 3);
+    }
+
+    #[test]
+    fn random_partitions_are_strict_minorities_and_never_overlap() {
+        let rates = FaultRates { partition: 0.5, partition_heal_after: 3, ..FaultRates::default() };
+        let p = FaultPlan::random(13, 8, 40, 2, &rates);
+        let partitions: Vec<(usize, u64, usize)> = p
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Partition { minority, heal_after } => {
+                    Some((e.iteration, minority, heal_after))
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(!partitions.is_empty(), "rate 0.5 over 40 iterations must fire");
+        let mut prev_end = 0;
+        for (start, minority, heal_after) in partitions {
+            assert!(start >= prev_end, "partitions must not overlap");
+            prev_end = start + heal_after;
+            let size = minority.count_ones() as usize;
+            assert!(size >= 1 && 2 * size < 8, "strict minority, got {size}");
+        }
+        let again = FaultPlan::random(13, 8, 40, 2, &rates);
+        assert_eq!(p, again, "partition sampling must be seed-deterministic");
+    }
+
+    #[test]
+    fn record_into_books_rejoins_and_partitions() {
+        use cosmic_telemetry::{counters, TraceSink};
+        let plan = FaultPlan::none().crash_then_rejoin(1, 2, 3).partition(4, &[2], 2);
+        let sink = TraceSink::new();
+        plan.record_into(&sink);
+        let sums = sink.sums();
+        assert_eq!(sums[counters::FAULTS_PLANNED_CRASHES], 1.0);
+        assert_eq!(sums[counters::FAULTS_PLANNED_REJOINS], 1.0);
+        assert_eq!(sums[counters::FAULTS_PLANNED_PARTITIONS], 1.0);
+        assert!(sink.spans().iter().any(|s| s.name == "fault.partition"));
     }
 }

@@ -48,6 +48,29 @@ pub const FAULTS_PLANNED_DROPS: &str = "faults.planned.drop_chunk";
 pub const FAULTS_PLANNED_CORRUPTIONS: &str = "faults.planned.corrupt_chunk";
 /// Chunk-duplication events scheduled in a fault plan.
 pub const FAULTS_PLANNED_DUPLICATES: &str = "faults.planned.duplicate_chunk";
+/// Node-rejoin events scheduled in a fault plan.
+pub const FAULTS_PLANNED_REJOINS: &str = "faults.planned.rejoin";
+/// Network partitions scheduled in a fault plan.
+pub const FAULTS_PLANNED_PARTITIONS: &str = "faults.planned.partition";
+
+/// Nodes the failure detector moved to the suspected level (missed
+/// heartbeats pushed φ past the suspicion threshold).
+pub const MEMBERSHIP_SUSPICIONS: &str = "membership.suspicions";
+/// Suspicions later cleared by a delivery from the suspect — the node
+/// was alive all along.
+pub const MEMBERSHIP_FALSE_SUSPICIONS: &str = "membership.false_suspicions";
+/// Suspected nodes reinstated to healthy after delivering again.
+pub const MEMBERSHIP_REINSTATEMENTS: &str = "membership.reinstatements";
+/// Expelled nodes re-admitted through the rejoin protocol (includes
+/// partition-minority nodes re-admitted at heal).
+pub const MEMBERSHIP_REJOINS: &str = "membership.rejoins";
+/// Bytes shipped to catching-up nodes: checkpoint snapshots plus
+/// replayed aggregated deltas.
+pub const MEMBERSHIP_CATCHUP_BYTES: &str = "membership.catchup_bytes";
+/// Checksummed model snapshots taken on the checkpoint cadence.
+pub const MEMBERSHIP_CHECKPOINTS: &str = "membership.checkpoints";
+/// Partition heal-and-merge events absorbed.
+pub const MEMBERSHIP_PARTITION_HEALS: &str = "membership.partition_heals";
 
 /// Events processed by the discrete-event queue.
 pub const SIM_EVENTS: &str = "sim.events";

@@ -26,6 +26,9 @@ pub enum Layer {
     Retry,
     /// Sigma death, re-election, and topology repair.
     Failover,
+    /// Elastic membership: heartbeat suspicion, checkpointing, node
+    /// rejoin and catch-up, partition quiesce/heal.
+    Membership,
 }
 
 impl Layer {
@@ -41,6 +44,7 @@ impl Layer {
             Layer::Aggregate => "aggregate",
             Layer::Retry => "retry",
             Layer::Failover => "failover",
+            Layer::Membership => "membership",
         }
     }
 }
@@ -130,6 +134,7 @@ mod tests {
             Layer::Aggregate,
             Layer::Retry,
             Layer::Failover,
+            Layer::Membership,
         ];
         for layer in layers {
             let label = layer.label();

@@ -1,0 +1,105 @@
+//! Seeded chaos soak: randomized fault plans — crashes that rejoin,
+//! network partitions that heal, stragglers, corrupt and duplicated
+//! chunks — driven through the detector-mode trainer, with the runs
+//! pinned to determinism: the same seed must produce an identical
+//! outcome and byte-identical exported telemetry, every time. The CI
+//! `chaos` job runs this suite; any nondeterminism in detection,
+//! checkpointing, or rejoin shows up here as a diff.
+
+use cosmic::cosmic_ml::{data, Aggregation, Algorithm};
+use cosmic::cosmic_runtime::{
+    ClusterConfig, ClusterTrainer, FaultPlan, FaultRates, MembershipMode, TraceSink, TrainOutcome,
+};
+
+const NODES: usize = 8;
+const MINIBATCH: usize = 512;
+const EPOCHS: usize = 5;
+
+fn churn_rates() -> FaultRates {
+    FaultRates {
+        crash: 0.02,
+        straggle: 0.04,
+        straggle_factor: 2.0,
+        corrupt_chunk: 0.01,
+        duplicate_chunk: 0.02,
+        drop_chunk: 0.01,
+        // Down windows long enough for φ to cross the fail threshold
+        // (~4.6 silent rounds), so crashes and partitions exercise the
+        // expel-then-rejoin path, not just transparent resumption.
+        rejoin_after: 6,
+        partition: 0.02,
+        partition_heal_after: 5,
+    }
+}
+
+fn soak(seed: u64) -> (TrainOutcome, String, String) {
+    let alg = Algorithm::LogisticRegression { features: 12 };
+    let dataset = data::generate(&alg, 2_048, 7);
+    let iterations = EPOCHS * dataset.len() / MINIBATCH;
+    let plan = FaultPlan::random(seed, NODES, iterations, 4, &churn_rates());
+    let sink = TraceSink::new();
+    let out = ClusterTrainer::new(ClusterConfig {
+        nodes: NODES,
+        groups: 2,
+        threads_per_node: 2,
+        minibatch: MINIBATCH,
+        learning_rate: 0.3,
+        epochs: EPOCHS,
+        aggregation: Aggregation::Average,
+        faults: plan,
+        membership: MembershipMode::Detector,
+        ..ClusterConfig::default()
+    })
+    .expect("valid soak config")
+    .train_traced(&alg, &dataset, alg.zero_model(), &sink)
+    .expect("churn plans leave a majority alive");
+    assert!(sink.validate_tree().is_ok(), "seed {seed}: malformed trace");
+    (out, sink.chrome_trace_json(), sink.metrics_json())
+}
+
+/// Same seed, same bits: outcome, Chrome trace, and metrics exports are
+/// all byte-identical across repeated soaks, for every seed in the
+/// sweep.
+#[test]
+fn soak_runs_are_bit_reproducible_per_seed() {
+    for seed in [3, 17, 404] {
+        let (out_a, trace_a, metrics_a) = soak(seed);
+        let (out_b, trace_b, metrics_b) = soak(seed);
+        assert_eq!(out_a, out_b, "seed {seed}: outcome must be bit-identical");
+        assert_eq!(trace_a, trace_b, "seed {seed}: trace must be byte-identical");
+        assert_eq!(metrics_a, metrics_b, "seed {seed}: metrics must be byte-identical");
+    }
+}
+
+/// The soak actually exercises the elastic machinery: across the seed
+/// sweep the plans inject churn, every rejoin catches up bit-exactly,
+/// and the runs still converge.
+#[test]
+fn soak_survives_churn_with_bit_exact_rejoins() {
+    let mut injected_any = false;
+    let mut rejoined_any = false;
+    for seed in [3, 17, 404] {
+        let (out, _, _) = soak(seed);
+        injected_any |= !out.faults.is_clean();
+        rejoined_any |= !out.faults.rejoins.is_empty();
+        assert!(
+            out.faults.rejoins.iter().all(|r| r.matched),
+            "seed {seed}: every catch-up must be bit-exact: {:?}",
+            out.faults.rejoins
+        );
+        let first = out.loss_history[0];
+        let last = *out.loss_history.last().unwrap();
+        assert!(last < first, "seed {seed}: loss {first} -> {last}");
+    }
+    assert!(injected_any, "the soak rates must inject something across the sweep");
+    assert!(rejoined_any, "the soak must exercise the rejoin path across the sweep");
+}
+
+/// Different seeds genuinely take different fault paths (the soak is
+/// not accidentally degenerate).
+#[test]
+fn different_seeds_take_different_paths() {
+    let (a, _, _) = soak(3);
+    let (b, _, _) = soak(17);
+    assert_ne!(a.faults, b.faults, "distinct seeds must sample distinct plans");
+}

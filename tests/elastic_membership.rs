@@ -1,0 +1,202 @@
+//! Acceptance scenarios for elastic membership: heartbeat failure
+//! detection, checkpoint/recovery, and node rejoin, end to end through
+//! the real multi-threaded trainer.
+//!
+//! The contract under test (ISSUE acceptance criteria):
+//!
+//! - a crash-then-rejoin run is deterministic — same seed, bit-identical
+//!   model and byte-identical exported trace;
+//! - a rejoined node's catch-up model equals the survivors' bit for bit;
+//! - a healthy run with the detector enabled is bit-identical to the
+//!   oracle path;
+//! - partitions quiesce the minority and heal-and-merge restores it;
+//! - all of the above hold for every collective strategy.
+
+use cosmic::cosmic_ml::data::{self, Dataset};
+use cosmic::cosmic_ml::{Aggregation, Algorithm};
+use cosmic::cosmic_runtime::collectives::CollectiveKind;
+use cosmic::cosmic_runtime::{
+    ClusterConfig, ClusterTrainer, FaultPlan, MembershipMode, Role, TraceSink, TrainOutcome,
+};
+
+fn dataset(alg: &Algorithm) -> Dataset {
+    data::generate(alg, 1_920, 23)
+}
+
+fn config(nodes: usize, groups: usize, epochs: usize, faults: FaultPlan) -> ClusterConfig {
+    ClusterConfig {
+        nodes,
+        groups,
+        threads_per_node: 2,
+        minibatch: 480,
+        learning_rate: 0.3,
+        epochs,
+        aggregation: Aggregation::Average,
+        faults,
+        ..ClusterConfig::default()
+    }
+}
+
+fn run_traced(cfg: ClusterConfig) -> (TrainOutcome, TraceSink) {
+    let alg = Algorithm::LogisticRegression { features: 10 };
+    let ds = dataset(&alg);
+    let sink = TraceSink::new();
+    let out = ClusterTrainer::new(cfg)
+        .expect("valid config")
+        .train_traced(&alg, &ds, alg.zero_model(), &sink)
+        .expect("recoverable plan");
+    (out, sink)
+}
+
+/// Acceptance: crash-then-rejoin is deterministic and the rejoined
+/// node's catch-up model equals the survivors' bit for bit — in both
+/// membership modes.
+#[test]
+fn crash_then_rejoin_is_deterministic_with_bit_exact_catch_up() {
+    for membership in [MembershipMode::Oracle, MembershipMode::Detector] {
+        let cfg = ClusterConfig {
+            membership,
+            ..config(6, 2, 4, FaultPlan::none().crash_then_rejoin(4, 2, 5))
+        };
+        let (a, sink_a) = run_traced(cfg.clone());
+        let (b, sink_b) = run_traced(cfg);
+
+        assert_eq!(a, b, "same seed must give a bit-identical outcome ({membership:?})");
+        assert_eq!(
+            sink_a.chrome_trace_json(),
+            sink_b.chrome_trace_json(),
+            "same seed must export a byte-identical trace ({membership:?})"
+        );
+        assert_eq!(sink_a.metrics_json(), sink_b.metrics_json());
+
+        assert_eq!(a.faults.crashes, vec![(2, 4)], "{membership:?}");
+        assert_eq!(a.faults.rejoins.len(), 1, "{membership:?}");
+        let rejoin = a.faults.rejoins[0];
+        assert_eq!(rejoin.node, 4);
+        assert!(
+            rejoin.matched,
+            "the caught-up model must equal the survivors' bit for bit ({membership:?})"
+        );
+        assert!(rejoin.replayed > 0 || rejoin.bytes > 0);
+        assert_eq!(a.final_topology.live_nodes(), 6, "the cluster healed ({membership:?})");
+        assert!(!matches!(a.final_topology.roles[4], Role::Failed));
+    }
+}
+
+/// Acceptance: with no faults planned, enabling the detector changes
+/// nothing — outcome and exported telemetry are identical to the
+/// oracle path across every collective strategy.
+#[test]
+fn healthy_detector_matches_oracle_for_every_strategy() {
+    for collective in CollectiveKind::ALL {
+        let base = config(6, 2, 2, FaultPlan::none());
+        let (oracle, sink_o) = run_traced(ClusterConfig { collective, ..base.clone() });
+        let (detector, sink_d) =
+            run_traced(ClusterConfig { collective, membership: MembershipMode::Detector, ..base });
+        assert_eq!(oracle, detector, "{collective}: an idle detector must be invisible");
+        assert!(detector.faults.suspicions.is_empty(), "{collective}: no false positives");
+        assert_eq!(sink_o.chrome_trace_json(), sink_d.chrome_trace_json(), "{collective}");
+        assert_eq!(sink_o.metrics_json(), sink_d.metrics_json(), "{collective}");
+    }
+}
+
+/// Detector mode with no oracle: a crashed GroupSigma goes silent, φ
+/// accrues through Suspected to Failed, the System Director re-elects
+/// inside the group, and training continues on the survivors.
+#[test]
+fn detector_declares_a_silent_sigma_and_reelects() {
+    // 6 nodes / 2 groups: node 3 is the Sigma of group {3,4,5}.
+    let (out, _) = run_traced(ClusterConfig {
+        membership: MembershipMode::Detector,
+        ..config(6, 2, 4, FaultPlan::none().crash(3, 1))
+    });
+    assert!(
+        out.faults.suspicions.iter().any(|s| s.node == 3),
+        "silence must raise suspicion before the declaration: {:?}",
+        out.faults.suspicions
+    );
+    assert_eq!(out.faults.reelections.len(), 1, "{:?}", out.faults.reelections);
+    let (_, promotion) = out.faults.reelections[0];
+    assert_eq!(promotion.failed, 3);
+    assert_eq!(promotion.elected, 4, "smallest surviving group member takes over");
+    assert!(matches!(out.final_topology.roles[3], Role::Failed));
+    assert_eq!(out.final_topology.live_nodes(), 5);
+    assert_eq!(out.faults.false_suspicions, 0, "the node really was down");
+    let first = out.loss_history[0];
+    let last = *out.loss_history.last().unwrap();
+    assert!(last < first, "loss {first} -> {last}");
+}
+
+/// A network partition quiesces exactly the minority for its window and
+/// heal-and-merge restores full membership — in both modes. In oracle
+/// mode nobody is expelled; in detector mode a long partition is
+/// indistinguishable from death until the heal, when the first
+/// heartbeat back re-admits the minority with a bit-exact model.
+#[test]
+fn partitions_quiesce_then_heal_and_merge() {
+    let oracle_cfg = config(6, 2, 4, FaultPlan::none().partition(2, &[1, 5], 2));
+    let (out, _) = run_traced(oracle_cfg);
+    assert_eq!(out.faults.partitions.len(), 1);
+    let outage = &out.faults.partitions[0];
+    assert_eq!((outage.start, outage.heal), (2, 4));
+    assert_eq!(outage.minority, vec![1, 5]);
+    assert_eq!(out.final_topology.live_nodes(), 6, "an outage is not death");
+    assert!(out.faults.rejoins.is_empty(), "a short outage needs no catch-up in oracle mode");
+
+    let detector_cfg = ClusterConfig {
+        membership: MembershipMode::Detector,
+        ..config(6, 2, 6, FaultPlan::none().partition(1, &[5], 7))
+    };
+    let (out, _) = run_traced(detector_cfg);
+    assert!(out.faults.crashes.is_empty(), "a partition is not a crash");
+    assert_eq!(out.faults.rejoins.len(), 1, "{:?}", out.faults.rejoins);
+    let rejoin = out.faults.rejoins[0];
+    assert_eq!(rejoin.node, 5);
+    assert!(rejoin.matched, "heal-and-merge must hand back a bit-exact model");
+    assert_eq!(out.final_topology.live_nodes(), 6);
+}
+
+/// Every collective strategy produces the same bits under the same
+/// churn plan — crash, rejoin, and partition handling is strategy-
+/// independent.
+#[test]
+fn churn_handling_is_identical_across_strategies() {
+    let plan =
+        FaultPlan::none().crash_then_rejoin(2, 1, 4).partition(3, &[5], 2).straggle(1, 0, 2.0);
+    for membership in [MembershipMode::Oracle, MembershipMode::Detector] {
+        let outcomes: Vec<TrainOutcome> = CollectiveKind::ALL
+            .into_iter()
+            .map(|collective| {
+                let (out, _) = run_traced(ClusterConfig {
+                    collective,
+                    membership,
+                    ..config(6, 2, 4, plan.clone())
+                });
+                out
+            })
+            .collect();
+        for pair in outcomes.windows(2) {
+            assert_eq!(pair[0].model, pair[1].model, "{membership:?}");
+            assert_eq!(pair[0].faults.rejoins, pair[1].faults.rejoins, "{membership:?}");
+            assert_eq!(pair[0].faults.partitions, pair[1].faults.partitions, "{membership:?}");
+        }
+        assert!(outcomes[0].faults.rejoins.iter().all(|r| r.matched), "{membership:?}");
+    }
+}
+
+/// Checkpoint cadence is observable and harmless: a tighter cadence
+/// books more snapshots, changes no math, and the snapshots are what
+/// rejoin catch-up replays from.
+#[test]
+fn checkpoint_cadence_changes_bookkeeping_not_math() {
+    use cosmic::cosmic_runtime::CheckpointConfig;
+    let base = config(4, 2, 4, FaultPlan::none());
+    let (sparse, _) =
+        run_traced(ClusterConfig { checkpoint: CheckpointConfig { cadence: 8 }, ..base.clone() });
+    let (dense, _) =
+        run_traced(ClusterConfig { checkpoint: CheckpointConfig { cadence: 2 }, ..base });
+    assert_eq!(sparse.model, dense.model, "checkpointing must never touch the model");
+    assert_eq!(sparse.loss_history, dense.loss_history);
+    assert!(dense.faults.checkpoints > sparse.faults.checkpoints);
+    assert_eq!(dense.faults.checkpoints, 8, "cadence 2 over 16 iterations");
+}

@@ -6,7 +6,9 @@ use cosmic::cosmic_dfg::{analysis, interp, lower, DfgBuilder, DimEnv, OpKind};
 use cosmic::cosmic_dsl::{self, programs};
 use cosmic::cosmic_ml::{data, sgd, Aggregation, Algorithm};
 use cosmic::cosmic_runtime::node::{chunk_vector, SigmaAggregator};
-use cosmic::cosmic_runtime::{CircularBuffer, CHUNK_WORDS};
+use cosmic::cosmic_runtime::{
+    CircularBuffer, ClusterConfig, ClusterTrainer, MembershipMode, CHUNK_WORDS,
+};
 use cosmic::cosmic_telemetry::{Layer, TraceSink};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -317,6 +319,47 @@ proptest! {
         let (a, b) = (run(), run());
         prop_assert_eq!(&a, &b, "same-seed metrics must be byte-identical");
         prop_assert!(!a.contains("sched.noise"), "diagnostics must stay out of exports");
+    }
+
+    /// Elastic membership: on a fault-free cluster the φ-accrual
+    /// detector never suspects anyone at the default thresholds,
+    /// whatever the topology or run length — and the detector-mode run
+    /// is bit-identical to the oracle path, report and all.
+    #[test]
+    fn healthy_detector_never_suspects(
+        nodes in 2usize..9,
+        groups in 1usize..4,
+        epochs in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        let groups = groups.min(nodes);
+        let alg = Algorithm::LinearRegression { features: 4 };
+        let ds = data::generate(&alg, 128, seed);
+        let init = data::init_model(&alg, seed ^ 5);
+        let run = |membership: MembershipMode| {
+            ClusterTrainer::new(ClusterConfig {
+                nodes,
+                groups,
+                threads_per_node: 1,
+                minibatch: 32,
+                learning_rate: 0.1,
+                epochs,
+                aggregation: Aggregation::Average,
+                membership,
+                ..ClusterConfig::default()
+            })
+            .expect("valid random config")
+            .train(&alg, &ds, init.clone())
+            .expect("healthy run")
+        };
+        let detector = run(MembershipMode::Detector);
+        prop_assert!(
+            detector.faults.suspicions.is_empty(),
+            "false positives on a healthy cluster: {:?}",
+            detector.faults.suspicions
+        );
+        prop_assert!(detector.faults.is_clean());
+        prop_assert_eq!(detector, run(MembershipMode::Oracle));
     }
 
     /// Gradient descent direction: a small step along the analytic

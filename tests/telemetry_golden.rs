@@ -21,7 +21,9 @@ fn golden_path(file: &str) -> PathBuf {
 /// The canonical run: LR with 8 features, 256 records (seed 11), 4 nodes
 /// in 2 groups, 2 worker threads per node, mini-batch 64, 2 epochs, and
 /// a fixed fault plan exercising a straggler, a dropped chunk, and a
-/// Delta crash.
+/// Delta crash that rejoins four rounds later — so the golden trace
+/// pins the membership events (crash, rejoin with catch-up, and the
+/// cadence-8 checkpoint) alongside the fault spans.
 fn canonical_run(sink: &TraceSink) {
     let alg = Algorithm::LogisticRegression { features: 8 };
     let dataset = data::generate(&alg, 256, 11);
@@ -33,7 +35,10 @@ fn canonical_run(sink: &TraceSink) {
         learning_rate: 0.3,
         epochs: 2,
         aggregation: Aggregation::Average,
-        faults: FaultPlan::none().straggle(2, 1, 2.0).drop_chunk(1, 0, 0, 1).crash(3, 2),
+        faults: FaultPlan::none()
+            .straggle(2, 1, 2.0)
+            .drop_chunk(1, 0, 0, 1)
+            .crash_then_rejoin(3, 2, 4),
         ..ClusterConfig::default()
     })
     .expect("valid config");
@@ -81,6 +86,10 @@ fn golden_run_records_the_planned_faults() {
     assert_eq!(sums[counters::FAULTS_PLANNED_STRAGGLES], 1.0);
     assert_eq!(sums[counters::FAULTS_PLANNED_DROPS], 1.0);
     assert_eq!(sums[counters::FAULTS_PLANNED_CRASHES], 1.0);
+    assert_eq!(sums[counters::FAULTS_PLANNED_REJOINS], 1.0);
     assert_eq!(sums[counters::FAULTS_CRASHES], 1.0);
+    assert_eq!(sums[counters::MEMBERSHIP_REJOINS], 1.0);
+    assert_eq!(sums[counters::MEMBERSHIP_CHECKPOINTS], 1.0);
+    assert!(sums[counters::MEMBERSHIP_CATCHUP_BYTES] > 0.0);
     assert!(sums[counters::TRAINER_ITERATIONS] >= 8.0);
 }
