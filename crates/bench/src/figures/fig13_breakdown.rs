@@ -23,7 +23,7 @@ pub fn compute_fraction(id: BenchmarkId, minibatch: usize) -> f64 {
     let timing = ClusterTiming::commodity(NODES, 1);
     let node = NodeCompute { records_per_sec: cosmic_node_rps(id, AccelKind::Fpga, minibatch) };
     let exchange = bench.exchanged_params(minibatch.div_ceil(NODES)) * WORD_BYTES;
-    let it = timing.iteration(minibatch, node, exchange);
+    let it = timing.model(minibatch, node, exchange).evaluate().unwrap_or_default();
     it.compute_s / it.total_s()
 }
 
@@ -34,7 +34,13 @@ pub fn compute_fraction_traced(id: BenchmarkId, minibatch: usize, sink: &TraceSi
     let timing = ClusterTiming::commodity(NODES, 1);
     let node = NodeCompute { records_per_sec: cosmic_node_rps(id, AccelKind::Fpga, minibatch) };
     let exchange = bench.exchanged_params(minibatch.div_ceil(NODES)) * WORD_BYTES;
-    let it = timing.iteration_traced(minibatch, node, exchange, &FaultTimingModel::none(), sink);
+    let faults = FaultTimingModel::none();
+    let it = timing
+        .model(minibatch, node, exchange)
+        .with_faults(&faults)
+        .traced(sink)
+        .evaluate()
+        .unwrap_or_default();
     it.compute_s / it.total_s()
 }
 

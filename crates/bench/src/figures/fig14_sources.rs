@@ -32,7 +32,7 @@ pub fn split(id: BenchmarkId) -> (f64, f64) {
     let timing = ClusterTiming::commodity(NODES, 1);
     let node = NodeCompute { records_per_sec: cosmic_node_rps(id, AccelKind::Fpga, b) };
     let exchange = bench.exchanged_params(b.div_ceil(NODES)) * WORD_BYTES;
-    let cosmic = timing.iteration(b, node, exchange);
+    let cosmic = timing.model(b, node, exchange).evaluate().unwrap_or_default();
 
     (spark.compute_s / cosmic.compute_s, spark.overhead_s() / cosmic.communication_s())
 }

@@ -11,7 +11,8 @@
 //!    two-level tree overtakes the ring's `2(p-1)` round trips as the
 //!    cluster widens.
 //!
-//! Throughput comes from [`ClusterTiming::iteration_with_collective`]
+//! Throughput comes from [`ClusterTiming::model`] with
+//! [`IterationModel::with_collective`](cosmic_core::cosmic_runtime::timing::IterationModel::with_collective)
 //! (same compute/PCIe/management costs across strategies, only the
 //! aggregation and broadcast phases repriced through each schedule), so
 //! the columns isolate exactly what the wire pattern changes. The
@@ -46,12 +47,9 @@ fn timing(nodes: usize) -> ClusterTiming {
 /// commodity cluster exchanging `words` f64 parameters per round.
 pub fn throughput(nodes: usize, words: usize, kind: CollectiveKind) -> f64 {
     let it = timing(nodes)
-        .iteration_with_collective(
-            MINIBATCH,
-            NodeCompute { records_per_sec: NODE_RPS },
-            words * 8,
-            kind,
-        )
+        .model(MINIBATCH, NodeCompute { records_per_sec: NODE_RPS }, words * 8)
+        .with_collective(kind)
+        .evaluate()
         .expect("valid sweep configuration");
     MINIBATCH as f64 / it.total_s()
 }
@@ -95,8 +93,8 @@ pub fn run() -> String {
 }
 
 /// [`run`] with telemetry: for every cluster size, the selector's
-/// large-model winner replays one iteration through
-/// [`ClusterTiming::iteration_with_collective_traced`], booking the
+/// large-model winner replays one iteration through the collective
+/// [`ClusterTiming::model`] with tracing enabled, booking the
 /// per-round `collective` spans and per-level wire counters into
 /// `sink`. All time is virtual, so same-seed traces are byte-identical.
 pub fn run_traced(sink: &TraceSink) -> String {
@@ -111,17 +109,15 @@ pub fn run_traced(sink: &TraceSink) -> String {
          (per-port serialization, per-message overhead, and per-round latency).\n",
     );
 
+    let faults = FaultTimingModel::none();
     for nodes in NODE_COUNTS {
         let kind = selector_pick(nodes, LARGE_WORDS);
         timing(nodes)
-            .iteration_with_collective_traced(
-                MINIBATCH,
-                NodeCompute { records_per_sec: NODE_RPS },
-                LARGE_WORDS * 8,
-                kind,
-                &FaultTimingModel::none(),
-                sink,
-            )
+            .model(MINIBATCH, NodeCompute { records_per_sec: NODE_RPS }, LARGE_WORDS * 8)
+            .with_collective(kind)
+            .with_faults(&faults)
+            .traced(sink)
+            .evaluate()
             .expect("valid traced sweep point");
     }
     out

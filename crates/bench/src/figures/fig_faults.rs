@@ -5,7 +5,9 @@
 //!
 //! 1. **Analytic** — steady-state throughput of the 8-node commodity
 //!    cluster under rising chunk-drop, straggler, and Sigma-failover
-//!    rates, from [`ClusterTiming::iteration_with_faults`]. The healthy
+//!    rates, from [`ClusterTiming::model`] with
+//!    [`IterationModel::with_faults`](cosmic_core::cosmic_runtime::timing::IterationModel::with_faults).
+//!    The healthy
 //!    column is the Figure 12/13 operating point; every other column is
 //!    the retained fraction of it.
 //! 2. **Functional** — a real seeded [`FaultPlan::random`] run through
@@ -62,14 +64,21 @@ fn study_faults(rate: f64) -> FaultTimingModel {
 /// probability `rate` simultaneously.
 pub fn throughput_at(id: BenchmarkId, rate: f64) -> f64 {
     let (node, exchange) = study_point(id);
-    timing().throughput_records_per_sec(MINIBATCH, node, exchange, &study_faults(rate))
+    let faults = study_faults(rate);
+    timing().model(MINIBATCH, node, exchange).with_faults(&faults).throughput().unwrap_or_default()
 }
 
 /// [`throughput_at`] that also books the degraded iteration's spans and
 /// counters (including the `recovery` phase) into `sink`.
 pub fn throughput_at_traced(id: BenchmarkId, rate: f64, sink: &TraceSink) -> f64 {
     let (node, exchange) = study_point(id);
-    let it = timing().iteration_traced(MINIBATCH, node, exchange, &study_faults(rate), sink);
+    let faults = study_faults(rate);
+    let it = timing()
+        .model(MINIBATCH, node, exchange)
+        .with_faults(&faults)
+        .traced(sink)
+        .evaluate()
+        .unwrap_or_default();
     MINIBATCH as f64 / it.total_s()
 }
 
@@ -188,7 +197,8 @@ mod tests {
     #[test]
     fn healthy_column_matches_the_fault_free_model() {
         let (node, exchange) = study_point(BenchmarkId::Tumor);
-        let plain = MINIBATCH as f64 / timing().iteration(MINIBATCH, node, exchange).total_s();
+        let plain = MINIBATCH as f64
+            / timing().model(MINIBATCH, node, exchange).evaluate().unwrap().total_s();
         assert!((throughput_at(BenchmarkId::Tumor, 0.0) - plain).abs() < 1e-9);
     }
 

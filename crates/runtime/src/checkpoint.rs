@@ -219,10 +219,10 @@ impl CheckpointStore {
     pub fn catch_up(&self) -> Result<CatchUp, CheckpointError> {
         self.latest.verify()?;
         let mut model = self.latest.model.clone();
-        let mut bytes = 8 * model.len();
+        let mut bytes = crate::layout::vector_bytes(model.len());
         for op in &self.log {
             op.apply(&mut model);
-            bytes += 8 * op.words();
+            bytes += crate::layout::vector_bytes(op.words());
         }
         Ok(CatchUp {
             model,

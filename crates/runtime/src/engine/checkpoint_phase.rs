@@ -1,0 +1,50 @@
+//! The round's closing phase: apply the surviving aggregate to the
+//! model, log it for replay, and take cadence snapshots.
+
+use cosmic_ml::Aggregation;
+
+use crate::checkpoint::ReplayOp;
+
+use super::observer::RunObserver;
+use super::state::RunState;
+use super::Engine;
+
+/// Applies the round's surviving aggregate to the model and records the
+/// update into the replay log backing the rejoin protocol.
+pub fn apply_update<O: RunObserver>(
+    eng: &Engine<'_, O>,
+    st: &mut RunState,
+    total: Vec<f64>,
+    active_total: usize,
+) {
+    match eng.cfg.aggregation {
+        Aggregation::Average => {
+            // Partials are worker models; averaging over the surviving
+            // contributors yields the parallelized-SGD update (Eq. 3b).
+            for (m, s) in st.model.iter_mut().zip(&total) {
+                *m = s / active_total as f64;
+            }
+            st.store
+                .record_update(ReplayOp::Average { sum: total, active_total: active_total as f64 });
+        }
+        Aggregation::Sum => {
+            // Partials are gradient sums over the records the survivors
+            // actually processed.
+            let scale = eng.cfg.learning_rate / active_total as f64;
+            for (m, g) in st.model.iter_mut().zip(&total) {
+                *m -= scale * g;
+            }
+            st.store.record_update(ReplayOp::Step { grad: total, scale });
+        }
+    }
+    st.iterations += 1;
+}
+
+/// Takes a cadence snapshot when the checkpoint config says this
+/// completed iteration is due one.
+pub fn maybe_checkpoint<O: RunObserver>(eng: &Engine<'_, O>, st: &mut RunState) {
+    if st.store.maybe_checkpoint(st.iter_idx + 1, &st.model) {
+        st.report.checkpoints += 1;
+        eng.obs.checkpointed(st.iter_idx, st.model.len());
+    }
+}

@@ -1,0 +1,174 @@
+//! The phase-based iteration engine behind [`crate::ClusterTrainer`].
+//!
+//! The engine decomposes the trainer's aggregation loop into cohesive
+//! phases, each its own module, all reading and writing one
+//! [`RunState`]:
+//!
+//! 1. [`membership`] — absorb the plan's partitions/crashes/rejoins,
+//!    then the φ-accrual detector sweep (phase 0);
+//! 2. [`compute`] — worker fan-out across nodes and accelerator
+//!    threads, panic absorption, and the deadline-admission barrier in
+//!    virtual time (phases 1–2);
+//! 3. [`rounds`] — collective-schedule refresh and the chunked Sigma
+//!    aggregation with quarantine accounting (phase 3);
+//! 4. [`checkpoint_phase`] — apply the surviving update, log it for
+//!    replay, and take cadence snapshots.
+//!
+//! Tracing is a zero-cost seam: the engine is generic over a
+//! [`RunObserver`], with [`NullObserver`] for untraced runs and
+//! [`TraceObserver`] reproducing the historical trace vocabulary byte
+//! for byte. Observers only watch — nothing they return feeds back into
+//! the computation — so traced and untraced runs are bit-identical.
+
+pub mod checkpoint_phase;
+pub mod compute;
+pub mod membership;
+pub mod observer;
+pub mod rounds;
+pub mod state;
+
+pub use observer::{NullObserver, RunObserver, TraceObserver};
+pub use state::{RunState, ScheduleCache};
+
+use cosmic_ml::data::Dataset;
+use cosmic_ml::Algorithm;
+use cosmic_sim::faults::FaultPlan;
+
+use crate::error::RuntimeError;
+use crate::layout;
+use crate::node::SigmaAggregator;
+use crate::role::Topology;
+use crate::trainer::{ClusterConfig, MembershipMode, TrainOutcome};
+
+/// The iteration engine: immutable run parameters plus the observer.
+///
+/// Everything that *changes* during a run lives in [`RunState`]; the
+/// engine itself is the fixed frame the phases execute in — config,
+/// fault plan, partitioned data, the Sigma pipeline, and derived layout
+/// constants.
+pub struct Engine<'a, O: RunObserver> {
+    pub(crate) cfg: &'a ClusterConfig,
+    pub(crate) plan: &'a FaultPlan,
+    pub(crate) alg: &'a Algorithm,
+    pub(crate) dataset: &'a Dataset,
+    /// Dataset partitioned node → accelerator thread (paper Figure 1's
+    /// D_i and D_ij).
+    pub(crate) thread_parts: Vec<Vec<Dataset>>,
+    pub(crate) sigma: SigmaAggregator,
+    pub(crate) model_len: usize,
+    /// Records each worker thread consumes per aggregation step.
+    pub(crate) per_worker: usize,
+    /// Chunks per node partial on the wire.
+    pub(crate) chunks: usize,
+    /// Aggregation steps per epoch.
+    pub(crate) steps: usize,
+    /// Whether membership is oracle-driven (vs detector-driven).
+    pub(crate) oracle: bool,
+    pub(crate) obs: O,
+}
+
+impl<'a, O: RunObserver> Engine<'a, O> {
+    /// Builds an engine over `cfg` for a model of `model_len` words,
+    /// partitioning `dataset` across nodes and threads.
+    pub fn new(
+        cfg: &'a ClusterConfig,
+        alg: &'a Algorithm,
+        dataset: &'a Dataset,
+        model_len: usize,
+        obs: O,
+    ) -> Self {
+        let workers = cfg.nodes * cfg.threads_per_node;
+        let per_worker = layout::shard_size(cfg.minibatch, workers);
+        let chunks = layout::chunk_count(model_len);
+        let node_parts = dataset.partition(cfg.nodes);
+        let thread_parts: Vec<Vec<Dataset>> =
+            node_parts.iter().map(|p| p.partition(cfg.threads_per_node)).collect();
+        let steps =
+            thread_parts.iter().flatten().map(Dataset::len).max().unwrap_or(0).div_ceil(per_worker);
+        let sigma = SigmaAggregator::with_ring_capacity(4, 4, cfg.ring_capacity);
+        let oracle = matches!(cfg.membership, MembershipMode::Oracle);
+        Engine {
+            cfg,
+            plan: &cfg.faults,
+            alg,
+            dataset,
+            thread_parts,
+            sigma,
+            model_len,
+            per_worker,
+            chunks,
+            steps,
+            oracle,
+            obs,
+        }
+    }
+
+    /// Runs the full training loop from `initial_model` over a working
+    /// copy `topology`, returning the outcome of a still-successful
+    /// degraded run or the error that made it unrecoverable.
+    pub fn run(
+        &self,
+        topology: Topology,
+        initial_model: Vec<f64>,
+    ) -> Result<TrainOutcome, RuntimeError> {
+        let mut st = RunState::new(self.cfg, topology, initial_model);
+        // Root span for the whole run; held until after the pool-job
+        // counter is booked so it encloses everything.
+        let _root = self.obs.run_started(self.cfg, self.plan);
+        for _ in 0..self.cfg.epochs {
+            st.record_loss(self.alg, self.dataset);
+            for step in 0..self.steps {
+                self.iteration(&mut st, step)?;
+            }
+        }
+        st.record_loss(self.alg, self.dataset);
+        self.obs.run_finished(self.sigma.jobs_submitted());
+        Ok(st.into_outcome())
+    }
+
+    /// One aggregation iteration: membership, compute, admission,
+    /// collective, update — in phase order.
+    fn iteration(&self, st: &mut RunState, step: usize) -> Result<(), RuntimeError> {
+        let _span = self.obs.iteration_started(st.iter_idx);
+        let t0 = self.obs.now();
+
+        membership::plan_phase(self, st)?;
+        membership::detector_sweep(self, st)?;
+
+        let mut partials = compute::fan_out(self, st, step);
+        compute::absorb_panics(self, st, &partials)?;
+        let (contributions, round_cost) = compute::admission_barrier(self, st, &mut partials, t0);
+        self.obs.compute_barrier(t0, round_cost);
+
+        let senders: Vec<usize> =
+            (0..self.cfg.nodes).filter(|&n| contributions[n].is_some()).collect();
+        if senders.is_empty() {
+            return self.finish_round(st, round_cost, false);
+        }
+        let Some(round) = rounds::collective_round(self, st, &contributions, &senders)? else {
+            return self.finish_round(st, round_cost, false);
+        };
+        checkpoint_phase::apply_update(self, st, round.sum, round.active_total);
+        checkpoint_phase::maybe_checkpoint(self, st);
+        self.finish_round(st, round_cost, true)
+    }
+
+    /// Closes the round: end-of-iteration re-admission, iteration
+    /// accounting, and the virtual-clock advance. `counted` rounds
+    /// applied an update; empty rounds did not.
+    fn finish_round(
+        &self,
+        st: &mut RunState,
+        round_cost: f64,
+        counted: bool,
+    ) -> Result<(), RuntimeError> {
+        membership::process_rejoins(self, st)?;
+        if counted {
+            self.obs.iteration_counted();
+        }
+        self.obs.advance(round_cost);
+        st.vclock += round_cost;
+        st.iter_idx += 1;
+        Ok(())
+    }
+}

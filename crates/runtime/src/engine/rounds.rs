@@ -1,0 +1,144 @@
+//! The collective-aggregation phase: schedule refresh, chunk streaming
+//! through the Sigma pipeline, and quarantine accounting.
+
+use crossbeam::channel;
+use std::thread;
+
+use crate::error::RuntimeError;
+use crate::layout::CHUNK_WORDS;
+use crate::node::{chunk_vector, AggregateOutcome};
+use crate::trainer::Quarantine;
+
+use super::compute::NodePartial;
+use super::observer::RunObserver;
+use super::state::{RunState, ScheduleCache};
+use super::Engine;
+
+/// The surviving aggregate of one collective round.
+pub struct RoundOutput {
+    /// Element-wise sum over the streams that cleared Sigma validation.
+    pub sum: Vec<f64>,
+    /// The rescaling denominator: contribution weight of the peers that
+    /// survived admission *and* Sigma validation.
+    pub active_total: usize,
+}
+
+/// Phase 3: collective aggregation. The admitted members stream chunked
+/// partials over channels ("sockets") into the Sigma pipeline, with
+/// injected corruption and duplication applied on the wire; quarantined
+/// peers are withheld from the fold and from the contributor count.
+/// Returns `None` when no contribution survived (the round applies no
+/// update).
+pub fn collective_round<O: RunObserver>(
+    eng: &Engine<'_, O>,
+    st: &mut RunState,
+    contributions: &[NodePartial],
+    senders: &[usize],
+) -> Result<Option<RoundOutput>, RuntimeError> {
+    refresh_schedule(eng, st, senders)?;
+    let outcome = stream_and_fold(eng, st, contributions, senders);
+    st.report.duplicates_dropped += outcome.duplicates_dropped;
+    if let Some(cache) = &st.schedule_cache {
+        eng.obs.aggregated(cache, eng.cfg.collective.label(), senders.len(), eng.chunks, &outcome);
+    }
+    let mut rejected = vec![false; senders.len()];
+    for &(peer, fault) in &outcome.quarantined {
+        rejected[peer] = true;
+        st.report.quarantines.push(Quarantine {
+            iteration: st.iter_idx,
+            node: senders[peer],
+            fault,
+        });
+    }
+
+    // `active_total` is the single source of truth for the rescaling
+    // denominator: contributors that survived admission *and* Sigma
+    // validation.
+    let active_total: usize = senders
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !rejected[i])
+        .filter_map(|(_, &m)| contributions[m].as_ref().map(|(_, n)| *n))
+        .sum();
+    if active_total == 0 {
+        return Ok(None);
+    }
+    Ok(Some(RoundOutput { sum: outcome.sum, active_total }))
+}
+
+/// Rebuilds the collective schedule when the topology epoch or the
+/// admitted participant set changed since it was last built. The
+/// configured strategy decides the wire pattern (and therefore what the
+/// trace books per link level); the arithmetic stays the canonical
+/// ascending fold, so every strategy trains bit-identically.
+fn refresh_schedule<O: RunObserver>(
+    eng: &Engine<'_, O>,
+    st: &mut RunState,
+    senders: &[usize],
+) -> Result<(), RuntimeError> {
+    let stale = st
+        .schedule_cache
+        .as_ref()
+        .is_none_or(|c| c.epoch != st.topology.epoch() || c.participants != senders);
+    if !stale {
+        return Ok(());
+    }
+    let schedule = eng.cfg.collective.strategy().schedule(
+        &st.topology,
+        senders,
+        eng.model_len,
+        CHUNK_WORDS,
+    )?;
+    schedule.validate()?;
+    eng.obs.schedule_rebuilt(eng.cfg.collective.label(), senders.len());
+    st.schedule_cache = Some(ScheduleCache {
+        epoch: st.topology.epoch(),
+        participants: senders.to_vec(),
+        levels: schedule.bytes_by_level(),
+        rounds: schedule.rounds(),
+    });
+    Ok(())
+}
+
+/// Streams every sender's chunked partial into the Sigma pipeline —
+/// applying the plan's on-the-wire corruption and duplication — and
+/// folds the streams with validation.
+fn stream_and_fold<O: RunObserver>(
+    eng: &Engine<'_, O>,
+    st: &RunState,
+    contributions: &[NodePartial],
+    senders: &[usize],
+) -> AggregateOutcome {
+    let plan = eng.plan;
+    let iter_idx = st.iter_idx;
+    thread::scope(|s| {
+        let mut receivers = Vec::new();
+        for &member in senders {
+            let (tx, rx) = channel::bounded(8);
+            receivers.push(rx);
+            s.spawn(move || {
+                let Some((part, _)) = &contributions[member] else {
+                    return;
+                };
+                for (ci, chunk) in chunk_vector(part).into_iter().enumerate() {
+                    let chunk = if plan.chunk_corrupted(member, iter_idx, ci) {
+                        chunk.corrupted()
+                    } else {
+                        chunk
+                    };
+                    let duplicate =
+                        plan.chunk_duplicated(member, iter_idx, ci).then(|| chunk.clone());
+                    if tx.send(chunk).is_err() {
+                        break;
+                    }
+                    if let Some(dup) = duplicate {
+                        if tx.send(dup).is_err() {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        eng.sigma.aggregate_validated(eng.model_len, receivers)
+    })
+}

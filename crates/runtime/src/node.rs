@@ -24,8 +24,9 @@ use crate::circbuf::CircularBuffer;
 use crate::pool::ThreadPool;
 
 /// Words per chunk moved between the pools (the "smaller portions of
-/// data" of paper §3).
-pub const CHUNK_WORDS: usize = 4096;
+/// data" of paper §3); canonical home is [`crate::layout`], re-exported
+/// here because the chunk protocol is this module's vocabulary.
+pub use crate::layout::CHUNK_WORDS;
 
 /// Default per-peer circular-buffer capacity, in chunks. Deep enough to
 /// keep the networking producer ahead of the aggregation consumer,
@@ -243,7 +244,7 @@ impl SigmaAggregator {
         model_len: usize,
         incoming: Vec<Receiver<Chunk>>,
     ) -> AggregateOutcome {
-        let stripes = model_len.div_ceil(CHUNK_WORDS).max(1);
+        let stripes = crate::layout::chunk_count(model_len);
         let peers = incoming.len();
         let folds: Arc<Vec<Mutex<PeerFold>>> =
             Arc::new((0..peers).map(|_| Mutex::new(PeerFold::default())).collect());

@@ -9,12 +9,21 @@
 //! hierarchy level costs `max(wire, aggregation)` rather than their sum —
 //! *the* specialization that distinguishes CoSMIC's system software from
 //! the generic baseline.
+//!
+//! One iteration is timed through the builder-style [`IterationModel`]:
+//! start from [`ClusterTiming::model`], layer on
+//! [`IterationModel::with_stragglers`], [`IterationModel::with_faults`],
+//! [`IterationModel::with_collective`], and [`IterationModel::traced`],
+//! then [`IterationModel::evaluate`]. The eight pre-builder entry
+//! points (`iteration`, `iteration_with_faults`, …) survive as
+//! deprecated one-line wrappers over the builder.
 
-use cosmic_collectives::{CollectiveKind, CommSchedule, CostModel};
+use cosmic_collectives::{CollectiveKind, CommSchedule, CostModel, RoundCost};
 use cosmic_sim::{level_counter, NetworkModel, PcieModel};
 use cosmic_telemetry::{counters, names, Layer, TraceSink};
 
 use crate::error::RuntimeError;
+use crate::layout;
 use crate::node::CHUNK_WORDS;
 use crate::role::{assign_roles, Topology};
 
@@ -133,6 +142,195 @@ pub struct ClusterTiming {
     pub mgmt_us: f64,
 }
 
+/// Builder for timing one mini-batch iteration (one aggregation round).
+///
+/// Obtained from [`ClusterTiming::model`]; each `with_*` call layers a
+/// concern onto the evaluation, and [`IterationModel::evaluate`]
+/// produces the [`IterationBreakdown`]:
+///
+/// ```
+/// use cosmic_runtime::timing::{ClusterTiming, FaultTimingModel, NodeCompute};
+/// use cosmic_runtime::CollectiveKind;
+///
+/// let timing = ClusterTiming::commodity(8, 2);
+/// let node = NodeCompute { records_per_sec: 1e5 };
+/// let faults = FaultTimingModel::none();
+/// let it = timing
+///     .model(10_000, node, 1_000_000)
+///     .with_collective(CollectiveKind::RingAllReduce)
+///     .with_faults(&faults)
+///     .evaluate()
+///     .unwrap();
+/// assert!(it.total_s() > 0.0);
+/// ```
+///
+/// Evaluation order is fixed regardless of call order: healthy phases,
+/// then straggler stretch, then collective re-pricing, then fault
+/// recovery, then (if [`IterationModel::traced`]) the trace emission.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "an IterationModel does nothing until evaluate() is called"]
+pub struct IterationModel<'a> {
+    timing: &'a ClusterTiming,
+    minibatch: usize,
+    node: NodeCompute,
+    exchange_bytes: usize,
+    stragglers: usize,
+    slowdown: f64,
+    faults: Option<&'a FaultTimingModel>,
+    collective: Option<CollectiveKind>,
+    sink: Option<&'a TraceSink>,
+}
+
+impl<'a> IterationModel<'a> {
+    /// Times the round as if `stragglers` nodes ran at `slowdown` times
+    /// their normal per-record cost. Synchronous parallel SGD waits for
+    /// the slowest partial before aggregating, so a single straggler
+    /// stretches the whole round. Out-of-range inputs clamp instead of
+    /// panicking: `slowdown` below 1 (or non-finite) counts as nominal
+    /// speed, and `stragglers` is capped at the node count.
+    pub fn with_stragglers(mut self, stragglers: usize, slowdown: f64) -> Self {
+        self.stragglers = stragglers;
+        self.slowdown = slowdown;
+        self
+    }
+
+    /// Prices steady-state fault rates into
+    /// [`IterationBreakdown::recovery_s`]: expected retry traffic and
+    /// backoff waits, deadline-capped straggler waits, and Sigma
+    /// failover (plus schedule-rebuild) penalties.
+    pub fn with_faults(mut self, faults: &'a FaultTimingModel) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Prices aggregation and broadcast through `kind`'s
+    /// [`CommSchedule`] instead of the fixed two-level analytic path:
+    /// reduce-carrying rounds become
+    /// [`IterationBreakdown::aggregate_s`], pure-share rounds become
+    /// [`IterationBreakdown::broadcast_s`], and
+    /// [`IterationBreakdown::rounds`] reports the schedule depth. With a
+    /// collective set, [`IterationModel::evaluate`] can fail when the
+    /// group structure cannot be built.
+    pub fn with_collective(mut self, kind: CollectiveKind) -> Self {
+        self.collective = Some(kind);
+        self
+    }
+
+    /// Also records the evaluated iteration into `sink`: an `iteration`
+    /// span enclosing one closed span per phase (durations taken
+    /// verbatim from the breakdown, so
+    /// [`cosmic_telemetry::TraceSummary`] reproduces it bit for bit)
+    /// plus the wire-byte counters. With a collective set, one
+    /// [`names::COLLECTIVE`] span per schedule round nests inside the
+    /// aggregation and broadcast phases and wire bytes book per link
+    /// level; otherwise the two hierarchy levels and the broadcast book
+    /// through the network model's traced fan helpers. Advances the
+    /// sink's virtual clock by the iteration's total time.
+    pub fn traced(mut self, sink: &'a TraceSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Evaluates the configured model into an [`IterationBreakdown`].
+    ///
+    /// Only a configured collective can error (when the topology cannot
+    /// be built); every other path is infallible.
+    pub fn evaluate(&self) -> Result<IterationBreakdown, RuntimeError> {
+        let mut it = self.timing.healthy_iteration(self.minibatch, self.node, self.exchange_bytes);
+
+        let slowdown = if self.slowdown.is_finite() { self.slowdown.max(1.0) } else { 1.0 };
+        if self.stragglers.min(self.timing.nodes) > 0 {
+            // The barrier waits for the slowest node's compute.
+            it.compute_s *= slowdown;
+        }
+
+        let mut collective = None;
+        if let Some(kind) = self.collective {
+            let schedule = self.timing.collective_schedule(self.exchange_bytes, kind)?;
+            let costs = self.timing.collective_cost_model().round_costs_s(&schedule);
+            it.aggregate_s = costs.iter().filter(|r| r.reduce_bytes > 0).map(|r| r.seconds).sum();
+            it.broadcast_s = costs.iter().filter(|r| r.reduce_bytes == 0).map(|r| r.seconds).sum();
+            it.rounds = schedule.rounds();
+            collective = Some((schedule, costs, kind));
+        }
+
+        if let Some(faults) = self.faults {
+            it.recovery_s = self.timing.recovery_s(&it, self.exchange_bytes, faults);
+        }
+
+        if let Some(sink) = self.sink {
+            self.emit_trace(sink, &it, collective.as_ref());
+        }
+        Ok(it)
+    }
+
+    /// Evaluates and converts to steady-state training throughput in
+    /// records/s.
+    pub fn throughput(&self) -> Result<f64, RuntimeError> {
+        let it = self.evaluate()?;
+        Ok(self.minibatch as f64 / it.total_s())
+    }
+
+    /// Records the evaluated breakdown into `sink` (see
+    /// [`IterationModel::traced`] for the vocabulary).
+    fn emit_trace(
+        &self,
+        sink: &TraceSink,
+        it: &IterationBreakdown,
+        collective: Option<&(CommSchedule, Vec<RoundCost>, CollectiveKind)>,
+    ) {
+        let guard = sink.span(Layer::Exec, names::ITERATION);
+        let mut t = sink.now();
+        let phases = [
+            (Layer::Exec, names::COMPUTE, it.compute_s),
+            (Layer::Net, names::PCIE, it.pcie_s),
+            (Layer::Aggregate, names::AGGREGATE, it.aggregate_s),
+            (Layer::Net, names::BROADCAST, it.broadcast_s),
+            (Layer::Exec, names::MANAGEMENT, it.management_s),
+            (Layer::Retry, names::RECOVERY, it.recovery_s),
+        ];
+        for (layer, name, dur) in phases {
+            sink.span_closed(layer, name, t, dur);
+            if let Some((_, costs, kind)) = collective {
+                if name == names::AGGREGATE || name == names::BROADCAST {
+                    // The phase's schedule rounds run back to back inside it.
+                    let wants_reduce = name == names::AGGREGATE;
+                    let mut rt = t;
+                    for cost in costs.iter().filter(|r| (r.reduce_bytes > 0) == wants_reduce) {
+                        let idx =
+                            sink.span_closed(Layer::Aggregate, names::COLLECTIVE, rt, cost.seconds);
+                        sink.set_arg(idx, "round", &cost.round.to_string());
+                        sink.set_arg(idx, "strategy", kind.label());
+                        rt += cost.seconds;
+                    }
+                }
+            }
+            t += dur;
+        }
+
+        match collective {
+            Some((schedule, _, _)) => {
+                for (level, bytes) in schedule.bytes_by_level().into_iter().enumerate() {
+                    if bytes > 0 {
+                        sink.add(level_counter(level), bytes as f64);
+                    }
+                }
+            }
+            None => {
+                let fan1 = self.timing.group_fan_in();
+                let fan2 = self.timing.groups.saturating_sub(1);
+                self.timing.net.fan_in_traced(self.exchange_bytes, fan1, 1, sink);
+                self.timing.net.fan_in_traced(self.exchange_bytes, fan2, 2, sink);
+                self.timing.net.fan_out_traced(self.exchange_bytes, fan1.max(fan2), sink);
+            }
+        }
+        sink.add(counters::PCIE_BYTES, (2 * self.exchange_bytes) as f64);
+
+        sink.advance(it.total_s());
+        drop(guard);
+    }
+}
+
 impl ClusterTiming {
     /// The evaluation cluster: gigabit Ethernet, Gen3 x8 slots, ~6 GB/s
     /// effective aggregation fold rate on the host cores.
@@ -155,6 +353,31 @@ impl ClusterTiming {
         Ok(assign_roles(self.nodes, self.groups)?)
     }
 
+    /// Starts an [`IterationModel`] for one mini-batch iteration.
+    ///
+    /// `minibatch` is the global batch `b`; `node` the per-node
+    /// accelerator throughput; `exchange_bytes` the partial-update size a
+    /// node ships per aggregation (the whole model for dense algorithms,
+    /// the touched slices for collaborative filtering).
+    pub fn model(
+        &self,
+        minibatch: usize,
+        node: NodeCompute,
+        exchange_bytes: usize,
+    ) -> IterationModel<'_> {
+        IterationModel {
+            timing: self,
+            minibatch,
+            node,
+            exchange_bytes,
+            stragglers: 0,
+            slowdown: 1.0,
+            faults: None,
+            collective: None,
+            sink: None,
+        }
+    }
+
     /// Largest group fan-in (members per Sigma) under the nearly-equal
     /// contiguous grouping [`assign_roles`] produces, computed without
     /// materializing the topology. Degenerate configurations clamp.
@@ -163,13 +386,9 @@ impl ClusterTiming {
         self.nodes.max(1).div_ceil(groups).saturating_sub(1)
     }
 
-    /// Times one mini-batch iteration.
-    ///
-    /// `minibatch` is the global batch `b`; `node` the per-node
-    /// accelerator throughput; `exchange_bytes` the partial-update size a
-    /// node ships per aggregation (the whole model for dense algorithms,
-    /// the touched slices for collaborative filtering).
-    pub fn iteration(
+    /// The healthy two-level analytic breakdown every evaluation starts
+    /// from.
+    fn healthy_iteration(
         &self,
         minibatch: usize,
         node: NodeCompute,
@@ -212,49 +431,6 @@ impl ClusterTiming {
         }
     }
 
-    /// Times one iteration when `stragglers` of the nodes run at
-    /// `slowdown` times their normal per-record cost. Synchronous
-    /// parallel SGD waits for the slowest partial before aggregating, so
-    /// a single straggler stretches the whole round — the behaviour that
-    /// motivates bounding group sizes and keeping aggregation off the
-    /// critical path.
-    ///
-    /// Out-of-range inputs clamp instead of panicking: `slowdown` below
-    /// 1 counts as nominal speed, and `stragglers` is capped at the
-    /// node count.
-    pub fn iteration_with_stragglers(
-        &self,
-        minibatch: usize,
-        node: NodeCompute,
-        exchange_bytes: usize,
-        stragglers: usize,
-        slowdown: f64,
-    ) -> IterationBreakdown {
-        let slowdown = if slowdown.is_finite() { slowdown.max(1.0) } else { 1.0 };
-        let stragglers = stragglers.min(self.nodes);
-        let mut it = self.iteration(minibatch, node, exchange_bytes);
-        if stragglers > 0 {
-            // The barrier waits for the slowest node's compute.
-            it.compute_s *= slowdown;
-        }
-        it
-    }
-
-    /// Times one iteration under steady-state fault rates, attributing
-    /// the expected retry, timeout, and failover costs to
-    /// [`IterationBreakdown::recovery_s`].
-    pub fn iteration_with_faults(
-        &self,
-        minibatch: usize,
-        node: NodeCompute,
-        exchange_bytes: usize,
-        faults: &FaultTimingModel,
-    ) -> IterationBreakdown {
-        let mut it = self.iteration(minibatch, node, exchange_bytes);
-        it.recovery_s = self.recovery_s(&it, exchange_bytes, faults);
-        it
-    }
-
     /// The expected per-iteration fault-recovery cost for a breakdown
     /// whose healthy phases are already priced.
     fn recovery_s(
@@ -272,7 +448,7 @@ impl ClusterTiming {
         let p = faults.chunk_drop_rate.clamp(0.0, 0.99);
         if p > 0.0 {
             let inflation = p / (1.0 - p);
-            let chunks = exchange_bytes.div_ceil(CHUNK_WORDS * 8).max(1) as f64;
+            let chunks = layout::chunk_count_bytes(exchange_bytes) as f64;
             recovery += it.aggregate_s * inflation + chunks * inflation * faults.retry_backoff_s;
         }
 
@@ -314,16 +490,55 @@ impl ClusterTiming {
     ) -> Result<CommSchedule, RuntimeError> {
         let topology = self.topology()?;
         let participants = topology.live_node_ids();
-        let words = exchange_bytes.div_ceil(8);
+        let words = layout::words_for_bytes(exchange_bytes);
         Ok(kind.strategy().schedule(&topology, &participants, words, CHUNK_WORDS)?)
     }
 
-    /// Times one mini-batch iteration with aggregation and broadcast
-    /// priced through `kind`'s [`CommSchedule`] instead of the fixed
-    /// two-level analytic path: reduce-carrying rounds become
-    /// [`IterationBreakdown::aggregate_s`], pure-share rounds become
-    /// [`IterationBreakdown::broadcast_s`], and
-    /// [`IterationBreakdown::rounds`] reports the schedule depth.
+    /// Times one healthy mini-batch iteration.
+    #[deprecated(note = "use ClusterTiming::model(..).evaluate() instead")]
+    pub fn iteration(
+        &self,
+        minibatch: usize,
+        node: NodeCompute,
+        exchange_bytes: usize,
+    ) -> IterationBreakdown {
+        self.model(minibatch, node, exchange_bytes).evaluate().unwrap_or_default()
+    }
+
+    /// Times one iteration when `stragglers` of the nodes run at
+    /// `slowdown` times their normal per-record cost.
+    #[deprecated(note = "use ClusterTiming::model(..).with_stragglers(..).evaluate() instead")]
+    pub fn iteration_with_stragglers(
+        &self,
+        minibatch: usize,
+        node: NodeCompute,
+        exchange_bytes: usize,
+        stragglers: usize,
+        slowdown: f64,
+    ) -> IterationBreakdown {
+        self.model(minibatch, node, exchange_bytes)
+            .with_stragglers(stragglers, slowdown)
+            .evaluate()
+            .unwrap_or_default()
+    }
+
+    /// Times one iteration under steady-state fault rates.
+    #[deprecated(note = "use ClusterTiming::model(..).with_faults(..).evaluate() instead")]
+    pub fn iteration_with_faults(
+        &self,
+        minibatch: usize,
+        node: NodeCompute,
+        exchange_bytes: usize,
+        faults: &FaultTimingModel,
+    ) -> IterationBreakdown {
+        self.model(minibatch, node, exchange_bytes)
+            .with_faults(faults)
+            .evaluate()
+            .unwrap_or_default()
+    }
+
+    /// Times one iteration priced through `kind`'s [`CommSchedule`].
+    #[deprecated(note = "use ClusterTiming::model(..).with_collective(..).evaluate() instead")]
     pub fn iteration_with_collective(
         &self,
         minibatch: usize,
@@ -331,19 +546,14 @@ impl ClusterTiming {
         exchange_bytes: usize,
         kind: CollectiveKind,
     ) -> Result<IterationBreakdown, RuntimeError> {
-        let mut it = self.iteration(minibatch, node, exchange_bytes);
-        let schedule = self.collective_schedule(exchange_bytes, kind)?;
-        let costs = self.collective_cost_model().round_costs_s(&schedule);
-        it.aggregate_s = costs.iter().filter(|r| r.reduce_bytes > 0).map(|r| r.seconds).sum();
-        it.broadcast_s = costs.iter().filter(|r| r.reduce_bytes == 0).map(|r| r.seconds).sum();
-        it.rounds = schedule.rounds();
-        Ok(it)
+        self.model(minibatch, node, exchange_bytes).with_collective(kind).evaluate()
     }
 
-    /// [`ClusterTiming::iteration_with_collective`] under steady-state
-    /// fault rates, with the schedule-rebuild penalty
-    /// ([`FaultTimingModel::reschedule_penalty_s`]) attributed alongside
-    /// the failover cost.
+    /// Times one collective-priced iteration under steady-state fault
+    /// rates.
+    #[deprecated(
+        note = "use ClusterTiming::model(..).with_collective(..).with_faults(..).evaluate() instead"
+    )]
     pub fn iteration_with_collective_and_faults(
         &self,
         minibatch: usize,
@@ -352,16 +562,17 @@ impl ClusterTiming {
         kind: CollectiveKind,
         faults: &FaultTimingModel,
     ) -> Result<IterationBreakdown, RuntimeError> {
-        let mut it = self.iteration_with_collective(minibatch, node, exchange_bytes, kind)?;
-        it.recovery_s = self.recovery_s(&it, exchange_bytes, faults);
-        Ok(it)
+        self.model(minibatch, node, exchange_bytes)
+            .with_collective(kind)
+            .with_faults(faults)
+            .evaluate()
     }
 
-    /// [`ClusterTiming::iteration_with_collective_and_faults`] that also
-    /// records the iteration into `sink`: the usual per-phase spans,
-    /// with one closed [`names::COLLECTIVE`] span per schedule round
-    /// nested inside the aggregation and broadcast phases, and the wire
-    /// bytes booked per link level through [`level_counter`].
+    /// Times and traces one collective-priced iteration under
+    /// steady-state fault rates.
+    #[deprecated(
+        note = "use ClusterTiming::model(..).with_collective(..).with_faults(..).traced(..).evaluate() instead"
+    )]
     pub fn iteration_with_collective_traced(
         &self,
         minibatch: usize,
@@ -371,62 +582,17 @@ impl ClusterTiming {
         faults: &FaultTimingModel,
         sink: &TraceSink,
     ) -> Result<IterationBreakdown, RuntimeError> {
-        let it = self.iteration_with_collective_and_faults(
-            minibatch,
-            node,
-            exchange_bytes,
-            kind,
-            faults,
-        )?;
-        let schedule = self.collective_schedule(exchange_bytes, kind)?;
-        let costs = self.collective_cost_model().round_costs_s(&schedule);
-
-        let guard = sink.span(Layer::Exec, names::ITERATION);
-        let mut t = sink.now();
-        let phases = [
-            (Layer::Exec, names::COMPUTE, it.compute_s),
-            (Layer::Net, names::PCIE, it.pcie_s),
-            (Layer::Aggregate, names::AGGREGATE, it.aggregate_s),
-            (Layer::Net, names::BROADCAST, it.broadcast_s),
-            (Layer::Exec, names::MANAGEMENT, it.management_s),
-            (Layer::Retry, names::RECOVERY, it.recovery_s),
-        ];
-        for (layer, name, dur) in phases {
-            sink.span_closed(layer, name, t, dur);
-            if name == names::AGGREGATE || name == names::BROADCAST {
-                // The phase's schedule rounds run back to back inside it.
-                let wants_reduce = name == names::AGGREGATE;
-                let mut rt = t;
-                for cost in costs.iter().filter(|r| (r.reduce_bytes > 0) == wants_reduce) {
-                    let idx =
-                        sink.span_closed(Layer::Aggregate, names::COLLECTIVE, rt, cost.seconds);
-                    sink.set_arg(idx, "round", &cost.round.to_string());
-                    sink.set_arg(idx, "strategy", kind.label());
-                    rt += cost.seconds;
-                }
-            }
-            t += dur;
-        }
-
-        for (level, bytes) in schedule.bytes_by_level().into_iter().enumerate() {
-            if bytes > 0 {
-                sink.add(level_counter(level), bytes as f64);
-            }
-        }
-        sink.add(counters::PCIE_BYTES, (2 * exchange_bytes) as f64);
-
-        sink.advance(it.total_s());
-        drop(guard);
-        Ok(it)
+        self.model(minibatch, node, exchange_bytes)
+            .with_collective(kind)
+            .with_faults(faults)
+            .traced(sink)
+            .evaluate()
     }
 
-    /// [`ClusterTiming::iteration_with_faults`] that also records the
-    /// iteration into `sink`: an `iteration` span enclosing one closed
-    /// span per phase (durations taken verbatim from the breakdown, so
-    /// [`cosmic_telemetry::TraceSummary`] reproduces it bit for bit) plus
-    /// the wire-byte counters for both hierarchy levels, the broadcast,
-    /// and PCIe. Advances the sink's virtual clock by the iteration's
-    /// total time.
+    /// Times and traces one iteration under steady-state fault rates.
+    #[deprecated(
+        note = "use ClusterTiming::model(..).with_faults(..).traced(..).evaluate() instead"
+    )]
     pub fn iteration_traced(
         &self,
         minibatch: usize,
@@ -435,37 +601,15 @@ impl ClusterTiming {
         faults: &FaultTimingModel,
         sink: &TraceSink,
     ) -> IterationBreakdown {
-        let it = self.iteration_with_faults(minibatch, node, exchange_bytes, faults);
-
-        let guard = sink.span(Layer::Exec, names::ITERATION);
-        let mut t = sink.now();
-        let phases = [
-            (Layer::Exec, names::COMPUTE, it.compute_s),
-            (Layer::Net, names::PCIE, it.pcie_s),
-            (Layer::Aggregate, names::AGGREGATE, it.aggregate_s),
-            (Layer::Net, names::BROADCAST, it.broadcast_s),
-            (Layer::Exec, names::MANAGEMENT, it.management_s),
-            (Layer::Retry, names::RECOVERY, it.recovery_s),
-        ];
-        for (layer, name, dur) in phases {
-            sink.span_closed(layer, name, t, dur);
-            t += dur;
-        }
-
-        let fan1 = self.group_fan_in();
-        let fan2 = self.groups.saturating_sub(1);
-        self.net.fan_in_traced(exchange_bytes, fan1, 1, sink);
-        self.net.fan_in_traced(exchange_bytes, fan2, 2, sink);
-        self.net.fan_out_traced(exchange_bytes, fan1.max(fan2), sink);
-        sink.add(counters::PCIE_BYTES, (2 * exchange_bytes) as f64);
-
-        sink.advance(it.total_s());
-        drop(guard);
-        it
+        self.model(minibatch, node, exchange_bytes)
+            .with_faults(faults)
+            .traced(sink)
+            .evaluate()
+            .unwrap_or_default()
     }
 
-    /// Steady-state training throughput in records/s under `faults`
-    /// (use [`FaultTimingModel::none`] for the healthy rate).
+    /// Steady-state training throughput in records/s under `faults`.
+    #[deprecated(note = "use ClusterTiming::model(..).with_faults(..).throughput() instead")]
     pub fn throughput_records_per_sec(
         &self,
         minibatch: usize,
@@ -473,8 +617,10 @@ impl ClusterTiming {
         exchange_bytes: usize,
         faults: &FaultTimingModel,
     ) -> f64 {
-        let it = self.iteration_with_faults(minibatch, node, exchange_bytes, faults);
-        minibatch as f64 / it.total_s()
+        self.model(minibatch, node, exchange_bytes)
+            .with_faults(faults)
+            .throughput()
+            .unwrap_or_default()
     }
 
     /// Seconds to train for `epochs` passes over `total_records` with
@@ -488,7 +634,7 @@ impl ClusterTiming {
         exchange_bytes: usize,
     ) -> f64 {
         let iterations = total_records.div_ceil(minibatch).max(1);
-        let iter = self.iteration(minibatch, node, exchange_bytes);
+        let iter = self.model(minibatch, node, exchange_bytes).evaluate().unwrap_or_default();
         iterations as f64 * epochs as f64 * iter.total_s()
     }
 }
@@ -501,10 +647,14 @@ mod tests {
         NodeCompute { records_per_sec: rps }
     }
 
+    fn eval(m: IterationModel<'_>) -> IterationBreakdown {
+        m.evaluate().expect("infallible evaluation")
+    }
+
     #[test]
     fn breakdown_sums_to_total() {
         let t = ClusterTiming::commodity(16, 2);
-        let it = t.iteration(10_000, node(1e5), 1_000_000);
+        let it = eval(t.model(10_000, node(1e5), 1_000_000));
         let sum = it.compute_s
             + it.pcie_s
             + it.aggregate_s
@@ -519,8 +669,8 @@ mod tests {
     #[test]
     fn bigger_models_cost_more_communication() {
         let t = ClusterTiming::commodity(8, 2);
-        let small = t.iteration(10_000, node(1e5), 8 * 1024);
-        let large = t.iteration(10_000, node(1e5), 2 * 1024 * 1024);
+        let small = eval(t.model(10_000, node(1e5), 8 * 1024));
+        let large = eval(t.model(10_000, node(1e5), 2 * 1024 * 1024));
         assert!(large.aggregate_s > 10.0 * small.aggregate_s);
         assert_eq!(large.compute_s, small.compute_s);
     }
@@ -528,8 +678,8 @@ mod tests {
     #[test]
     fn more_nodes_cut_compute_but_grow_fan_in() {
         let m = 2_400_000; // mnist-sized model
-        let four = ClusterTiming::commodity(4, 1).iteration(10_000, node(1e5), m);
-        let sixteen = ClusterTiming::commodity(16, 2).iteration(10_000, node(1e5), m);
+        let four = eval(ClusterTiming::commodity(4, 1).model(10_000, node(1e5), m));
+        let sixteen = eval(ClusterTiming::commodity(16, 2).model(10_000, node(1e5), m));
         assert!(sixteen.compute_s < four.compute_s);
         assert!(sixteen.aggregate_s > four.aggregate_s * 0.9);
     }
@@ -540,8 +690,8 @@ mod tests {
         // Two groups: 7 + a second level of 1. Hierarchy must win for
         // large models.
         let m = 2_400_000;
-        let flat = ClusterTiming::commodity(16, 1).iteration(10_000, node(1e5), m);
-        let grouped = ClusterTiming::commodity(16, 2).iteration(10_000, node(1e5), m);
+        let flat = eval(ClusterTiming::commodity(16, 1).model(10_000, node(1e5), m));
+        let grouped = eval(ClusterTiming::commodity(16, 2).model(10_000, node(1e5), m));
         assert!(
             grouped.aggregate_s < flat.aggregate_s,
             "hierarchical {} vs flat {}",
@@ -555,7 +705,7 @@ mod tests {
         // max(wire, fold) ≤ wire + fold: the specialized pipeline cannot
         // be slower than sequential handling.
         let t = ClusterTiming::commodity(8, 2);
-        let it = t.iteration(10_000, node(1e5), 1_000_000);
+        let it = eval(t.model(10_000, node(1e5), 1_000_000));
         let topo = t.topology().expect("valid cluster");
         let wire1 = t.net.fan_in_ns(1_000_000, topo.max_group_fan_in()) as f64 / 1e9;
         let fold1 = topo.max_group_fan_in() as f64 * 1_000_000.0 / t.agg_bytes_per_sec;
@@ -576,14 +726,14 @@ mod tests {
     fn one_straggler_stretches_the_whole_round() {
         let t = ClusterTiming::commodity(16, 2);
         let n = node(1e5);
-        let clean = t.iteration(10_000, n, 100_000);
-        let dragged = t.iteration_with_stragglers(10_000, n, 100_000, 1, 3.0);
+        let clean = eval(t.model(10_000, n, 100_000));
+        let dragged = eval(t.model(10_000, n, 100_000).with_stragglers(1, 3.0));
         assert!((dragged.compute_s / clean.compute_s - 3.0).abs() < 1e-9);
         assert_eq!(dragged.aggregate_s, clean.aggregate_s);
         // Compute-bound workloads suffer the full factor; communication-
         // bound ones are partially shielded.
-        let heavy_comm = t.iteration_with_stragglers(10_000, n, 4_000_000, 1, 3.0);
-        let clean_comm = t.iteration(10_000, n, 4_000_000);
+        let heavy_comm = eval(t.model(10_000, n, 4_000_000).with_stragglers(1, 3.0));
+        let clean_comm = eval(t.model(10_000, n, 4_000_000));
         let slow_ratio = heavy_comm.total_s() / clean_comm.total_s();
         let fast_ratio = dragged.total_s() / clean.total_s();
         assert!(slow_ratio < fast_ratio, "{slow_ratio} vs {fast_ratio}");
@@ -592,23 +742,23 @@ mod tests {
     #[test]
     fn out_of_range_straggler_inputs_clamp() {
         let t = ClusterTiming::commodity(4, 1);
-        let clean = t.iteration(100, node(1e5), 100);
+        let clean = eval(t.model(100, node(1e5), 100));
         // A "straggler" faster than nominal clamps to nominal speed.
-        let sub_unit = t.iteration_with_stragglers(100, node(1e5), 100, 1, 0.5);
+        let sub_unit = eval(t.model(100, node(1e5), 100).with_stragglers(1, 0.5));
         assert_eq!(sub_unit, clean);
-        let nan = t.iteration_with_stragglers(100, node(1e5), 100, 1, f64::NAN);
+        let nan = eval(t.model(100, node(1e5), 100).with_stragglers(1, f64::NAN));
         assert_eq!(nan, clean);
         // More stragglers than nodes caps at the node count.
-        let capped = t.iteration_with_stragglers(100, node(1e5), 100, 99, 2.0);
-        assert_eq!(capped, t.iteration_with_stragglers(100, node(1e5), 100, 4, 2.0));
+        let capped = eval(t.model(100, node(1e5), 100).with_stragglers(99, 2.0));
+        assert_eq!(capped, eval(t.model(100, node(1e5), 100).with_stragglers(4, 2.0)));
     }
 
     #[test]
     fn fault_free_model_matches_plain_iteration() {
         let t = ClusterTiming::commodity(8, 2);
-        let clean = t.iteration(10_000, node(1e5), 1_000_000);
-        let faulty =
-            t.iteration_with_faults(10_000, node(1e5), 1_000_000, &FaultTimingModel::none());
+        let clean = eval(t.model(10_000, node(1e5), 1_000_000));
+        let faults = FaultTimingModel::none();
+        let faulty = eval(t.model(10_000, node(1e5), 1_000_000).with_faults(&faults));
         assert_eq!(clean, faulty);
     }
 
@@ -622,7 +772,7 @@ mod tests {
                 retry_backoff_s: 1e-4,
                 ..FaultTimingModel::none()
             };
-            let it = t.iteration_with_faults(10_000, node(1e5), 1_000_000, &m);
+            let it = eval(t.model(10_000, node(1e5), 1_000_000).with_faults(&m));
             assert!(it.recovery_s > last, "rate {rate}: {} !> {last}", it.recovery_s);
             last = it.recovery_s;
         }
@@ -636,18 +786,10 @@ mod tests {
             straggler_slowdown: 100.0,
             ..FaultTimingModel::none()
         };
-        let tight = t.iteration_with_faults(
-            10_000,
-            node(1e5),
-            1_000_000,
-            &FaultTimingModel { deadline_factor: 2.0, ..base },
-        );
-        let loose = t.iteration_with_faults(
-            10_000,
-            node(1e5),
-            1_000_000,
-            &FaultTimingModel { deadline_factor: 50.0, ..base },
-        );
+        let tight_faults = FaultTimingModel { deadline_factor: 2.0, ..base };
+        let loose_faults = FaultTimingModel { deadline_factor: 50.0, ..base };
+        let tight = eval(t.model(10_000, node(1e5), 1_000_000).with_faults(&tight_faults));
+        let loose = eval(t.model(10_000, node(1e5), 1_000_000).with_faults(&loose_faults));
         assert!(
             tight.recovery_s < loose.recovery_s,
             "a tighter deadline must bound the wait: {} vs {}",
@@ -664,11 +806,16 @@ mod tests {
             failover_penalty_s: 0.01,
             ..FaultTimingModel::none()
         };
-        let it = t.iteration_with_faults(10_000, node(1e5), 1_000_000, &m);
+        let it = eval(t.model(10_000, node(1e5), 1_000_000).with_faults(&m));
         assert!(it.recovery_s > 0.0);
-        let healthy =
-            t.throughput_records_per_sec(10_000, node(1e5), 1_000_000, &FaultTimingModel::none());
-        let degraded = t.throughput_records_per_sec(10_000, node(1e5), 1_000_000, &m);
+        let none = FaultTimingModel::none();
+        let healthy = t
+            .model(10_000, node(1e5), 1_000_000)
+            .with_faults(&none)
+            .throughput()
+            .expect("infallible");
+        let degraded =
+            t.model(10_000, node(1e5), 1_000_000).with_faults(&m).throughput().expect("infallible");
         assert!(degraded < healthy, "faults must cost throughput: {degraded} vs {healthy}");
     }
 
@@ -684,8 +831,8 @@ mod tests {
             ..FaultTimingModel::none()
         };
         let sink = TraceSink::new();
-        let it = t.iteration_traced(10_000, node(1e5), 1_000_000, &faults, &sink);
-        assert_eq!(it, t.iteration_with_faults(10_000, node(1e5), 1_000_000, &faults));
+        let it = eval(t.model(10_000, node(1e5), 1_000_000).with_faults(&faults).traced(&sink));
+        assert_eq!(it, eval(t.model(10_000, node(1e5), 1_000_000).with_faults(&faults)));
         assert!(sink.validate_tree().is_ok());
 
         let summary = TraceSummary::of(&sink);
@@ -707,10 +854,12 @@ mod tests {
     #[test]
     fn collective_pricing_matches_the_cost_model_round_sum() {
         let t = ClusterTiming::commodity(8, 2);
-        let plain = t.iteration(10_000, node(1e5), 1_000_000);
+        let plain = eval(t.model(10_000, node(1e5), 1_000_000));
         for kind in CollectiveKind::ALL {
             let it = t
-                .iteration_with_collective(10_000, node(1e5), 1_000_000, kind)
+                .model(10_000, node(1e5), 1_000_000)
+                .with_collective(kind)
+                .evaluate()
                 .expect("valid cluster");
             assert!(it.rounds > 0, "{kind}: a real schedule has rounds");
             assert_eq!(it.compute_s, plain.compute_s, "{kind}: compute is untouched");
@@ -732,23 +881,18 @@ mod tests {
             failover_penalty_s: 0.01,
             ..FaultTimingModel::none()
         };
+        let with_reschedule = FaultTimingModel { reschedule_penalty_s: 0.02, ..base };
         let without = t
-            .iteration_with_collective_and_faults(
-                10_000,
-                node(1e5),
-                1_000_000,
-                CollectiveKind::RingAllReduce,
-                &base,
-            )
+            .model(10_000, node(1e5), 1_000_000)
+            .with_collective(CollectiveKind::RingAllReduce)
+            .with_faults(&base)
+            .evaluate()
             .expect("valid");
         let with = t
-            .iteration_with_collective_and_faults(
-                10_000,
-                node(1e5),
-                1_000_000,
-                CollectiveKind::RingAllReduce,
-                &FaultTimingModel { reschedule_penalty_s: 0.02, ..base },
-            )
+            .model(10_000, node(1e5), 1_000_000)
+            .with_collective(CollectiveKind::RingAllReduce)
+            .with_faults(&with_reschedule)
+            .evaluate()
             .expect("valid");
         assert!(
             with.recovery_s > without.recovery_s,
@@ -756,31 +900,24 @@ mod tests {
             with.recovery_s,
             without.recovery_s
         );
-        // The legacy fault path prices the same rebuild penalty.
-        let legacy = t.iteration_with_faults(
-            10_000,
-            node(1e5),
-            1_000_000,
-            &FaultTimingModel { reschedule_penalty_s: 0.02, ..base },
-        );
-        assert!(legacy.recovery_s > base.failover_penalty_s * 0.0);
+        // The analytic fault path prices the same rebuild penalty.
+        let analytic = eval(t.model(10_000, node(1e5), 1_000_000).with_faults(&with_reschedule));
+        assert!(analytic.recovery_s > base.failover_penalty_s * 0.0);
     }
 
     #[test]
     fn collective_traced_iteration_books_rounds_and_levels() {
         use cosmic_telemetry::TraceSink;
         let t = ClusterTiming::commodity(8, 2);
+        let faults = FaultTimingModel::none();
         let run = || {
             let sink = TraceSink::new();
             let it = t
-                .iteration_with_collective_traced(
-                    10_000,
-                    node(1e5),
-                    1_000_000,
-                    CollectiveKind::TwoLevelTree,
-                    &FaultTimingModel::none(),
-                    &sink,
-                )
+                .model(10_000, node(1e5), 1_000_000)
+                .with_collective(CollectiveKind::TwoLevelTree)
+                .with_faults(&faults)
+                .traced(&sink)
+                .evaluate()
                 .expect("valid");
             (it, sink)
         };
@@ -788,14 +925,11 @@ mod tests {
         assert!(sink.validate_tree().is_ok());
         assert_eq!(
             it,
-            t.iteration_with_collective_and_faults(
-                10_000,
-                node(1e5),
-                1_000_000,
-                CollectiveKind::TwoLevelTree,
-                &FaultTimingModel::none(),
-            )
-            .expect("valid")
+            t.model(10_000, node(1e5), 1_000_000)
+                .with_collective(CollectiveKind::TwoLevelTree)
+                .with_faults(&faults)
+                .evaluate()
+                .expect("valid")
         );
 
         // One collective span per schedule round, nested in the phases.

@@ -18,23 +18,27 @@
 //! still-successful run. Fault timing is *virtual* — straggle factors
 //! and retry backoffs accumulate simulated cost measured against the
 //! deadline — so runs stay reproducible bit for bit from the plan alone.
-
-use crossbeam::channel;
-use std::thread;
+//!
+//! This module holds the trainer's *vocabulary*: the configuration, the
+//! fault report, and the outcome. The iteration loop itself lives in
+//! [`crate::engine`], decomposed into phase modules and driven by
+//! [`crate::engine::Engine`]; [`ClusterTrainer::train`] runs it under a
+//! [`crate::engine::NullObserver`] and
+//! [`ClusterTrainer::train_traced`] under a
+//! [`crate::engine::TraceObserver`].
 
 use cosmic_collectives::CollectiveKind;
 use cosmic_ml::data::Dataset;
-use cosmic_ml::sgd;
 use cosmic_ml::{Aggregation, Algorithm};
-use cosmic_sim::faults::{minority_nodes, FaultPlan};
-use cosmic_sim::level_counter;
-use cosmic_telemetry::{counters, names, Layer, TraceSink};
+use cosmic_sim::faults::FaultPlan;
+use cosmic_telemetry::TraceSink;
 
-use crate::checkpoint::{CheckpointConfig, CheckpointStore, ReplayOp};
-use crate::detector::{DetectorConfig, FailureDetector, SuspicionLevel};
+use crate::checkpoint::CheckpointConfig;
+use crate::detector::DetectorConfig;
+use crate::engine::{Engine, NullObserver, TraceObserver};
 use crate::error::RuntimeError;
-use crate::node::{chunk_vector, ChunkFault, SigmaAggregator, CHUNK_WORDS, DEFAULT_RING_CAPACITY};
-use crate::role::{assign_roles, Promotion, Topology, TopologyError};
+use crate::node::{ChunkFault, DEFAULT_RING_CAPACITY};
+use crate::role::{assign_roles, Promotion, Topology};
 
 /// How the runtime learns about node failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,10 +51,10 @@ pub enum MembershipMode {
     Oracle,
     /// Elastic membership: the runtime learns about failures only from
     /// missing heartbeats (per-iteration chunk arrivals) through the
-    /// φ-accrual [`FailureDetector`]. Silent nodes are suspected, then
-    /// expelled; an expelled node that delivers again (a healed
-    /// partition, a rejoined crash, a false declaration) is re-admitted
-    /// through the checkpoint/replay rejoin protocol.
+    /// φ-accrual [`crate::detector::FailureDetector`]. Silent nodes are
+    /// suspected, then expelled; an expelled node that delivers again (a
+    /// healed partition, a rejoined crash, a false declaration) is
+    /// re-admitted through the checkpoint/replay rejoin protocol.
     Detector,
 }
 
@@ -372,7 +376,8 @@ impl ClusterTrainer {
         dataset: &Dataset,
         initial_model: Vec<f64>,
     ) -> Result<TrainOutcome, RuntimeError> {
-        self.train_inner(alg, dataset, initial_model, None)
+        Engine::new(&self.config, alg, dataset, initial_model.len(), NullObserver)
+            .run(self.topology.clone(), initial_model)
     }
 
     /// [`ClusterTrainer::train`] that also records the run into `sink`:
@@ -390,1585 +395,7 @@ impl ClusterTrainer {
         initial_model: Vec<f64>,
         sink: &TraceSink,
     ) -> Result<TrainOutcome, RuntimeError> {
-        self.train_inner(alg, dataset, initial_model, Some(sink))
-    }
-
-    fn train_inner(
-        &self,
-        alg: &Algorithm,
-        dataset: &Dataset,
-        initial_model: Vec<f64>,
-        sink: Option<&TraceSink>,
-    ) -> Result<TrainOutcome, RuntimeError> {
-        let cfg = &self.config;
-        let plan = &cfg.faults;
-        let model_len = initial_model.len();
-        let workers = cfg.nodes * cfg.threads_per_node;
-        let per_worker = cfg.minibatch.div_ceil(workers);
-        let chunks = model_len.div_ceil(CHUNK_WORDS).max(1);
-
-        // Partition: dataset -> node partitions -> thread sub-partitions
-        // (paper Figure 1's D_i and D_ij).
-        let node_parts = dataset.partition(cfg.nodes);
-        let thread_parts: Vec<Vec<Dataset>> =
-            node_parts.iter().map(|p| p.partition(cfg.threads_per_node)).collect();
-
-        let sigma = SigmaAggregator::with_ring_capacity(4, 4, cfg.ring_capacity);
-        let mut model = initial_model;
-        let mut history = Vec::with_capacity(cfg.epochs + 1);
-        let mut iterations = 0;
-        let mut iter_idx = 0; // global aggregation-step index, for fault keying
-
-        // The run's working topology: failures repair this copy, and
-        // its membership epoch drives collective-schedule rebuilds on
-        // both leave and join.
-        let mut topology = self.topology.clone();
-        let mut schedule_cache: Option<ScheduleCache> = None;
-        // Physical liveness per the plan (is the node's hardware up?)
-        // versus runtime membership (does the topology include it?). In
-        // oracle mode the two move together; in detector mode
-        // membership lags physical truth by detection and rejoin
-        // latency, and the two views disagreeing is exactly what the
-        // elastic-membership machinery manages.
-        let mut up = vec![true; cfg.nodes];
-        let mut member = vec![true; cfg.nodes];
-        let mut suspected = vec![false; cfg.nodes];
-        let mut expelled_while_up = vec![false; cfg.nodes];
-        let oracle = matches!(cfg.membership, MembershipMode::Oracle);
-        let mut detector = FailureDetector::new(cfg.nodes, cfg.detector);
-        let mut store = CheckpointStore::new(cfg.checkpoint, &model);
-        // Arrivals from expelled nodes observed this round, pending
-        // re-admission at the end of the iteration.
-        let mut rejoiners: Vec<(usize, f64)> = Vec::new();
-        // The local virtual clock. Mirrors the sink's time when
-        // tracing, but is kept independently so detector verdicts are
-        // identical whether or not a trace is attached.
-        let mut vclock = 0.0f64;
-        let mut report = FaultReport::default();
-
-        let steps =
-            thread_parts.iter().flatten().map(Dataset::len).max().unwrap_or(0).div_ceil(per_worker);
-
-        // Root span for the whole run; the planned fault schedule is
-        // recorded first so the trace shows intent alongside effect.
-        let _root = sink.map(|s| {
-            plan.record_into(s);
-            let g = s.span(Layer::Exec, "train");
-            g.arg("nodes", &cfg.nodes.to_string());
-            g.arg("groups", &cfg.groups.to_string());
-            g.arg("minibatch", &cfg.minibatch.to_string());
-            g
-        });
-
-        for _ in 0..cfg.epochs {
-            history.push(sgd::mean_loss(alg, dataset, &model));
-            for step in 0..steps {
-                let _iter_span = sink.map(|s| {
-                    let g = s.span(Layer::Exec, names::ITERATION);
-                    g.arg("iter", &iter_idx.to_string());
-                    g
-                });
-                let t0 = sink.map_or(0.0, TraceSink::now);
-
-                // Phase 0: membership maintenance. The *physical* fate
-                // of every node comes from the plan in both modes —
-                // crash windows open and close, partitions quiesce and
-                // heal. What differs is how the runtime learns about
-                // it: the oracle expels and re-admits instantly; the
-                // detector only ever reacts to heartbeats.
-                for (mask, heal) in plan.partitions_starting_at(iter_idx) {
-                    let minority = minority_nodes(mask);
-                    if let Some(s) = sink {
-                        let idx = s.instant(Layer::Membership, "partition_start");
-                        s.set_arg(idx, "minority", &format!("{minority:?}"));
-                        s.set_arg(idx, "heal", &heal.to_string());
-                        s.set_arg(idx, "iter", &iter_idx.to_string());
-                    }
-                    report.partitions.push(PartitionOutage { start: iter_idx, heal, minority });
-                }
-                let healing = report.partitions.iter().filter(|p| p.heal == iter_idx).count();
-                if let Some(s) = sink {
-                    for _ in 0..healing {
-                        let idx = s.instant(Layer::Membership, "partition_heal");
-                        s.set_arg(idx, "iter", &iter_idx.to_string());
-                        s.add(counters::MEMBERSHIP_PARTITION_HEALS, 1.0);
-                    }
-                }
-                for node in 0..cfg.nodes {
-                    // A rejoin event closes the down window unless a
-                    // fresh crash re-opens it at the same iteration.
-                    if !up[node]
-                        && plan.rejoined_at(node, iter_idx)
-                        && !plan.crashed(node, iter_idx)
-                    {
-                        up[node] = true;
-                        if oracle && !member[node] {
-                            readmit(
-                                node,
-                                iter_idx,
-                                &mut topology,
-                                &mut member,
-                                &store,
-                                &model,
-                                &mut report,
-                                sink,
-                            )?;
-                        }
-                    }
-                    if up[node] && plan.crashed(node, iter_idx) {
-                        up[node] = false;
-                        report.crashes.push((iter_idx, node));
-                        if let Some(s) = sink {
-                            let idx = s.instant(Layer::Failover, "crash");
-                            s.set_arg(idx, "node", &node.to_string());
-                            s.set_arg(idx, "iter", &iter_idx.to_string());
-                            s.add(counters::FAULTS_CRASHES, 1.0);
-                        }
-                        if oracle && member[node] {
-                            kill_node(
-                                node,
-                                iter_idx,
-                                &mut topology,
-                                &mut member,
-                                &mut report,
-                                sink,
-                            )?;
-                        }
-                    }
-                }
-
-                // Detector sweep: suspicion is evaluated on the virtual
-                // clock at the top of the round, over the heartbeats of
-                // every previous round.
-                if !oracle {
-                    for node in 0..cfg.nodes {
-                        if !member[node] {
-                            continue;
-                        }
-                        match detector.level(node, vclock) {
-                            SuspicionLevel::Healthy => {}
-                            SuspicionLevel::Suspected => {
-                                if !suspected[node] {
-                                    suspected[node] = true;
-                                    let phi = detector.phi(node, vclock);
-                                    report.suspicions.push(Suspicion {
-                                        iteration: iter_idx,
-                                        node,
-                                        phi,
-                                    });
-                                    if let Some(s) = sink {
-                                        let idx = s.instant(Layer::Membership, "suspicion");
-                                        s.set_arg(idx, "node", &node.to_string());
-                                        s.set_arg(idx, "iter", &iter_idx.to_string());
-                                        s.set_arg(idx, "phi", &format!("{phi:.3}"));
-                                        s.add(counters::MEMBERSHIP_SUSPICIONS, 1.0);
-                                    }
-                                }
-                            }
-                            SuspicionLevel::Failed => {
-                                suspected[node] = false;
-                                expelled_while_up[node] =
-                                    up[node] && !plan.quiesced(node, iter_idx);
-                                if let Some(s) = sink {
-                                    let phi = detector.phi(node, vclock);
-                                    let idx = s.instant(Layer::Membership, "declare_failed");
-                                    s.set_arg(idx, "node", &node.to_string());
-                                    s.set_arg(idx, "iter", &iter_idx.to_string());
-                                    s.set_arg(idx, "phi", &format!("{phi:.3}"));
-                                }
-                                kill_node(
-                                    node,
-                                    iter_idx,
-                                    &mut topology,
-                                    &mut member,
-                                    &mut report,
-                                    sink,
-                                )?;
-                            }
-                        }
-                    }
-                }
-
-                // Phase 1: every physically-up, unpartitioned node
-                // computes its partial in parallel; within a node,
-                // every accelerator thread in parallel. In detector
-                // mode this includes nodes the runtime has expelled —
-                // they don't know they're out, and their traffic is
-                // what triggers re-admission.
-                let mut partials: Vec<Option<(Vec<f64>, usize)>> = thread::scope(|s| {
-                    let handles: Vec<Option<_>> = thread_parts
-                        .iter()
-                        .enumerate()
-                        .map(|(node, subs)| {
-                            if !up[node] || plan.quiesced(node, iter_idx) {
-                                return None;
-                            }
-                            let model = &model;
-                            Some(s.spawn(move || {
-                                node_partial(alg, subs, model, step, per_worker, cfg)
-                            }))
-                        })
-                        .collect();
-                    // A panicked node thread yields None, handled below
-                    // as that node's infrastructure failure.
-                    handles.into_iter().map(|h| h.and_then(|h| h.join().ok().flatten())).collect()
-                });
-                for node in 0..cfg.nodes {
-                    let computing = up[node] && !plan.quiesced(node, iter_idx);
-                    if computing && partials[node].is_none() {
-                        // The pool sees the panic locally — no
-                        // detection latency in either mode.
-                        up[node] = false;
-                        if member[node] {
-                            report.exclusions.push(Exclusion {
-                                iteration: iter_idx,
-                                node,
-                                reason: ExclusionReason::ThreadPanic,
-                            });
-                            record_exclusion(sink, node, iter_idx);
-                            kill_node(
-                                node,
-                                iter_idx,
-                                &mut topology,
-                                &mut member,
-                                &mut report,
-                                sink,
-                            )?;
-                        }
-                    }
-                }
-
-                // Phase 2: deadline admission in virtual time. A node's
-                // completion time is its straggle factor plus the
-                // backoff delays spent retransmitting dropped chunks;
-                // past the deadline it is excluded and the update will
-                // be rescaled over the survivors.
-                let mut contributions: Vec<Option<(Vec<f64>, usize)>> =
-                    (0..cfg.nodes).map(|_| None).collect();
-                // The barrier's virtual wait: the slowest node's virtual
-                // completion time, capped at the deadline (past it the
-                // node is excluded, not waited for). Nominal is 1.
-                let mut round_cost = 1.0f64;
-                for node in 0..cfg.nodes {
-                    if !up[node] || plan.quiesced(node, iter_idx) {
-                        continue;
-                    }
-                    let has_records = matches!(&partials[node], Some((_, n)) if *n > 0);
-                    if !has_records {
-                        continue;
-                    }
-                    let adm = admit(plan, &cfg.retry, cfg.deadline_factor, node, iter_idx, chunks);
-                    if member[node] {
-                        // Only members hold up the barrier or count in
-                        // the round's retry traffic; an expelled node's
-                        // stream is background noise until it rejoins.
-                        report.chunk_retries += adm.retries;
-                        round_cost = round_cost.max(adm.cost.min(cfg.deadline_factor));
-                        if adm.retries > 0 {
-                            if let Some(s) = sink {
-                                let idx =
-                                    s.span_closed(Layer::Retry, "retransmit", t0, adm.backoff);
-                                s.set_arg(idx, "node", &node.to_string());
-                                s.set_arg(idx, "retries", &adm.retries.to_string());
-                                s.add(counters::CHUNKS_RETRIED, adm.retries as f64);
-                            }
-                        }
-                    }
-                    // Every arrival is a heartbeat — even one past the
-                    // deadline (late is not lost). Only an undeliverable
-                    // stream never registers.
-                    if !oracle && !matches!(adm.reason, Some(ExclusionReason::Undeliverable)) {
-                        let at = vclock + adm.cost;
-                        detector.observe(node, at);
-                        if member[node] && suspected[node] {
-                            suspected[node] = false;
-                            report.false_suspicions += 1;
-                            report.reinstatements.push((iter_idx, node));
-                            if let Some(s) = sink {
-                                let idx = s.instant(Layer::Membership, "reinstatement");
-                                s.set_arg(idx, "node", &node.to_string());
-                                s.set_arg(idx, "iter", &iter_idx.to_string());
-                                s.add(counters::MEMBERSHIP_REINSTATEMENTS, 1.0);
-                                s.add(counters::MEMBERSHIP_FALSE_SUSPICIONS, 1.0);
-                            }
-                        } else if !member[node] {
-                            rejoiners.push((node, at));
-                        }
-                    }
-                    if !member[node] {
-                        continue;
-                    }
-                    match adm.reason {
-                        None => contributions[node] = partials[node].take(),
-                        Some(reason) => {
-                            report.exclusions.push(Exclusion { iteration: iter_idx, node, reason });
-                            record_exclusion(sink, node, iter_idx);
-                        }
-                    }
-                }
-                if let Some(s) = sink {
-                    s.span_closed(Layer::Exec, names::COMPUTE, t0, round_cost);
-                }
-
-                // Phase 3: collective aggregation. The admitted members
-                // stream chunked partials over channels ("sockets") into
-                // the Sigma pipeline, with injected corruption and
-                // duplication applied on the wire; quarantined peers are
-                // withheld from the fold and from the contributor count.
-                // The configured collective strategy supplies the
-                // round's [`cosmic_collectives::CommSchedule`] — rebuilt
-                // whenever the topology epoch or the admitted set
-                // changes — which decides the wire pattern the trace
-                // books per link level. The arithmetic is the canonical
-                // ascending fold the schedule validates (peers in
-                // `senders` order), so every strategy trains
-                // bit-identically.
-                let senders: Vec<usize> =
-                    (0..cfg.nodes).filter(|&n| contributions[n].is_some()).collect();
-                if senders.is_empty() {
-                    process_rejoins(
-                        &mut rejoiners,
-                        iter_idx,
-                        &mut topology,
-                        &mut member,
-                        &mut expelled_while_up,
-                        &mut detector,
-                        &store,
-                        &model,
-                        &mut report,
-                        sink,
-                    )?;
-                    if let Some(s) = sink {
-                        s.advance(round_cost);
-                    }
-                    vclock += round_cost;
-                    iter_idx += 1;
-                    continue;
-                }
-                let stale = schedule_cache
-                    .as_ref()
-                    .is_none_or(|c| c.epoch != topology.epoch() || c.participants != senders);
-                if stale {
-                    let schedule = cfg.collective.strategy().schedule(
-                        &topology,
-                        &senders,
-                        model_len,
-                        CHUNK_WORDS,
-                    )?;
-                    schedule.validate()?;
-                    if let Some(s) = sink {
-                        let idx = s.instant(Layer::Aggregate, "collective_rebuild");
-                        s.set_arg(idx, "strategy", cfg.collective.label());
-                        s.set_arg(idx, "participants", &senders.len().to_string());
-                        s.add(counters::COLLECTIVE_REBUILDS, 1.0);
-                    }
-                    schedule_cache = Some(ScheduleCache {
-                        epoch: topology.epoch(),
-                        participants: senders.clone(),
-                        levels: schedule.bytes_by_level(),
-                        rounds: schedule.rounds(),
-                    });
-                }
-
-                let outcome = thread::scope(|s| {
-                    let mut receivers = Vec::new();
-                    for &member in &senders {
-                        let (tx, rx) = channel::bounded(8);
-                        receivers.push(rx);
-                        let contributions = &contributions;
-                        s.spawn(move || {
-                            let Some((part, _)) = &contributions[member] else {
-                                return;
-                            };
-                            for (ci, chunk) in chunk_vector(part).into_iter().enumerate() {
-                                let chunk = if plan.chunk_corrupted(member, iter_idx, ci) {
-                                    chunk.corrupted()
-                                } else {
-                                    chunk
-                                };
-                                let duplicate = plan
-                                    .chunk_duplicated(member, iter_idx, ci)
-                                    .then(|| chunk.clone());
-                                if tx.send(chunk).is_err() {
-                                    break;
-                                }
-                                if let Some(dup) = duplicate {
-                                    if tx.send(dup).is_err() {
-                                        break;
-                                    }
-                                }
-                            }
-                        });
-                    }
-                    sigma.aggregate_validated(model_len, receivers)
-                });
-                report.duplicates_dropped += outcome.duplicates_dropped;
-                if let Some(s) = sink {
-                    if let Some(cache) = &schedule_cache {
-                        for round in 0..cache.rounds {
-                            let idx = s.instant(Layer::Aggregate, names::COLLECTIVE);
-                            s.set_arg(idx, "round", &round.to_string());
-                            s.set_arg(idx, "strategy", cfg.collective.label());
-                        }
-                        for (level, bytes) in cache.levels.into_iter().enumerate() {
-                            if bytes > 0 {
-                                s.add(level_counter(level), bytes as f64);
-                            }
-                        }
-                    }
-                    s.add(counters::CHUNKS_SENT, (senders.len() * chunks) as f64);
-                    s.add(counters::CHUNKS_QUARANTINED, outcome.quarantined.len() as f64);
-                    s.add(counters::CHUNKS_DUPLICATED, outcome.duplicates_dropped as f64);
-                    s.record_max_diagnostic(
-                        counters::RING_HIGH_WATER,
-                        outcome.ring_high_water as f64,
-                    );
-                }
-                let mut rejected = vec![false; senders.len()];
-                for &(peer, fault) in &outcome.quarantined {
-                    rejected[peer] = true;
-                    report.quarantines.push(Quarantine {
-                        iteration: iter_idx,
-                        node: senders[peer],
-                        fault,
-                    });
-                }
-
-                // `active_total` is the single source of truth for the
-                // rescaling denominator: contributors that survived
-                // admission *and* Sigma validation.
-                let active_total: usize = senders
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| !rejected[i])
-                    .filter_map(|(_, &m)| contributions[m].as_ref().map(|(_, n)| *n))
-                    .sum();
-                if active_total == 0 {
-                    process_rejoins(
-                        &mut rejoiners,
-                        iter_idx,
-                        &mut topology,
-                        &mut member,
-                        &mut expelled_while_up,
-                        &mut detector,
-                        &store,
-                        &model,
-                        &mut report,
-                        sink,
-                    )?;
-                    if let Some(s) = sink {
-                        s.advance(round_cost);
-                    }
-                    vclock += round_cost;
-                    iter_idx += 1;
-                    continue;
-                }
-                let total = outcome.sum;
-
-                match cfg.aggregation {
-                    Aggregation::Average => {
-                        // Partials are worker models; averaging over the
-                        // surviving contributors yields the
-                        // parallelized-SGD update (Eq. 3b).
-                        for (m, s) in model.iter_mut().zip(&total) {
-                            *m = s / active_total as f64;
-                        }
-                        store.record_update(ReplayOp::Average {
-                            sum: total,
-                            active_total: active_total as f64,
-                        });
-                    }
-                    Aggregation::Sum => {
-                        // Partials are gradient sums over the records the
-                        // survivors actually processed.
-                        let scale = cfg.learning_rate / active_total as f64;
-                        for (m, g) in model.iter_mut().zip(&total) {
-                            *m -= scale * g;
-                        }
-                        store.record_update(ReplayOp::Step { grad: total, scale });
-                    }
-                }
-                iterations += 1;
-                if store.maybe_checkpoint(iter_idx + 1, &model) {
-                    report.checkpoints += 1;
-                    if let Some(s) = sink {
-                        let idx = s.instant(Layer::Membership, "checkpoint");
-                        s.set_arg(idx, "iter", &iter_idx.to_string());
-                        s.set_arg(idx, "words", &model.len().to_string());
-                        s.add(counters::MEMBERSHIP_CHECKPOINTS, 1.0);
-                    }
-                }
-                process_rejoins(
-                    &mut rejoiners,
-                    iter_idx,
-                    &mut topology,
-                    &mut member,
-                    &mut expelled_while_up,
-                    &mut detector,
-                    &store,
-                    &model,
-                    &mut report,
-                    sink,
-                )?;
-                if let Some(s) = sink {
-                    s.add(counters::TRAINER_ITERATIONS, 1.0);
-                    s.advance(round_cost);
-                }
-                vclock += round_cost;
-                iter_idx += 1;
-            }
-        }
-        history.push(sgd::mean_loss(alg, dataset, &model));
-        if let Some(s) = sink {
-            s.add(counters::POOL_JOBS, sigma.jobs_submitted() as f64);
-        }
-        Ok(TrainOutcome {
-            model,
-            loss_history: history,
-            iterations,
-            faults: report,
-            final_topology: topology,
-        })
-    }
-}
-
-/// The cost summary of the collective schedule currently in force,
-/// keyed by the topology epoch and the admitted participant set it was
-/// built over.
-struct ScheduleCache {
-    epoch: u64,
-    participants: Vec<usize>,
-    levels: [usize; 5],
-    rounds: usize,
-}
-
-/// Expels `node` from membership and repairs the aggregation
-/// hierarchy, recording any re-election. The repair bumps the
-/// topology's membership epoch, so the collective schedule is rebuilt
-/// over the survivors. Errors when the failure is unrecoverable.
-fn kill_node(
-    node: usize,
-    iteration: usize,
-    topology: &mut Topology,
-    member: &mut [bool],
-    report: &mut FaultReport,
-    sink: Option<&TraceSink>,
-) -> Result<(), RuntimeError> {
-    member[node] = false;
-    if !member.iter().any(|&a| a) {
-        return Err(RuntimeError::AllNodesFailed { iteration });
-    }
-    match topology.fail_node(node) {
-        Ok(Some(promotion)) => {
-            if let Some(s) = sink {
-                let idx = s.instant(Layer::Failover, "reelection");
-                s.set_arg(idx, "failed", &promotion.failed.to_string());
-                s.set_arg(idx, "elected", &promotion.elected.to_string());
-                s.set_arg(idx, "master", &promotion.was_master.to_string());
-                s.add(counters::FAILOVER_REELECTIONS, 1.0);
-            }
-            report.reelections.push((iteration, promotion));
-            Ok(())
-        }
-        Ok(None) => Ok(()),
-        Err(TopologyError::NoMaster) => Err(RuntimeError::NoSurvivingAggregator { iteration }),
-        Err(other) => Err(other.into()),
-    }
-}
-
-/// Whether two models are equal bit for bit (the elastic-membership
-/// correctness bar: `==` would conflate `0.0` with `-0.0` and choke on
-/// NaN).
-fn model_bits_equal(a: &[f64], b: &[f64]) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
-}
-
-/// Re-admits `node` through the rejoin protocol: attach it to the
-/// repaired topology (bumping the membership epoch, so the collective
-/// schedule rebuilds on join), reconstruct the current model from the
-/// latest checkpoint plus replayed aggregated deltas, and record the
-/// catch-up accounting — including whether the reconstruction matched
-/// the survivors' model bit for bit.
-#[allow(clippy::too_many_arguments)]
-fn readmit(
-    node: usize,
-    iteration: usize,
-    topology: &mut Topology,
-    member: &mut [bool],
-    store: &CheckpointStore,
-    model: &[f64],
-    report: &mut FaultReport,
-    sink: Option<&TraceSink>,
-) -> Result<(), RuntimeError> {
-    topology.rejoin_node(node)?;
-    member[node] = true;
-    let caught = store.catch_up()?;
-    let matched = model_bits_equal(&caught.model, model);
-    if let Some(s) = sink {
-        let idx = s.instant(Layer::Membership, "rejoin");
-        s.set_arg(idx, "node", &node.to_string());
-        s.set_arg(idx, "iter", &iteration.to_string());
-        s.set_arg(idx, "base", &caught.base_iteration.to_string());
-        s.set_arg(idx, "replayed", &caught.replayed.to_string());
-        s.set_arg(idx, "bytes", &caught.bytes.to_string());
-        s.set_arg(idx, "matched", &matched.to_string());
-        s.add(counters::MEMBERSHIP_REJOINS, 1.0);
-        s.add(counters::MEMBERSHIP_CATCHUP_BYTES, caught.bytes as f64);
-    }
-    report.rejoins.push(RejoinEvent {
-        iteration,
-        node,
-        base_iteration: caught.base_iteration,
-        replayed: caught.replayed,
-        bytes: caught.bytes,
-        matched,
-    });
-    Ok(())
-}
-
-/// Detector-mode re-admission: every expelled node whose heartbeat was
-/// observed this round rejoins at the end of the iteration (so it
-/// participates from the next round on, with a caught-up model). An
-/// expulsion that turns out to have been wrong — the node was up the
-/// whole time — is additionally booked as a false suspicion.
-#[allow(clippy::too_many_arguments)]
-fn process_rejoins(
-    rejoiners: &mut Vec<(usize, f64)>,
-    iteration: usize,
-    topology: &mut Topology,
-    member: &mut [bool],
-    expelled_while_up: &mut [bool],
-    detector: &mut FailureDetector,
-    store: &CheckpointStore,
-    model: &[f64],
-    report: &mut FaultReport,
-    sink: Option<&TraceSink>,
-) -> Result<(), RuntimeError> {
-    for (node, at) in rejoiners.drain(..) {
-        if member[node] {
-            continue;
-        }
-        detector.reset(node, at);
-        if expelled_while_up[node] {
-            expelled_while_up[node] = false;
-            report.false_suspicions += 1;
-            if let Some(s) = sink {
-                s.add(counters::MEMBERSHIP_FALSE_SUSPICIONS, 1.0);
-            }
-        }
-        readmit(node, iteration, topology, member, store, model, report, sink)?;
-    }
-    Ok(())
-}
-
-/// Records one node exclusion as a zero-duration span plus counter.
-fn record_exclusion(sink: Option<&TraceSink>, node: usize, iteration: usize) {
-    if let Some(s) = sink {
-        let idx = s.instant(Layer::Exec, "exclusion");
-        s.set_arg(idx, "node", &node.to_string());
-        s.set_arg(idx, "iter", &iteration.to_string());
-        s.add(counters::TRAINER_EXCLUSIONS, 1.0);
-    }
-}
-
-/// The outcome of deadline admission for one node.
-struct Admission {
-    /// `None` when the node made the deadline and contributes.
-    reason: Option<ExclusionReason>,
-    /// Retransmissions spent recovering dropped chunks.
-    retries: usize,
-    /// Total backoff delay spent on those retransmissions, in
-    /// nominal-iteration units.
-    backoff: f64,
-    /// The node's virtual completion time: straggle factor + backoff.
-    cost: f64,
-}
-
-/// Deadline admission for one node, in virtual time.
-fn admit(
-    plan: &FaultPlan,
-    retry: &RetryPolicy,
-    deadline_factor: f64,
-    node: usize,
-    iteration: usize,
-    chunks: usize,
-) -> Admission {
-    let mut retries = 0;
-    let mut backoff = 0.0;
-    let mut undeliverable = false;
-    if plan.has_chunk_faults(node, iteration) {
-        for chunk in 0..chunks {
-            let drops = plan.chunk_drops(node, iteration, chunk);
-            if drops == 0 {
-                continue;
-            }
-            if drops > retry.max_retries {
-                undeliverable = true;
-            }
-            let attempts = drops.min(retry.max_retries);
-            for attempt in 0..attempts {
-                backoff += retry.delay(attempt);
-            }
-            retries += attempts as usize;
-        }
-    }
-    let cost = plan.straggle_factor(node, iteration) + backoff;
-    let reason = if undeliverable {
-        Some(ExclusionReason::Undeliverable)
-    } else if cost > deadline_factor {
-        Some(ExclusionReason::DeadlineExceeded { virtual_cost: cost })
-    } else {
-        None
-    };
-    Admission { reason, retries, backoff, cost }
-}
-
-/// A worker thread's result: the outer `Option` is `None` when the
-/// thread panicked; the inner one is `None` when it had no records for
-/// this step.
-type ThreadResult = Option<Option<(Vec<f64>, usize)>>;
-
-/// One node's iteration: run every accelerator thread over its share of
-/// the mini-batch, then aggregate locally on chip. Returns the node
-/// partial and how many worker threads contributed, or `None` if a
-/// worker thread panicked (the node counts as failed).
-fn node_partial(
-    alg: &Algorithm,
-    subs: &[Dataset],
-    model: &[f64],
-    step: usize,
-    per_worker: usize,
-    cfg: &ClusterConfig,
-) -> Option<(Vec<f64>, usize)> {
-    let thread_results: Vec<ThreadResult> = thread::scope(|s| {
-        let handles: Vec<_> = subs
-            .iter()
-            .map(|sub| {
-                s.spawn(move || {
-                    let lo = (step * per_worker).min(sub.len());
-                    let hi = ((step + 1) * per_worker).min(sub.len());
-                    if lo == hi {
-                        return None;
-                    }
-                    let records = &sub.records()[lo..hi];
-                    let partial = match cfg.aggregation {
-                        Aggregation::Average => {
-                            let mut local = model.to_vec();
-                            for r in records {
-                                alg.sgd_update(r, &mut local, cfg.learning_rate);
-                            }
-                            local
-                        }
-                        Aggregation::Sum => {
-                            let mut grad = vec![0.0; model.len()];
-                            for r in records {
-                                alg.accumulate_gradient(r, model, &mut grad);
-                            }
-                            grad
-                        }
-                    };
-                    Some((partial, records.len()))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().ok()).collect()
-    });
-
-    // Local (on-chip) aggregation across the node's worker threads. The
-    // weight is what the final operator divides by: contributing threads
-    // for model averaging, records for a batched-gradient sum. A
-    // panicked worker fails the whole node.
-    let mut sum = vec![0.0; model.len()];
-    let mut weight = 0;
-    for result in thread_results {
-        let Some((partial, records)) = result? else {
-            continue;
-        };
-        for (s, v) in sum.iter_mut().zip(&partial) {
-            *s += v;
-        }
-        weight += match cfg.aggregation {
-            Aggregation::Average => 1,
-            Aggregation::Sum => records,
-        };
-    }
-    Some((sum, weight))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use cosmic_ml::data;
-    use cosmic_ml::sgd::{train_parallel, TrainConfig};
-
-    fn trainer(config: ClusterConfig) -> ClusterTrainer {
-        ClusterTrainer::new(config).expect("valid test configuration")
-    }
-
-    #[test]
-    fn converges_on_every_algorithm_family() {
-        let algs = [
-            Algorithm::LinearRegression { features: 8 },
-            Algorithm::LogisticRegression { features: 8 },
-            Algorithm::Svm { features: 8 },
-            Algorithm::Backprop { inputs: 5, hidden: 4, outputs: 2 },
-            Algorithm::CollabFilter { users: 10, items: 10, factors: 3 },
-        ];
-        for alg in algs {
-            let ds = data::generate(&alg, 480, 33);
-            let t = trainer(ClusterConfig {
-                nodes: 4,
-                groups: 2,
-                threads_per_node: 2,
-                minibatch: 96,
-                learning_rate: 0.2,
-                epochs: 4,
-                aggregation: Aggregation::Average,
-                ..ClusterConfig::default()
-            });
-            let out = t.train(&alg, &ds, data::init_model(&alg, 5)).expect("healthy run");
-            let first = out.loss_history[0];
-            let last = *out.loss_history.last().unwrap();
-            assert!(last < first, "{alg}: {first} -> {last}");
-            assert!(out.iterations > 0);
-            assert!(out.faults.is_clean(), "healthy run must report no faults");
-            assert_eq!(&out.final_topology, t.topology());
-        }
-    }
-
-    #[test]
-    fn matches_reference_parallel_sgd_exactly() {
-        // Even shard sizes ⇒ the cluster trainer must reproduce the
-        // single-process reference bit for bit.
-        let alg = Algorithm::Svm { features: 6 };
-        let ds = data::generate(&alg, 384, 7); // 384 = 8 workers * 48
-        let init = data::init_model(&alg, 2);
-
-        let t = trainer(ClusterConfig {
-            nodes: 4,
-            groups: 2,
-            threads_per_node: 2,
-            minibatch: 64,
-            learning_rate: 0.1,
-            epochs: 2,
-            aggregation: Aggregation::Average,
-            ..ClusterConfig::default()
-        });
-        let cluster = t.train(&alg, &ds, init.clone()).expect("healthy run");
-
-        let reference = train_parallel(
-            &alg,
-            &ds,
-            init,
-            &TrainConfig {
-                learning_rate: 0.1,
-                epochs: 2,
-                minibatch: 64,
-                workers: 8,
-                aggregation: Aggregation::Average,
-            },
-        );
-        assert_eq!(cluster.iterations, reference.aggregations);
-        for (a, b) in cluster.model.iter().zip(&reference.model) {
-            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
-        }
-    }
-
-    #[test]
-    fn sum_aggregation_matches_reference() {
-        let alg = Algorithm::LinearRegression { features: 4 };
-        let ds = data::generate(&alg, 128, 9);
-        let init = data::init_model(&alg, 3);
-        let t = trainer(ClusterConfig {
-            nodes: 2,
-            groups: 1,
-            threads_per_node: 2,
-            minibatch: 32,
-            learning_rate: 0.05,
-            epochs: 1,
-            aggregation: Aggregation::Sum,
-            ..ClusterConfig::default()
-        });
-        let cluster = t.train(&alg, &ds, init.clone()).expect("healthy run");
-        let reference = train_parallel(
-            &alg,
-            &ds,
-            init,
-            &TrainConfig {
-                learning_rate: 0.05,
-                epochs: 1,
-                minibatch: 32,
-                workers: 4,
-                aggregation: Aggregation::Sum,
-            },
-        );
-        for (a, b) in cluster.model.iter().zip(&reference.model) {
-            assert!((a - b).abs() < 1e-9);
-        }
-    }
-
-    #[test]
-    fn topology_is_exposed() {
-        let t = trainer(ClusterConfig { nodes: 8, groups: 2, ..ClusterConfig::default() });
-        assert_eq!(t.topology().nodes(), 8);
-        assert_eq!(t.topology().sigmas().len(), 2);
-    }
-
-    #[test]
-    fn single_node_single_thread_works() {
-        let alg = Algorithm::LogisticRegression { features: 4 };
-        let ds = data::generate(&alg, 64, 4);
-        let t = trainer(ClusterConfig {
-            nodes: 1,
-            groups: 1,
-            threads_per_node: 1,
-            minibatch: 16,
-            learning_rate: 0.3,
-            epochs: 3,
-            aggregation: Aggregation::Average,
-            ..ClusterConfig::default()
-        });
-        let out = t.train(&alg, &ds, alg.zero_model()).expect("healthy run");
-        assert!(out.loss_history.last().unwrap() < &out.loss_history[0]);
-    }
-
-    #[test]
-    fn degenerate_configurations_are_errors() {
-        let bad = [
-            ClusterConfig { threads_per_node: 0, ..ClusterConfig::default() },
-            ClusterConfig { minibatch: 0, ..ClusterConfig::default() },
-            ClusterConfig { deadline_factor: 0.5, ..ClusterConfig::default() },
-            ClusterConfig { deadline_factor: f64::NAN, ..ClusterConfig::default() },
-            ClusterConfig {
-                retry: RetryPolicy { backoff_base: -1.0, ..RetryPolicy::default() },
-                ..ClusterConfig::default()
-            },
-            ClusterConfig { ring_capacity: 0, ..ClusterConfig::default() },
-        ];
-        for config in bad {
-            assert!(matches!(
-                ClusterTrainer::new(config.clone()),
-                Err(RuntimeError::InvalidConfig(_))
-            ));
-        }
-        assert_eq!(
-            ClusterTrainer::new(ClusterConfig { nodes: 2, groups: 3, ..ClusterConfig::default() })
-                .err(),
-            Some(RuntimeError::InvalidTopology { nodes: 2, groups: 3 })
-        );
-    }
-
-    #[test]
-    fn empty_fault_plan_is_bit_identical_to_healthy_run() {
-        let alg = Algorithm::LinearRegression { features: 6 };
-        let ds = data::generate(&alg, 256, 12);
-        let init = data::init_model(&alg, 1);
-        let config = ClusterConfig {
-            nodes: 4,
-            groups: 2,
-            minibatch: 64,
-            epochs: 2,
-            ..ClusterConfig::default()
-        };
-        let a = trainer(config.clone()).train(&alg, &ds, init.clone()).expect("run a");
-        let b = trainer(config).train(&alg, &ds, init).expect("run b");
-        assert_eq!(a, b, "the healthy path must be deterministic");
-        assert!(a.faults.is_clean());
-    }
-
-    #[test]
-    fn crash_of_a_delta_degrades_gracefully() {
-        let alg = Algorithm::LinearRegression { features: 6 };
-        let ds = data::generate(&alg, 320, 17);
-        let t = trainer(ClusterConfig {
-            nodes: 4,
-            groups: 1,
-            minibatch: 80,
-            epochs: 3,
-            faults: FaultPlan::none().crash(2, 1),
-            ..ClusterConfig::default()
-        });
-        let out = t.train(&alg, &ds, data::init_model(&alg, 3)).expect("degraded, not dead");
-        assert_eq!(out.faults.crashes, vec![(1, 2)]);
-        assert!(out.final_topology.roles[2].is_failed());
-        assert_eq!(out.final_topology.live_nodes(), 3);
-        assert!(out.loss_history.last().unwrap() < &out.loss_history[0]);
-    }
-
-    #[test]
-    fn all_nodes_crashing_is_an_error() {
-        let alg = Algorithm::LinearRegression { features: 4 };
-        let ds = data::generate(&alg, 64, 3);
-        let plan = (0..2).fold(FaultPlan::none(), |p, n| p.crash(n, 0));
-        let t = trainer(ClusterConfig {
-            nodes: 2,
-            groups: 1,
-            minibatch: 16,
-            faults: plan,
-            ..ClusterConfig::default()
-        });
-        assert_eq!(
-            t.train(&alg, &ds, data::init_model(&alg, 3)).err(),
-            Some(RuntimeError::AllNodesFailed { iteration: 0 })
-        );
-    }
-
-    #[test]
-    fn straggler_within_deadline_still_contributes() {
-        let alg = Algorithm::LinearRegression { features: 4 };
-        let ds = data::generate(&alg, 128, 8);
-        let config = ClusterConfig {
-            nodes: 4,
-            groups: 1,
-            minibatch: 32,
-            epochs: 1,
-            ..ClusterConfig::default()
-        };
-        let healthy =
-            trainer(config.clone()).train(&alg, &ds, data::init_model(&alg, 2)).expect("ok");
-        let slowed = trainer(ClusterConfig {
-            faults: FaultPlan::none().straggle(1, 0, 2.0), // 2.0 < deadline 4.0
-            ..config
-        })
-        .train(&alg, &ds, data::init_model(&alg, 2))
-        .expect("ok");
-        assert_eq!(healthy.model, slowed.model, "an admitted straggler changes nothing");
-        assert!(slowed.faults.exclusions.is_empty());
-    }
-
-    #[test]
-    fn retries_are_counted_and_survive_within_deadline() {
-        let alg = Algorithm::LinearRegression { features: 4 };
-        let ds = data::generate(&alg, 128, 8);
-        let t = trainer(ClusterConfig {
-            nodes: 4,
-            groups: 1,
-            minibatch: 32,
-            epochs: 1,
-            faults: FaultPlan::none().drop_chunk(1, 0, 0, 2),
-            ..ClusterConfig::default()
-        });
-        let out = t.train(&alg, &ds, data::init_model(&alg, 2)).expect("ok");
-        assert_eq!(out.faults.chunk_retries, 2);
-        assert!(out.faults.exclusions.is_empty(), "two retries fit the deadline");
-    }
-
-    #[test]
-    fn undeliverable_chunks_exclude_the_node() {
-        let alg = Algorithm::LinearRegression { features: 4 };
-        let ds = data::generate(&alg, 128, 8);
-        let t = trainer(ClusterConfig {
-            nodes: 4,
-            groups: 1,
-            minibatch: 32,
-            epochs: 1,
-            faults: FaultPlan::none().drop_chunk(1, 0, 0, 99),
-            ..ClusterConfig::default()
-        });
-        let out = t.train(&alg, &ds, data::init_model(&alg, 2)).expect("ok");
-        assert_eq!(
-            out.faults.exclusions,
-            vec![Exclusion { iteration: 0, node: 1, reason: ExclusionReason::Undeliverable }]
-        );
-    }
-
-    #[test]
-    fn traced_runs_are_byte_identical_and_well_formed() {
-        let alg = Algorithm::LogisticRegression { features: 6 };
-        let ds = data::generate(&alg, 256, 21);
-        let init = data::init_model(&alg, 2);
-        let config = ClusterConfig {
-            nodes: 4,
-            groups: 2,
-            minibatch: 64,
-            epochs: 2,
-            faults: FaultPlan::none().straggle(1, 0, 2.0).drop_chunk(2, 1, 0, 1).crash(3, 3),
-            ..ClusterConfig::default()
-        };
-        let run = |config: ClusterConfig| {
-            let sink = TraceSink::new();
-            let out = trainer(config).train_traced(&alg, &ds, init.clone(), &sink).expect("runs");
-            (out, sink)
-        };
-        let (out_a, sink_a) = run(config.clone());
-        let (out_b, sink_b) = run(config.clone());
-        assert_eq!(out_a, out_b);
-        assert!(sink_a.validate_tree().is_ok());
-        assert_eq!(sink_a.chrome_trace_json(), sink_b.chrome_trace_json());
-        assert_eq!(sink_a.metrics_json(), sink_b.metrics_json());
-
-        // Tracing must not perturb the training computation itself.
-        let untraced = trainer(config).train(&alg, &ds, init.clone()).expect("runs");
-        assert_eq!(out_a, untraced);
-
-        let sums = sink_a.sums();
-        assert_eq!(sums[counters::TRAINER_ITERATIONS], out_a.iterations as f64);
-        assert_eq!(sums[counters::CHUNKS_RETRIED], out_a.faults.chunk_retries as f64);
-        assert_eq!(sums[counters::FAULTS_CRASHES], out_a.faults.crashes.len() as f64);
-        let exclusions = sums.get(counters::TRAINER_EXCLUSIONS).copied().unwrap_or(0.0);
-        assert_eq!(exclusions, out_a.faults.exclusions.len() as f64);
-        assert!(sums[counters::NET_BYTES_LEVEL1] > 0.0);
-        assert!(sums[counters::POOL_JOBS] > 0.0);
-        // The straggler stretched iteration 0's barrier in virtual time.
-        assert!(sink_a.now() > out_a.iterations as f64);
-        // Ring high-water is diagnostic: out of metrics, but observable.
-        assert!(!sums.contains_key(counters::RING_HIGH_WATER));
-        let (_, diag_max) = sink_a.diagnostics();
-        assert!(diag_max[counters::RING_HIGH_WATER] >= 1.0);
-    }
-
-    #[test]
-    fn every_collective_strategy_trains_bit_identically() {
-        // The strategy decides the wire pattern, never the arithmetic:
-        // all five collectives must produce the same model bit for bit.
-        let alg = Algorithm::LogisticRegression { features: 6 };
-        let ds = data::generate(&alg, 320, 19);
-        let init = data::init_model(&alg, 4);
-        let config = ClusterConfig {
-            nodes: 5,
-            groups: 2,
-            minibatch: 80,
-            epochs: 2,
-            ..ClusterConfig::default()
-        };
-        let outcomes: Vec<TrainOutcome> = CollectiveKind::ALL
-            .into_iter()
-            .map(|collective| {
-                trainer(ClusterConfig { collective, ..config.clone() })
-                    .train(&alg, &ds, init.clone())
-                    .expect("healthy run")
-            })
-            .collect();
-        for pair in outcomes.windows(2) {
-            assert_eq!(pair[0], pair[1], "strategies must be numerically interchangeable");
-        }
-    }
-
-    #[test]
-    fn collectives_stay_bit_identical_under_fault_injection() {
-        // A crash forces a re-election and a schedule rebuild over the
-        // survivors; a quarantined stream and recovered drops shrink
-        // the contributor set. None of it may depend on the strategy.
-        let alg = Algorithm::LinearRegression { features: 6 };
-        let ds = data::generate(&alg, 384, 23);
-        let init = data::init_model(&alg, 5);
-        let config = ClusterConfig {
-            nodes: 6,
-            groups: 2,
-            minibatch: 96,
-            epochs: 2,
-            faults: FaultPlan::none()
-                .crash(3, 1) // group 1's Sigma dies -> re-election
-                .straggle(4, 0, 2.0)
-                .drop_chunk(2, 0, 0, 1)
-                .duplicate_chunk(5, 2, 0),
-            ..ClusterConfig::default()
-        };
-        let outcomes: Vec<TrainOutcome> = CollectiveKind::ALL
-            .into_iter()
-            .map(|collective| {
-                trainer(ClusterConfig { collective, ..config.clone() })
-                    .train(&alg, &ds, init.clone())
-                    .expect("degraded, not dead")
-            })
-            .collect();
-        assert!(!outcomes[0].faults.crashes.is_empty());
-        assert!(!outcomes[0].faults.reelections.is_empty(), "the Sigma crash must re-elect");
-        for pair in outcomes.windows(2) {
-            assert_eq!(pair[0], pair[1], "fault handling must be strategy-independent");
-        }
-    }
-
-    #[test]
-    fn failures_rebuild_the_schedule_over_the_survivors() {
-        let alg = Algorithm::LinearRegression { features: 6 };
-        let ds = data::generate(&alg, 256, 11);
-        let t = trainer(ClusterConfig {
-            nodes: 4,
-            groups: 2,
-            minibatch: 64,
-            epochs: 2,
-            faults: FaultPlan::none().crash(3, 2),
-            collective: CollectiveKind::RingAllReduce,
-            ..ClusterConfig::default()
-        });
-        let sink = TraceSink::new();
-        let out = t.train_traced(&alg, &ds, data::init_model(&alg, 2), &sink).expect("runs");
-        assert_eq!(out.final_topology.live_nodes(), 3);
-        let sums = sink.sums();
-        // One build at the start, one rebuild after the crash.
-        assert_eq!(sums[counters::COLLECTIVE_REBUILDS], 2.0);
-        // Ring traffic is peer-to-peer, not hierarchical.
-        assert!(sums[counters::NET_BYTES_PEER] > 0.0);
-    }
-
-    #[test]
-    fn capacity_one_ring_trains_identically_and_in_lockstep() {
-        let alg = Algorithm::Svm { features: 6 };
-        let ds = data::generate(&alg, 256, 31);
-        let init = data::init_model(&alg, 6);
-        let config = ClusterConfig {
-            nodes: 4,
-            groups: 2,
-            minibatch: 64,
-            epochs: 2,
-            ..ClusterConfig::default()
-        };
-        let roomy = trainer(config.clone()).train(&alg, &ds, init.clone()).expect("ok");
-
-        let strict = ClusterConfig { ring_capacity: 1, ..config };
-        let sink = TraceSink::new();
-        let tight =
-            trainer(strict).train_traced(&alg, &ds, init, &sink).expect("capacity 1 completes");
-        assert_eq!(roomy.model, tight.model, "ring depth must not change the arithmetic");
-        let (_, diag_max) = sink.diagnostics();
-        assert_eq!(
-            diag_max[counters::RING_HIGH_WATER],
-            1.0,
-            "a one-slot ring is strict lock-step: occupancy can never exceed one"
-        );
-    }
-
-    #[test]
-    fn duplicated_chunks_do_not_change_the_result() {
-        let alg = Algorithm::LinearRegression { features: 6 };
-        let ds = data::generate(&alg, 256, 12);
-        let init = data::init_model(&alg, 1);
-        let config = ClusterConfig {
-            nodes: 4,
-            groups: 2,
-            minibatch: 64,
-            epochs: 2,
-            ..ClusterConfig::default()
-        };
-        let healthy = trainer(config.clone()).train(&alg, &ds, init.clone()).expect("ok");
-        let dup = trainer(ClusterConfig {
-            faults: FaultPlan::none().duplicate_chunk(1, 0, 0).duplicate_chunk(3, 1, 0),
-            ..config
-        })
-        .train(&alg, &ds, init)
-        .expect("ok");
-        assert_eq!(healthy.model, dup.model, "duplicate delivery must be idempotent");
-        assert_eq!(dup.faults.duplicates_dropped, 2);
-    }
-
-    /// Regression (satellite): the exact capped-exponential-backoff
-    /// sequence in virtual time. Guards the PR 1 retry math — any drift
-    /// here silently changes every deadline-admission decision.
-    #[test]
-    fn retry_backoff_sequence_is_pinned() {
-        let policy = RetryPolicy::default();
-        let delays: Vec<f64> = (0..8).map(|a| policy.delay(a)).collect();
-        assert_eq!(delays, vec![0.125, 0.25, 0.5, 1.0, 1.0, 1.0, 1.0, 1.0]);
-        // Cumulative virtual cost of a node that needs n retransmits.
-        let cumulative: Vec<f64> =
-            (0..6).map(|n| (0..n).map(|a| policy.delay(a)).sum::<f64>()).collect();
-        assert_eq!(cumulative, vec![0.0, 0.125, 0.375, 0.875, 1.875, 2.875]);
-        // The cap binds immediately when base exceeds it, and huge
-        // attempt indices must not overflow the exponent.
-        let tight = RetryPolicy { backoff_base: 3.0, backoff_cap: 2.0, max_retries: 4 };
-        assert_eq!(tight.delay(0), 2.0);
-        assert_eq!(tight.delay(u32::MAX), 2.0);
-    }
-
-    #[test]
-    fn invalid_membership_configurations_are_errors() {
-        let bad = [
-            ClusterConfig {
-                detector: DetectorConfig { suspect_phi: 3.0, fail_phi: 2.0, ..Default::default() },
-                ..ClusterConfig::default()
-            },
-            ClusterConfig {
-                detector: DetectorConfig { window: 0, ..Default::default() },
-                ..ClusterConfig::default()
-            },
-            ClusterConfig {
-                checkpoint: CheckpointConfig { cadence: 0 },
-                ..ClusterConfig::default()
-            },
-        ];
-        for config in bad {
-            assert!(matches!(ClusterTrainer::new(config), Err(RuntimeError::InvalidConfig(_))));
-        }
-    }
-
-    /// Acceptance: a healthy run with the detector enabled is
-    /// bit-identical — model, report, and byte-for-byte trace — to the
-    /// same run on the oracle path. Zero false exclusions.
-    #[test]
-    fn healthy_detector_run_is_bit_identical_to_oracle() {
-        let alg = Algorithm::LogisticRegression { features: 6 };
-        let ds = data::generate(&alg, 256, 29);
-        let init = data::init_model(&alg, 3);
-        let config = ClusterConfig {
-            nodes: 4,
-            groups: 2,
-            minibatch: 64,
-            epochs: 2,
-            ..ClusterConfig::default()
-        };
-        let run = |membership: MembershipMode| {
-            let sink = TraceSink::new();
-            let out = trainer(ClusterConfig { membership, ..config.clone() })
-                .train_traced(&alg, &ds, init.clone(), &sink)
-                .expect("healthy run");
-            (out, sink)
-        };
-        let (oracle, sink_o) = run(MembershipMode::Oracle);
-        let (detector, sink_d) = run(MembershipMode::Detector);
-        assert_eq!(oracle, detector, "an idle detector must be invisible");
-        assert!(detector.faults.is_clean());
-        assert!(detector.faults.suspicions.is_empty(), "no false positives on a healthy cluster");
-        assert_eq!(sink_o.chrome_trace_json(), sink_d.chrome_trace_json());
-        assert_eq!(sink_o.metrics_json(), sink_d.metrics_json());
-    }
-
-    #[test]
-    fn checkpoints_follow_the_cadence_and_stay_clean() {
-        let alg = Algorithm::LinearRegression { features: 6 };
-        let ds = data::generate(&alg, 256, 12); // 4 iterations per epoch
-        let sink = TraceSink::new();
-        let out = trainer(ClusterConfig {
-            nodes: 4,
-            groups: 2,
-            minibatch: 64,
-            epochs: 2,
-            checkpoint: CheckpointConfig { cadence: 4 },
-            ..ClusterConfig::default()
-        })
-        .train_traced(&alg, &ds, data::init_model(&alg, 1), &sink)
-        .expect("healthy run");
-        assert_eq!(out.iterations, 8);
-        assert_eq!(out.faults.checkpoints, 2, "snapshots after iterations 4 and 8");
-        assert!(out.faults.is_clean(), "routine checkpointing is not degradation");
-        assert_eq!(sink.sums()[counters::MEMBERSHIP_CHECKPOINTS], 2.0);
-    }
-
-    /// Acceptance: oracle-mode crash-then-rejoin is deterministic, the
-    /// rejoined node's caught-up model equals the survivors' bit for
-    /// bit, and the schedule rebuilds on join as well as leave.
-    #[test]
-    fn oracle_crash_then_rejoin_catches_up_bit_exactly() {
-        let alg = Algorithm::LinearRegression { features: 6 };
-        let ds = data::generate(&alg, 256, 11);
-        let init = data::init_model(&alg, 2);
-        let config = ClusterConfig {
-            nodes: 4,
-            groups: 2,
-            minibatch: 64,
-            epochs: 2,
-            faults: FaultPlan::none().crash_then_rejoin(3, 2, 3),
-            ..ClusterConfig::default()
-        };
-        let run = || {
-            let sink = TraceSink::new();
-            let out = trainer(config.clone())
-                .train_traced(&alg, &ds, init.clone(), &sink)
-                .expect("degraded, not dead");
-            (out, sink)
-        };
-        let (out, sink) = run();
-        assert_eq!(out.faults.crashes, vec![(2, 3)]);
-        assert_eq!(out.faults.rejoins.len(), 1);
-        let rejoin = out.faults.rejoins[0];
-        assert_eq!((rejoin.iteration, rejoin.node), (5, 3));
-        assert!(rejoin.matched, "catch-up must reproduce the survivors' model bit for bit");
-        assert!(rejoin.bytes > 0);
-        assert_eq!(out.final_topology.live_nodes(), 4, "the cluster healed");
-        assert!(!out.final_topology.roles[3].is_failed());
-        let sums = sink.sums();
-        // Initial build, rebuild on leave, rebuild on join.
-        assert_eq!(sums[counters::COLLECTIVE_REBUILDS], 3.0);
-        assert_eq!(sums[counters::MEMBERSHIP_REJOINS], 1.0);
-        assert_eq!(sums[counters::MEMBERSHIP_CATCHUP_BYTES], rejoin.bytes as f64);
-
-        let (out_b, sink_b) = run();
-        assert_eq!(out, out_b, "crash-then-rejoin must be deterministic");
-        assert_eq!(sink.chrome_trace_json(), sink_b.chrome_trace_json());
-        assert_eq!(sink.metrics_json(), sink_b.metrics_json());
-    }
-
-    /// Detector mode: a silent crash is suspected, declared, and
-    /// repaired without any oracle involvement; when the node comes
-    /// back, its heartbeat alone re-admits it with a bit-exact model.
-    #[test]
-    fn detector_expels_a_silent_crash_and_readmits_it_on_return() {
-        let alg = Algorithm::LinearRegression { features: 6 };
-        let ds = data::generate(&alg, 256, 13);
-        let init = data::init_model(&alg, 4);
-        let config = ClusterConfig {
-            nodes: 4,
-            groups: 2,
-            minibatch: 64,
-            epochs: 3, // 12 iterations: detect, expel, rejoin, settle
-            faults: FaultPlan::none().crash_then_rejoin(1, 1, 6),
-            membership: MembershipMode::Detector,
-            ..ClusterConfig::default()
-        };
-        let run = || {
-            let sink = TraceSink::new();
-            let out = trainer(config.clone())
-                .train_traced(&alg, &ds, init.clone(), &sink)
-                .expect("degraded, not dead");
-            (out, sink)
-        };
-        let (out, sink) = run();
-        assert_eq!(out.faults.crashes, vec![(1, 1)]);
-        assert!(
-            out.faults.suspicions.iter().any(|s| s.node == 1),
-            "silence must raise suspicion before expulsion"
-        );
-        assert_eq!(out.faults.rejoins.len(), 1);
-        let rejoin = out.faults.rejoins[0];
-        assert_eq!(rejoin.node, 1);
-        assert!(rejoin.iteration >= 7, "rejoin cannot precede the node's return");
-        assert!(rejoin.matched, "catch-up must reproduce the survivors' model bit for bit");
-        assert_eq!(out.faults.false_suspicions, 0, "the node really was down");
-        assert!(out.faults.reinstatements.is_empty());
-        assert_eq!(out.final_topology.live_nodes(), 4);
-        assert!(out.loss_history.last().unwrap() < &out.loss_history[0]);
-
-        let (out_b, sink_b) = run();
-        assert_eq!(out, out_b, "detection and rejoin must be deterministic");
-        assert_eq!(sink.chrome_trace_json(), sink_b.chrome_trace_json());
-        assert_eq!(sink.metrics_json(), sink_b.metrics_json());
-    }
-
-    /// Detector mode: one undeliverable round stretches the barrier —
-    /// the retry backoff extends the round for everyone, so at the next
-    /// sweep *every* member looks silent relative to the virtual clock
-    /// and is suspected. All of them deliver that round and are
-    /// reinstated. Suspicion is bookkeeping: nobody is expelled, nobody
-    /// rejoins, and accrual detection absorbs the barrier stretch.
-    #[test]
-    fn suspected_stragglers_are_reinstated_not_expelled() {
-        let alg = Algorithm::LinearRegression { features: 6 };
-        let ds = data::generate(&alg, 256, 17);
-        let out = trainer(ClusterConfig {
-            nodes: 4,
-            groups: 2,
-            minibatch: 64,
-            epochs: 2,
-            faults: FaultPlan::none().drop_chunk(1, 2, 0, 99),
-            membership: MembershipMode::Detector,
-            ..ClusterConfig::default()
-        })
-        .train(&alg, &ds, data::init_model(&alg, 5))
-        .expect("degraded, not dead");
-        assert_eq!(
-            out.faults.suspicions.iter().map(|s| (s.iteration, s.node)).collect::<Vec<_>>(),
-            vec![(3, 0), (3, 1), (3, 2), (3, 3)],
-            "the stretched round makes every member look late at the next sweep"
-        );
-        let mut reinstated = out.faults.reinstatements.clone();
-        reinstated.sort_unstable();
-        assert_eq!(reinstated, vec![(3, 0), (3, 1), (3, 2), (3, 3)]);
-        assert_eq!(out.faults.false_suspicions, 4);
-        assert!(out.faults.rejoins.is_empty(), "a reinstated node never left");
-        assert!(out.faults.reelections.is_empty());
-        assert_eq!(out.final_topology.live_nodes(), 4, "suspicion is not expulsion");
-    }
-
-    #[test]
-    fn oracle_partition_quiesces_the_minority_and_heals() {
-        let alg = Algorithm::LinearRegression { features: 6 };
-        let ds = data::generate(&alg, 256, 19);
-        let sink = TraceSink::new();
-        let out = trainer(ClusterConfig {
-            nodes: 4,
-            groups: 2,
-            minibatch: 64,
-            epochs: 2,
-            faults: FaultPlan::none().partition(2, &[1], 2),
-            ..ClusterConfig::default()
-        })
-        .train_traced(&alg, &ds, data::init_model(&alg, 6), &sink)
-        .expect("majority side progresses");
-        assert_eq!(
-            out.faults.partitions,
-            vec![PartitionOutage { start: 2, heal: 4, minority: vec![1] }]
-        );
-        assert!(!out.faults.is_clean(), "a partition is degradation");
-        assert!(out.faults.exclusions.is_empty(), "quiesce is not an exclusion");
-        assert_eq!(out.final_topology.live_nodes(), 4, "nobody is expelled by an outage");
-        assert_eq!(out.iterations, 8, "the majority side never stopped");
-        let sums = sink.sums();
-        assert_eq!(sums[counters::MEMBERSHIP_PARTITION_HEALS], 1.0);
-        // Build over 4, rebuild over the majority, rebuild at heal.
-        assert_eq!(sums[counters::COLLECTIVE_REBUILDS], 3.0);
-        assert!(out.loss_history.last().unwrap() < &out.loss_history[0]);
-    }
-
-    /// Detector mode: a partition long enough to cross the fail
-    /// threshold expels the minority; the heal's first heartbeat brings
-    /// it back through the rejoin protocol with a matched model.
-    #[test]
-    fn detector_partition_expels_then_rejoins_the_minority() {
-        let alg = Algorithm::LinearRegression { features: 6 };
-        let ds = data::generate(&alg, 256, 23);
-        let out = trainer(ClusterConfig {
-            nodes: 4,
-            groups: 2,
-            minibatch: 64,
-            epochs: 3,
-            faults: FaultPlan::none().partition(1, &[3], 6),
-            membership: MembershipMode::Detector,
-            ..ClusterConfig::default()
-        })
-        .train(&alg, &ds, data::init_model(&alg, 7))
-        .expect("majority side progresses");
-        assert!(out.faults.crashes.is_empty(), "a partition is not a crash");
-        assert!(out.faults.suspicions.iter().any(|s| s.node == 3));
-        assert_eq!(out.faults.rejoins.len(), 1);
-        let rejoin = out.faults.rejoins[0];
-        assert_eq!(rejoin.node, 3);
-        assert!(rejoin.matched);
-        assert_eq!(
-            out.faults.false_suspicions, 0,
-            "a quiesced node was genuinely unreachable — expelling it was right"
-        );
-        assert_eq!(out.final_topology.live_nodes(), 4, "heal-and-merge restores the cluster");
-    }
-
-    /// Every collective strategy must absorb churn — crash, rejoin,
-    /// partition — with bit-identical results, in both membership
-    /// modes.
-    #[test]
-    fn collectives_stay_bit_identical_under_churn() {
-        let alg = Algorithm::LinearRegression { features: 6 };
-        let ds = data::generate(&alg, 384, 37);
-        let init = data::init_model(&alg, 8);
-        for membership in [MembershipMode::Oracle, MembershipMode::Detector] {
-            let config = ClusterConfig {
-                nodes: 6,
-                groups: 2,
-                minibatch: 96,
-                epochs: 3,
-                faults: FaultPlan::none()
-                    .crash_then_rejoin(4, 1, 6)
-                    .partition(2, &[2], 2)
-                    .straggle(1, 0, 2.0),
-                membership,
-                ..ClusterConfig::default()
-            };
-            let outcomes: Vec<TrainOutcome> = CollectiveKind::ALL
-                .into_iter()
-                .map(|collective| {
-                    trainer(ClusterConfig { collective, ..config.clone() })
-                        .train(&alg, &ds, init.clone())
-                        .expect("degraded, not dead")
-                })
-                .collect();
-            for pair in outcomes.windows(2) {
-                assert_eq!(
-                    pair[0], pair[1],
-                    "churn handling must be strategy-independent ({membership:?})"
-                );
-            }
-            assert!(
-                outcomes[0].faults.rejoins.iter().all(|r| r.matched),
-                "every rejoin must catch up bit-exactly ({membership:?})"
-            );
-        }
+        Engine::new(&self.config, alg, dataset, initial_model.len(), TraceObserver::new(sink))
+            .run(self.topology.clone(), initial_model)
     }
 }

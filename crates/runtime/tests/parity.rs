@@ -1,0 +1,268 @@
+//! Refactor-parity suites for the phase-based engine and the unified
+//! timing builder.
+//!
+//! 1. **Observer parity** — the engine's behavior must not depend on
+//!    who is watching: a run under the no-op [`NullObserver`]
+//!    (`train`) is bit-identical to the same run under the recording
+//!    `TraceObserver` (`train_traced`), across random cluster shapes,
+//!    seeds, fault plans, and both membership modes.
+//! 2. **Wrapper parity** — each deprecated `iteration_*` entry point is
+//!    a one-line façade over the [`IterationModel`] builder and must
+//!    return exactly what its builder chain returns, traces included.
+
+#![allow(deprecated)]
+
+use cosmic_ml::{data, Aggregation, Algorithm};
+use cosmic_runtime::{
+    ClusterConfig, ClusterTiming, ClusterTrainer, CollectiveKind, FaultPlan, FaultRates,
+    FaultTimingModel, MembershipMode, NodeCompute, TraceSink,
+};
+use proptest::prelude::*;
+
+/// Two models compared bit for bit (`==` would conflate `0.0` with
+/// `-0.0` and choke on NaN).
+fn bits(model: &[f64]) -> Vec<u64> {
+    model.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    /// `train` (no-op observer) and `train_traced` (full telemetry)
+    /// produce bit-identical outcomes — model, loss history, and fault
+    /// report — whatever the cluster shape, fault plan, or membership
+    /// mode. Tracing is a pure observer; it must never steer the run.
+    #[test]
+    fn null_and_trace_observers_are_bit_identical(
+        nodes in 2usize..7,
+        groups in 1usize..4,
+        epochs in 1usize..3,
+        seed in 0u64..300,
+        faulty in any::<bool>(),
+        detector in any::<bool>(),
+    ) {
+        let groups = groups.min(nodes);
+        let alg = Algorithm::LinearRegression { features: 4 };
+        let ds = data::generate(&alg, 96, seed);
+        let init = data::init_model(&alg, seed ^ 11);
+        let iterations = epochs * 96usize.div_ceil(24);
+        let faults = if faulty {
+            FaultPlan::random(seed, nodes, iterations, 4, &FaultRates {
+                crash: 0.05,
+                straggle: 0.15,
+                straggle_factor: 3.0,
+                drop_chunk: 0.05,
+                corrupt_chunk: 0.02,
+                duplicate_chunk: 0.02,
+                rejoin_after: 2,
+                partition: 0.03,
+                partition_heal_after: 2,
+            })
+        } else {
+            FaultPlan::none()
+        };
+        let trainer = ClusterTrainer::new(ClusterConfig {
+            nodes,
+            groups,
+            threads_per_node: 1,
+            minibatch: 24,
+            learning_rate: 0.1,
+            epochs,
+            aggregation: Aggregation::Average,
+            membership: if detector { MembershipMode::Detector } else { MembershipMode::Oracle },
+            faults,
+            ..ClusterConfig::default()
+        })
+        .expect("valid random config");
+
+        let plain = trainer.train(&alg, &ds, init.clone());
+        let sink = TraceSink::new();
+        let traced = trainer.train_traced(&alg, &ds, init, &sink);
+
+        match (plain, traced) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(bits(&a.model), bits(&b.model), "models must match bitwise");
+                prop_assert_eq!(a, b, "outcomes must be identical");
+            }
+            // A plan can kill the whole cluster; both observers must
+            // see the identical failure.
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "observer changed the verdict: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// The traced run itself is deterministic: same seed, byte-identical
+    /// trace and metrics exports.
+    #[test]
+    fn traced_runs_export_identical_bytes(
+        nodes in 2usize..6,
+        seed in 0u64..100,
+    ) {
+        let alg = Algorithm::LogisticRegression { features: 3 };
+        let ds = data::generate(&alg, 64, seed);
+        let init = data::init_model(&alg, seed ^ 7);
+        let run = || {
+            let trainer = ClusterTrainer::new(ClusterConfig {
+                nodes,
+                groups: 1,
+                threads_per_node: 1,
+                minibatch: 16,
+                learning_rate: 0.1,
+                epochs: 1,
+                aggregation: Aggregation::Average,
+                faults: FaultPlan::random(seed, nodes, 4, 4, &FaultRates {
+                    straggle: 0.2,
+                    straggle_factor: 2.0,
+                    drop_chunk: 0.1,
+                    ..FaultRates::default()
+                }),
+                ..ClusterConfig::default()
+            })
+            .expect("valid config");
+            let sink = TraceSink::new();
+            trainer.train_traced(&alg, &ds, init.clone(), &sink).expect("run survives");
+            (sink.chrome_trace_json(), sink.metrics_json())
+        };
+        let (trace_a, metrics_a) = run();
+        let (trace_b, metrics_b) = run();
+        prop_assert_eq!(trace_a, trace_b);
+        prop_assert_eq!(metrics_a, metrics_b);
+    }
+}
+
+const MINIBATCH: usize = 10_000;
+const EXCHANGE: usize = 1_000_000;
+
+fn timing() -> ClusterTiming {
+    ClusterTiming::commodity(8, 2)
+}
+
+fn node() -> NodeCompute {
+    NodeCompute { records_per_sec: 1e5 }
+}
+
+fn faults() -> FaultTimingModel {
+    FaultTimingModel {
+        chunk_drop_rate: 0.02,
+        retry_backoff_s: 250e-6,
+        straggler_rate: 0.1,
+        straggler_slowdown: 6.0,
+        deadline_factor: 4.0,
+        sigma_failover_rate: 0.01,
+        failover_penalty_s: 5e-3,
+        reschedule_penalty_s: 1e-3,
+    }
+}
+
+#[test]
+fn iteration_wrapper_equals_builder() {
+    let t = timing();
+    assert_eq!(
+        t.iteration(MINIBATCH, node(), EXCHANGE),
+        t.model(MINIBATCH, node(), EXCHANGE).evaluate().unwrap()
+    );
+}
+
+#[test]
+fn iteration_with_stragglers_wrapper_equals_builder() {
+    let t = timing();
+    for (count, slowdown) in [(0, 5.0), (1, 3.0), (3, 1.5), (99, 2.0), (1, f64::NAN)] {
+        assert_eq!(
+            t.iteration_with_stragglers(MINIBATCH, node(), EXCHANGE, count, slowdown),
+            t.model(MINIBATCH, node(), EXCHANGE)
+                .with_stragglers(count, slowdown)
+                .evaluate()
+                .unwrap(),
+            "stragglers={count} slowdown={slowdown}"
+        );
+    }
+}
+
+#[test]
+fn iteration_with_faults_wrapper_equals_builder() {
+    let t = timing();
+    let f = faults();
+    assert_eq!(
+        t.iteration_with_faults(MINIBATCH, node(), EXCHANGE, &f),
+        t.model(MINIBATCH, node(), EXCHANGE).with_faults(&f).evaluate().unwrap()
+    );
+}
+
+#[test]
+fn iteration_with_collective_wrapper_equals_builder() {
+    let t = timing();
+    for kind in CollectiveKind::ALL {
+        assert_eq!(
+            t.iteration_with_collective(MINIBATCH, node(), EXCHANGE, kind).unwrap(),
+            t.model(MINIBATCH, node(), EXCHANGE).with_collective(kind).evaluate().unwrap(),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn iteration_with_collective_and_faults_wrapper_equals_builder() {
+    let t = timing();
+    let f = faults();
+    for kind in CollectiveKind::ALL {
+        assert_eq!(
+            t.iteration_with_collective_and_faults(MINIBATCH, node(), EXCHANGE, kind, &f).unwrap(),
+            t.model(MINIBATCH, node(), EXCHANGE)
+                .with_collective(kind)
+                .with_faults(&f)
+                .evaluate()
+                .unwrap(),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn iteration_traced_wrapper_equals_builder_traces_included() {
+    let t = timing();
+    let f = faults();
+    let (wrapper_sink, builder_sink) = (TraceSink::new(), TraceSink::new());
+    let wrapper = t.iteration_traced(MINIBATCH, node(), EXCHANGE, &f, &wrapper_sink);
+    let builder = t
+        .model(MINIBATCH, node(), EXCHANGE)
+        .with_faults(&f)
+        .traced(&builder_sink)
+        .evaluate()
+        .unwrap();
+    assert_eq!(wrapper, builder);
+    assert_eq!(wrapper_sink.chrome_trace_json(), builder_sink.chrome_trace_json());
+    assert_eq!(wrapper_sink.metrics_json(), builder_sink.metrics_json());
+}
+
+#[test]
+fn iteration_with_collective_traced_wrapper_equals_builder_traces_included() {
+    let t = timing();
+    let f = faults();
+    for kind in CollectiveKind::ALL {
+        let (wrapper_sink, builder_sink) = (TraceSink::new(), TraceSink::new());
+        let wrapper = t
+            .iteration_with_collective_traced(MINIBATCH, node(), EXCHANGE, kind, &f, &wrapper_sink)
+            .unwrap();
+        let builder = t
+            .model(MINIBATCH, node(), EXCHANGE)
+            .with_collective(kind)
+            .with_faults(&f)
+            .traced(&builder_sink)
+            .evaluate()
+            .unwrap();
+        assert_eq!(wrapper, builder, "{kind}");
+        assert_eq!(
+            wrapper_sink.chrome_trace_json(),
+            builder_sink.chrome_trace_json(),
+            "{kind}: traced wrapper must book the identical span tree"
+        );
+    }
+}
+
+#[test]
+fn throughput_wrapper_equals_builder() {
+    let t = timing();
+    let f = faults();
+    assert_eq!(
+        t.throughput_records_per_sec(MINIBATCH, node(), EXCHANGE, &f),
+        t.model(MINIBATCH, node(), EXCHANGE).with_faults(&f).throughput().unwrap()
+    );
+}

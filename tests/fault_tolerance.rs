@@ -234,7 +234,12 @@ fn trace_summary_reproduces_iteration_breakdown_for_every_benchmark() {
         let exchange = bench.exchanged_params(minibatch.div_ceil(8)) * WORD_BYTES;
         for faults in [&healthy, &degraded] {
             let sink = TraceSink::new();
-            let it = timing.iteration_traced(minibatch, node, exchange, faults, &sink);
+            let it = timing
+                .model(minibatch, node, exchange)
+                .with_faults(faults)
+                .traced(&sink)
+                .evaluate()
+                .expect("analytic path is infallible");
             assert!(sink.validate_tree().is_ok());
             let summary = TraceSummary::of(&sink);
             assert_eq!(summary.iterations, 1, "{id}");
