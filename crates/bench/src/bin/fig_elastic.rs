@@ -1,8 +1,10 @@
 //! Regenerates the elastic-membership study (virtual throughput vs
 //! churn under φ-accrual detection, checkpointing, and rejoin).
+//! `--transport tcp` moves every churn run's gradients over real
+//! loopback sockets; detection and rejoin adjudicate identically.
 fn main() {
-    cosmic_bench::figures::figure_main(
+    cosmic_bench::figures::figure_main_transported(
         "fig_elastic",
-        cosmic_bench::figures::fig_elastic::run_traced,
+        cosmic_bench::figures::fig_elastic::run_traced_on,
     );
 }

@@ -1,5 +1,10 @@
 //! Regenerates the fault-tolerance study (throughput under faults plus a
-//! functional degraded run).
+//! functional degraded run). `--transport tcp` moves the degraded run's
+//! gradients over real loopback sockets instead of the discrete-event
+//! backend; the bits (and the report) are identical either way.
 fn main() {
-    cosmic_bench::figures::figure_main("fig_faults", cosmic_bench::figures::fig_faults::run_traced);
+    cosmic_bench::figures::figure_main_transported(
+        "fig_faults",
+        cosmic_bench::figures::fig_faults::run_traced_on,
+    );
 }

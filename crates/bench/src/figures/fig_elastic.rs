@@ -21,6 +21,7 @@ use cosmic_core::cosmic_ml::{data, Aggregation, Algorithm};
 use cosmic_core::cosmic_runtime::collectives::CollectiveKind;
 use cosmic_core::cosmic_runtime::{
     ClusterConfig, ClusterTrainer, FaultPlan, FaultRates, MembershipMode, TrainOutcome,
+    TransportKind,
 };
 use cosmic_core::cosmic_telemetry::TraceSink;
 
@@ -77,6 +78,18 @@ pub fn churn_plan(rate: f64) -> FaultPlan {
 /// One sweep point: a detector-mode run of `kind` under `churn_plan
 /// (rate)`, booking the full span tree into `sink`. Returns the outcome.
 pub fn churn_run_traced(kind: CollectiveKind, rate: f64, sink: &TraceSink) -> TrainOutcome {
+    churn_run_traced_on(kind, rate, TransportKind::Sim, sink)
+}
+
+/// [`churn_run_traced`] on a chosen wire backend: `--transport tcp`
+/// routes the churned run's gradients over real loopback sockets while
+/// the detector, checkpoints, and rejoins adjudicate identically.
+pub fn churn_run_traced_on(
+    kind: CollectiveKind,
+    rate: f64,
+    transport: TransportKind,
+    sink: &TraceSink,
+) -> TrainOutcome {
     let alg = algorithm();
     let dataset = data::generate(&alg, 2_048, 7);
     ClusterTrainer::new(ClusterConfig {
@@ -90,6 +103,7 @@ pub fn churn_run_traced(kind: CollectiveKind, rate: f64, sink: &TraceSink) -> Tr
         collective: kind,
         faults: churn_plan(rate),
         membership: MembershipMode::Detector,
+        transport,
         ..ClusterConfig::default()
     })
     .expect("valid study config")
@@ -131,6 +145,13 @@ pub fn run() -> String {
 /// partition heals — and membership counters into `sink`. Same seed,
 /// byte-identical exported trace.
 pub fn run_traced(sink: &TraceSink) -> String {
+    run_traced_on(sink, TransportKind::Sim)
+}
+
+/// [`run_traced`] on a chosen wire backend (the binary's `--transport`
+/// flag): every churn run in the sweep — and the reference run booked
+/// into `sink` — moves its gradients through that backend.
+pub fn run_traced_on(sink: &TraceSink, transport: TransportKind) -> String {
     let mut out = String::from(
         "## Elastic membership — churn under the φ-accrual detector (8 nodes, no oracle)\n\n\
          | churn | rec/s (virtual) | suspicions | reinstated | rejoins | checkpoints | partitions |\n\
@@ -138,7 +159,7 @@ pub fn run_traced(sink: &TraceSink) -> String {
     );
     for &rate in &CHURN_RATES {
         let point = TraceSink::new();
-        let outcome = churn_run_traced(CollectiveKind::TwoLevelTree, rate, &point);
+        let outcome = churn_run_traced_on(CollectiveKind::TwoLevelTree, rate, transport, &point);
         let r = &outcome.faults;
         out.push_str(&format!(
             "| {:.0}% | {:.0} | {} | {} | {} | {} | {} |\n",
@@ -170,7 +191,7 @@ pub fn run_traced(sink: &TraceSink) -> String {
             .into_iter()
             .map(|kind| {
                 let point = TraceSink::new();
-                churn_run_traced(kind, rate, &point);
+                churn_run_traced_on(kind, rate, transport, &point);
                 format!("{:.1}", wire_bytes(&point) / 1024.0)
             })
             .collect();
@@ -185,7 +206,7 @@ pub fn run_traced(sink: &TraceSink) -> String {
     );
 
     let max_rate = CHURN_RATES[CHURN_RATES.len() - 1];
-    let outcome = churn_run_traced(CollectiveKind::FlatStar, max_rate, sink);
+    let outcome = churn_run_traced_on(CollectiveKind::FlatStar, max_rate, transport, sink);
     let r = &outcome.faults;
     let first = outcome.loss_history.first().copied().unwrap_or(f64::NAN);
     let last = outcome.loss_history.last().copied().unwrap_or(f64::NAN);

@@ -18,7 +18,7 @@
 use cosmic_core::cosmic_ml::{data, suite::WORD_BYTES, Aggregation, Algorithm, BenchmarkId};
 use cosmic_core::cosmic_runtime::{
     ClusterConfig, ClusterTiming, ClusterTrainer, FaultPlan, FaultRates, FaultTimingModel,
-    NodeCompute,
+    NodeCompute, TransportKind,
 };
 use cosmic_core::cosmic_telemetry::TraceSink;
 
@@ -100,6 +100,18 @@ pub fn degraded_run_traced(
     seed: u64,
     sink: &TraceSink,
 ) -> cosmic_core::cosmic_runtime::TrainOutcome {
+    degraded_run_traced_on(seed, TransportKind::Sim, sink)
+}
+
+/// [`degraded_run_traced`] on a chosen wire backend: `--transport tcp`
+/// routes every gradient chunk of the degraded run through real
+/// loopback sockets, with identical fault adjudication (and identical
+/// bits) to the discrete-event default.
+pub fn degraded_run_traced_on(
+    seed: u64,
+    transport: TransportKind,
+    sink: &TraceSink,
+) -> cosmic_core::cosmic_runtime::TrainOutcome {
     let alg = Algorithm::LogisticRegression { features: 12 };
     let dataset = data::generate(&alg, 2_048, 7);
     let epochs = 6;
@@ -122,6 +134,7 @@ pub fn degraded_run_traced(
         epochs,
         aggregation: Aggregation::Average,
         faults: plan,
+        transport,
         ..ClusterConfig::default()
     })
     .expect("valid config");
@@ -137,6 +150,14 @@ pub fn run() -> String {
 /// degraded run book their spans and counters into `sink` (the retained
 /// fractions reuse the untraced model so counters are not double-booked).
 pub fn run_traced(sink: &TraceSink) -> String {
+    run_traced_on(sink, TransportKind::Sim)
+}
+
+/// [`run_traced`] on a chosen wire backend (the binary's `--transport`
+/// flag). The throughput table is the timing model either way; the
+/// backend only changes how the functional degraded run moves its
+/// gradients.
+pub fn run_traced_on(sink: &TraceSink, transport: TransportKind) -> String {
     let mut out = String::from(
         "## Fault study — throughput retained under faults (8-node FPGA cluster, b=10k)\n\n\
          | benchmark | healthy rec/s | p=1% | p=5% | p=20% |\n\
@@ -156,7 +177,7 @@ pub fn run_traced(sink: &TraceSink) -> String {
          and the barrier cost is capped.\n",
     );
 
-    let outcome = degraded_run_traced(42, sink);
+    let outcome = degraded_run_traced_on(42, transport, sink);
     let first = outcome.loss_history.first().copied().unwrap_or(f64::NAN);
     let last = outcome.loss_history.last().copied().unwrap_or(f64::NAN);
     let r = &outcome.faults;

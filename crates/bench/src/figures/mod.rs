@@ -7,6 +7,7 @@
 
 use std::path::PathBuf;
 
+use cosmic_core::cosmic_runtime::TransportKind;
 use cosmic_core::cosmic_telemetry::{Layer, TraceSink};
 
 pub mod fig07_speedup;
@@ -85,24 +86,63 @@ pub fn trace_path_arg(args: &[String]) -> Result<Option<PathBuf>, String> {
     Ok(None)
 }
 
+/// Extracts the `--transport {sim,tcp}` / `--transport=<kind>` flag from
+/// a binary's arguments; absent means [`TransportKind::Sim`].
+///
+/// # Errors
+///
+/// Returns a message when the flag is present without a value or names
+/// an unknown backend.
+pub fn transport_arg(args: &[String]) -> Result<TransportKind, String> {
+    let mut iter = args.iter().skip(1);
+    while let Some(arg) = iter.next() {
+        let value = if arg == "--transport" {
+            match iter.next() {
+                Some(v) => v.clone(),
+                None => return Err("--transport requires a value (sim or tcp)".into()),
+            }
+        } else if let Some(v) = arg.strip_prefix("--transport=") {
+            v.to_string()
+        } else {
+            continue;
+        };
+        return TransportKind::parse(&value)
+            .ok_or_else(|| format!("unknown transport {value:?} (expected sim or tcp)"));
+    }
+    Ok(TransportKind::Sim)
+}
+
 /// Shared `main` for every `fig*`/`table*` binary: renders the experiment
 /// inside a root span named after it, prints the report, and — when
 /// `--trace <path>` was passed — exports the Chrome-trace JSON to `path`
 /// and the flat counters to a sibling `metrics.json`. All timestamps are
 /// virtual, so identical seeds produce byte-identical exports.
 pub fn figure_main(name: &str, render: impl FnOnce(&TraceSink) -> String) {
+    figure_main_transported(name, |sink, _| render(sink));
+}
+
+/// [`figure_main`] for binaries whose experiment runs the functional
+/// cluster: additionally honors `--transport {sim,tcp}`, threading the
+/// chosen wire backend into the render function. The default is the
+/// discrete-event backend, which keeps unflagged runs byte-identical to
+/// their goldens.
+pub fn figure_main_transported(
+    name: &str,
+    render: impl FnOnce(&TraceSink, TransportKind) -> String,
+) {
     let args: Vec<String> = std::env::args().collect();
-    let trace_path = match trace_path_arg(&args) {
-        Ok(p) => p,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
-        }
-    };
+    let (trace_path, transport) =
+        match trace_path_arg(&args).and_then(|p| transport_arg(&args).map(|t| (p, t))) {
+            Ok(pair) => pair,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        };
     let sink = TraceSink::new();
     let report = {
         let _root = sink.span(Layer::Exec, name);
-        render(&sink)
+        render(&sink, transport)
     };
     print!("{report}");
     if let Some(path) = trace_path {

@@ -39,6 +39,7 @@ use crate::layout;
 use crate::node::SigmaAggregator;
 use crate::role::Topology;
 use crate::trainer::{ClusterConfig, MembershipMode, TrainOutcome};
+use crate::transport::{self, Transport};
 
 /// The iteration engine: immutable run parameters plus the observer.
 ///
@@ -64,19 +65,23 @@ pub struct Engine<'a, O: RunObserver> {
     pub(crate) steps: usize,
     /// Whether membership is oracle-driven (vs detector-driven).
     pub(crate) oracle: bool,
+    /// The wire the collective round runs over (channels or sockets).
+    pub(crate) transport: Box<dyn Transport>,
     pub(crate) obs: O,
 }
 
 impl<'a, O: RunObserver> Engine<'a, O> {
     /// Builds an engine over `cfg` for a model of `model_len` words,
-    /// partitioning `dataset` across nodes and threads.
+    /// partitioning `dataset` across nodes and threads. Fails when the
+    /// configured transport cannot come up (e.g. the TCP backend's
+    /// listener fails to bind).
     pub fn new(
         cfg: &'a ClusterConfig,
         alg: &'a Algorithm,
         dataset: &'a Dataset,
         model_len: usize,
         obs: O,
-    ) -> Self {
+    ) -> Result<Self, RuntimeError> {
         let workers = cfg.nodes * cfg.threads_per_node;
         let per_worker = layout::shard_size(cfg.minibatch, workers);
         let chunks = layout::chunk_count(model_len);
@@ -87,7 +92,8 @@ impl<'a, O: RunObserver> Engine<'a, O> {
             thread_parts.iter().flatten().map(Dataset::len).max().unwrap_or(0).div_ceil(per_worker);
         let sigma = SigmaAggregator::with_ring_capacity(4, 4, cfg.ring_capacity);
         let oracle = matches!(cfg.membership, MembershipMode::Oracle);
-        Engine {
+        let transport = transport::build(cfg)?;
+        Ok(Engine {
             cfg,
             plan: &cfg.faults,
             alg,
@@ -99,8 +105,9 @@ impl<'a, O: RunObserver> Engine<'a, O> {
             chunks,
             steps,
             oracle,
+            transport,
             obs,
-        }
+        })
     }
 
     /// Runs the full training loop from `initial_model` over a working

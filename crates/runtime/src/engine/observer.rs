@@ -23,6 +23,7 @@ use crate::checkpoint::CatchUp;
 use crate::node::AggregateOutcome;
 use crate::role::Promotion;
 use crate::trainer::ClusterConfig;
+use crate::transport::TransportStats;
 
 use super::state::ScheduleCache;
 
@@ -113,6 +114,14 @@ pub trait RunObserver {
         outcome: &AggregateOutcome,
     ) {
     }
+
+    /// The transport finished a round's wire traffic. The sim backend
+    /// reports empty stats, so untraced vocabulary is unchanged.
+    fn transported(&self, stats: &TransportStats) {}
+
+    /// The connection supervisor declared `node`'s link dead after
+    /// `attempts` attempts.
+    fn link_dead(&self, iteration: usize, node: usize, attempts: u32) {}
 
     /// A cadence model snapshot was taken.
     fn checkpointed(&self, iteration: usize, words: usize) {}
@@ -282,6 +291,29 @@ impl RunObserver for TraceObserver<'_> {
         self.sink.add(counters::CHUNKS_QUARANTINED, outcome.quarantined.len() as f64);
         self.sink.add(counters::CHUNKS_DUPLICATED, outcome.duplicates_dropped as f64);
         self.sink.record_max_diagnostic(counters::RING_HIGH_WATER, outcome.ring_high_water as f64);
+    }
+
+    fn transported(&self, stats: &TransportStats) {
+        // The sim backend books nothing, keeping its metric exports
+        // byte-identical to the pre-seam engine; only a real wire adds
+        // the transport.* family.
+        if stats.is_empty() {
+            return;
+        }
+        self.sink.add(counters::TRANSPORT_FRAMES_SENT, stats.frames_sent as f64);
+        self.sink.add(counters::TRANSPORT_FRAMES_RECEIVED, stats.frames_received as f64);
+        self.sink.add(counters::TRANSPORT_BYTES_SENT, stats.bytes_sent as f64);
+        self.sink.add(counters::TRANSPORT_BYTES_RECEIVED, stats.bytes_received as f64);
+        self.sink.add(counters::TRANSPORT_HEARTBEATS, stats.heartbeats as f64);
+        self.sink.add(counters::TRANSPORT_RECONNECTS, stats.reconnects as f64);
+        self.sink.add(counters::TRANSPORT_LINKS_DEAD, stats.links_dead as f64);
+    }
+
+    fn link_dead(&self, iteration: usize, node: usize, attempts: u32) {
+        let idx = self.sink.instant(Layer::Net, "link_dead");
+        self.sink.set_arg(idx, "node", &node.to_string());
+        self.sink.set_arg(idx, "iter", &iteration.to_string());
+        self.sink.set_arg(idx, "attempts", &attempts.to_string());
     }
 
     fn checkpointed(&self, iteration: usize, words: usize) {

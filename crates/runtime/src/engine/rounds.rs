@@ -1,15 +1,14 @@
 //! The collective-aggregation phase: schedule refresh, chunk streaming
-//! through the Sigma pipeline, and quarantine accounting.
-
-use crossbeam::channel;
-use std::thread;
+//! over the configured transport into the Sigma pipeline, and
+//! quarantine/dead-link accounting.
 
 use crate::error::RuntimeError;
 use crate::layout::CHUNK_WORDS;
-use crate::node::{chunk_vector, AggregateOutcome};
-use crate::trainer::Quarantine;
+use crate::trainer::{Exclusion, ExclusionReason, Quarantine};
+use crate::transport::RoundCtx;
 
 use super::compute::NodePartial;
+use super::membership::kill_node;
 use super::observer::RunObserver;
 use super::state::{RunState, ScheduleCache};
 use super::Engine;
@@ -24,11 +23,12 @@ pub struct RoundOutput {
 }
 
 /// Phase 3: collective aggregation. The admitted members stream chunked
-/// partials over channels ("sockets") into the Sigma pipeline, with
-/// injected corruption and duplication applied on the wire; quarantined
-/// peers are withheld from the fold and from the contributor count.
-/// Returns `None` when no contribution survived (the round applies no
-/// update).
+/// partials over the configured [`Transport`](crate::transport::Transport)
+/// — channels for the discrete-event wire, supervised sockets for TCP —
+/// into the Sigma pipeline, with injected corruption and duplication
+/// applied on the wire; quarantined peers and dead links are withheld
+/// from the fold and from the contributor count. Returns `None` when no
+/// contribution survived (the round applies no update).
 pub fn collective_round<O: RunObserver>(
     eng: &Engine<'_, O>,
     st: &mut RunState,
@@ -36,11 +36,22 @@ pub fn collective_round<O: RunObserver>(
     senders: &[usize],
 ) -> Result<Option<RoundOutput>, RuntimeError> {
     refresh_schedule(eng, st, senders)?;
-    let outcome = stream_and_fold(eng, st, contributions, senders);
+    let parts: Vec<Option<&[f64]>> =
+        senders.iter().map(|&m| contributions[m].as_ref().map(|(p, _)| p.as_slice())).collect();
+    let ctx = RoundCtx {
+        iteration: st.iter_idx,
+        model_len: eng.model_len,
+        plan: eng.plan,
+        retry: &eng.cfg.retry,
+        senders,
+    };
+    let delivery = eng.transport.round(&ctx, &eng.sigma, &parts)?;
+    let outcome = delivery.outcome;
     st.report.duplicates_dropped += outcome.duplicates_dropped;
     if let Some(cache) = &st.schedule_cache {
         eng.obs.aggregated(cache, eng.cfg.collective.label(), senders.len(), eng.chunks, &outcome);
     }
+    eng.obs.transported(&delivery.stats);
     let mut rejected = vec![false; senders.len()];
     for &(peer, fault) in &outcome.quarantined {
         rejected[peer] = true;
@@ -49,6 +60,26 @@ pub fn collective_round<O: RunObserver>(
             node: senders[peer],
             fault,
         });
+    }
+
+    // A dead link is a membership event, not just a lost round: the
+    // peer is unreachable, so it is expelled through the same failover
+    // machinery as a crashed node (re-election included) rather than
+    // silently re-polled forever.
+    for dead in &delivery.dead {
+        if let Some(peer) = senders.iter().position(|&m| m == dead.node) {
+            rejected[peer] = true;
+        }
+        eng.obs.link_dead(st.iter_idx, dead.node, dead.attempts);
+        if st.member[dead.node] {
+            st.report.exclusions.push(Exclusion {
+                iteration: st.iter_idx,
+                node: dead.node,
+                reason: ExclusionReason::LinkDead { attempts: dead.attempts },
+            });
+            eng.obs.excluded(st.iter_idx, dead.node);
+            kill_node(eng, st, dead.node)?;
+        }
     }
 
     // `active_total` is the single source of truth for the rescaling
@@ -98,47 +129,4 @@ fn refresh_schedule<O: RunObserver>(
         rounds: schedule.rounds(),
     });
     Ok(())
-}
-
-/// Streams every sender's chunked partial into the Sigma pipeline —
-/// applying the plan's on-the-wire corruption and duplication — and
-/// folds the streams with validation.
-fn stream_and_fold<O: RunObserver>(
-    eng: &Engine<'_, O>,
-    st: &RunState,
-    contributions: &[NodePartial],
-    senders: &[usize],
-) -> AggregateOutcome {
-    let plan = eng.plan;
-    let iter_idx = st.iter_idx;
-    thread::scope(|s| {
-        let mut receivers = Vec::new();
-        for &member in senders {
-            let (tx, rx) = channel::bounded(8);
-            receivers.push(rx);
-            s.spawn(move || {
-                let Some((part, _)) = &contributions[member] else {
-                    return;
-                };
-                for (ci, chunk) in chunk_vector(part).into_iter().enumerate() {
-                    let chunk = if plan.chunk_corrupted(member, iter_idx, ci) {
-                        chunk.corrupted()
-                    } else {
-                        chunk
-                    };
-                    let duplicate =
-                        plan.chunk_duplicated(member, iter_idx, ci).then(|| chunk.clone());
-                    if tx.send(chunk).is_err() {
-                        break;
-                    }
-                    if let Some(dup) = duplicate {
-                        if tx.send(dup).is_err() {
-                            break;
-                        }
-                    }
-                }
-            });
-        }
-        eng.sigma.aggregate_validated(eng.model_len, receivers)
-    })
 }

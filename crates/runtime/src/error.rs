@@ -53,6 +53,29 @@ pub enum RuntimeError {
         /// The corrupt snapshot's iteration stamp.
         iteration: usize,
     },
+    /// A transport link failed and the connection supervisor could not
+    /// recover it within its retry budget.
+    TransportFailed {
+        /// The remote node id of the link (the local endpoint for
+        /// listener/bind failures).
+        peer: usize,
+        /// Connection attempts spent before giving up (0 when the
+        /// failure preceded any attempt, e.g. a bind error).
+        attempts: u32,
+        /// The last underlying failure, human-readable.
+        detail: String,
+    },
+    /// A wire frame failed structural or checksum validation on the
+    /// link to `peer`.
+    FrameCorrupt {
+        /// The remote node id of the link.
+        peer: usize,
+        /// The model-word offset the frame carried (0 for control
+        /// frames).
+        offset: usize,
+        /// The typed wire error, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -72,6 +95,12 @@ impl fmt::Display for RuntimeError {
             RuntimeError::WorkerPoolFailure(what) => write!(f, "worker pool failure: {what}"),
             RuntimeError::CheckpointCorrupt { iteration } => {
                 write!(f, "recovery checkpoint at iteration {iteration} failed verification")
+            }
+            RuntimeError::TransportFailed { peer, attempts, detail } => {
+                write!(f, "link to node {peer} failed after {attempts} attempt(s): {detail}")
+            }
+            RuntimeError::FrameCorrupt { peer, offset, detail } => {
+                write!(f, "corrupt frame from node {peer} at word offset {offset}: {detail}")
             }
         }
     }
@@ -126,6 +155,22 @@ mod tests {
             (RuntimeError::NoSurvivingAggregator { iteration: 3 }, "promote"),
             (RuntimeError::WorkerPoolFailure("spawn failed".into()), "spawn"),
             (RuntimeError::CheckpointCorrupt { iteration: 9 }, "iteration 9"),
+            (
+                RuntimeError::TransportFailed {
+                    peer: 2,
+                    attempts: 6,
+                    detail: "connection refused".into(),
+                },
+                "node 2 failed after 6 attempt(s)",
+            ),
+            (
+                RuntimeError::FrameCorrupt {
+                    peer: 1,
+                    offset: 4096,
+                    detail: "checksum mismatch".into(),
+                },
+                "word offset 4096",
+            ),
         ];
         for (err, needle) in cases {
             let text = err.to_string();

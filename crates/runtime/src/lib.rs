@@ -61,6 +61,7 @@ pub mod node;
 pub mod pool;
 pub mod timing;
 pub mod trainer;
+pub mod transport;
 
 /// The System Director's role assignment and failure repair, now living
 /// in `cosmic-collectives` (strategies and the runtime share one
@@ -94,6 +95,10 @@ pub use cosmic_collectives::{
 pub use trainer::{
     ClusterConfig, ClusterTrainer, Exclusion, ExclusionReason, FaultReport, MembershipMode,
     PartitionOutage, Quarantine, RejoinEvent, RetryPolicy, Suspicion, TrainOutcome,
+};
+pub use transport::{
+    DeadLink, Frame, FrameKind, LinkConfig, RoundCtx, RoundDelivery, SimTransport, TcpTransport,
+    Transport, TransportKind, TransportStats, WireError, WireShim,
 };
 
 // Re-export the fault-injection vocabulary so runtime users need not

@@ -39,6 +39,7 @@ use crate::engine::{Engine, NullObserver, TraceObserver};
 use crate::error::RuntimeError;
 use crate::node::{ChunkFault, DEFAULT_RING_CAPACITY};
 use crate::role::{assign_roles, Promotion, Topology};
+use crate::transport::{LinkConfig, TransportKind};
 
 /// How the runtime learns about node failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -133,6 +134,12 @@ pub struct ClusterConfig {
     /// Checkpoints are taken in both membership modes so the recovery
     /// path is always live.
     pub checkpoint: CheckpointConfig,
+    /// Which wire the collective round runs over: the discrete-event
+    /// channel backend (the default) or supervised loopback TCP.
+    pub transport: TransportKind,
+    /// Wall-clock deadlines and pacing for real-wire links (ignored by
+    /// the discrete-event backend).
+    pub link: LinkConfig,
 }
 
 impl Default for ClusterConfig {
@@ -153,6 +160,8 @@ impl Default for ClusterConfig {
             membership: MembershipMode::default(),
             detector: DetectorConfig::default(),
             checkpoint: CheckpointConfig::default(),
+            transport: TransportKind::default(),
+            link: LinkConfig::default(),
         }
     }
 }
@@ -170,6 +179,12 @@ pub enum ExclusionReason {
     Undeliverable,
     /// The node's OS thread panicked while computing its partial.
     ThreadPanic,
+    /// The connection supervisor exhausted its retry budget on the
+    /// node's transport link (real-wire backends only).
+    LinkDead {
+        /// Connection attempts spent before the link was declared dead.
+        attempts: u32,
+    },
 }
 
 /// One per-iteration exclusion of a node from aggregation.
@@ -345,6 +360,7 @@ impl ClusterTrainer {
         }
         config.detector.validate().map_err(RuntimeError::InvalidConfig)?;
         config.checkpoint.validate().map_err(RuntimeError::InvalidConfig)?;
+        config.link.validate().map_err(RuntimeError::InvalidConfig)?;
         let topology = assign_roles(config.nodes, config.groups)?;
         Ok(ClusterTrainer { config, topology })
     }
@@ -376,7 +392,7 @@ impl ClusterTrainer {
         dataset: &Dataset,
         initial_model: Vec<f64>,
     ) -> Result<TrainOutcome, RuntimeError> {
-        Engine::new(&self.config, alg, dataset, initial_model.len(), NullObserver)
+        Engine::new(&self.config, alg, dataset, initial_model.len(), NullObserver)?
             .run(self.topology.clone(), initial_model)
     }
 
@@ -395,7 +411,7 @@ impl ClusterTrainer {
         initial_model: Vec<f64>,
         sink: &TraceSink,
     ) -> Result<TrainOutcome, RuntimeError> {
-        Engine::new(&self.config, alg, dataset, initial_model.len(), TraceObserver::new(sink))
+        Engine::new(&self.config, alg, dataset, initial_model.len(), TraceObserver::new(sink))?
             .run(self.topology.clone(), initial_model)
     }
 }

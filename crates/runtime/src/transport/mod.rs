@@ -1,0 +1,272 @@
+//! The transport seam between the iteration engine and the wire.
+//!
+//! The engine's collective round used to call the discrete-event path
+//! directly; now it calls [`Transport::round`], and the wire behind it
+//! is a backend choice:
+//!
+//! - [`SimTransport`] — the existing in-process discrete-event path
+//!   (crossbeam channels as "sockets"), the default. Byte-identical to
+//!   the pre-seam engine: same threads, same channel bounds, same fold.
+//! - [`TcpTransport`] — a real wire: every sender streams
+//!   length-prefixed, checksummed frames over a loopback TCP socket
+//!   through the fault-injecting [`WireShim`], a connection supervisor
+//!   reconnects failed links with capped-exponential backoff, and a
+//!   link that exhausts its retry budget surfaces as a [`DeadLink`]
+//!   that the engine books through the membership/failover machinery.
+//!
+//! The validation contract (pinned by tests): on a healthy run, both
+//! backends produce identical chunk/byte conservation counters and a
+//! bit-identical model for the same topology and seed.
+
+pub mod proc;
+pub mod shim;
+pub mod sim;
+pub mod supervisor;
+pub mod tcp;
+pub mod wire;
+
+pub use shim::WireShim;
+pub use sim::SimTransport;
+pub use supervisor::{RoundSender, SendReport, ServedRound};
+pub use tcp::TcpTransport;
+pub use wire::{Frame, FrameKind, WireError};
+
+use std::time::Duration;
+
+use cosmic_sim::faults::FaultPlan;
+
+use crate::error::RuntimeError;
+use crate::node::{AggregateOutcome, SigmaAggregator};
+use crate::trainer::{ClusterConfig, RetryPolicy};
+
+/// Which wire the collective round runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// The in-process discrete-event path (channels as sockets); the
+    /// default, byte-identical to the pre-seam engine.
+    #[default]
+    Sim,
+    /// Real non-blocking TCP over loopback with connection supervision
+    /// and socket-level fault injection.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Parses a `--transport {sim,tcp}` flag value.
+    pub fn parse(value: &str) -> Option<Self> {
+        match value {
+            "sim" => Some(TransportKind::Sim),
+            "tcp" => Some(TransportKind::Tcp),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportKind::Sim => "sim",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+}
+
+/// Wall-clock deadlines and pacing for real-wire links. Irrelevant to
+/// (and ignored by) the discrete-event backend, whose time is virtual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Deadline on establishing a connection, in milliseconds.
+    pub connect_timeout_ms: u64,
+    /// Deadline on any single blocking read or write, in milliseconds.
+    /// This bounds how long a receiver waits on a silent peer.
+    pub read_timeout_ms: u64,
+    /// Target heartbeat cadence for long-lived links, in milliseconds.
+    pub heartbeat_interval_ms: u64,
+    /// Wall milliseconds per unit of the virtual-time
+    /// [`RetryPolicy`] backoff curve when it paces reconnects.
+    pub backoff_unit_ms: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            connect_timeout_ms: 1_000,
+            read_timeout_ms: 2_000,
+            heartbeat_interval_ms: 200,
+            backoff_unit_ms: 20,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// Validates the deadlines (zero would make blocking calls
+    /// unbounded or instantly failing, both useless).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.connect_timeout_ms == 0 || self.read_timeout_ms == 0 {
+            return Err("link timeouts must be non-zero".to_string());
+        }
+        if self.heartbeat_interval_ms == 0 {
+            return Err("heartbeat interval must be non-zero".to_string());
+        }
+        Ok(())
+    }
+
+    /// The connect deadline as a [`Duration`].
+    pub fn connect_timeout(&self) -> Duration {
+        Duration::from_millis(self.connect_timeout_ms)
+    }
+
+    /// The per-call read/write deadline as a [`Duration`].
+    pub fn read_timeout(&self) -> Duration {
+        Duration::from_millis(self.read_timeout_ms)
+    }
+}
+
+/// Wire accounting for one round (or one connection's share of it).
+/// The sim backend books nothing here, so its telemetry exports are
+/// unchanged; on a healthy real-wire run, total frames/bytes sent must
+/// equal frames/bytes received — the socket-level conservation law.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportStats {
+    /// Frames placed on the wire.
+    pub frames_sent: u64,
+    /// Frames decoded intact off the wire.
+    pub frames_received: u64,
+    /// Encoded bytes written.
+    pub bytes_sent: u64,
+    /// Encoded bytes of intact frames read.
+    pub bytes_received: u64,
+    /// Heartbeat frames observed by the receive side.
+    pub heartbeats: u64,
+    /// Supervised reconnects after a connect or stream failure.
+    pub reconnects: u64,
+    /// Links declared dead after the retry budget exhausted.
+    pub links_dead: u64,
+}
+
+impl TransportStats {
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.heartbeats += other.heartbeats;
+        self.reconnects += other.reconnects;
+        self.links_dead += other.links_dead;
+    }
+
+    /// Whether nothing was booked (the sim backend's permanent state).
+    pub fn is_empty(&self) -> bool {
+        *self == TransportStats::default()
+    }
+}
+
+/// One link the supervisor gave up on: the node is unreachable and the
+/// engine must book the failure through membership/failover instead of
+/// hanging the round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLink {
+    /// The unreachable node.
+    pub node: usize,
+    /// Connection attempts spent before giving up.
+    pub attempts: u32,
+    /// The terminal failure.
+    pub error: RuntimeError,
+}
+
+/// What one collective round delivered.
+#[derive(Debug)]
+pub struct RoundDelivery {
+    /// The validated fold over every stream that arrived complete.
+    pub outcome: AggregateOutcome,
+    /// Links the supervisor declared dead this round (their streams
+    /// contributed nothing to the fold).
+    pub dead: Vec<DeadLink>,
+    /// Wire accounting (empty for the sim backend).
+    pub stats: TransportStats,
+}
+
+/// Everything a backend needs to run one collective round.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundCtx<'a> {
+    /// The global aggregation iteration (fault-plan key).
+    pub iteration: usize,
+    /// Model length in words.
+    pub model_len: usize,
+    /// The run's fault plan (chunk-level faults apply on either wire;
+    /// wire-level kinds only on real transports).
+    pub plan: &'a FaultPlan,
+    /// Reconnect/retransmission policy.
+    pub retry: &'a RetryPolicy,
+    /// The admitted sender node ids, ascending.
+    pub senders: &'a [usize],
+}
+
+/// A wire backend for the collective round.
+///
+/// Implementations must uphold the seam invariant: given the same
+/// senders and partials on a healthy wire, [`Transport::round`]
+/// returns the same [`AggregateOutcome`] (bit for bit) as every other
+/// backend — the wire moves data, it never changes arithmetic.
+pub trait Transport: Send + Sync {
+    /// Which backend this is.
+    fn kind(&self) -> TransportKind;
+
+    /// Streams every sender's chunked partial (`parts[i]` belongs to
+    /// `ctx.senders[i]`) into `sigma` and returns the validated fold,
+    /// any links that died, and the wire accounting.
+    fn round(
+        &self,
+        ctx: &RoundCtx<'_>,
+        sigma: &SigmaAggregator,
+        parts: &[Option<&[f64]>],
+    ) -> Result<RoundDelivery, RuntimeError>;
+}
+
+/// Builds the configured backend. Binding the TCP listener can fail;
+/// the sim backend cannot.
+pub fn build(cfg: &ClusterConfig) -> Result<Box<dyn Transport>, RuntimeError> {
+    match cfg.transport {
+        TransportKind::Sim => Ok(Box::new(SimTransport)),
+        TransportKind::Tcp => Ok(Box::new(TcpTransport::bind(cfg.link)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_kind_parses_its_flag_values() {
+        assert_eq!(TransportKind::parse("sim"), Some(TransportKind::Sim));
+        assert_eq!(TransportKind::parse("tcp"), Some(TransportKind::Tcp));
+        assert_eq!(TransportKind::parse("quic"), None);
+        assert_eq!(TransportKind::Sim.label(), "sim");
+        assert_eq!(TransportKind::Tcp.label(), "tcp");
+        assert_eq!(TransportKind::default(), TransportKind::Sim);
+    }
+
+    #[test]
+    fn link_config_validates_deadlines() {
+        assert!(LinkConfig::default().validate().is_ok());
+        assert!(LinkConfig { connect_timeout_ms: 0, ..LinkConfig::default() }.validate().is_err());
+        assert!(LinkConfig { read_timeout_ms: 0, ..LinkConfig::default() }.validate().is_err());
+        assert!(LinkConfig { heartbeat_interval_ms: 0, ..LinkConfig::default() }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn stats_merge_and_emptiness() {
+        let mut a = TransportStats::default();
+        assert!(a.is_empty());
+        let b =
+            TransportStats { frames_sent: 2, bytes_sent: 90, heartbeats: 1, ..Default::default() };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.frames_sent, 4);
+        assert_eq!(a.bytes_sent, 180);
+        assert_eq!(a.heartbeats, 2);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,713 @@
+//! The multi-process launcher protocol: one coordinator process
+//! aggregating over N worker processes on loopback TCP.
+//!
+//! This is the transport stack's end-to-end proof: real processes,
+//! real sockets, real SIGKILL. The coordinator plays Sigma — it
+//! accepts each worker's supervised round stream, folds the gradients
+//! in node order (bit-identical to a single-process fold), applies the
+//! update through [`ReplayOp`] so the checkpoint/replay log is exact,
+//! and broadcasts the aggregated update back on each round's
+//! connection. Workers are separate OS processes (re-executions of the
+//! `cosmic-launcher` binary) that compute batch gradients over their
+//! own data shard and apply the identical [`ReplayOp`] — every healthy
+//! process holds a bit-identical model at every iteration.
+//!
+//! Robustness is the point, not an afterthought:
+//!
+//! - a worker that goes silent (e.g. SIGKILLed mid-run) is noticed by
+//!   the φ-accrual [`FailureDetector`] fed from per-round deliveries,
+//!   expelled from the active set within deadline-bounded accept
+//!   windows, and respawned with a `--join` flag;
+//! - a joining worker catches up through the checkpoint/replay
+//!   protocol: the coordinator reconstructs the current model from its
+//!   latest snapshot plus the replay log ([`CheckpointStore::catch_up`])
+//!   and ships it in a `Snapshot` frame; the worker acknowledges with
+//!   its model checksum so bit-identity is verified on the wire;
+//! - a worker that misses an aggregation window re-syncs itself through
+//!   the same join handshake instead of silently forking its model.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use cosmic_ml::data::{self, Dataset};
+use cosmic_ml::Algorithm;
+
+use crate::checkpoint::{model_checksum, CheckpointConfig, CheckpointStore, ReplayOp};
+use crate::detector::{DetectorConfig, FailureDetector, SuspicionLevel};
+use crate::error::RuntimeError;
+use crate::node::{chunk_vector, Chunk};
+use crate::trainer::RetryPolicy;
+
+use super::supervisor::{self, RoundSender};
+use super::wire::{Frame, FrameKind, WireError};
+use super::{LinkConfig, TransportStats, WireShim};
+
+/// Everything both halves of the launcher agree on: the job, the wire
+/// deadlines, and the retry policy. Workers receive the same values on
+/// their command line so both sides derive identical data and models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// Worker process count.
+    pub nodes: usize,
+    /// Aggregation iterations (batch gradient-descent steps).
+    pub iterations: usize,
+    /// Total dataset records (partitioned across workers).
+    pub samples: usize,
+    /// Dataset/model seed.
+    pub seed: u64,
+    /// Linear-regression feature count (model length).
+    pub features: usize,
+    /// Gradient-step learning rate.
+    pub learning_rate: f64,
+    /// Model-snapshot cadence backing join catch-up.
+    pub checkpoint_every: usize,
+    /// Wire deadlines and reconnect pacing.
+    pub link: LinkConfig,
+    /// Reconnect budget.
+    pub retry: RetryPolicy,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            nodes: 3,
+            iterations: 12,
+            samples: 240,
+            seed: 11,
+            features: 6,
+            learning_rate: 0.05,
+            checkpoint_every: 4,
+            link: LinkConfig::default(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl JobSpec {
+    /// The job's algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        Algorithm::LinearRegression { features: self.features }
+    }
+
+    /// The shared initial model every process derives independently.
+    pub fn initial_model(&self) -> Vec<f64> {
+        data::init_model(&self.algorithm(), self.seed)
+    }
+
+    /// Worker `node`'s data shard, derived identically in every
+    /// process from the seed alone.
+    pub fn shard(&self, node: usize) -> Dataset {
+        let alg = self.algorithm();
+        let mut parts = data::generate(&alg, self.samples, self.seed).partition(self.nodes);
+        if node < parts.len() {
+            parts.swap_remove(node)
+        } else {
+            Dataset::from_records(Vec::new())
+        }
+    }
+}
+
+/// What the coordinator run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchSummary {
+    /// Iterations completed.
+    pub iterations: usize,
+    /// FNV-1a checksum of the coordinator's final model.
+    pub final_checksum: u64,
+    /// Workers that reported a final checksum.
+    pub workers_reported: usize,
+    /// Of those, workers whose final model matched bit for bit.
+    pub workers_matched: usize,
+    /// `(node, iteration)` kills injected by the failure schedule.
+    pub kills: Vec<(usize, usize)>,
+    /// `(node, iteration)` detector expulsions.
+    pub expulsions: Vec<(usize, usize)>,
+    /// `(node, iteration, checksum_matched)` join handshakes completed.
+    pub rejoins: Vec<(usize, usize, bool)>,
+    /// Wire accounting over the whole run.
+    pub stats: TransportStats,
+}
+
+impl LaunchSummary {
+    /// One-line JSON for the driving test or shell.
+    pub fn to_json(&self) -> String {
+        let fmt_pairs = |v: &[(usize, usize)]| {
+            let items: Vec<String> = v.iter().map(|(n, i)| format!("[{n},{i}]")).collect();
+            format!("[{}]", items.join(","))
+        };
+        let rejoins: Vec<String> =
+            self.rejoins.iter().map(|(n, i, m)| format!("[{n},{i},{m}]")).collect();
+        format!(
+            concat!(
+                "{{\"iterations\":{},\"final_checksum\":\"{:#018x}\",",
+                "\"workers_reported\":{},\"workers_matched\":{},",
+                "\"kills\":{},\"expulsions\":{},\"rejoins\":[{}],",
+                "\"frames_sent\":{},\"frames_received\":{},",
+                "\"bytes_sent\":{},\"bytes_received\":{},",
+                "\"heartbeats\":{},\"reconnects\":{},\"links_dead\":{}}}"
+            ),
+            self.iterations,
+            self.final_checksum,
+            self.workers_reported,
+            self.workers_matched,
+            fmt_pairs(&self.kills),
+            fmt_pairs(&self.expulsions),
+            rejoins.join(","),
+            self.stats.frames_sent,
+            self.stats.frames_received,
+            self.stats.bytes_sent,
+            self.stats.bytes_received,
+            self.stats.heartbeats,
+            self.stats.reconnects,
+            self.stats.links_dead,
+        )
+    }
+}
+
+/// One delivered round stream the coordinator still owes a reply.
+struct Delivery {
+    node: usize,
+    records: u64,
+    chunks: Vec<Chunk>,
+    stream: TcpStream,
+}
+
+/// The coordinator: Sigma over worker processes.
+pub struct Coordinator {
+    spec: JobSpec,
+    listener: TcpListener,
+    addr: SocketAddr,
+    /// Kill `node` right before `iteration` (the fault schedule).
+    pub kill: Option<(usize, usize)>,
+}
+
+impl Coordinator {
+    /// Binds the aggregation listener.
+    pub fn bind(spec: JobSpec) -> Result<Self, RuntimeError> {
+        let fail = |detail: String| RuntimeError::TransportFailed { peer: 0, attempts: 0, detail };
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| fail(format!("bind: {e}")))?;
+        listener.set_nonblocking(true).map_err(|e| fail(format!("listener setup: {e}")))?;
+        let addr = listener.local_addr().map_err(|e| fail(format!("local_addr: {e}")))?;
+        Ok(Coordinator { spec, listener, addr, kill: None })
+    }
+
+    /// The aggregation endpoint workers dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Spawns worker `node` as a re-execution of the current binary.
+    fn spawn_worker(&self, node: usize, join: bool) -> Result<Child, RuntimeError> {
+        let exe = std::env::current_exe().map_err(|e| RuntimeError::TransportFailed {
+            peer: node,
+            attempts: 0,
+            detail: format!("current_exe: {e}"),
+        })?;
+        let s = &self.spec;
+        let mut cmd = Command::new(exe);
+        cmd.arg("--worker")
+            .arg(node.to_string())
+            .arg("--addr")
+            .arg(self.addr.to_string())
+            .arg("--nodes")
+            .arg(s.nodes.to_string())
+            .arg("--iterations")
+            .arg(s.iterations.to_string())
+            .arg("--samples")
+            .arg(s.samples.to_string())
+            .arg("--seed")
+            .arg(s.seed.to_string())
+            .arg("--features")
+            .arg(s.features.to_string())
+            .arg("--lr")
+            .arg(s.learning_rate.to_string())
+            .arg("--read-timeout-ms")
+            .arg(s.link.read_timeout_ms.to_string())
+            .arg("--connect-timeout-ms")
+            .arg(s.link.connect_timeout_ms.to_string())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        if join {
+            cmd.arg("--join");
+        }
+        cmd.spawn().map_err(|e| RuntimeError::TransportFailed {
+            peer: node,
+            attempts: 0,
+            detail: format!("spawn worker {node}: {e}"),
+        })
+    }
+
+    /// Runs the whole job: spawn workers, drive `iterations` rounds
+    /// with failure detection and join catch-up, collect final
+    /// checksums.
+    pub fn run(&mut self) -> Result<LaunchSummary, RuntimeError> {
+        let spec = self.spec;
+        let mut model = spec.initial_model();
+        let mut store = CheckpointStore::new(
+            CheckpointConfig { cadence: spec.checkpoint_every.max(1) },
+            &model,
+        );
+        let mut detector = FailureDetector::new(spec.nodes, DetectorConfig::default());
+        for node in 0..spec.nodes {
+            detector.observe(node, 0.0);
+        }
+        let mut member = vec![true; spec.nodes];
+        let mut children: Vec<Option<Child>> = Vec::new();
+        for node in 0..spec.nodes {
+            children.push(Some(self.spawn_worker(node, false)?));
+        }
+        let mut summary = LaunchSummary {
+            iterations: 0,
+            final_checksum: 0,
+            workers_reported: 0,
+            workers_matched: 0,
+            kills: Vec::new(),
+            expulsions: Vec::new(),
+            rejoins: Vec::new(),
+            stats: TransportStats::default(),
+        };
+
+        for iter in 0..spec.iterations {
+            self.inject_kill(iter, &mut children, &mut summary);
+            self.detector_sweep(iter, &mut detector, &mut member, &mut children, &mut summary)?;
+            let deliveries =
+                self.round_window(iter, &store, &model, &mut detector, &mut member, &mut summary)?;
+            apply_round(&spec, iter, deliveries, &mut model, &mut store, &mut summary);
+            summary.iterations = iter + 1;
+        }
+
+        self.final_window(&model, &member, &mut summary);
+        summary.final_checksum = model_checksum(&model);
+        for child in children.iter_mut().flatten() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        Ok(summary)
+    }
+
+    /// Applies the scheduled SIGKILL, if this is its iteration.
+    fn inject_kill(
+        &self,
+        iter: usize,
+        children: &mut [Option<Child>],
+        summary: &mut LaunchSummary,
+    ) {
+        let Some((node, at)) = self.kill else { return };
+        if at != iter || node >= children.len() {
+            return;
+        }
+        if let Some(child) = &mut children[node] {
+            let _ = child.kill();
+            let _ = child.wait();
+            children[node] = None;
+            summary.kills.push((node, iter));
+        }
+    }
+
+    /// Expels silent members the φ detector declared failed and
+    /// respawns them with the join flag.
+    fn detector_sweep(
+        &self,
+        iter: usize,
+        detector: &mut FailureDetector,
+        member: &mut [bool],
+        children: &mut [Option<Child>],
+        summary: &mut LaunchSummary,
+    ) -> Result<(), RuntimeError> {
+        let now = iter as f64;
+        for node in 0..member.len() {
+            if !member[node] {
+                continue;
+            }
+            if detector.level(node, now) == SuspicionLevel::Failed {
+                member[node] = false;
+                summary.expulsions.push((node, iter));
+                summary.stats.links_dead += 1;
+                children[node] = Some(self.spawn_worker(node, true)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// One iteration's accept window: serve round streams from every
+    /// live member and join handshakes from rejoining workers, until
+    /// everyone delivered or the window deadline passes.
+    fn round_window(
+        &self,
+        iter: usize,
+        store: &CheckpointStore,
+        model: &[f64],
+        detector: &mut FailureDetector,
+        member: &mut [bool],
+        summary: &mut LaunchSummary,
+    ) -> Result<Vec<Delivery>, RuntimeError> {
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        let window = self.spec.link.read_timeout();
+        let start = Instant::now();
+        loop {
+            let expected = member.iter().filter(|&&m| m).count();
+            let have = deliveries.len();
+            if have >= expected && expected > 0 {
+                break;
+            }
+            if start.elapsed() >= window {
+                break;
+            }
+            let Ok((mut stream, _)) = self.listener.accept() else {
+                thread::sleep(Duration::from_millis(1));
+                continue;
+            };
+            if stream.set_nonblocking(false).is_err() {
+                continue;
+            }
+            let Ok(served) = supervisor::serve_round(&mut stream, &self.spec.link) else {
+                continue;
+            };
+            let node = served.node as usize;
+            if node >= member.len() {
+                continue;
+            }
+            summary.stats.merge(&served.stats);
+            if served.join {
+                let matched = self.admit(iter, node, store, model, stream, summary)?;
+                member[node] = true;
+                detector.reset(node, iter as f64);
+                summary.rejoins.push((node, iter, matched));
+                continue;
+            }
+            if served.iteration != iter as u64 || !member[node] {
+                continue; // Stale retransmission or expelled sender.
+            }
+            detector.observe(node, iter as f64 + 1.0);
+            if deliveries.iter().any(|d| d.node == node) {
+                continue; // Duplicate delivery after a late reconnect.
+            }
+            deliveries.push(Delivery {
+                node,
+                records: served.records,
+                chunks: served.chunks,
+                stream,
+            });
+        }
+        deliveries.sort_by_key(|d| d.node);
+        Ok(deliveries)
+    }
+
+    /// Completes a join handshake on a served connection: catch the
+    /// worker up from the checkpoint/replay log (never from the live
+    /// model — that is the bit-identity proof) and verify its
+    /// acknowledged checksum.
+    fn admit(
+        &self,
+        iter: usize,
+        node: usize,
+        store: &CheckpointStore,
+        model: &[f64],
+        mut stream: TcpStream,
+        summary: &mut LaunchSummary,
+    ) -> Result<bool, RuntimeError> {
+        let caught = store.catch_up()?;
+        let expected = model_checksum(model);
+        if model_checksum(&caught.model) != expected {
+            // Replay no longer reproduces the live model: the store is
+            // unusable for recovery.
+            return Err(RuntimeError::CheckpointCorrupt { iteration: caught.base_iteration });
+        }
+        let snapshot = Frame {
+            kind: FrameKind::Snapshot,
+            node: node as u32,
+            iteration: iter as u64,
+            a: iter as u64,
+            b: expected,
+            payload: caught.model,
+        };
+        let mut stats = TransportStats::default();
+        supervisor::reply(&mut stream, &snapshot, &mut stats).map_err(|e| join_failed(node, &e))?;
+        let ack = Frame::read_from(&mut stream).map_err(|e| join_failed(node, &e))?;
+        stats.frames_received += 1;
+        stats.bytes_received += ack.encoded_len() as u64;
+        summary.stats.merge(&stats);
+        Ok(ack.kind == FrameKind::Ack && ack.b == expected)
+    }
+
+    /// The post-training window: collect each live worker's final model
+    /// checksum (a chunkless round at `iteration == iterations`).
+    fn final_window(&self, model: &[f64], member: &[bool], summary: &mut LaunchSummary) {
+        let expected = model_checksum(model);
+        let live = member.iter().filter(|&&m| m).count();
+        let window = self.spec.link.read_timeout();
+        let start = Instant::now();
+        while summary.workers_reported < live && start.elapsed() < window {
+            let Ok((mut stream, _)) = self.listener.accept() else {
+                thread::sleep(Duration::from_millis(1));
+                continue;
+            };
+            if stream.set_nonblocking(false).is_err() {
+                continue;
+            }
+            let Ok(served) = supervisor::serve_round(&mut stream, &self.spec.link) else {
+                continue;
+            };
+            if served.join || served.iteration != self.spec.iterations as u64 {
+                continue;
+            }
+            summary.stats.merge(&served.stats);
+            summary.workers_reported += 1;
+            if served.records == expected {
+                summary.workers_matched += 1;
+            }
+            let ack = Frame::control(FrameKind::Ack, served.node, served.iteration, 0, expected);
+            let mut stats = TransportStats::default();
+            if supervisor::reply(&mut stream, &ack, &mut stats).is_ok() {
+                summary.stats.merge(&stats);
+            }
+        }
+    }
+}
+
+/// Books the fold: rebuild each delivered gradient, sum in node order,
+/// apply the `Step` through the replay log, and broadcast the update on
+/// every delivered connection.
+fn apply_round(
+    spec: &JobSpec,
+    iter: usize,
+    mut deliveries: Vec<Delivery>,
+    model: &mut [f64],
+    store: &mut CheckpointStore,
+    summary: &mut LaunchSummary,
+) {
+    let mut sum = vec![0.0; spec.features];
+    let mut active_total = 0u64;
+    let mut contributed = Vec::new();
+    for d in &deliveries {
+        let Some(grad) = rebuild(&d.chunks, spec.features) else {
+            continue; // A corrupt chunk quarantines the whole stream.
+        };
+        for (s, g) in sum.iter_mut().zip(&grad) {
+            *s += g;
+        }
+        active_total += d.records;
+        contributed.push(d.node);
+    }
+    if active_total == 0 {
+        return;
+    }
+    let op = ReplayOp::Step { grad: sum.clone(), scale: spec.learning_rate / active_total as f64 };
+    op.apply(model);
+    store.record_update(op);
+    store.maybe_checkpoint(iter + 1, model);
+    for d in &mut deliveries {
+        if !contributed.contains(&d.node) {
+            continue; // No update echo for a quarantined stream.
+        }
+        let reply = Frame {
+            kind: FrameKind::Model,
+            node: d.node as u32,
+            iteration: iter as u64,
+            a: 0,
+            b: active_total,
+            payload: sum.clone(),
+        };
+        let mut stats = TransportStats::default();
+        if supervisor::reply(&mut d.stream, &reply, &mut stats).is_ok() {
+            summary.stats.merge(&stats);
+        }
+    }
+}
+
+/// Reassembles a gradient vector from chunked delivery, verifying every
+/// chunk checksum. `None` if anything is missing or corrupt.
+fn rebuild(chunks: &[Chunk], len: usize) -> Option<Vec<f64>> {
+    let mut out = vec![0.0; len];
+    let mut covered = 0;
+    for chunk in chunks {
+        if !chunk.is_intact() || chunk.offset + chunk.data.len() > len {
+            return None;
+        }
+        out[chunk.offset..chunk.offset + chunk.data.len()].copy_from_slice(&chunk.data);
+        covered += chunk.data.len();
+    }
+    (covered == len).then_some(out)
+}
+
+fn join_failed(node: usize, err: &WireError) -> RuntimeError {
+    RuntimeError::TransportFailed {
+        peer: node,
+        attempts: 1,
+        detail: format!("join handshake: {err}"),
+    }
+}
+
+/// One worker process: compute the shard's batch gradient, stream it to
+/// the coordinator each round, apply the broadcast update identically.
+pub struct Worker {
+    spec: JobSpec,
+    node: usize,
+    addr: SocketAddr,
+    join: bool,
+}
+
+impl Worker {
+    /// Builds worker `node` dialing `addr`; `join` workers start with
+    /// the catch-up handshake instead of iteration 0.
+    pub fn new(spec: JobSpec, node: usize, addr: SocketAddr, join: bool) -> Self {
+        Worker { spec, node, addr, join }
+    }
+
+    /// Runs the worker loop to completion: rounds, re-syncs, the final
+    /// checksum report.
+    pub fn run(&self) -> Result<(), RuntimeError> {
+        let spec = self.spec;
+        let alg = spec.algorithm();
+        let shard = spec.shard(self.node);
+        let mut model = spec.initial_model();
+        let mut iter = 0usize;
+        if self.join {
+            iter = self.join_handshake(&mut model)?;
+        }
+        let sender =
+            RoundSender { addr: self.addr, node: self.node, link: &spec.link, retry: &spec.retry };
+        while iter < spec.iterations {
+            let mut grad = alg.zero_model();
+            for record in shard.records() {
+                alg.accumulate_gradient(record, &model, &mut grad);
+            }
+            let chunks: Vec<(usize, Chunk)> = chunk_vector(&grad).into_iter().enumerate().collect();
+            match sender.send_round(
+                iter as u64,
+                &chunks,
+                shard.len() as u64,
+                &WireShim::transparent(),
+                FrameKind::Model,
+            ) {
+                Ok(report) => {
+                    let op = ReplayOp::Step {
+                        grad: report.reply.payload,
+                        scale: spec.learning_rate / report.reply.b as f64,
+                    };
+                    op.apply(&mut model);
+                    iter += 1;
+                }
+                Err(_) => {
+                    // Missed the aggregation window: the cluster moved
+                    // on without this shard. Re-sync through the join
+                    // handshake rather than fork the model.
+                    iter = self.join_handshake(&mut model)?;
+                }
+            }
+        }
+        // Final report: a chunkless round carrying the model checksum
+        // as the record count, acknowledged by the coordinator.
+        let _ = sender.send_round(
+            spec.iterations as u64,
+            &[],
+            model_checksum(&model),
+            &WireShim::transparent(),
+            FrameKind::Ack,
+        );
+        Ok(())
+    }
+
+    /// The join handshake: `Hello(join)` → `Snapshot(model, resume)` →
+    /// `Ack(checksum)`. Retries with the supervisor's backoff until the
+    /// budget exhausts. Returns the iteration to resume at.
+    fn join_handshake(&self, model: &mut Vec<f64>) -> Result<usize, RuntimeError> {
+        let spec = &self.spec;
+        let budget = spec.retry.max_retries.saturating_add(1);
+        let mut last = "never attempted".to_string();
+        for attempt in 0..budget {
+            if attempt > 0 {
+                let units = spec.retry.delay(attempt - 1);
+                thread::sleep(Duration::from_millis(
+                    (units * spec.link.backoff_unit_ms as f64).round() as u64,
+                ));
+            }
+            match self.try_join(model) {
+                Ok(resume) => return Ok(resume),
+                Err(err) => last = err.to_string(),
+            }
+        }
+        Err(RuntimeError::TransportFailed {
+            peer: self.node,
+            attempts: budget,
+            detail: format!("join handshake: {last}"),
+        })
+    }
+
+    /// One join attempt over a fresh connection.
+    fn try_join(&self, model: &mut Vec<f64>) -> Result<usize, WireError> {
+        let spec = &self.spec;
+        let io = |e: std::io::Error| WireError::Io { detail: format!("join: {e}") };
+        let mut stream =
+            TcpStream::connect_timeout(&self.addr, spec.link.connect_timeout()).map_err(io)?;
+        stream.set_nodelay(true).map_err(io)?;
+        stream.set_read_timeout(Some(spec.link.read_timeout())).map_err(io)?;
+        stream.set_write_timeout(Some(spec.link.read_timeout())).map_err(io)?;
+        let hello = Frame::control(FrameKind::Hello, self.node as u32, 0, 1, 0);
+        stream.write_all(&hello.encode()).map_err(io)?;
+        let snapshot = Frame::read_from(&mut stream)?;
+        if snapshot.kind != FrameKind::Snapshot {
+            return Err(WireError::Protocol {
+                detail: format!("expected Snapshot in join handshake, got {:?}", snapshot.kind),
+            });
+        }
+        *model = snapshot.payload;
+        let ack = Frame::control(
+            FrameKind::Ack,
+            self.node as u32,
+            snapshot.iteration,
+            0,
+            model_checksum(model),
+        );
+        stream.write_all(&ack.encode()).map_err(io)?;
+        Ok(snapshot.a as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_cover_the_dataset_disjointly() {
+        let spec = JobSpec::default();
+        let total: usize = (0..spec.nodes).map(|n| spec.shard(n).len()).sum();
+        assert_eq!(total, spec.samples);
+    }
+
+    #[test]
+    fn rebuild_round_trips_chunked_vectors() {
+        let v: Vec<f64> = (0..300).map(|i| i as f64 * 0.25).collect();
+        let chunks = chunk_vector(&v);
+        assert_eq!(rebuild(&chunks, v.len()), Some(v.clone()));
+        // A corrupt chunk poisons the whole rebuild.
+        let mut bad = chunk_vector(&v);
+        bad[0] = bad[0].clone().corrupted();
+        assert_eq!(rebuild(&bad, v.len()), None);
+        // A missing chunk is detected by coverage.
+        let partial = &chunks[1..];
+        assert_eq!(rebuild(partial, v.len()), None);
+    }
+
+    #[test]
+    fn summary_json_is_well_formed_enough_to_grep() {
+        let s = LaunchSummary {
+            iterations: 4,
+            final_checksum: 0xAB,
+            workers_reported: 2,
+            workers_matched: 2,
+            kills: vec![(1, 2)],
+            expulsions: vec![(1, 4)],
+            rejoins: vec![(1, 6, true)],
+            stats: TransportStats { frames_sent: 10, ..Default::default() },
+        };
+        let json = s.to_json();
+        assert!(json.contains("\"workers_matched\":2"), "{json}");
+        assert!(json.contains("\"kills\":[[1,2]]"), "{json}");
+        assert!(json.contains("\"rejoins\":[[1,6,true]]"), "{json}");
+        assert!(json.contains("\"frames_sent\":10"), "{json}");
+    }
+}

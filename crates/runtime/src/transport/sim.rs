@@ -1,0 +1,112 @@
+//! The discrete-event backend: crossbeam channels as sockets.
+//!
+//! This is the pre-seam engine wire, verbatim — one scoped sender
+//! thread per admitted peer, bounded channels, plan-driven chunk
+//! corruption and duplication applied "on the wire", and the validated
+//! Sigma fold on the receiving side. Nothing is booked into
+//! [`TransportStats`], so traced runs export byte-identical telemetry
+//! to the pre-seam engine.
+
+use crossbeam::channel;
+use std::thread;
+
+use crate::error::RuntimeError;
+use crate::node::{chunk_vector, SigmaAggregator};
+
+use super::{RoundCtx, RoundDelivery, Transport, TransportKind, TransportStats};
+
+/// The in-process channel wire (the default backend).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimTransport;
+
+impl Transport for SimTransport {
+    fn kind(&self) -> TransportKind {
+        TransportKind::Sim
+    }
+
+    fn round(
+        &self,
+        ctx: &RoundCtx<'_>,
+        sigma: &SigmaAggregator,
+        parts: &[Option<&[f64]>],
+    ) -> Result<RoundDelivery, RuntimeError> {
+        let plan = ctx.plan;
+        let iter_idx = ctx.iteration;
+        let outcome = thread::scope(|s| {
+            let mut receivers = Vec::new();
+            for (i, &member) in ctx.senders.iter().enumerate() {
+                let (tx, rx) = channel::bounded(8);
+                receivers.push(rx);
+                let part = parts[i];
+                s.spawn(move || {
+                    let Some(part) = part else {
+                        return;
+                    };
+                    for (ci, chunk) in chunk_vector(part).into_iter().enumerate() {
+                        let chunk = if plan.chunk_corrupted(member, iter_idx, ci) {
+                            chunk.corrupted()
+                        } else {
+                            chunk
+                        };
+                        let duplicate =
+                            plan.chunk_duplicated(member, iter_idx, ci).then(|| chunk.clone());
+                        if tx.send(chunk).is_err() {
+                            break;
+                        }
+                        if let Some(dup) = duplicate {
+                            if tx.send(dup).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+            sigma.aggregate_validated(ctx.model_len, receivers)
+        });
+        Ok(RoundDelivery { outcome, dead: Vec::new(), stats: TransportStats::default() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::RetryPolicy;
+    use cosmic_sim::faults::FaultPlan;
+
+    #[test]
+    fn sim_round_folds_parts_and_books_nothing() {
+        let plan = FaultPlan::none();
+        let retry = RetryPolicy::default();
+        let senders = [0usize, 1];
+        let ctx =
+            RoundCtx { iteration: 0, model_len: 3, plan: &plan, retry: &retry, senders: &senders };
+        let sigma = SigmaAggregator::new(2, 2);
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        let delivery = SimTransport.round(&ctx, &sigma, &[Some(&a[..]), Some(&b[..])]).unwrap();
+        assert_eq!(delivery.outcome.sum, vec![11.0, 22.0, 33.0]);
+        assert!(delivery.outcome.quarantined.is_empty());
+        assert!(delivery.dead.is_empty());
+        assert!(delivery.stats.is_empty());
+        assert_eq!(SimTransport.kind(), TransportKind::Sim);
+    }
+
+    #[test]
+    fn sim_round_applies_chunk_faults_from_the_plan() {
+        let plan = FaultPlan::none().corrupt_chunk(1, 0, 0).duplicate_chunk(0, 0, 0);
+        let retry = RetryPolicy::default();
+        let senders = [0usize, 1];
+        let ctx =
+            RoundCtx { iteration: 0, model_len: 2, plan: &plan, retry: &retry, senders: &senders };
+        let sigma = SigmaAggregator::new(2, 2);
+        let a = [1.0, 2.0];
+        let b = [5.0, 5.0];
+        let delivery = SimTransport.round(&ctx, &sigma, &[Some(&a[..]), Some(&b[..])]).unwrap();
+        // Peer 1's corrupted chunk is quarantined; peer 0's duplicate is
+        // dropped by the dedup, leaving peer 0's clean contribution.
+        assert_eq!(delivery.outcome.sum, vec![1.0, 2.0]);
+        assert_eq!(delivery.outcome.duplicates_dropped, 1);
+        assert_eq!(delivery.outcome.quarantined.len(), 1);
+        assert_eq!(delivery.outcome.quarantined[0].0, 1);
+    }
+}

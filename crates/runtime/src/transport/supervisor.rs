@@ -1,0 +1,303 @@
+//! The connection supervisor: deadline-bounded connect/read/write, a
+//! capped-exponential reconnect loop driven by the existing
+//! [`RetryPolicy`], and the store-and-forward round server.
+//!
+//! Every real-wire exchange in the stack — the in-engine
+//! [`super::tcp::TcpTransport`] and the multi-process launcher — goes
+//! through the two halves here:
+//!
+//! - [`RoundSender::send_round`] pushes one complete chunk stream
+//!   (`Hello`, `Heartbeat`, chunks, `Done`) and awaits a typed reply,
+//!   reconnecting with capped-exponential backoff when the link fails
+//!   mid-stream. Socket-level faults from the [`WireShim`] apply only
+//!   to the first attempt, so a retransmission after a plan-injected
+//!   sever or frame flip always lands.
+//! - [`serve_round`] reads one connection's stream to completion and
+//!   returns the buffered chunks. Buffering the attempt (instead of
+//!   forwarding chunk-by-chunk) means a stream that dies mid-round
+//!   contributes **nothing** — the retransmission is the only delivery,
+//!   so chunk-conservation counters match the discrete-event backend
+//!   exactly.
+//!
+//! Every blocking call carries a deadline, so a dead peer costs bounded
+//! time, never a hang: the failure surfaces as a typed
+//! [`RuntimeError::TransportFailed`] and flows into the membership
+//! machinery.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use crate::error::RuntimeError;
+use crate::node::Chunk;
+use crate::trainer::RetryPolicy;
+
+use super::shim::{damage, WireShim};
+use super::wire::{Frame, FrameKind, WireError};
+use super::{LinkConfig, TransportStats};
+
+/// The reply and accounting of one successful supervised round.
+#[derive(Debug)]
+pub struct SendReport {
+    /// The reply frame the receiver closed the round with.
+    pub reply: Frame,
+    /// Wire accounting for every attempt, including failed ones.
+    pub stats: TransportStats,
+    /// Connection attempts spent (1 = clean first try).
+    pub attempts: u32,
+}
+
+/// One supervised sender link, named by the worker-side `node` id.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundSender<'a> {
+    /// The receiver's address.
+    pub addr: SocketAddr,
+    /// The sending node's id (also the link's name in errors).
+    pub node: usize,
+    /// Connect/read/write deadlines.
+    pub link: &'a LinkConfig,
+    /// Reconnect backoff policy (shared with chunk retransmission).
+    pub retry: &'a RetryPolicy,
+}
+
+impl RoundSender<'_> {
+    /// Streams one round — `chunks` as `(chunk_index, chunk)` pairs, in
+    /// order, duplicates included — and awaits a reply of kind
+    /// `expect`. Reconnects with capped-exponential backoff on any
+    /// failure; after the retry budget the link is declared dead with
+    /// [`RuntimeError::TransportFailed`].
+    pub fn send_round(
+        &self,
+        iteration: u64,
+        chunks: &[(usize, Chunk)],
+        records: u64,
+        shim: &WireShim<'_>,
+        expect: FrameKind,
+    ) -> Result<SendReport, RuntimeError> {
+        let mut stats = TransportStats::default();
+        let budget = self.retry.max_retries.saturating_add(1);
+        let mut last = "never attempted".to_string();
+        for attempt in 0..budget {
+            if attempt > 0 {
+                stats.reconnects += 1;
+                thread::sleep(self.backoff(attempt - 1));
+            }
+            match self.attempt(iteration, chunks, records, shim, expect, attempt, &mut stats) {
+                Ok(reply) => return Ok(SendReport { reply, stats, attempts: attempt + 1 }),
+                Err(err) => last = err.to_string(),
+            }
+        }
+        Err(RuntimeError::TransportFailed { peer: self.node, attempts: budget, detail: last })
+    }
+
+    /// The wall-clock backoff before reconnect `attempt` (0-based):
+    /// the virtual-time [`RetryPolicy`] curve scaled by
+    /// [`LinkConfig::backoff_unit_ms`].
+    fn backoff(&self, attempt: u32) -> Duration {
+        let units = self.retry.delay(attempt);
+        Duration::from_millis((units * self.link.backoff_unit_ms as f64).round() as u64)
+    }
+
+    /// One connection attempt: connect, stream, await the reply.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt(
+        &self,
+        iteration: u64,
+        chunks: &[(usize, Chunk)],
+        records: u64,
+        shim: &WireShim<'_>,
+        expect: FrameKind,
+        attempt: u32,
+        stats: &mut TransportStats,
+    ) -> Result<Frame, RuntimeError> {
+        let mut stream = self.connect(attempt)?;
+        let node = self.node as u32;
+        let sever = shim.sever_at(attempt);
+        let delay = shim.frame_delay(attempt);
+        self.push(&mut stream, Frame::control(FrameKind::Hello, node, iteration, 0, 0), stats)?;
+        self.push(&mut stream, Frame::control(FrameKind::Heartbeat, node, iteration, 0, 0), stats)?;
+        for &(ci, ref chunk) in chunks {
+            if sever == Some(ci) {
+                // A plan-injected sever: drop the socket cold, exactly
+                // as a dying NIC would, and let the reconnect loop
+                // recover the round.
+                drop(stream);
+                return Err(RuntimeError::TransportFailed {
+                    peer: self.node,
+                    attempts: attempt + 1,
+                    detail: format!("link severed by fault plan before chunk {ci}"),
+                });
+            }
+            if !delay.is_zero() {
+                thread::sleep(delay);
+            }
+            let mut bytes = Frame::chunk(node, iteration, chunk).encode();
+            if shim.frame_corrupted(attempt, ci) {
+                damage(&mut bytes);
+            }
+            self.push_bytes(&mut stream, &bytes, stats)?;
+        }
+        self.push(
+            &mut stream,
+            Frame::control(FrameKind::Done, node, iteration, 0, records),
+            stats,
+        )?;
+        let reply = Frame::read_from(&mut stream).map_err(|err| self.classify(err, attempt))?;
+        stats.frames_received += 1;
+        stats.bytes_received += reply.encoded_len() as u64;
+        if reply.kind != expect {
+            return Err(RuntimeError::FrameCorrupt {
+                peer: self.node,
+                offset: reply.a as usize,
+                detail: format!("expected {expect:?} reply, got {:?}", reply.kind),
+            });
+        }
+        Ok(reply)
+    }
+
+    /// Connects within the configured deadline and arms per-call
+    /// read/write deadlines on the socket.
+    fn connect(&self, attempt: u32) -> Result<TcpStream, RuntimeError> {
+        let fail = |detail: String| RuntimeError::TransportFailed {
+            peer: self.node,
+            attempts: attempt + 1,
+            detail,
+        };
+        let stream = TcpStream::connect_timeout(&self.addr, self.link.connect_timeout())
+            .map_err(|e| fail(format!("connect: {e}")))?;
+        arm(&stream, self.link).map_err(|e| fail(format!("socket setup: {e}")))?;
+        Ok(stream)
+    }
+
+    fn push(
+        &self,
+        stream: &mut TcpStream,
+        frame: Frame,
+        stats: &mut TransportStats,
+    ) -> Result<(), RuntimeError> {
+        self.push_bytes(stream, &frame.encode(), stats)
+    }
+
+    fn push_bytes(
+        &self,
+        stream: &mut TcpStream,
+        bytes: &[u8],
+        stats: &mut TransportStats,
+    ) -> Result<(), RuntimeError> {
+        stream.write_all(bytes).map_err(|e| RuntimeError::TransportFailed {
+            peer: self.node,
+            attempts: 1,
+            detail: format!("write: {e}"),
+        })?;
+        stats.frames_sent += 1;
+        stats.bytes_sent += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Maps a reply-read failure: stream-level trouble is a transport
+    /// failure (retryable), a malformed frame is a corruption report.
+    fn classify(&self, err: WireError, attempt: u32) -> RuntimeError {
+        if err.is_io() {
+            RuntimeError::TransportFailed {
+                peer: self.node,
+                attempts: attempt + 1,
+                detail: err.to_string(),
+            }
+        } else {
+            RuntimeError::FrameCorrupt { peer: self.node, offset: 0, detail: err.to_string() }
+        }
+    }
+}
+
+/// Everything one served connection delivered.
+#[derive(Debug)]
+pub struct ServedRound {
+    /// The sending node's id (from its `Hello`).
+    pub node: u32,
+    /// The iteration the sender stamped on the stream.
+    pub iteration: u64,
+    /// Whether this is a rejoin/catch-up handshake instead of a round
+    /// stream (the caller runs the join protocol; `chunks` is empty).
+    pub join: bool,
+    /// The sender's record count from its `Done` frame.
+    pub records: u64,
+    /// The buffered chunk stream, in arrival order.
+    pub chunks: Vec<Chunk>,
+    /// Wire accounting for this connection.
+    pub stats: TransportStats,
+}
+
+/// Reads one connection's round stream to completion
+/// (store-and-forward): `Hello`, any heartbeats, chunks, `Done`. A
+/// stream that fails mid-way returns `Err` and contributes nothing —
+/// the sender's retransmission is the only delivery. Join handshakes
+/// return early with [`ServedRound::join`] set.
+pub fn serve_round(stream: &mut TcpStream, link: &LinkConfig) -> Result<ServedRound, WireError> {
+    arm(stream, link).map_err(|e| WireError::Io { detail: format!("socket setup: {e}") })?;
+    let mut stats = TransportStats::default();
+    let hello = take(stream, &mut stats)?;
+    if hello.kind != FrameKind::Hello {
+        return Err(WireError::Protocol {
+            detail: format!("expected Hello to open the stream, got {:?}", hello.kind),
+        });
+    }
+    let mut served = ServedRound {
+        node: hello.node,
+        iteration: hello.iteration,
+        join: hello.a == 1,
+        records: 0,
+        chunks: Vec::new(),
+        stats: TransportStats::default(),
+    };
+    if served.join {
+        served.stats = stats;
+        return Ok(served);
+    }
+    loop {
+        let frame = take(stream, &mut stats)?;
+        match frame.kind {
+            FrameKind::Heartbeat => stats.heartbeats += 1,
+            FrameKind::Chunk => served.chunks.push(frame.to_chunk()),
+            FrameKind::Done => {
+                served.records = frame.b;
+                served.stats = stats;
+                return Ok(served);
+            }
+            other => {
+                return Err(WireError::Protocol {
+                    detail: format!("unexpected {other:?} frame inside a round stream"),
+                })
+            }
+        }
+    }
+}
+
+/// Writes a reply frame on a served connection, booking it into
+/// `stats`.
+pub fn reply(
+    stream: &mut TcpStream,
+    frame: &Frame,
+    stats: &mut TransportStats,
+) -> Result<(), WireError> {
+    frame.write_to(stream)?;
+    stats.frames_sent += 1;
+    stats.bytes_sent += frame.encoded_len() as u64;
+    Ok(())
+}
+
+/// Reads and books one frame.
+fn take(stream: &mut TcpStream, stats: &mut TransportStats) -> Result<Frame, WireError> {
+    let frame = Frame::read_from(stream)?;
+    stats.frames_received += 1;
+    stats.bytes_received += frame.encoded_len() as u64;
+    Ok(frame)
+}
+
+/// Arms per-call read/write deadlines so no blocking socket call can
+/// outlive the configured budget.
+fn arm(stream: &TcpStream, link: &LinkConfig) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(link.read_timeout()))?;
+    stream.set_write_timeout(Some(link.read_timeout()))
+}

@@ -1,0 +1,433 @@
+//! The length-prefixed, checksummed wire format every real transport
+//! backend speaks.
+//!
+//! A frame is a fixed 37-byte header, a payload of little-endian f64
+//! bit patterns, and a trailing FNV-1a checksum over everything before
+//! it:
+//!
+//! ```text
+//! magic:u32 | kind:u8 | node:u32 | iteration:u64 | a:u64 | b:u64 |
+//! len:u32 | payload: len × f64-LE-bits | checksum:u64
+//! ```
+//!
+//! `a` and `b` are kind-specific operands (a chunk frame carries its
+//! word offset in `a` and the chunk's own checksum — verbatim — in
+//! `b`, so Sigma-level chunk validation survives the wire unchanged).
+//! Decoding never panics: every malformed input — truncated buffer,
+//! wrong magic, unknown kind, oversized length, flipped bit — comes
+//! back as a typed [`WireError`].
+
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+
+use crate::node::Chunk;
+
+/// Frame magic: `"COSM"` as a big-endian u32.
+pub const MAGIC: u32 = 0x434F_534D;
+
+/// Header bytes before the payload: magic(4) kind(1) node(4)
+/// iteration(8) a(8) b(8) len(4).
+pub const HEADER_BYTES: usize = 37;
+
+/// Trailing checksum bytes.
+pub const CHECKSUM_BYTES: usize = 8;
+
+/// Ceiling on a frame's payload length in words (64 MiB of f64s) —
+/// rejects garbage lengths before any allocation.
+pub const MAX_PAYLOAD_WORDS: u32 = 1 << 23;
+
+/// What a frame means to the peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Opens a connection: `a` is 1 for a rejoin/catch-up handshake,
+    /// 0 for a normal round stream.
+    Hello = 1,
+    /// One model chunk: `a` is the word offset, `b` the chunk's own
+    /// FNV-1a checksum (carried verbatim).
+    Chunk = 2,
+    /// Liveness beacon feeding the φ-accrual detector.
+    Heartbeat = 3,
+    /// Closes a round stream: `b` is the sender's record count (the
+    /// contribution weight).
+    Done = 4,
+    /// Aggregated update broadcast: `b` is the active total.
+    Model = 5,
+    /// Checkpoint catch-up payload for a joining peer: `a` is the
+    /// iteration to resume at.
+    Snapshot = 6,
+    /// Positive acknowledgement; `b` carries a model checksum when the
+    /// protocol step verifies bit-identity.
+    Ack = 7,
+    /// Orderly teardown.
+    Shutdown = 8,
+}
+
+impl FrameKind {
+    fn from_u8(raw: u8) -> Result<Self, WireError> {
+        match raw {
+            1 => Ok(FrameKind::Hello),
+            2 => Ok(FrameKind::Chunk),
+            3 => Ok(FrameKind::Heartbeat),
+            4 => Ok(FrameKind::Done),
+            5 => Ok(FrameKind::Model),
+            6 => Ok(FrameKind::Snapshot),
+            7 => Ok(FrameKind::Ack),
+            8 => Ok(FrameKind::Shutdown),
+            other => Err(WireError::BadKind { found: other }),
+        }
+    }
+}
+
+/// One decoded wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// What the frame means.
+    pub kind: FrameKind,
+    /// The sending node's id.
+    pub node: u32,
+    /// The aggregation iteration the frame belongs to.
+    pub iteration: u64,
+    /// First kind-specific operand (chunk offset, resume iteration, …).
+    pub a: u64,
+    /// Second kind-specific operand (chunk checksum, record count, …).
+    pub b: u64,
+    /// f64 payload (chunk data, model words); empty for control frames.
+    pub payload: Vec<f64>,
+}
+
+impl Frame {
+    /// A control frame (empty payload).
+    pub fn control(kind: FrameKind, node: u32, iteration: u64, a: u64, b: u64) -> Self {
+        Frame { kind, node, iteration, a, b, payload: Vec::new() }
+    }
+
+    /// Wraps a model chunk, carrying its own checksum verbatim so
+    /// Sigma-side validation sees exactly what the sender staged.
+    pub fn chunk(node: u32, iteration: u64, chunk: &Chunk) -> Self {
+        Frame {
+            kind: FrameKind::Chunk,
+            node,
+            iteration,
+            a: chunk.offset as u64,
+            b: chunk.checksum,
+            payload: chunk.data.clone(),
+        }
+    }
+
+    /// Reconstructs the staged [`Chunk`] from a chunk frame (the
+    /// chunk's checksum is whatever the sender staged — a stale one
+    /// travels unchanged and is the Sigma's business, not the wire's).
+    pub fn to_chunk(&self) -> Chunk {
+        Chunk { offset: self.a as usize, data: self.payload.clone(), checksum: self.b }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_BYTES + 8 * self.payload.len() + CHECKSUM_BYTES
+    }
+
+    /// Encodes the frame: header, payload, trailing checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.push(self.kind as u8);
+        buf.extend_from_slice(&self.node.to_le_bytes());
+        buf.extend_from_slice(&self.iteration.to_le_bytes());
+        buf.extend_from_slice(&self.a.to_le_bytes());
+        buf.extend_from_slice(&self.b.to_le_bytes());
+        buf.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        for word in &self.payload {
+            buf.extend_from_slice(&word.to_bits().to_le_bytes());
+        }
+        buf.extend_from_slice(&fnv1a(&buf).to_le_bytes());
+        buf
+    }
+
+    /// Decodes one frame from an exact buffer (no trailing bytes).
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        if buf.len() < HEADER_BYTES + CHECKSUM_BYTES {
+            return Err(WireError::Truncated {
+                needed: HEADER_BYTES + CHECKSUM_BYTES,
+                got: buf.len(),
+            });
+        }
+        let (header, rest) = buf.split_at(HEADER_BYTES);
+        let words = parse_header_len(header)?;
+        let body_bytes = 8 * words as usize;
+        if rest.len() != body_bytes + CHECKSUM_BYTES {
+            return Err(WireError::Truncated {
+                needed: HEADER_BYTES + body_bytes + CHECKSUM_BYTES,
+                got: buf.len(),
+            });
+        }
+        let (body, sum) = rest.split_at(body_bytes);
+        verify_checksum(&buf[..HEADER_BYTES + body_bytes], sum)?;
+        assemble(header, body)
+    }
+
+    /// Reads one frame off a byte stream (header first, then exactly
+    /// the advertised payload). I/O failures — including read-deadline
+    /// expiry — surface as [`WireError::Io`].
+    pub fn read_from(reader: &mut impl Read) -> Result<Self, WireError> {
+        let mut header = [0u8; HEADER_BYTES];
+        reader.read_exact(&mut header).map_err(WireError::from_io)?;
+        let words = parse_header_len(&header)?;
+        let mut rest = vec![0u8; 8 * words as usize + CHECKSUM_BYTES];
+        reader.read_exact(&mut rest).map_err(WireError::from_io)?;
+        let (body, sum) = rest.split_at(8 * words as usize);
+        let mut summed = Vec::with_capacity(HEADER_BYTES + body.len());
+        summed.extend_from_slice(&header);
+        summed.extend_from_slice(body);
+        verify_checksum(&summed, sum)?;
+        assemble(&header, body)
+    }
+
+    /// Writes the encoded frame to a byte stream.
+    pub fn write_to(&self, writer: &mut impl Write) -> Result<(), WireError> {
+        writer.write_all(&self.encode()).map_err(WireError::from_io)
+    }
+}
+
+/// Validates magic and payload length, returning the word count.
+fn parse_header_len(header: &[u8]) -> Result<u32, WireError> {
+    let magic = u32::from_le_bytes(slice4(header, 0));
+    if magic != MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    let words = u32::from_le_bytes(slice4(header, 33));
+    if words > MAX_PAYLOAD_WORDS {
+        return Err(WireError::Oversized { words });
+    }
+    Ok(words)
+}
+
+/// Compares the trailing checksum against the frame bytes.
+fn verify_checksum(summed: &[u8], sum: &[u8]) -> Result<(), WireError> {
+    let expected = fnv1a(summed);
+    let found = u64::from_le_bytes(slice8(sum, 0));
+    if expected != found {
+        return Err(WireError::ChecksumMismatch { expected, found });
+    }
+    Ok(())
+}
+
+/// Builds the frame from a validated header and payload body.
+fn assemble(header: &[u8], body: &[u8]) -> Result<Frame, WireError> {
+    let kind = FrameKind::from_u8(header[4])?;
+    let payload =
+        body.chunks_exact(8).map(|w| f64::from_bits(u64::from_le_bytes(slice8(w, 0)))).collect();
+    Ok(Frame {
+        kind,
+        node: u32::from_le_bytes(slice4(header, 5)),
+        iteration: u64::from_le_bytes(slice8(header, 9)),
+        a: u64::from_le_bytes(slice8(header, 17)),
+        b: u64::from_le_bytes(slice8(header, 25)),
+        payload,
+    })
+}
+
+fn slice4(buf: &[u8], at: usize) -> [u8; 4] {
+    let mut out = [0u8; 4];
+    out.copy_from_slice(&buf[at..at + 4]);
+    out
+}
+
+fn slice8(buf: &[u8], at: usize) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    out.copy_from_slice(&buf[at..at + 8]);
+    out
+}
+
+/// FNV-1a over raw bytes — same constants as the chunk and model
+/// checksums, so the whole stack shares one hash discipline.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A typed wire-decoding failure. Malformed input is a value, never a
+/// panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer or stream ended before the frame did.
+    Truncated {
+        /// Bytes the frame needed.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The first four bytes were not the frame magic.
+    BadMagic {
+        /// What was found instead.
+        found: u32,
+    },
+    /// The kind byte named no known frame kind.
+    BadKind {
+        /// The unknown kind byte.
+        found: u8,
+    },
+    /// The advertised payload length exceeds [`MAX_PAYLOAD_WORDS`].
+    Oversized {
+        /// The advertised word count.
+        words: u32,
+    },
+    /// The trailing checksum does not match the frame bytes.
+    ChecksumMismatch {
+        /// Checksum recomputed over the received bytes.
+        expected: u64,
+        /// Checksum the frame carried.
+        found: u64,
+    },
+    /// A well-formed frame arrived where the protocol did not allow
+    /// its kind.
+    Protocol {
+        /// What arrived and what was expected.
+        detail: String,
+    },
+    /// The underlying stream failed (closed, reset, or past its read
+    /// deadline).
+    Io {
+        /// The I/O error's kind and message.
+        detail: String,
+    },
+}
+
+impl WireError {
+    fn from_io(err: std::io::Error) -> Self {
+        WireError::Io { detail: format!("{}: {err}", err.kind()) }
+    }
+
+    /// Whether the failure was stream-level (I/O) rather than a
+    /// malformed frame.
+    pub fn is_io(&self) -> bool {
+        matches!(self, WireError::Io { .. })
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            WireError::BadMagic { found } => write!(f, "bad frame magic {found:#010x}"),
+            WireError::BadKind { found } => write!(f, "unknown frame kind {found}"),
+            WireError::Oversized { words } => {
+                write!(f, "frame payload of {words} words exceeds the cap")
+            }
+            WireError::ChecksumMismatch { expected, found } => {
+                write!(f, "frame checksum mismatch: expected {expected:#018x}, found {found:#018x}")
+            }
+            WireError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            WireError::Io { detail } => write!(f, "stream failure: {detail}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::chunk(3, 7, &Chunk::new(4096, vec![1.5, -2.25, 0.0, f64::MIN_POSITIVE]))
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frame = sample();
+        let buf = frame.encode();
+        assert_eq!(buf.len(), frame.encoded_len());
+        assert_eq!(Frame::decode(&buf), Ok(frame.clone()));
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(Frame::read_from(&mut cursor), Ok(frame));
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        for kind in [
+            FrameKind::Hello,
+            FrameKind::Heartbeat,
+            FrameKind::Done,
+            FrameKind::Ack,
+            FrameKind::Shutdown,
+        ] {
+            let frame = Frame::control(kind, 9, 42, 1, 0xDEAD_BEEF);
+            assert_eq!(Frame::decode(&frame.encode()), Ok(frame));
+        }
+    }
+
+    #[test]
+    fn chunk_frames_preserve_a_stale_chunk_checksum() {
+        let corrupt = Chunk::new(0, vec![1.0, 2.0]).corrupted();
+        assert!(!corrupt.is_intact());
+        let frame = Frame::chunk(0, 0, &corrupt);
+        // The *frame* is well-formed (its own checksum covers the
+        // damaged payload), but the carried chunk still fails
+        // Sigma-side validation — exactly the CorruptChunk semantics.
+        let back = Frame::decode(&frame.encode()).map(|f| f.to_chunk());
+        assert_eq!(back, Ok(corrupt.clone()));
+        assert!(!corrupt.is_intact());
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let buf = sample().encode();
+        for cut in [0, 1, HEADER_BYTES - 1, HEADER_BYTES, buf.len() - 1] {
+            let err = Frame::decode(&buf[..cut]);
+            assert!(matches!(err, Err(WireError::Truncated { .. })), "cut={cut} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught() {
+        let buf = sample().encode();
+        for byte in 0..buf.len() {
+            let mut bent = buf.clone();
+            bent[byte] ^= 0x01;
+            assert!(Frame::decode(&bent).is_err(), "flip at byte {byte} went undetected");
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut buf = sample().encode();
+        buf[33..37].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(Frame::decode(&buf), Err(WireError::Oversized { .. })));
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(Frame::read_from(&mut cursor), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn io_failures_are_distinguishable() {
+        let short = sample().encode();
+        let mut cursor = std::io::Cursor::new(&short[..HEADER_BYTES - 3]);
+        let err = Frame::read_from(&mut cursor).unwrap_err();
+        assert!(err.is_io(), "{err}");
+        assert!(!WireError::BadKind { found: 0 }.is_io());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(WireError, &str)> = vec![
+            (WireError::Truncated { needed: 45, got: 3 }, "needed 45"),
+            (WireError::BadMagic { found: 7 }, "magic"),
+            (WireError::BadKind { found: 99 }, "kind 99"),
+            (WireError::Oversized { words: 1 << 30 }, "exceeds"),
+            (WireError::ChecksumMismatch { expected: 1, found: 2 }, "mismatch"),
+            (WireError::Io { detail: "timed out".into() }, "timed out"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

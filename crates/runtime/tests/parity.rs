@@ -55,6 +55,7 @@ proptest! {
                 rejoin_after: 2,
                 partition: 0.03,
                 partition_heal_after: 2,
+                ..FaultRates::default()
             })
         } else {
             FaultPlan::none()

@@ -1,0 +1,164 @@
+//! Property tests for the wire codec: random frames round-trip bit for
+//! bit, and damaged bytes — truncation anywhere, a bit flip anywhere —
+//! surface as typed [`WireError`]s, never as a panic or a silently
+//! wrong frame.
+//!
+//! Payloads are generated as raw `u64` bit patterns reinterpreted as
+//! `f64` (the vendored proptest has no float strategies), which is
+//! strictly harsher than sampling "nice" floats: NaNs, infinities,
+//! subnormals, and both zero signs all travel the wire here, and all
+//! comparisons are on bits so NaN cannot hide a miscompare.
+
+use std::io::Cursor;
+
+use cosmic_runtime::node::Chunk;
+use cosmic_runtime::{Frame, FrameKind, WireError};
+use proptest::prelude::*;
+
+const KINDS: [FrameKind; 8] = [
+    FrameKind::Hello,
+    FrameKind::Chunk,
+    FrameKind::Heartbeat,
+    FrameKind::Done,
+    FrameKind::Model,
+    FrameKind::Snapshot,
+    FrameKind::Ack,
+    FrameKind::Shutdown,
+];
+
+fn frame(kind: usize, node: u32, iteration: u64, a: u64, b: u64, payload: &[u64]) -> Frame {
+    Frame {
+        kind: KINDS[kind % KINDS.len()],
+        node,
+        iteration,
+        a,
+        b,
+        payload: payload.iter().map(|&bits| f64::from_bits(bits)).collect(),
+    }
+}
+
+/// Field-wise equality on bits (payload `==` would choke on NaN).
+fn same(a: &Frame, b: &Frame) -> bool {
+    a.kind == b.kind
+        && a.node == b.node
+        && a.iteration == b.iteration
+        && a.a == b.a
+        && a.b == b.b
+        && a.payload.len() == b.payload.len()
+        && a.payload.iter().zip(&b.payload).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    /// Any frame survives encode → decode bit-identically, and the
+    /// advertised [`Frame::encoded_len`] is the truth.
+    #[test]
+    fn frames_round_trip(
+        kind in 0usize..8,
+        node in any::<u32>(),
+        iteration in any::<u64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        payload in prop::collection::vec(any::<u64>(), 0..48),
+    ) {
+        let original = frame(kind, node, iteration, a, b, &payload);
+        let encoded = original.encode();
+        prop_assert_eq!(encoded.len(), original.encoded_len());
+        let decoded = Frame::decode(&encoded).expect("clean bytes decode");
+        prop_assert!(same(&original, &decoded), "{original:?} != {decoded:?}");
+        // The streaming path agrees with the buffer path.
+        let streamed = Frame::read_from(&mut Cursor::new(&encoded)).expect("clean stream decodes");
+        prop_assert!(same(&original, &streamed));
+    }
+
+    /// Chunk frames carry the staged chunk verbatim — offset, data
+    /// bits, and the (possibly stale) checksum all survive the wire.
+    #[test]
+    fn chunks_round_trip_verbatim(
+        node in any::<u32>(),
+        iteration in any::<u64>(),
+        offset in 0usize..1_000_000,
+        checksum in any::<u64>(),
+        data in prop::collection::vec(any::<u64>(), 1..48),
+    ) {
+        let staged = Chunk {
+            offset,
+            data: data.iter().map(|&bits| f64::from_bits(bits)).collect(),
+            checksum,
+        };
+        let encoded = Frame::chunk(node, iteration, &staged).encode();
+        let landed = Frame::decode(&encoded).expect("chunk frame decodes").to_chunk();
+        prop_assert_eq!(landed.offset, staged.offset);
+        prop_assert_eq!(landed.checksum, staged.checksum);
+        let staged_bits: Vec<u64> = staged.data.iter().map(|v| v.to_bits()).collect();
+        let landed_bits: Vec<u64> = landed.data.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(staged_bits, landed_bits);
+    }
+
+    /// Every possible truncation of a valid frame decodes to a typed
+    /// error — never a panic, never a frame.
+    #[test]
+    fn truncation_is_always_a_typed_error(
+        kind in 0usize..8,
+        seed in any::<u64>(),
+        payload in prop::collection::vec(any::<u64>(), 0..16),
+        cut in any::<u16>(),
+    ) {
+        let encoded = frame(kind, 7, 3, seed, seed ^ 1, &payload).encode();
+        let keep = cut as usize % encoded.len(); // strictly shorter
+        prop_assert!(Frame::decode(&encoded[..keep]).is_err());
+        // The streaming reader sees the same cut as an I/O error (the
+        // stream ends mid-frame) or a checksum/length error.
+        let streamed = Frame::read_from(&mut Cursor::new(&encoded[..keep]));
+        prop_assert!(streamed.is_err());
+    }
+
+    /// Flipping any single bit anywhere in the frame is detected:
+    /// decode returns a typed error. With a trailing FNV-1a checksum
+    /// over header and payload there is no bit whose flip survives.
+    #[test]
+    fn any_bit_flip_is_detected(
+        kind in 0usize..8,
+        seed in any::<u64>(),
+        payload in prop::collection::vec(any::<u64>(), 0..16),
+        flip in any::<u32>(),
+    ) {
+        let mut encoded = frame(kind, 7, 3, seed, seed ^ 1, &payload).encode();
+        let bit = flip as usize % (encoded.len() * 8);
+        encoded[bit / 8] ^= 1 << (bit % 8);
+        let err = Frame::decode(&encoded);
+        prop_assert!(err.is_err(), "bit {bit} flipped undetected");
+        // And the error is a deliberate classification, not an I/O
+        // artifact: buffers never produce `Io`.
+        if let Err(e) = err {
+            prop_assert!(!e.is_io(), "buffer decode produced an I/O error: {e:?}");
+        }
+    }
+
+    /// Garbage bytes of any shape never panic the decoder.
+    #[test]
+    fn random_bytes_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Truly random bytes essentially never spell the magic plus a
+        // valid checksum; the point is that classification is total.
+        let _ = Frame::decode(&bytes);
+        let _ = Frame::read_from(&mut Cursor::new(&bytes));
+    }
+}
+
+/// An oversized advertised length is rejected before any allocation is
+/// attempted (deterministic guard, no proptest needed).
+#[test]
+fn oversized_length_is_rejected() {
+    let mut encoded = Frame::control(FrameKind::Heartbeat, 1, 2, 3, 4).encode();
+    // Overwrite the length field (offset 33) with a huge word count and
+    // re-seal the checksum so only the guard can reject it.
+    encoded[33..37].copy_from_slice(&u32::MAX.to_le_bytes());
+    let body_end = encoded.len() - 8;
+    let sum = cosmic_runtime::transport::wire::fnv1a(&encoded[..body_end]);
+    encoded[body_end..].copy_from_slice(&sum.to_le_bytes());
+    match Frame::decode(&encoded) {
+        Err(WireError::Oversized { words }) => assert_eq!(words, u32::MAX),
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+}

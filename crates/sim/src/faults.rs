@@ -50,6 +50,36 @@ pub enum FaultKind {
     /// through the rejoin protocol (catch-up from the latest checkpoint
     /// plus replayed aggregated deltas).
     Rejoin,
+    /// **Wire-level** (real-transport backends only; the discrete-event
+    /// backend has no sockets to sever): the node's transport
+    /// connection is cut immediately before it would send chunk
+    /// `at_chunk` of this iteration's stream. On a reliable byte
+    /// stream a lost frame *is* a broken connection, so frame drops
+    /// are expressed as severs; the connection supervisor reconnects
+    /// with capped-exponential backoff and retransmits the round.
+    SeverLink {
+        /// Stripe index before which the link is cut.
+        at_chunk: usize,
+    },
+    /// **Wire-level**: the encoded frame carrying chunk `chunk` is
+    /// damaged in flight (a flipped byte). The receiver's frame
+    /// checksum catches it; the connection is reset and the round
+    /// retransmitted — unlike [`FaultKind::CorruptChunk`], whose
+    /// damage is *inside* a well-formed frame and is caught by
+    /// Sigma-side chunk validation instead.
+    CorruptFrame {
+        /// Stripe index of the affected chunk's frame.
+        chunk: usize,
+    },
+    /// **Wire-level**: every frame the node sends this iteration is
+    /// held for `millis` wall milliseconds before hitting the socket
+    /// (a congested or rate-limited link). Pure latency — no data is
+    /// lost — so it exercises read deadlines without changing any
+    /// conservation counter.
+    DelayFrames {
+        /// Added latency per frame, in wall milliseconds.
+        millis: u64,
+    },
     /// The network splits: the nodes in `minority` (a bitmask over node
     /// ids, so the kind stays `Copy`) are cut off from the rest for
     /// `heal_after` iterations. The majority side keeps training; the
@@ -87,6 +117,9 @@ impl fmt::Display for FaultKind {
             }
             FaultKind::CorruptChunk { chunk } => write!(f, "corrupt(chunk={chunk})"),
             FaultKind::DuplicateChunk { chunk } => write!(f, "duplicate(chunk={chunk})"),
+            FaultKind::SeverLink { at_chunk } => write!(f, "sever(at_chunk={at_chunk})"),
+            FaultKind::CorruptFrame { chunk } => write!(f, "corrupt_frame(chunk={chunk})"),
+            FaultKind::DelayFrames { millis } => write!(f, "delay_frames({millis}ms)"),
             FaultKind::Rejoin => write!(f, "rejoin"),
             FaultKind::Partition { minority, heal_after } => {
                 let nodes: Vec<String> =
@@ -132,6 +165,18 @@ pub struct FaultRates {
     pub partition: f64,
     /// Iterations a sampled partition lasts before it heals.
     pub partition_heal_after: usize,
+    /// Probability a node's transport link is severed mid-stream in a
+    /// given iteration (wire-level; real backends only).
+    pub sever_link: f64,
+    /// Probability each chunk's frame is damaged on the wire
+    /// (wire-level; real backends only).
+    pub corrupt_frame: f64,
+    /// Probability a node's link is congested (frames delayed) in a
+    /// given iteration (wire-level; real backends only).
+    pub delay_frames: f64,
+    /// Added per-frame latency applied when a delay fires, in wall
+    /// milliseconds.
+    pub delay_millis: u64,
 }
 
 impl Default for FaultRates {
@@ -146,6 +191,10 @@ impl Default for FaultRates {
             rejoin_after: 0,
             partition: 0.0,
             partition_heal_after: 3,
+            sever_link: 0.0,
+            corrupt_frame: 0.0,
+            delay_frames: 0.0,
+            delay_millis: 5,
         }
     }
 }
@@ -211,6 +260,27 @@ impl FaultPlan {
     /// `iteration`.
     pub fn duplicate_chunk(self, node: usize, iteration: usize, chunk: usize) -> Self {
         self.with_event(FaultEvent { node, iteration, kind: FaultKind::DuplicateChunk { chunk } })
+    }
+
+    /// Schedules `node`'s transport link to be severed immediately
+    /// before chunk `at_chunk` of its `iteration` stream (wire-level;
+    /// ignored by the discrete-event backend).
+    pub fn sever_link(self, node: usize, iteration: usize, at_chunk: usize) -> Self {
+        self.with_event(FaultEvent { node, iteration, kind: FaultKind::SeverLink { at_chunk } })
+    }
+
+    /// Schedules wire damage to the frame carrying `node`'s chunk
+    /// `chunk` at `iteration` (wire-level; ignored by the
+    /// discrete-event backend).
+    pub fn corrupt_frame(self, node: usize, iteration: usize, chunk: usize) -> Self {
+        self.with_event(FaultEvent { node, iteration, kind: FaultKind::CorruptFrame { chunk } })
+    }
+
+    /// Schedules `millis` of added per-frame latency on `node`'s link
+    /// at `iteration` (wire-level; ignored by the discrete-event
+    /// backend).
+    pub fn delay_frames(self, node: usize, iteration: usize, millis: u64) -> Self {
+        self.with_event(FaultEvent { node, iteration, kind: FaultKind::DelayFrames { millis } })
     }
 
     /// Schedules `node` (crashed earlier) to power back up at
@@ -307,6 +377,32 @@ impl FaultPlan {
                     }
                     if rng.chance(rates.duplicate_chunk) {
                         plan = plan.duplicate_chunk(node, iteration, chunk);
+                    }
+                }
+            }
+        }
+        // Wire-level faults are sampled from a second, independently
+        // seeded stream appended after the main schedule: the original
+        // SplitMix64 stream is frozen, so enabling (or ignoring) wire
+        // rates never re-seeds a pre-existing plan.
+        if rates.sever_link > 0.0 || rates.corrupt_frame > 0.0 || rates.delay_frames > 0.0 {
+            let mut wire = SplitMix64::new(seed ^ 0x5749_5245); // "WIRE"
+            for iteration in 0..iterations {
+                for node in 0..nodes {
+                    if plan.crashed(node, iteration) {
+                        continue;
+                    }
+                    if wire.chance(rates.sever_link) {
+                        let at_chunk = (wire.next_u64() % chunks.max(1) as u64) as usize;
+                        plan = plan.sever_link(node, iteration, at_chunk);
+                    }
+                    if wire.chance(rates.delay_frames) {
+                        plan = plan.delay_frames(node, iteration, rates.delay_millis.max(1));
+                    }
+                    for chunk in 0..chunks {
+                        if wire.chance(rates.corrupt_frame) {
+                            plan = plan.corrupt_frame(node, iteration, chunk);
+                        }
                     }
                 }
             }
@@ -462,6 +558,15 @@ impl FaultPlan {
                 FaultKind::DuplicateChunk { .. } => {
                     (Layer::Retry, "fault.duplicate_chunk", counters::FAULTS_PLANNED_DUPLICATES)
                 }
+                FaultKind::SeverLink { .. } => {
+                    (Layer::Net, "fault.sever_link", counters::FAULTS_PLANNED_SEVERS)
+                }
+                FaultKind::CorruptFrame { .. } => {
+                    (Layer::Net, "fault.corrupt_frame", counters::FAULTS_PLANNED_FRAME_CORRUPTIONS)
+                }
+                FaultKind::DelayFrames { .. } => {
+                    (Layer::Net, "fault.delay_frames", counters::FAULTS_PLANNED_DELAYS)
+                }
                 FaultKind::Rejoin => {
                     (Layer::Membership, "fault.rejoin", counters::FAULTS_PLANNED_REJOINS)
                 }
@@ -474,6 +579,58 @@ impl FaultPlan {
             sink.set_arg(idx, "kind", &event.kind.to_string());
             sink.add(counter, 1.0);
         }
+    }
+
+    /// The chunk index before which `node`'s transport link is severed
+    /// at `iteration`, if a [`FaultKind::SeverLink`] is scheduled
+    /// (earliest cut wins when several are).
+    pub fn sever_at(&self, node: usize, iteration: usize) -> Option<usize> {
+        self.events
+            .iter()
+            .filter(|e| e.node == node && e.iteration == iteration)
+            .filter_map(|e| match e.kind {
+                FaultKind::SeverLink { at_chunk } => Some(at_chunk),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Whether the frame carrying `node`'s chunk `chunk` is damaged on
+    /// the wire at `iteration` ([`FaultKind::CorruptFrame`]).
+    pub fn frame_corrupted(&self, node: usize, iteration: usize, chunk: usize) -> bool {
+        self.events.iter().any(|e| {
+            e.node == node
+                && e.iteration == iteration
+                && matches!(e.kind, FaultKind::CorruptFrame { chunk: c } if c == chunk)
+        })
+    }
+
+    /// Added per-frame latency on `node`'s link at `iteration`, in wall
+    /// milliseconds (`0` = no delay; multiple delay events sum).
+    pub fn frame_delay_millis(&self, node: usize, iteration: usize) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.node == node && e.iteration == iteration)
+            .filter_map(|e| match e.kind {
+                FaultKind::DelayFrames { millis } => Some(millis),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Whether any wire-level fault targets `node` at `iteration`
+    /// (cheap pre-check before consulting the per-kind accessors).
+    pub fn has_wire_faults(&self, node: usize, iteration: usize) -> bool {
+        self.events.iter().any(|e| {
+            e.node == node
+                && e.iteration == iteration
+                && matches!(
+                    e.kind,
+                    FaultKind::SeverLink { .. }
+                        | FaultKind::CorruptFrame { .. }
+                        | FaultKind::DelayFrames { .. }
+                )
+        })
     }
 
     /// Whether any chunk-level fault targets `node` at `iteration`
@@ -722,6 +879,87 @@ mod tests {
         }
         let again = FaultPlan::random(13, 8, 40, 2, &rates);
         assert_eq!(p, again, "partition sampling must be seed-deterministic");
+    }
+
+    #[test]
+    fn wire_faults_are_keyed_precisely() {
+        let p = FaultPlan::none()
+            .sever_link(1, 3, 2)
+            .sever_link(1, 3, 5)
+            .corrupt_frame(0, 2, 1)
+            .delay_frames(2, 4, 5)
+            .delay_frames(2, 4, 7);
+        assert_eq!(p.sever_at(1, 3), Some(2), "earliest cut wins");
+        assert_eq!(p.sever_at(1, 4), None);
+        assert_eq!(p.sever_at(0, 3), None);
+        assert!(p.frame_corrupted(0, 2, 1));
+        assert!(!p.frame_corrupted(0, 2, 0));
+        assert!(!p.frame_corrupted(0, 1, 1));
+        assert_eq!(p.frame_delay_millis(2, 4), 12, "delay events sum");
+        assert_eq!(p.frame_delay_millis(2, 5), 0);
+        assert!(p.has_wire_faults(1, 3));
+        assert!(!p.has_wire_faults(1, 2));
+        // Wire faults are invisible to the chunk-level accessors.
+        assert!(!p.has_chunk_faults(1, 3));
+        assert!(!p.chunk_corrupted(0, 2, 1));
+    }
+
+    #[test]
+    fn wire_rates_extend_without_reseeding_the_base_schedule() {
+        let base =
+            FaultRates { crash: 0.05, drop_chunk: 0.05, rejoin_after: 2, ..FaultRates::default() };
+        let wired = FaultRates {
+            sever_link: 0.2,
+            corrupt_frame: 0.1,
+            delay_frames: 0.2,
+            delay_millis: 3,
+            ..base
+        };
+        let plain = FaultPlan::random(21, 6, 30, 3, &base);
+        let extended = FaultPlan::random(21, 6, 30, 3, &wired);
+        // The wire stream is independent: the base schedule is a strict
+        // prefix of the extended plan's event list.
+        assert_eq!(&extended.events()[..plain.events().len()], plain.events());
+        let wire_events = &extended.events()[plain.events().len()..];
+        assert!(!wire_events.is_empty(), "these rates over 30 iterations must fire");
+        for e in wire_events {
+            assert!(
+                matches!(
+                    e.kind,
+                    FaultKind::SeverLink { .. }
+                        | FaultKind::CorruptFrame { .. }
+                        | FaultKind::DelayFrames { .. }
+                ),
+                "only wire kinds may follow the base schedule, got {}",
+                e.kind
+            );
+            assert!(!extended.crashed(e.node, e.iteration), "down nodes have no live link");
+            if let FaultKind::DelayFrames { millis } = e.kind {
+                assert_eq!(millis, 3);
+            }
+        }
+        assert_eq!(extended, FaultPlan::random(21, 6, 30, 3, &wired), "seed-deterministic");
+    }
+
+    #[test]
+    fn wire_display_forms() {
+        assert_eq!(FaultKind::SeverLink { at_chunk: 2 }.to_string(), "sever(at_chunk=2)");
+        assert_eq!(FaultKind::CorruptFrame { chunk: 1 }.to_string(), "corrupt_frame(chunk=1)");
+        assert_eq!(FaultKind::DelayFrames { millis: 5 }.to_string(), "delay_frames(5ms)");
+    }
+
+    #[test]
+    fn record_into_books_wire_faults() {
+        use cosmic_telemetry::{counters, TraceSink};
+        let plan =
+            FaultPlan::none().sever_link(0, 1, 2).corrupt_frame(1, 1, 0).delay_frames(2, 1, 4);
+        let sink = TraceSink::new();
+        plan.record_into(&sink);
+        let sums = sink.sums();
+        assert_eq!(sums[counters::FAULTS_PLANNED_SEVERS], 1.0);
+        assert_eq!(sums[counters::FAULTS_PLANNED_FRAME_CORRUPTIONS], 1.0);
+        assert_eq!(sums[counters::FAULTS_PLANNED_DELAYS], 1.0);
+        assert!(sink.spans().iter().any(|s| s.name == "fault.sever_link"));
     }
 
     #[test]

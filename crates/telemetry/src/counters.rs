@@ -72,6 +72,33 @@ pub const MEMBERSHIP_CHECKPOINTS: &str = "membership.checkpoints";
 /// Partition heal-and-merge events absorbed.
 pub const MEMBERSHIP_PARTITION_HEALS: &str = "membership.partition_heals";
 
+/// Frames placed on the transport wire (chunk, heartbeat, and control
+/// frames alike). The sim backend books nothing here, so existing
+/// golden exports are unchanged; on a healthy real-wire run sent and
+/// received totals must be equal — the socket-level conservation law.
+pub const TRANSPORT_FRAMES_SENT: &str = "transport.frames.sent";
+/// Frames decoded intact off the transport wire.
+pub const TRANSPORT_FRAMES_RECEIVED: &str = "transport.frames.received";
+/// Encoded bytes written to transport sockets.
+pub const TRANSPORT_BYTES_SENT: &str = "transport.bytes.sent";
+/// Encoded bytes of frames decoded intact off transport sockets.
+pub const TRANSPORT_BYTES_RECEIVED: &str = "transport.bytes.received";
+/// Heartbeat frames observed by the receive side.
+pub const TRANSPORT_HEARTBEATS: &str = "transport.heartbeats";
+/// Supervised reconnects: a link was re-established after a connect or
+/// stream failure (each one implies a round retransmission).
+pub const TRANSPORT_RECONNECTS: &str = "transport.reconnects";
+/// Links declared dead after the supervisor exhausted its retry
+/// budget; each flows into the membership fail/rejoin machinery.
+pub const TRANSPORT_LINKS_DEAD: &str = "transport.links.dead";
+
+/// Link-sever events scheduled in a fault plan (wire-level).
+pub const FAULTS_PLANNED_SEVERS: &str = "faults.planned.sever_link";
+/// Frame-corruption events scheduled in a fault plan (wire-level).
+pub const FAULTS_PLANNED_FRAME_CORRUPTIONS: &str = "faults.planned.corrupt_frame";
+/// Frame-delay events scheduled in a fault plan (wire-level).
+pub const FAULTS_PLANNED_DELAYS: &str = "faults.planned.delay_frames";
+
 /// Events processed by the discrete-event queue.
 pub const SIM_EVENTS: &str = "sim.events";
 

@@ -29,6 +29,10 @@ fn churn_rates() -> FaultRates {
         rejoin_after: 6,
         partition: 0.02,
         partition_heal_after: 5,
+        // Wire-level kinds stay off: the soak drives the discrete-event
+        // backend, where they have no effect — and zero rates keep the
+        // base schedule (and its goldens) byte-identical.
+        ..FaultRates::default()
     }
 }
 
