@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::hash::{BuildHasher, Hasher};
 
 use cosmic_dfg::OpKind;
 
@@ -122,6 +123,18 @@ impl Machine {
     /// model parameters (preloaded into model buffers, as the broadcast
     /// write of the memory interface would).
     ///
+    /// This is the **optimized** simulator: instruction streams are
+    /// resolved once up front (routes, receiver sets, grant classes),
+    /// the per-PE value stores use a cheap multiplicative tag hash, and
+    /// stretches of cycles in which no PE can issue are skipped in one
+    /// jump to the next value/data ready event. Every outcome field —
+    /// `gradients`, `cycles`, `bus_stall_cycles`, transfer counters,
+    /// `pe_issued` — and every error is **exactly** what
+    /// [`Machine::run_reference`] produces: a skipped cycle is by
+    /// definition one where nothing issues and nothing stalls, so no
+    /// observable state can differ (`tests/machine_equivalence.rs` and
+    /// the in-module proptests hold that line).
+    ///
     /// # Errors
     ///
     /// Returns [`RunError`] if the program is structurally invalid, reads
@@ -133,6 +146,174 @@ impl Machine {
         record: &[f64],
         model: &[f64],
     ) -> Result<RunOutcome, RunError> {
+        self.check_shapes(program, record, model)?;
+        let pes = self.geometry.pes();
+        let data_ready = self.data_ready(record.len());
+        let prepared = self.prepare(program);
+
+        let mut store: Vec<TagMap> = (0..pes).map(|_| TagMap::default()).collect();
+        let mut pc = vec![0usize; pes];
+        let mut done = prepared.iter().filter(|s| s.is_empty()).count();
+        // Row-bus grants are stamped with the cycle that took them, so
+        // per-cycle reset is free.
+        let mut row_stamp = vec![u64::MAX; self.geometry.rows];
+        let mut neighbor_used: Vec<(u32, u32)> = Vec::new();
+
+        let mut outcome = RunOutcome {
+            gradients: vec![0.0; program.gradient_sources.len()],
+            cycles: 0,
+            neighbor_transfers: 0,
+            row_bus_transfers: 0,
+            tree_bus_transfers: 0,
+            bus_stall_cycles: 0,
+            pe_issued: vec![0; pes],
+        };
+
+        let mut now: u64 = 0;
+        while done < pes {
+            if now > SAFETY_LIMIT {
+                return Err(RunError::new("cycle safety limit exceeded (runaway program)"));
+            }
+            neighbor_used.clear();
+            let mut tree_bus_used = false;
+            let mut progressed = false;
+            let mut bus_stalled = false;
+
+            for p in 0..pes {
+                let stream = &prepared[p];
+                if pc[p] >= stream.len() {
+                    continue;
+                }
+                match stream[pc[p]] {
+                    Prepared::Compute { op, a, b, tag } => {
+                        let ra = self.read(&store[p], &data_ready, record, model, program, a, now);
+                        let rb = match op {
+                            AluOp::Un(_) => Some(0.0),
+                            AluOp::Bin(_) => {
+                                self.read(&store[p], &data_ready, record, model, program, b, now)
+                            }
+                        };
+                        let (Some(va), Some(vb)) = (ra, rb) else {
+                            continue;
+                        };
+                        let value = match op {
+                            AluOp::Bin(kind) => kind.apply(va, vb),
+                            AluOp::Un(func) => cosmic_dfg_apply_unary(func, va),
+                        };
+                        let ready = now + op.latency();
+                        store[p].insert(tag, (value, ready));
+                        pc[p] += 1;
+                        if pc[p] == stream.len() {
+                            done += 1;
+                        }
+                        outcome.pe_issued[p] += 1;
+                        progressed = true;
+                    }
+                    Prepared::Send { tag, grant, latency, ref receivers } => {
+                        let Some(&(value, ready)) = store[p].get(&tag) else {
+                            continue; // value not yet produced/arrived
+                        };
+                        if ready > now {
+                            continue;
+                        }
+                        let granted = match grant {
+                            Grant::Local => true,
+                            Grant::Neighbor { to } => {
+                                let key = (p as u32, to);
+                                if neighbor_used.contains(&key) {
+                                    false
+                                } else {
+                                    neighbor_used.push(key);
+                                    outcome.neighbor_transfers += 1;
+                                    true
+                                }
+                            }
+                            Grant::RowBus { row } => {
+                                if row_stamp[row] == now {
+                                    false
+                                } else {
+                                    row_stamp[row] = now;
+                                    outcome.row_bus_transfers += 1;
+                                    true
+                                }
+                            }
+                            Grant::TreeBus => {
+                                if tree_bus_used {
+                                    false
+                                } else {
+                                    tree_bus_used = true;
+                                    outcome.tree_bus_transfers += 1;
+                                    true
+                                }
+                            }
+                        };
+                        if granted {
+                            let arrive = now + latency;
+                            for &q in receivers {
+                                store[q].insert(tag, (value, arrive));
+                            }
+                            pc[p] += 1;
+                            if pc[p] == stream.len() {
+                                done += 1;
+                            }
+                            outcome.pe_issued[p] += 1;
+                            progressed = true;
+                        } else {
+                            bus_stalled = true;
+                        }
+                    }
+                }
+            }
+
+            if bus_stalled {
+                outcome.bus_stall_cycles += 1;
+            }
+            if progressed {
+                now += 1;
+                continue;
+            }
+            // Nothing issued. A skipped cycle has no issues and (since a
+            // denied grant implies another PE's grant, i.e. progress) no
+            // stalls, so jumping straight to the next ready event books
+            // exactly what the reference books cycle by cycle. The jump
+            // clamps to SAFETY_LIMIT + 1 so a runaway program errors at
+            // the identical cycle.
+            let next_value =
+                store.iter().flat_map(|m| m.values()).map(|&(_, r)| r).filter(|&r| r > now).min();
+            let next_data = data_ready.get(data_ready.partition_point(|&r| r <= now)).copied();
+            let next = match (next_value, next_data) {
+                (Some(v), Some(d)) => v.min(d),
+                (Some(v), None) => v,
+                (None, Some(d)) => d,
+                (None, None) => {
+                    return Err(RunError::new(
+                        "deadlock: a PE waits for a value that is never produced",
+                    ))
+                }
+            };
+            now = next.min(SAFETY_LIMIT + 1);
+        }
+
+        // Collect gradients and the cycle everything was ready.
+        let mut finish = now;
+        for (slot, &(pe, tag)) in program.gradient_sources.iter().enumerate() {
+            let &(value, ready) = store[pe.index()].get(&tag).ok_or_else(|| {
+                RunError::new(format!("gradient slot {slot} (tag {tag}) was never produced"))
+            })?;
+            outcome.gradients[slot] = value;
+            finish = finish.max(ready);
+        }
+        outcome.cycles = finish;
+        Ok(outcome)
+    }
+
+    /// Shared structural validation for both simulator paths.
+    fn check_shapes(
+        &self,
+        program: &ThreadProgram,
+        record: &[f64],
+        model: &[f64],
+    ) -> Result<(), RunError> {
         program.validate().map_err(RunError::new)?;
         if record.len() != program.data_placement.len() {
             return Err(RunError::new(format!(
@@ -148,6 +329,85 @@ impl Machine {
                 program.model_placement.len()
             )));
         }
+        Ok(())
+    }
+
+    /// data_ready[slot] = cycle the shifter lands the word in its PE
+    /// (non-decreasing in the slot index — the stream is sequential).
+    fn data_ready(&self, words: usize) -> Vec<u64> {
+        (0..words).map(|s| (s as f64 / self.words_per_cycle).floor() as u64).collect()
+    }
+
+    /// Resolves every instruction's routing once: link class, transfer
+    /// latency, and receiver set are geometry facts, not simulation
+    /// state, so the per-cycle loop never recomputes a route or
+    /// allocates a receiver list (the reference does both on every
+    /// retry of a stalled send).
+    fn prepare(&self, program: &ThreadProgram) -> Vec<Vec<Prepared>> {
+        let pes = self.geometry.pes();
+        (0..pes)
+            .map(|p| {
+                program.instrs[p]
+                    .iter()
+                    .map(|instr| match *instr {
+                        PeInstr::Compute { op, a, b, tag } => Prepared::Compute { op, a, b, tag },
+                        PeInstr::Send { tag, dst } => {
+                            let my_row = self.geometry.row(PeId(p as u32));
+                            let (link, latency, receivers): (LinkClass, u64, Vec<usize>) = match dst
+                            {
+                                SendTarget::Pe(q) => {
+                                    let route = self.geometry.route(PeId(p as u32), q);
+                                    (route.link, route.latency, vec![q.index()])
+                                }
+                                SendTarget::Row(r) => {
+                                    let cols = self.geometry.columns;
+                                    let rcv = (0..cols)
+                                        .map(|c| r as usize * cols + c)
+                                        .filter(|&q| q != p)
+                                        .collect();
+                                    (LinkClass::RowBus(my_row), 2, rcv)
+                                }
+                                SendTarget::All => {
+                                    let route =
+                                        self.geometry.route(PeId(0), PeId((pes - 1) as u32));
+                                    let lat =
+                                        if self.geometry.rows == 1 { 2 } else { route.latency };
+                                    (
+                                        LinkClass::TreeBus,
+                                        lat,
+                                        (0..pes).filter(|&q| q != p).collect(),
+                                    )
+                                }
+                            };
+                            let grant = match link {
+                                LinkClass::Local => Grant::Local,
+                                LinkClass::Neighbor => Grant::Neighbor { to: receivers[0] as u32 },
+                                LinkClass::RowBus(row) => Grant::RowBus { row },
+                                LinkClass::TreeBus => Grant::TreeBus,
+                            };
+                            Prepared::Send { tag, grant, latency, receivers }
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The pre-optimization per-cycle simulator, kept verbatim as the
+    /// equivalence oracle for [`Machine::run`] and as the benchmark
+    /// baseline. Semantics are the contract; see `run` for what the
+    /// fast path may and may not change (nothing observable).
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Machine::run`].
+    pub fn run_reference(
+        &self,
+        program: &ThreadProgram,
+        record: &[f64],
+        model: &[f64],
+    ) -> Result<RunOutcome, RunError> {
+        self.check_shapes(program, record, model)?;
 
         let pes = self.geometry.pes();
 
@@ -155,8 +415,7 @@ impl Machine {
         // simplicity (offsets are validated by placement, but values are
         // looked up by slot).
         // data_ready[slot] = cycle the shifter lands the word in its PE.
-        let data_ready: Vec<u64> =
-            (0..record.len()).map(|s| (s as f64 / self.words_per_cycle).floor() as u64).collect();
+        let data_ready: Vec<u64> = self.data_ready(record.len());
 
         // Per-PE local value stores: tag -> (value, ready_cycle).
         let mut store: Vec<HashMap<Tag, (f64, u64)>> = vec![HashMap::new(); pes];
@@ -172,7 +431,7 @@ impl Machine {
             pe_issued: vec![0; pes],
         };
 
-        let safety_limit: u64 = 10_000_000;
+        let safety_limit: u64 = SAFETY_LIMIT;
         let mut now: u64 = 0;
         loop {
             let all_done = (0..pes).all(|p| pc[p] >= program.instrs[p].len());
@@ -324,9 +583,9 @@ impl Machine {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn read(
+    fn read<S: BuildHasher>(
         &self,
-        store: &HashMap<Tag, (f64, u64)>,
+        store: &HashMap<Tag, (f64, u64), S>,
         data_ready: &[u64],
         record: &[f64],
         model: &[f64],
@@ -352,6 +611,71 @@ impl Machine {
                 _ => None,
             },
         }
+    }
+}
+
+/// Cycle ceiling shared by both simulator paths: a program that is
+/// still running past this is declared runaway.
+const SAFETY_LIMIT: u64 = 10_000_000;
+
+/// One instruction with its routing resolved ahead of time.
+#[derive(Debug, Clone)]
+enum Prepared {
+    /// An ALU operation (verbatim from the program).
+    Compute { op: AluOp, a: Src, b: Src, tag: Tag },
+    /// A send with its grant class, latency, and receiver set fixed.
+    Send { tag: Tag, grant: Grant, latency: u64, receivers: Vec<usize> },
+}
+
+/// The arbitration resource a prepared send competes for.
+#[derive(Debug, Clone, Copy)]
+enum Grant {
+    /// No shared medium; always granted.
+    Local,
+    /// The directed neighbor link toward PE `to`.
+    Neighbor { to: u32 },
+    /// One grant per row bus per cycle.
+    RowBus { row: usize },
+    /// One grant per cycle on the shared tree bus.
+    TreeBus,
+}
+
+/// Per-PE value store keyed by the compiler's dense `u32` tags: a full
+/// SipHash per lookup is pure overhead, so the map uses a one-multiply
+/// mixer instead. (Purely an internal speedup — iteration order is
+/// never observed.)
+type TagMap = HashMap<Tag, (f64, u64), BuildTagHasher>;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BuildTagHasher;
+
+impl BuildHasher for BuildTagHasher {
+    type Hasher = TagHasher;
+
+    fn build_hasher(&self) -> TagHasher {
+        TagHasher(0)
+    }
+}
+
+/// Multiplicative mixer for `u32` keys (the only key type stored).
+#[derive(Debug, Clone, Copy)]
+struct TagHasher(u64);
+
+impl Hasher for TagHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 =
+            (u64::from(n).wrapping_add(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        self.0 ^= self.0 >> 33;
     }
 }
 

@@ -1,0 +1,14 @@
+//! Reference-vs-optimized benchmarks of the two hot paths (aggregation
+//! fold, cycle-level Machine) plus the engine rounds path. The matrix
+//! lives in `cosmic_bench::hotpaths` so the `bench_export` binary can
+//! run the identical closures and write the `BENCH_<date>.json`
+//! trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn hotpaths(c: &mut Criterion) {
+    cosmic_bench::hotpaths::register(c);
+}
+
+criterion_group!(benches, hotpaths);
+criterion_main!(benches);

@@ -16,6 +16,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod hotpaths;
 
 pub use harness::{
     cosmic_node_rps, cosmic_training_time_s, full_dfg, geomean, spark_training_time_s, AccelKind,

@@ -1,0 +1,210 @@
+//! Shared, immutable word buffers: the arena behind the zero-copy chunk
+//! path.
+//!
+//! Every payload that travels the stack — a [`crate::node::Chunk`]'s
+//! data, a [`crate::transport::Frame`]'s payload — used to be its own
+//! `Vec<f64>`, cloned at every hand-off: once when a model was striped
+//! into chunks, again when a chunk was wrapped in a frame, again when a
+//! received frame was unwrapped. [`WordBuf`] replaces those copies with
+//! a reference-counted view: one allocation holds the words, and every
+//! chunk/frame/duplicate that refers to them is a `(Arc, start, len)`
+//! triple whose `clone()` is a refcount bump.
+//!
+//! The type is deliberately **immutable**: aliased payloads must never
+//! change under a reader, so the only way to "modify" one (fault
+//! injection's bit flips) is to copy out, damage the copy, and rebuild.
+//! That keeps the zero-copy path safe by construction.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable view into a shared `f64` allocation.
+///
+/// Dereferences to `&[f64]`, compares by content, and clones by
+/// refcount bump. Sub-views ([`WordBuf::slice`]) share the parent's
+/// allocation — striping a model into chunks costs one copy total, not
+/// one per chunk.
+#[derive(Clone)]
+pub struct WordBuf {
+    buf: Arc<Vec<f64>>,
+    start: usize,
+    len: usize,
+}
+
+impl WordBuf {
+    /// The empty buffer (no allocation is shared; `len() == 0`).
+    pub fn empty() -> Self {
+        WordBuf { buf: Arc::new(Vec::new()), start: 0, len: 0 }
+    }
+
+    /// Takes ownership of `words` without copying them.
+    pub fn from_vec(words: Vec<f64>) -> Self {
+        let len = words.len();
+        WordBuf { buf: Arc::new(words), start: 0, len }
+    }
+
+    /// Copies `words` into a fresh allocation.
+    pub fn copy_of(words: &[f64]) -> Self {
+        Self::from_vec(words.to_vec())
+    }
+
+    /// A sub-view of `len` words starting at `start` (relative to this
+    /// view), sharing the same allocation.
+    ///
+    /// # Panics
+    /// If `start + len` runs past the end of this view.
+    pub fn slice(&self, start: usize, len: usize) -> Self {
+        assert!(
+            start + len <= self.len,
+            "slice {start}+{len} out of bounds of a {}-word WordBuf",
+            self.len
+        );
+        WordBuf { buf: Arc::clone(&self.buf), start: self.start + start, len }
+    }
+
+    /// The words as a plain slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.buf[self.start..self.start + self.len]
+    }
+
+    /// Recovers a `Vec<f64>`, reusing the allocation when this view is
+    /// the whole buffer and the last reference to it; otherwise copies.
+    pub fn into_vec(self) -> Vec<f64> {
+        if self.start == 0 && self.len == self.buf.len() {
+            match Arc::try_unwrap(self.buf) {
+                Ok(vec) => vec,
+                Err(shared) => shared[..].to_vec(),
+            }
+        } else {
+            self.as_slice().to_vec()
+        }
+    }
+
+    /// Whether two views share one allocation (refcount siblings).
+    /// Diagnostic for zero-copy tests: a true result proves no payload
+    /// copy happened between the two hand-off points.
+    pub fn shares_allocation(&self, other: &WordBuf) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+}
+
+impl Deref for WordBuf {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a WordBuf {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl Default for WordBuf {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl PartialEq for WordBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for WordBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl From<Vec<f64>> for WordBuf {
+    fn from(words: Vec<f64>) -> Self {
+        Self::from_vec(words)
+    }
+}
+
+impl From<&[f64]> for WordBuf {
+    fn from(words: &[f64]) -> Self {
+        Self::copy_of(words)
+    }
+}
+
+impl FromIterator<f64> for WordBuf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_share_one_allocation() {
+        let base = WordBuf::from_vec((0..100).map(f64::from).collect());
+        let head = base.slice(0, 10);
+        let tail = base.slice(90, 10);
+        assert!(head.shares_allocation(&base));
+        assert!(head.shares_allocation(&tail));
+        assert_eq!(head[0], 0.0);
+        assert_eq!(tail[9], 99.0);
+        let copy = WordBuf::copy_of(&base);
+        assert!(!copy.shares_allocation(&base));
+        assert_eq!(copy, base);
+    }
+
+    #[test]
+    fn clone_is_a_refcount_bump() {
+        let a = WordBuf::from_vec(vec![1.0, 2.0]);
+        let b = a.clone();
+        assert!(a.shares_allocation(&b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_vec_reuses_a_sole_full_view() {
+        let words = vec![3.0; 16];
+        let ptr = words.as_ptr();
+        let buf = WordBuf::from_vec(words);
+        let back = buf.into_vec();
+        assert_eq!(back.as_ptr(), ptr, "sole full view must not copy");
+        assert_eq!(back, vec![3.0; 16]);
+
+        // A shared or partial view has to copy.
+        let buf = WordBuf::from_vec(vec![1.0, 2.0, 3.0]);
+        let kept = buf.clone();
+        assert_eq!(buf.into_vec(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(kept.slice(1, 2).into_vec(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn equality_is_by_content_not_allocation() {
+        let a = WordBuf::from_vec(vec![1.0, 2.0]);
+        let b = WordBuf::from_vec(vec![1.0, 2.0]);
+        assert!(!a.shares_allocation(&b));
+        assert_eq!(a, b);
+        assert_ne!(a, WordBuf::from_vec(vec![1.0]));
+        assert_eq!(WordBuf::empty(), WordBuf::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_slice_panics() {
+        let _ = WordBuf::from_vec(vec![0.0; 4]).slice(2, 3);
+    }
+
+    #[test]
+    fn collects_and_converts() {
+        let buf: WordBuf = (0..4).map(f64::from).collect();
+        assert_eq!(&buf[..], &[0.0, 1.0, 2.0, 3.0]);
+        let from_slice: WordBuf = [5.0, 6.0][..].into();
+        assert_eq!(from_slice.len(), 2);
+        assert_eq!(format!("{buf:?}"), "[0.0, 1.0, 2.0, 3.0]");
+    }
+}

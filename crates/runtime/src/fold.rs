@@ -1,0 +1,138 @@
+//! The aggregation fold kernels: one scalar reference, one fused/
+//! unrolled fast path, bit-identical by construction.
+//!
+//! The Sigma's final fold sums the staged per-peer vectors into the
+//! aggregation buffer **in peer-index order** — that ordering is the
+//! determinism contract (quarantining peer *k* yields bit-for-bit the
+//! sum over the remaining peers). The reference kernel walks the whole
+//! buffer once per peer; the fast kernel walks it once *total*,
+//! sweeping cache-sized blocks and adding every peer's block before
+//! moving on, with the inner loop unrolled into eight accumulation
+//! lanes.
+//!
+//! Both kernels perform, for every element `i`, exactly the additions
+//! `sum[i] += part0[i]; sum[i] += part1[i]; …` in the same peer order
+//! — only the *traversal* differs — so their results are bit-identical
+//! on every input, NaNs and signed zeros included. The proptests in
+//! [`crate::node`] and `tests/` hold that line.
+
+/// Words per sweep block of the fused kernel: 8 KiB of f64s, sized to
+/// sit comfortably in L1 alongside one peer block.
+const BLOCK_WORDS: usize = 1024;
+
+/// Scalar element-wise accumulation: `dst[i] += src[i]`.
+///
+/// This is the reference inner loop, kept deliberately naive.
+pub fn add_assign(dst: &mut [f64], src: &[f64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += *s;
+    }
+}
+
+/// Reference fold: one full pass over `sum` per part, in part order —
+/// the pre-optimization code path, kept as the equivalence oracle and
+/// the benchmark baseline.
+pub fn fold_parts_reference(sum: &mut [f64], parts: &[&[f64]]) {
+    for part in parts {
+        add_assign(sum, part);
+    }
+}
+
+/// Fused fold: a single sweep over `sum` in [`BLOCK_WORDS`] blocks,
+/// adding every part's block in part order before advancing, with an
+/// eight-lane unrolled inner loop.
+///
+/// Bit-identical to [`fold_parts_reference`]: each element still
+/// receives its additions in exactly part order — only the traversal
+/// order across *different* elements changes, and f64 addition at one
+/// element never depends on another element.
+pub fn fold_parts(sum: &mut [f64], parts: &[&[f64]]) {
+    match parts {
+        [] => {}
+        [only] => add_lanes(sum, only),
+        many => {
+            let len = sum.len();
+            let mut at = 0;
+            while at < len {
+                let end = (at + BLOCK_WORDS).min(len);
+                for part in many {
+                    let stop = end.min(part.len());
+                    if at < stop {
+                        add_lanes(&mut sum[at..stop], &part[at..stop]);
+                    }
+                }
+                at = end;
+            }
+        }
+    }
+}
+
+/// Unrolled element-wise accumulation: eight independent lanes per
+/// step so the compiler can keep the adds in flight, falling back to
+/// the scalar loop for the ragged tail. Per-element it is the same
+/// `dst[i] += src[i]` as [`add_assign`].
+fn add_lanes(dst: &mut [f64], src: &[f64]) {
+    let n = dst.len().min(src.len());
+    let (head_d, tail_d) = dst[..n].split_at_mut(n - n % 8);
+    let (head_s, tail_s) = src[..n].split_at(n - n % 8);
+    for (d, s) in head_d.chunks_exact_mut(8).zip(head_s.chunks_exact(8)) {
+        d[0] += s[0];
+        d[1] += s[1];
+        d[2] += s[2];
+        d[3] += s[3];
+        d[4] += s[4];
+        d[5] += s[5];
+        d[6] += s[6];
+        d[7] += s[7];
+    }
+    add_assign(tail_d, tail_s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(len: usize, salt: u64) -> Vec<f64> {
+        // Deterministic "awkward" floats: wide exponent range, both
+        // signs, no NaNs (NaN equivalence is covered on bits in the
+        // proptests).
+        (0..len)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(salt);
+                let mant = (x % 2003) as f64 - 1001.0;
+                let exp = ((x >> 11) % 40) as i32 - 20;
+                mant * 2f64.powi(exp)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_fold_matches_reference_bitwise() {
+        for peers in [0usize, 1, 2, 3, 7] {
+            for len in [0usize, 1, 7, 8, 9, 1023, 1024, 1025, 4096 + 13] {
+                let parts: Vec<Vec<f64>> = (0..peers).map(|p| pattern(len, p as u64)).collect();
+                let slices: Vec<&[f64]> = parts.iter().map(Vec::as_slice).collect();
+                let mut fast = pattern(len, 99);
+                let mut refr = fast.clone();
+                fold_parts(&mut fast, &slices);
+                fold_parts_reference(&mut refr, &slices);
+                let fast_bits: Vec<u64> = fast.iter().map(|v| v.to_bits()).collect();
+                let ref_bits: Vec<u64> = refr.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(fast_bits, ref_bits, "peers={peers} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_parts_only_touch_their_prefix() {
+        let mut fast = vec![1.0; 10];
+        let mut refr = vec![1.0; 10];
+        let short = vec![2.0; 4];
+        let full = vec![3.0; 10];
+        fold_parts(&mut fast, &[&short, &full]);
+        fold_parts_reference(&mut refr, &[&short, &full]);
+        assert_eq!(fast, refr);
+        assert_eq!(fast[0], 6.0);
+        assert_eq!(fast[5], 4.0);
+    }
+}

@@ -51,11 +51,13 @@
 // workspace clippy.toml (`too-many-lines-threshold`).
 #![deny(clippy::too_many_lines)]
 
+pub mod buffer;
 pub mod checkpoint;
 pub mod circbuf;
 pub mod detector;
 pub mod engine;
 pub mod error;
+pub mod fold;
 pub mod layout;
 pub mod node;
 pub mod pool;
@@ -68,6 +70,7 @@ pub mod transport;
 /// topology vocabulary); re-exported under its historical path.
 pub use cosmic_collectives::topology as role;
 
+pub use buffer::WordBuf;
 pub use checkpoint::{
     model_checksum, CatchUp, Checkpoint, CheckpointConfig, CheckpointError, CheckpointStore,
     ReplayOp,

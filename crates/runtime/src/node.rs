@@ -20,7 +20,9 @@ use crossbeam::channel::Receiver;
 use crossbeam::sync::WaitGroup;
 use parking_lot::Mutex;
 
+use crate::buffer::WordBuf;
 use crate::circbuf::CircularBuffer;
+use crate::fold;
 use crate::pool::ThreadPool;
 
 /// Words per chunk moved between the pools (the "smaller portions of
@@ -34,13 +36,17 @@ pub use crate::layout::CHUNK_WORDS;
 pub const DEFAULT_RING_CAPACITY: usize = 4;
 
 /// A contiguous piece of a partial model/gradient vector in flight.
+///
+/// The payload is a shared [`WordBuf`] view, so cloning a chunk — for
+/// duplicate fault injection, frame wrapping, or ring hand-off — bumps
+/// a refcount instead of copying words.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Chunk {
     /// Word offset within the model vector; always a multiple of
     /// [`CHUNK_WORDS`].
     pub offset: usize,
     /// The values (at most [`CHUNK_WORDS`] of them).
-    pub data: Vec<f64>,
+    pub data: WordBuf,
     /// FNV-1a checksum over the offset and payload bits, computed at
     /// send time and verified by the receiving Sigma.
     pub checksum: u64,
@@ -48,7 +54,8 @@ pub struct Chunk {
 
 impl Chunk {
     /// Builds a chunk with a valid checksum.
-    pub fn new(offset: usize, data: Vec<f64>) -> Self {
+    pub fn new(offset: usize, data: impl Into<WordBuf>) -> Self {
+        let data = data.into();
         let checksum = Chunk::checksum_of(offset, &data);
         Chunk { offset, data, checksum }
     }
@@ -80,22 +87,34 @@ impl Chunk {
 
     /// Returns the chunk with its payload damaged and the checksum left
     /// stale, as a corrupting link would deliver it. Used by fault
-    /// injection; a validating receiver must reject the result.
+    /// injection; a validating receiver must reject the result. The
+    /// payload buffer may be aliased, so the damage lands on a private
+    /// copy — the sender's own words are never altered.
     pub fn corrupted(mut self) -> Self {
-        match self.data.first_mut() {
-            Some(v) => *v = f64::from_bits(v.to_bits() ^ 0x1), // one flipped bit
-            None => self.checksum ^= 0x1,                      // empty payload: damage the sum
+        if self.data.is_empty() {
+            self.checksum ^= 0x1; // empty payload: damage the sum
+        } else {
+            let mut words = self.data.to_vec();
+            words[0] = f64::from_bits(words[0].to_bits() ^ 0x1); // one flipped bit
+            self.data = WordBuf::from_vec(words);
         }
         self
     }
 }
 
 /// Splits a vector into stripe-aligned, checksummed chunks.
+///
+/// One shared allocation backs every chunk: each is a [`WordBuf`] view
+/// into a single copy of `values`, so the whole split costs one
+/// allocation instead of one per stripe.
 pub fn chunk_vector(values: &[f64]) -> Vec<Chunk> {
-    values
-        .chunks(CHUNK_WORDS)
-        .enumerate()
-        .map(|(i, data)| Chunk::new(i * CHUNK_WORDS, data.to_vec()))
+    let arena = WordBuf::copy_of(values);
+    (0..values.len())
+        .step_by(CHUNK_WORDS)
+        .map(|start| {
+            let len = CHUNK_WORDS.min(values.len() - start);
+            Chunk::new(start, arena.slice(start, len))
+        })
         .collect()
 }
 
@@ -244,6 +263,31 @@ impl SigmaAggregator {
         model_len: usize,
         incoming: Vec<Receiver<Chunk>>,
     ) -> AggregateOutcome {
+        self.aggregate_impl(model_len, incoming, true)
+    }
+
+    /// [`SigmaAggregator::aggregate_validated`] with the scalar
+    /// reference fold (one full pass per peer) instead of the fused
+    /// kernel. Kept always-compiled as the equivalence oracle for the
+    /// fold proptests and the benchmark baseline; the two are
+    /// bit-identical on every input.
+    #[doc(hidden)]
+    pub fn aggregate_validated_reference(
+        &self,
+        model_len: usize,
+        incoming: Vec<Receiver<Chunk>>,
+    ) -> AggregateOutcome {
+        self.aggregate_impl(model_len, incoming, false)
+    }
+
+    /// The shared pipeline: spawn producers/consumers, drain, then run
+    /// the deterministic final fold with the chosen kernel.
+    fn aggregate_impl(
+        &self,
+        model_len: usize,
+        incoming: Vec<Receiver<Chunk>>,
+        fused: bool,
+    ) -> AggregateOutcome {
         let stripes = crate::layout::chunk_count(model_len);
         let peers = incoming.len();
         let folds: Arc<Vec<Mutex<PeerFold>>> =
@@ -319,24 +363,31 @@ impl SigmaAggregator {
         wg.wait();
 
         // Deterministic final fold: surviving peers in index order.
+        // Both kernels add each element's contributions in exactly that
+        // order, so fused and reference results are bit-identical.
         let mut sum = vec![0.0; model_len];
         let mut quarantined = Vec::new();
         let mut duplicates_dropped = 0;
         let mut ring_high_water = 0;
+        let mut survivors: Vec<Vec<f64>> = Vec::new();
         for (peer, fold) in folds.iter().enumerate() {
-            let fold = fold.lock();
+            let mut fold = fold.lock();
             duplicates_dropped += fold.duplicates;
             ring_high_water = ring_high_water.max(fold.high_water);
             match fold.fault {
                 Some(fault) => quarantined.push((peer, fault)),
                 None => {
-                    if let Some(staged) = &fold.staged {
-                        for (s, v) in sum.iter_mut().zip(staged) {
-                            *s += v;
-                        }
+                    if let Some(staged) = fold.staged.take() {
+                        survivors.push(staged);
                     }
                 }
             }
+        }
+        let parts: Vec<&[f64]> = survivors.iter().map(Vec::as_slice).collect();
+        if fused {
+            fold::fold_parts(&mut sum, &parts);
+        } else {
+            fold::fold_parts_reference(&mut sum, &parts);
         }
         AggregateOutcome { sum, quarantined, duplicates_dropped, ring_high_water }
     }

@@ -35,6 +35,7 @@ use std::time::{Duration, Instant};
 use cosmic_ml::data::{self, Dataset};
 use cosmic_ml::Algorithm;
 
+use crate::buffer::WordBuf;
 use crate::checkpoint::{model_checksum, CheckpointConfig, CheckpointStore, ReplayOp};
 use crate::detector::{DetectorConfig, FailureDetector, SuspicionLevel};
 use crate::error::RuntimeError;
@@ -422,7 +423,7 @@ impl Coordinator {
             iteration: iter as u64,
             a: iter as u64,
             b: expected,
-            payload: caught.model,
+            payload: caught.model.into(),
         };
         let mut stats = TransportStats::default();
         supervisor::reply(&mut stream, &snapshot, &mut stats).map_err(|e| join_failed(node, &e))?;
@@ -499,6 +500,9 @@ fn apply_round(
     op.apply(model);
     store.record_update(op);
     store.maybe_checkpoint(iter + 1, model);
+    // One shared broadcast payload: every delivery's Model frame views
+    // the same allocation instead of cloning the sum per worker.
+    let broadcast: WordBuf = sum.into();
     for d in &mut deliveries {
         if !contributed.contains(&d.node) {
             continue; // No update echo for a quarantined stream.
@@ -509,7 +513,7 @@ fn apply_round(
             iteration: iter as u64,
             a: 0,
             b: active_total,
-            payload: sum.clone(),
+            payload: broadcast.clone(),
         };
         let mut stats = TransportStats::default();
         if supervisor::reply(&mut d.stream, &reply, &mut stats).is_ok() {
@@ -585,7 +589,7 @@ impl Worker {
             ) {
                 Ok(report) => {
                     let op = ReplayOp::Step {
-                        grad: report.reply.payload,
+                        grad: report.reply.payload.into_vec(),
                         scale: spec.learning_rate / report.reply.b as f64,
                     };
                     op.apply(&mut model);
@@ -654,7 +658,7 @@ impl Worker {
                 detail: format!("expected Snapshot in join handshake, got {:?}", snapshot.kind),
             });
         }
-        *model = snapshot.payload;
+        *model = snapshot.payload.into_vec();
         let ack = Frame::control(
             FrameKind::Ack,
             self.node as u32,

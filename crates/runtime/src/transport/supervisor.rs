@@ -258,7 +258,10 @@ pub fn serve_round(stream: &mut TcpStream, link: &LinkConfig) -> Result<ServedRo
         let frame = take(stream, &mut stats)?;
         match frame.kind {
             FrameKind::Heartbeat => stats.heartbeats += 1,
-            FrameKind::Chunk => served.chunks.push(frame.to_chunk()),
+            // `into_chunk` moves the payload out of the frame: the
+            // words decoded off the socket are the words the Sigma
+            // folds, with no per-frame copy.
+            FrameKind::Chunk => served.chunks.push(frame.into_chunk()),
             FrameKind::Done => {
                 served.records = frame.b;
                 served.stats = stats;

@@ -21,6 +21,7 @@ use std::error::Error;
 use std::fmt;
 use std::io::{Read, Write};
 
+use crate::buffer::WordBuf;
 use crate::node::Chunk;
 
 /// Frame magic: `"COSM"` as a big-endian u32.
@@ -94,17 +95,20 @@ pub struct Frame {
     /// Second kind-specific operand (chunk checksum, record count, …).
     pub b: u64,
     /// f64 payload (chunk data, model words); empty for control frames.
-    pub payload: Vec<f64>,
+    /// A shared [`WordBuf`] view: wrapping a chunk or unwrapping a
+    /// received frame is a refcount bump, never a word copy.
+    pub payload: WordBuf,
 }
 
 impl Frame {
     /// A control frame (empty payload).
     pub fn control(kind: FrameKind, node: u32, iteration: u64, a: u64, b: u64) -> Self {
-        Frame { kind, node, iteration, a, b, payload: Vec::new() }
+        Frame { kind, node, iteration, a, b, payload: WordBuf::empty() }
     }
 
     /// Wraps a model chunk, carrying its own checksum verbatim so
-    /// Sigma-side validation sees exactly what the sender staged.
+    /// Sigma-side validation sees exactly what the sender staged. The
+    /// payload shares the chunk's allocation (zero-copy).
     pub fn chunk(node: u32, iteration: u64, chunk: &Chunk) -> Self {
         Frame {
             kind: FrameKind::Chunk,
@@ -119,8 +123,16 @@ impl Frame {
     /// Reconstructs the staged [`Chunk`] from a chunk frame (the
     /// chunk's checksum is whatever the sender staged — a stale one
     /// travels unchanged and is the Sigma's business, not the wire's).
+    /// The chunk shares this frame's payload allocation.
     pub fn to_chunk(&self) -> Chunk {
         Chunk { offset: self.a as usize, data: self.payload.clone(), checksum: self.b }
+    }
+
+    /// [`Frame::to_chunk`], consuming the frame: the payload moves into
+    /// the chunk outright, so a received frame's single allocation is
+    /// handed to the Sigma with no refcount traffic at all.
+    pub fn into_chunk(self) -> Chunk {
+        Chunk { offset: self.a as usize, data: self.payload, checksum: self.b }
     }
 
     /// Encoded size in bytes.
@@ -138,7 +150,7 @@ impl Frame {
         buf.extend_from_slice(&self.a.to_le_bytes());
         buf.extend_from_slice(&self.b.to_le_bytes());
         buf.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
-        for word in &self.payload {
+        for word in self.payload.iter() {
             buf.extend_from_slice(&word.to_bits().to_le_bytes());
         }
         buf.extend_from_slice(&fnv1a(&buf).to_le_bytes());
@@ -364,6 +376,21 @@ mod tests {
             let frame = Frame::control(kind, 9, 42, 1, 0xDEAD_BEEF);
             assert_eq!(Frame::decode(&frame.encode()), Ok(frame));
         }
+    }
+
+    #[test]
+    fn chunk_wrapping_and_unwrapping_is_zero_copy() {
+        let chunk = Chunk::new(0, vec![1.0; 64]);
+        let frame = Frame::chunk(1, 2, &chunk);
+        assert!(
+            frame.payload.shares_allocation(&chunk.data),
+            "wrapping a chunk must not copy its payload"
+        );
+        let viewed = frame.to_chunk();
+        assert!(viewed.data.shares_allocation(&frame.payload));
+        let moved = frame.into_chunk();
+        assert!(moved.data.shares_allocation(&chunk.data));
+        assert_eq!(moved, chunk);
     }
 
     #[test]

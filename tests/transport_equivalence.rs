@@ -89,3 +89,63 @@ fn faulty_plans_are_adjudicated_identically() {
     assert_eq!(bits(&sim.model), bits(&tcp.model));
     assert_eq!(sim, tcp, "fault adjudication must not depend on the wire");
 }
+
+/// The zero-copy accounting check: drive one healthy `TcpTransport`
+/// round directly and require its wire accounting to equal the exact
+/// frame and byte counts computed from the wire constants. The chunk
+/// payloads travel the socket path as shared-arena views now; if that
+/// refactor ever dropped, duplicated, split, or re-padded a frame, the
+/// closed-form numbers below would move.
+#[test]
+fn tcp_round_conserves_exact_frame_and_byte_counts() {
+    use cosmic::cosmic_runtime::node::{SigmaAggregator, CHUNK_WORDS};
+    use cosmic::cosmic_runtime::transport::wire::{CHECKSUM_BYTES, HEADER_BYTES};
+    use cosmic::cosmic_runtime::transport::{RoundCtx, TcpTransport, Transport};
+    use cosmic::cosmic_runtime::{LinkConfig, RetryPolicy};
+
+    const SENDERS: usize = 4;
+    const WORDS: usize = 2 * CHUNK_WORDS + 17; // three chunks, ragged tail
+
+    let parts_data: Vec<Vec<f64>> = (0..SENDERS)
+        .map(|s| (0..WORDS).map(|i| ((i * 31 + s * 7) % 997) as f64 / 997.0).collect())
+        .collect();
+    let parts: Vec<Option<&[f64]>> = parts_data.iter().map(|p| Some(p.as_slice())).collect();
+    let senders: Vec<usize> = (0..SENDERS).collect();
+    let plan = FaultPlan::none();
+    let retry = RetryPolicy::default();
+    let ctx =
+        RoundCtx { iteration: 0, model_len: WORDS, plan: &plan, retry: &retry, senders: &senders };
+
+    let transport = TcpTransport::bind(LinkConfig::default()).expect("loopback bind");
+    let sigma = SigmaAggregator::new(2, 2);
+    let delivery = transport.round(&ctx, &sigma, &parts).expect("healthy round");
+
+    // The fold itself is the reference sum (zero-copy moved bytes, not
+    // arithmetic).
+    let mut expected_sum = vec![0.0f64; WORDS];
+    for part in &parts_data {
+        for (acc, v) in expected_sum.iter_mut().zip(part) {
+            *acc += v;
+        }
+    }
+    assert_eq!(bits(&delivery.outcome.sum), bits(&expected_sum));
+    assert!(delivery.dead.is_empty());
+    assert!(delivery.outcome.quarantined.is_empty());
+
+    // Closed-form wire accounting. Per healthy sender connection:
+    // Hello + Heartbeat + one frame per chunk + Done go one way, one
+    // Ack comes back — and every frame is HEADER + 8 bytes per payload
+    // word + trailing checksum.
+    let chunks = WORDS.div_ceil(CHUNK_WORDS) as u64;
+    let control_len = (HEADER_BYTES + CHECKSUM_BYTES) as u64;
+    let frames_each_way = 3 + chunks + 1; // +1 = the Ack reply
+    let bytes_each_way = frames_each_way * control_len + 8 * WORDS as u64;
+    let s = delivery.stats;
+    assert_eq!(s.frames_sent, SENDERS as u64 * frames_each_way, "frames sent");
+    assert_eq!(s.frames_received, s.frames_sent, "frame conservation");
+    assert_eq!(s.bytes_sent, SENDERS as u64 * bytes_each_way, "bytes sent");
+    assert_eq!(s.bytes_received, s.bytes_sent, "byte conservation");
+    assert_eq!(s.heartbeats, SENDERS as u64, "one heartbeat per connection");
+    assert_eq!(s.reconnects, 0);
+    assert_eq!(s.links_dead, 0);
+}

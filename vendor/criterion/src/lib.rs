@@ -13,6 +13,7 @@
 
 #![forbid(unsafe_code)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 fn iters() -> u32 {
@@ -30,6 +31,45 @@ pub enum Throughput {
     Bytes(u64),
     /// Elements processed per iteration.
     Elements(u64),
+}
+
+/// One completed benchmark measurement, as recorded by the registry.
+///
+/// Real criterion persists estimates under `target/criterion/`; this
+/// stand-in instead appends every finished benchmark here so a harness
+/// in the same process (the repo's `bench_export`) can drain them with
+/// [`take_records`] and fold them into a machine-readable report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Group name (empty for stand-alone benchmarks).
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Timed iterations behind the mean.
+    pub iters: u32,
+    /// Declared per-iteration throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchRecord {
+    /// `group/name`, or just `name` for stand-alone benchmarks — the id
+    /// used in reports and baselines.
+    pub fn id(&self) -> String {
+        if self.group.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.group, self.name)
+        }
+    }
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Drains every benchmark measurement recorded so far in this process.
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut *RECORDS.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
 }
 
 /// The timing context handed to each benchmark closure.
@@ -55,6 +95,13 @@ impl Bencher {
 
 fn report(group: &str, name: &str, b: &Bencher, throughput: Option<Throughput>) {
     let per_iter = if b.runs > 0 { b.elapsed / b.runs } else { Duration::ZERO };
+    RECORDS.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(BenchRecord {
+        group: group.to_owned(),
+        name: name.to_owned(),
+        ns_per_iter: per_iter.as_secs_f64() * 1e9,
+        iters: b.runs,
+        throughput,
+    });
     let rate = throughput.map_or(String::new(), |t| {
         let secs = per_iter.as_secs_f64().max(1e-12);
         match t {
@@ -156,5 +203,12 @@ mod tests {
             g.finish();
         }
         assert!(ran >= 2, "warm-up + timed iterations must run, got {ran}");
+        let rec = take_records()
+            .into_iter()
+            .find(|r| r.group == "g" && r.name == "count")
+            .expect("the registry must capture the finished benchmark");
+        assert_eq!(rec.id(), "g/count");
+        assert_eq!(rec.throughput, Some(Throughput::Elements(4)));
+        assert!(rec.iters > 0);
     }
 }
