@@ -1,0 +1,9 @@
+//! Regenerates the multi-tenant director study (120 jobs sharing one
+//! 1024-node cluster under three fairness policies, plus the resize
+//! bit-identity proof).
+fn main() {
+    cosmic_bench::figures::figure_main(
+        "fig_director",
+        cosmic_bench::figures::fig_director::run_traced,
+    );
+}

@@ -22,6 +22,7 @@ pub mod fig15_sensitivity;
 pub mod fig16_dse;
 pub mod fig17_tabla;
 pub mod fig_collectives;
+pub mod fig_director;
 pub mod fig_elastic;
 pub mod fig_faults;
 pub mod table1_benchmarks;
@@ -60,6 +61,7 @@ pub fn run_all_traced(sink: &TraceSink) -> String {
         section(sink, "fig_faults", fig_faults::run_traced),
         section(sink, "fig_collectives", fig_collectives::run_traced),
         section(sink, "fig_elastic", fig_elastic::run_traced),
+        section(sink, "fig_director", fig_director::run_traced),
     ]
     .join("\n")
 }

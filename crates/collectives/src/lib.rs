@@ -41,11 +41,13 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
+pub mod cache;
 pub mod schedule;
 pub mod selector;
 pub mod strategy;
 pub mod topology;
 
+pub use cache::{topology_fingerprint, BoundedScheduleCache, CacheStats};
 pub use schedule::{
     CommSchedule, CommStep, ExecReport, LinkLevel, ScheduleError, StepKind, SWITCH,
 };

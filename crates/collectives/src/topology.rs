@@ -651,6 +651,46 @@ mod tests {
         assert_eq!(t.live_nodes(), 9);
     }
 
+    /// Regression pin for the director's reallocations (ISSUE 8): when
+    /// several live groups tie for smallest, a rejoin must attach to the
+    /// same group on every run and on every freshly-built instance. The
+    /// tie-break is "lowest-id Sigma wins", implemented as a `.min()`
+    /// over (size, sigma-id) pairs; if that ever became iteration-order
+    /// dependent (say, a HashMap crept in), the elastic scaler's
+    /// grow/shrink sequences — and every schedule built from them —
+    /// would diverge between identically-seeded runs.
+    #[test]
+    fn rejoin_tie_break_is_deterministic_across_runs() {
+        // The same churn sequence replayed on independent instances:
+        // every replay must land on byte-identical role tables.
+        let churn = |t: &mut Topology| {
+            // 12 nodes, 4 equal groups {0..2}{3..5}{6..8}{9..11}.
+            for n in [4, 7, 10, 5] {
+                t.fail_node(n).expect("delta removal");
+            }
+            // After the fails the group sizes are 0:2, 3:0, 6:1, 9:1.
+            // The second rejoin sees a three-way tie at size one
+            // (sigmas 3, 6, 9); ties must fill lowest-sigma-first,
+            // deterministically.
+            let mut attached = Vec::new();
+            for n in [4, 5, 7, 10] {
+                attached.push(t.rejoin_node(n).expect("rejoin"));
+            }
+            attached
+        };
+        let mut reference = roles(12, 4);
+        let expected = churn(&mut reference);
+        // Pin the exact attach targets: the empty group at sigma 3,
+        // then the three-way tie resolved toward 3 again, then 6, 9.
+        assert_eq!(expected, vec![Some(3), Some(3), Some(6), Some(9)]);
+        for _ in 0..10 {
+            let mut t = roles(12, 4);
+            let attached = churn(&mut t);
+            assert_eq!(attached, expected);
+            assert_eq!(t, reference, "replay diverged from reference");
+        }
+    }
+
     #[test]
     fn rejoined_member_lists_stay_ascending() {
         let mut t = roles(5, 1); // master 0, members 1..=4

@@ -54,6 +54,7 @@ pub use cosmic_arch;
 pub use cosmic_baseline;
 pub use cosmic_compiler;
 pub use cosmic_dfg;
+pub use cosmic_director;
 pub use cosmic_dsl;
 pub use cosmic_ml;
 pub use cosmic_planner;

@@ -1,0 +1,474 @@
+//! The deterministic virtual-clock event loop multiplexing jobs onto
+//! the cluster.
+//!
+//! Three event sources drive the loop: job arrivals (from the seeded
+//! plan), per-job round completions (priced by [`ExecModel`]), and
+//! elastic-scaler ticks. The loop always advances to the earliest
+//! pending event time and processes the phases in a fixed order —
+//! arrivals, completions, reallocation, admission — breaking every tie
+//! by ascending job id, so a run is a pure function of
+//! (config, arrival plan) and its telemetry exports are byte-identical
+//! per seed.
+//!
+//! Resize semantics: a reallocation lands at a round boundary — the
+//! job's in-flight round restarts on the new grant (checkpoint-replay
+//! hands the model state over, see [`crate::proof`] for why the math
+//! is unaffected), so the cost of a resize is at most one round of
+//! lost progress plus the schedule rebuild, which the shared cache
+//! makes cheap.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use cosmic_collectives::{CacheStats, CollectiveKind};
+use cosmic_runtime::NodeCompute;
+use cosmic_sim::JobArrivalPlan;
+use cosmic_telemetry::{counters, Layer, TraceSink};
+
+use crate::carve::{CarveOut, ClusterLedger};
+use crate::error::DirectorError;
+use crate::exec::ExecModel;
+use crate::job::JobSpec;
+use crate::policy::{FairnessPolicy, RunningView};
+use crate::scaler::ElasticScaler;
+use crate::stats::{jain_index, percentile};
+
+/// Director-wide configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectorConfig {
+    /// Physical cluster size.
+    pub cluster_nodes: usize,
+    /// The fairness policy arbitrating nodes.
+    pub policy: FairnessPolicy,
+    /// Collective strategy every carve runs.
+    pub collective: CollectiveKind,
+    /// Elastic-scaler tick interval (virtual seconds).
+    pub scaler_interval_s: f64,
+    /// Bound on the shared cross-job schedule cache.
+    pub cache_capacity: usize,
+    /// Per-node accelerator throughput.
+    pub node: NodeCompute,
+}
+
+impl Default for DirectorConfig {
+    fn default() -> Self {
+        DirectorConfig {
+            cluster_nodes: 1024,
+            policy: FairnessPolicy::WeightedMaxMin,
+            collective: CollectiveKind::TwoLevelTree,
+            scaler_interval_s: 0.25,
+            cache_capacity: 64,
+            node: NodeCompute { records_per_sec: 1.0e5 },
+        }
+    }
+}
+
+/// One finished job's lifecycle record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: usize,
+    /// Display name.
+    pub name: String,
+    /// Submission time.
+    pub arrival_s: f64,
+    /// Admission time.
+    pub admitted_s: f64,
+    /// Completion time.
+    pub completed_s: f64,
+    /// Seconds spent queued before admission.
+    pub queue_wait_s: f64,
+    /// Job completion time (completion − arrival).
+    pub jct_s: f64,
+    /// JCT divided by the job's ideal solo-full-width JCT (≥ 1 up to
+    /// model error).
+    pub slowdown: f64,
+    /// Physical nodes held at completion.
+    pub final_nodes: usize,
+    /// Nodes granted over the job's lifetime (admission + grows).
+    pub granted_nodes: usize,
+    /// Nodes preempted from the job by elastic shrinks.
+    pub preempted_nodes: usize,
+    /// Elastic resizes applied to the job.
+    pub reallocations: usize,
+    /// Aggregation rounds completed.
+    pub rounds: usize,
+}
+
+/// The outcome of one director run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectorReport {
+    /// The policy that produced this schedule.
+    pub policy: FairnessPolicy,
+    /// Cluster size.
+    pub cluster_nodes: usize,
+    /// Completed jobs, ascending id.
+    pub jobs: Vec<JobRecord>,
+    /// Jobs rejected at admission, with reasons.
+    pub rejected: Vec<(usize, String)>,
+    /// Virtual time of the last completion.
+    pub makespan_s: f64,
+    /// Median job completion time.
+    pub p50_jct_s: f64,
+    /// 99th-percentile job completion time.
+    pub p99_jct_s: f64,
+    /// Jain's fairness index over per-job `1/slowdown`.
+    pub jain: f64,
+    /// Aggregate goodput: training records processed per virtual
+    /// second of makespan.
+    pub aggregate_records_per_s: f64,
+    /// Shared schedule-cache totals.
+    pub cache: CacheStats,
+    /// Outer event-loop iterations.
+    pub events: u64,
+}
+
+#[derive(Debug)]
+struct Running {
+    spec: JobSpec,
+    carve: CarveOut,
+    admitted_s: f64,
+    queue_wait_s: f64,
+    rounds_done: usize,
+    round_cost_s: f64,
+    next_done_s: f64,
+    ideal_jct_s: f64,
+    granted_nodes: usize,
+    preempted_nodes: usize,
+    reallocations: usize,
+}
+
+#[derive(Debug, Default)]
+struct Totals {
+    submitted: u64,
+    admitted: u64,
+    completed: u64,
+    queue_wait_s: f64,
+    grants: u64,
+    preemptions: u64,
+    reallocations: u64,
+}
+
+/// The multi-tenant job director.
+#[derive(Debug)]
+pub struct Director<'a> {
+    cfg: &'a DirectorConfig,
+    sink: &'a TraceSink,
+    exec: ExecModel,
+    scaler: ElasticScaler,
+    ledger: ClusterLedger,
+    arrivals: VecDeque<JobSpec>,
+    queue: VecDeque<JobSpec>,
+    running: BTreeMap<usize, Running>,
+    finished: BTreeMap<usize, JobRecord>,
+    rejected: Vec<(usize, String)>,
+    totals: Totals,
+    now: f64,
+    events: u64,
+}
+
+/// Hard cap on outer-loop iterations; hitting it means the loop
+/// stopped making progress (a bug surfaced as [`DirectorError::Stalled`]).
+const EVENT_CAP: u64 = 10_000_000;
+
+impl<'a> Director<'a> {
+    /// Runs `plan` under `cfg` without telemetry.
+    pub fn run(
+        cfg: &DirectorConfig,
+        plan: &JobArrivalPlan,
+    ) -> Result<DirectorReport, DirectorError> {
+        let sink = TraceSink::new();
+        Self::run_traced(cfg, plan, &sink)
+    }
+
+    /// Runs `plan` under `cfg`, booking spans and counters into `sink`
+    /// under [`Layer::Director`].
+    pub fn run_traced(
+        cfg: &DirectorConfig,
+        plan: &JobArrivalPlan,
+        sink: &TraceSink,
+    ) -> Result<DirectorReport, DirectorError> {
+        let mut d = Director {
+            cfg,
+            sink,
+            exec: ExecModel::new(cfg.node, cfg.collective, cfg.cache_capacity),
+            scaler: ElasticScaler::new(cfg.scaler_interval_s),
+            ledger: ClusterLedger::new(cfg.cluster_nodes),
+            arrivals: plan.jobs.iter().map(JobSpec::from_arrival).collect(),
+            queue: VecDeque::new(),
+            running: BTreeMap::new(),
+            finished: BTreeMap::new(),
+            rejected: Vec::new(),
+            totals: Totals::default(),
+            now: 0.0,
+            events: 0,
+        };
+        let span = sink.span(Layer::Director, "director.run");
+        span.arg("policy", cfg.policy.label());
+        span.arg("cluster_nodes", &cfg.cluster_nodes.to_string());
+        span.arg("jobs", &plan.jobs.len().to_string());
+        d.event_loop()?;
+        let report = d.report();
+        sink.set_time(report.makespan_s);
+        drop(span);
+        d.book_counters();
+        Ok(report)
+    }
+
+    fn event_loop(&mut self) -> Result<(), DirectorError> {
+        while let Some(t) = self.next_event_time() {
+            self.now = t;
+            self.sink.set_time(t);
+            self.absorb_arrivals();
+            self.complete_rounds();
+            if self.cfg.policy.is_elastic()
+                && !self.running.is_empty()
+                && t >= self.scaler.next_tick_s()
+            {
+                self.reallocate()?;
+                self.scaler.advance_past(t);
+            }
+            self.admit()?;
+            self.events += 1;
+            if self.events > EVENT_CAP {
+                break;
+            }
+        }
+        self.ledger.audit()?;
+        if !(self.queue.is_empty() && self.running.is_empty()) {
+            return Err(DirectorError::Stalled {
+                queued: self.queue.len(),
+                running: self.running.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The earliest pending event: the next arrival, the next round
+    /// completion (lowest job id breaks exact ties via BTreeMap order),
+    /// or — while anything runs under an elastic policy — the next
+    /// scaler tick.
+    fn next_event_time(&self) -> Option<f64> {
+        let mut next: Option<f64> = self.arrivals.front().map(|s| s.arrival_s);
+        if let Some(done) = self.running.values().map(|r| r.next_done_s).min_by(f64::total_cmp) {
+            next = Some(next.map_or(done, |n| n.min(done)));
+        }
+        if self.cfg.policy.is_elastic() && !self.running.is_empty() {
+            // The tick grid can lag behind `now` after an idle stretch
+            // (ticks only fire while jobs run); clamping keeps virtual
+            // time monotone.
+            let tick = self.scaler.next_tick_s().max(self.now);
+            next = Some(next.map_or(tick, |n| n.min(tick)));
+        }
+        next
+    }
+
+    fn absorb_arrivals(&mut self) {
+        while self.arrivals.front().is_some_and(|s| s.arrival_s <= self.now) {
+            let Some(spec) = self.arrivals.pop_front() else { break };
+            self.totals.submitted += 1;
+            self.sink.instant(Layer::Director, "director.submit");
+            match spec.validate(self.cfg.cluster_nodes) {
+                Ok(()) => self.queue.push_back(spec),
+                Err(DirectorError::InvalidJob { job, reason }) => {
+                    self.rejected.push((job, reason));
+                }
+                Err(other) => self.rejected.push((spec.id, other.to_string())),
+            }
+        }
+    }
+
+    fn complete_rounds(&mut self) {
+        let due: Vec<usize> = self
+            .running
+            .iter()
+            .filter(|(_, r)| r.next_done_s <= self.now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            let Some(r) = self.running.get_mut(&id) else { continue };
+            r.rounds_done += 1;
+            if r.rounds_done >= r.spec.total_rounds() {
+                self.finish(id);
+            } else {
+                r.next_done_s += r.round_cost_s;
+            }
+        }
+    }
+
+    fn finish(&mut self, id: usize) {
+        let Some(r) = self.running.remove(&id) else { return };
+        self.ledger.release_all(id);
+        let jct = self.now - r.spec.arrival_s;
+        self.totals.completed += 1;
+        self.sink.instant(Layer::Director, "director.complete");
+        self.finished.insert(
+            id,
+            JobRecord {
+                id,
+                name: r.spec.name.clone(),
+                arrival_s: r.spec.arrival_s,
+                admitted_s: r.admitted_s,
+                completed_s: self.now,
+                queue_wait_s: r.queue_wait_s,
+                jct_s: jct,
+                slowdown: if r.ideal_jct_s > 0.0 { jct / r.ideal_jct_s } else { 1.0 },
+                final_nodes: r.carve.live(),
+                granted_nodes: r.granted_nodes,
+                preempted_nodes: r.preempted_nodes,
+                reallocations: r.reallocations,
+                rounds: r.rounds_done,
+            },
+        );
+    }
+
+    fn reallocate(&mut self) -> Result<(), DirectorError> {
+        let views: Vec<RunningView<'_>> = self
+            .running
+            .values()
+            .map(|r| RunningView {
+                spec: &r.spec,
+                current: r.carve.live(),
+                observed_records_per_s: if r.round_cost_s > 0.0 {
+                    r.spec.minibatch as f64 / r.round_cost_s
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        let queued_min_demand: usize = self.queue.iter().map(|s| s.min_nodes).sum();
+        let ops = self.scaler.plan(
+            self.cfg.policy,
+            &views,
+            queued_min_demand,
+            self.cfg.cluster_nodes,
+            &self.exec,
+        );
+        drop(views);
+        for op in ops {
+            let Some(r) = self.running.get_mut(&op.job) else { continue };
+            let resized = if op.delta < 0 {
+                let released = r.carve.shrink(op.delta.unsigned_abs() as usize)?;
+                self.ledger.release(op.job, &released)?;
+                let n = released.len();
+                self.totals.preemptions += n as u64;
+                r.preempted_nodes += n;
+                n > 0
+            } else {
+                let grant = self.ledger.grant(op.job, op.delta as usize);
+                let absorbed = r.carve.grow(&grant)?;
+                if absorbed.len() < grant.len() {
+                    self.ledger.release(op.job, &grant[absorbed.len()..])?;
+                }
+                let n = absorbed.len();
+                self.totals.grants += n as u64;
+                r.granted_nodes += n;
+                n > 0
+            };
+            if resized {
+                self.totals.reallocations += 1;
+                r.reallocations += 1;
+                r.round_cost_s = self.exec.round_cost_s(&r.spec, &r.carve)?;
+                r.next_done_s = self.now + r.round_cost_s;
+                self.sink.instant(Layer::Director, "director.reallocate");
+            }
+        }
+        Ok(())
+    }
+
+    fn admit(&mut self) -> Result<(), DirectorError> {
+        match self.cfg.policy {
+            // Strict FIFO: only the head of the line may be admitted.
+            FairnessPolicy::StrictFifo => {
+                while self.queue.front().is_some_and(|s| s.min_nodes <= self.ledger.free_count()) {
+                    let Some(spec) = self.queue.pop_front() else { break };
+                    self.admit_one(spec)?;
+                }
+            }
+            // Elastic policies backfill: any queued job that fits goes
+            // in (arrival order preserved), the scaler rebalances later.
+            _ => {
+                let mut still_waiting = VecDeque::new();
+                while let Some(spec) = self.queue.pop_front() {
+                    if spec.min_nodes <= self.ledger.free_count() {
+                        self.admit_one(spec)?;
+                    } else {
+                        still_waiting.push_back(spec);
+                    }
+                }
+                self.queue = still_waiting;
+            }
+        }
+        Ok(())
+    }
+
+    fn admit_one(&mut self, spec: JobSpec) -> Result<(), DirectorError> {
+        let id = spec.id;
+        let want = spec.max_nodes.min(self.ledger.free_count());
+        let grant = self.ledger.grant(id, want);
+        let carve = CarveOut::new(id, spec.max_nodes, &grant)?;
+        // The ideal solo JCT: every logical slot funded, empty cluster.
+        let full: Vec<usize> = (0..spec.max_nodes).collect();
+        let reference = CarveOut::new(id, spec.max_nodes, &full)?;
+        let ideal_jct_s = spec.total_rounds() as f64 * self.exec.round_cost_s(&spec, &reference)?;
+        let round_cost_s = self.exec.round_cost_s(&spec, &carve)?;
+        let queue_wait_s = self.now - spec.arrival_s;
+        self.totals.admitted += 1;
+        self.totals.queue_wait_s += queue_wait_s;
+        self.totals.grants += grant.len() as u64;
+        self.sink.instant(Layer::Director, "director.admit");
+        self.running.insert(
+            id,
+            Running {
+                admitted_s: self.now,
+                queue_wait_s,
+                rounds_done: 0,
+                round_cost_s,
+                next_done_s: self.now + round_cost_s,
+                ideal_jct_s,
+                granted_nodes: grant.len(),
+                preempted_nodes: 0,
+                reallocations: 0,
+                spec,
+                carve,
+            },
+        );
+        Ok(())
+    }
+
+    fn book_counters(&self) {
+        let s = self.sink;
+        s.add(counters::DIRECTOR_JOBS_SUBMITTED, self.totals.submitted as f64);
+        s.add(counters::DIRECTOR_JOBS_ADMITTED, self.totals.admitted as f64);
+        s.add(counters::DIRECTOR_JOBS_COMPLETED, self.totals.completed as f64);
+        s.add(counters::DIRECTOR_QUEUE_WAIT_S, self.totals.queue_wait_s);
+        s.add(counters::DIRECTOR_GRANTS, self.totals.grants as f64);
+        s.add(counters::DIRECTOR_PREEMPTIONS, self.totals.preemptions as f64);
+        s.add(counters::DIRECTOR_REALLOCATIONS, self.totals.reallocations as f64);
+        let cache = self.exec.cache_stats();
+        s.add(counters::DIRECTOR_CACHE_HITS, cache.hits as f64);
+        s.add(counters::DIRECTOR_CACHE_MISSES, cache.misses as f64);
+        s.add(counters::DIRECTOR_CACHE_EVICTIONS, cache.evictions as f64);
+    }
+
+    fn report(&self) -> DirectorReport {
+        let jobs: Vec<JobRecord> = self.finished.values().cloned().collect();
+        let jcts: Vec<f64> = jobs.iter().map(|j| j.jct_s).collect();
+        let shares: Vec<f64> =
+            jobs.iter().map(|j| if j.slowdown > 0.0 { 1.0 / j.slowdown } else { 0.0 }).collect();
+        let makespan_s = jobs.iter().map(|j| j.completed_s).max_by(f64::total_cmp).unwrap_or(0.0);
+        let trained: f64 = jobs.iter().map(|j| (j.rounds as f64) * 1.0).sum::<f64>().max(0.0);
+        DirectorReport {
+            policy: self.cfg.policy,
+            cluster_nodes: self.cfg.cluster_nodes,
+            rejected: self.rejected.clone(),
+            makespan_s,
+            p50_jct_s: percentile(&jcts, 50.0),
+            p99_jct_s: percentile(&jcts, 99.0),
+            jain: jain_index(&shares),
+            aggregate_records_per_s: if makespan_s > 0.0 { trained / makespan_s } else { 0.0 },
+            cache: self.exec.cache_stats(),
+            events: self.events,
+            jobs,
+        }
+    }
+}

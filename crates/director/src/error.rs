@@ -1,0 +1,87 @@
+//! Typed director errors.
+
+use std::error::Error;
+use std::fmt;
+
+use cosmic_collectives::{ScheduleError, TopologyError};
+use cosmic_runtime::RuntimeError;
+
+/// Everything that can go wrong admitting or running jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DirectorError {
+    /// A job failed admission validation (bad bounds, unparsable DSL).
+    InvalidJob {
+        /// The offending job id.
+        job: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The cluster cannot host even the smallest job in the plan.
+    ClusterTooSmall {
+        /// Cluster size.
+        nodes: usize,
+        /// The smallest min-nodes request that does not fit.
+        required: usize,
+    },
+    /// A carve-out operation hit an invalid topology transition.
+    Topology(TopologyError),
+    /// A collective schedule could not be built for a carve.
+    Schedule(ScheduleError),
+    /// The engine-backed proof run failed.
+    Runtime(String),
+    /// The event loop stopped making progress (a bug, surfaced rather
+    /// than spun on).
+    Stalled {
+        /// Jobs still queued when progress stopped.
+        queued: usize,
+        /// Jobs still running when progress stopped.
+        running: usize,
+    },
+    /// The ledger's node-conservation invariant broke (a bug).
+    LedgerCorrupt {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DirectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirectorError::InvalidJob { job, reason } => {
+                write!(f, "job {job} rejected at admission: {reason}")
+            }
+            DirectorError::ClusterTooSmall { nodes, required } => {
+                write!(f, "cluster of {nodes} nodes cannot host a min-{required}-node job")
+            }
+            DirectorError::Topology(e) => write!(f, "carve topology: {e}"),
+            DirectorError::Schedule(e) => write!(f, "carve schedule: {e}"),
+            DirectorError::Runtime(e) => write!(f, "proof run: {e}"),
+            DirectorError::Stalled { queued, running } => {
+                write!(f, "director stalled with {queued} queued and {running} running jobs")
+            }
+            DirectorError::LedgerCorrupt { detail } => {
+                write!(f, "node-conservation violation: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for DirectorError {}
+
+impl From<TopologyError> for DirectorError {
+    fn from(e: TopologyError) -> Self {
+        DirectorError::Topology(e)
+    }
+}
+
+impl From<ScheduleError> for DirectorError {
+    fn from(e: ScheduleError) -> Self {
+        DirectorError::Schedule(e)
+    }
+}
+
+impl From<RuntimeError> for DirectorError {
+    fn from(e: RuntimeError) -> Self {
+        DirectorError::Runtime(e.to_string())
+    }
+}

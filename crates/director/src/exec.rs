@@ -1,0 +1,161 @@
+//! The analytic executor: what one aggregation round of a carved-out
+//! job costs in virtual seconds.
+//!
+//! At director scale (hundreds of jobs × a thousand nodes) the
+//! functional engine — real threads per node — is not a simulator, so
+//! the director prices rounds analytically, the same way the `fig_*`
+//! studies do: per-phase costs from the commodity-cluster rates of
+//! [`ClusterTiming`], with the aggregation phase priced by building the
+//! carve's *actual* collective schedule and walking its rounds through
+//! the [`CostModel`]. Schedules come from the shared, bounded,
+//! cross-job [`BoundedScheduleCache`], so jobs whose carves share a
+//! shape share the build.
+//!
+//! A job's *logical* width is fixed at `max_nodes`; a physical grant of
+//! `p ≤ max_nodes` nodes time-shares the logical workers in integer
+//! multiples (`ceil(L/p)` logical workers per physical node), which is
+//! what keeps the math — and the bit-identity story in [`crate::proof`]
+//! — independent of the director's resizing.
+
+use cosmic_collectives::{BoundedScheduleCache, CacheStats, CollectiveKind, CostModel};
+use cosmic_runtime::{ClusterTiming, NodeCompute, CHUNK_WORDS};
+use cosmic_sim::{NetworkModel, PcieModel};
+
+use crate::carve::CarveOut;
+use crate::error::DirectorError;
+use crate::job::JobSpec;
+
+/// Fixed per-round orchestration overhead, matching
+/// [`ClusterTiming::commodity`]'s 150 µs management cost.
+const MGMT_S: f64 = 150.0e-6;
+
+/// Prices job rounds on the commodity cluster.
+#[derive(Debug)]
+pub struct ExecModel {
+    node: NodeCompute,
+    kind: CollectiveKind,
+    cost: CostModel,
+    pcie: PcieModel,
+    cache: BoundedScheduleCache,
+}
+
+impl ExecModel {
+    /// An executor pricing rounds with `kind` collectives on nodes of
+    /// the given throughput, sharing a schedule cache bounded at
+    /// `cache_capacity` entries.
+    pub fn new(node: NodeCompute, kind: CollectiveKind, cache_capacity: usize) -> Self {
+        ExecModel {
+            node,
+            kind,
+            cost: CostModel { net: NetworkModel::gigabit(), agg_bytes_per_sec: 6.0e9 },
+            pcie: PcieModel::gen3_x8(),
+            cache: BoundedScheduleCache::new(cache_capacity),
+        }
+    }
+
+    /// Schedule-cache hit/miss/eviction totals so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Seconds one aggregation round of `spec` takes on `carve`'s
+    /// current grant: time-shared compute, PCIe readback, the carve's
+    /// collective schedule priced round by round, and management.
+    pub fn round_cost_s(&mut self, spec: &JobSpec, carve: &CarveOut) -> Result<f64, DirectorError> {
+        let p = carve.live().max(1);
+        let logical = carve.width().max(1);
+        let share = logical.div_ceil(p) as f64;
+        let compute_s =
+            (spec.minibatch as f64 / logical as f64) / self.node.records_per_sec * share;
+        let pcie_s = self.pcie.transfer_ns(2 * spec.exchange_bytes()) as f64 * 1e-9 * share;
+        let words = spec.exchange_bytes().div_ceil(std::mem::size_of::<f64>());
+        let schedule = self.cache.get_or_build(
+            self.kind.strategy(),
+            carve.topology(),
+            &carve.live_slots(),
+            words,
+            CHUNK_WORDS,
+        )?;
+        let net_s: f64 = self.cost.round_costs_s(&schedule).iter().map(|r| r.seconds).sum();
+        Ok(compute_s + pcie_s + net_s + MGMT_S)
+    }
+
+    /// Cheap analytic throughput estimate (records/s) for `spec` on `p`
+    /// physical nodes — no schedule build, used by the greedy policy to
+    /// rank marginal node assignments. Monotone non-decreasing in `p`
+    /// up to the job's logical width.
+    pub fn estimate_records_per_s(&self, spec: &JobSpec, p: usize) -> f64 {
+        let p = p.clamp(1, spec.max_nodes);
+        let timing = ClusterTiming::commodity(p, groups_for(p));
+        let breakdown = timing
+            .model(spec.minibatch, self.node, spec.exchange_bytes())
+            .evaluate()
+            .unwrap_or_default();
+        let total = breakdown.total_s();
+        if total > 0.0 {
+            spec.minibatch as f64 / total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The same nearly-equal grouping rule carves use.
+fn groups_for(nodes: usize) -> usize {
+    cosmic_collectives::default_groups(nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmic_collectives::CollectiveKind;
+    use cosmic_sim::{ArrivalProfile, JobArrivalPlan};
+
+    fn spec() -> JobSpec {
+        let plan = JobArrivalPlan::random(5, 1, &ArrivalProfile::default());
+        let mut s = JobSpec::from_arrival(&plan.jobs[0]);
+        s.max_nodes = 16;
+        s.min_nodes = 2;
+        s
+    }
+
+    fn node() -> NodeCompute {
+        NodeCompute { records_per_sec: 1.0e5 }
+    }
+
+    #[test]
+    fn more_nodes_make_rounds_cheaper() {
+        let mut exec = ExecModel::new(node(), CollectiveKind::TwoLevelTree, 16);
+        let s = spec();
+        let narrow = CarveOut::new(0, 16, &[0, 1]).unwrap();
+        let wide = CarveOut::new(0, 16, &(0..16).collect::<Vec<_>>()).unwrap();
+        let slow = exec.round_cost_s(&s, &narrow).unwrap();
+        let fast = exec.round_cost_s(&s, &wide).unwrap();
+        assert!(slow > fast, "2 nodes {slow} vs 16 nodes {fast}");
+    }
+
+    #[test]
+    fn identical_carve_shapes_hit_the_shared_cache() {
+        let mut exec = ExecModel::new(node(), CollectiveKind::TwoLevelTree, 16);
+        let s = spec();
+        let a = CarveOut::new(0, 16, &[0, 1, 2, 3]).unwrap();
+        let b = CarveOut::new(1, 16, &[100, 101, 102, 103]).unwrap();
+        let ca = exec.round_cost_s(&s, &a).unwrap();
+        let cb = exec.round_cost_s(&s, &b).unwrap();
+        assert_eq!(ca, cb, "same shape must price identically");
+        let stats = exec.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_nodes() {
+        let exec = ExecModel::new(node(), CollectiveKind::TwoLevelTree, 4);
+        let s = spec();
+        let t2 = exec.estimate_records_per_s(&s, 2);
+        let t8 = exec.estimate_records_per_s(&s, 8);
+        let t16 = exec.estimate_records_per_s(&s, 16);
+        assert!(t2 > 0.0);
+        assert!(t8 >= t2);
+        assert!(t16 >= t8);
+    }
+}

@@ -1,0 +1,159 @@
+//! Bit-identity proofs for elastic resizing.
+//!
+//! The director's whole resize story rests on two claims, and this
+//! module proves both with the *functional* engine (real
+//! [`ClusterTrainer`] runs, not the analytic executor):
+//!
+//! 1. **Migration is math-neutral.** A job's logical width is pinned at
+//!    admission; a resize only changes which physical shape executes
+//!    the next epoch. Because every collective strategy reduces through
+//!    the same canonical ascending fold, and epochs restart their
+//!    mini-batch walk from the dataset's start, training `k` epochs on
+//!    one shape and handing the model (through a checksummed
+//!    [`Checkpoint`]) to a *differently shaped* cluster for the
+//!    remaining epochs must produce the same bits as one unresized
+//!    run. [`migration_proof`] checks exactly that, word for word.
+//! 2. **Rejoin catch-up is bit-exact.** When the director grows a
+//!    carve, the absorbed node enters through
+//!    [`Topology::rejoin_node`](cosmic_collectives::Topology) and the
+//!    checkpoint-replay protocol; [`rejoin_proof`] drives a
+//!    crash-then-rejoin plan through the trainer and demands every
+//!    [`RejoinEvent`](cosmic_runtime::RejoinEvent) report
+//!    `matched == true` — the rejoined replica's model equals the
+//!    survivors' bit for bit.
+
+use cosmic_ml::{data, Algorithm};
+use cosmic_runtime::{
+    model_checksum, Checkpoint, ClusterConfig, ClusterTrainer, FaultPlan, TrainOutcome,
+};
+
+use crate::error::DirectorError;
+
+/// The verdict of one resize bit-identity experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResizeProof {
+    /// Checksum of the unresized reference run's final model.
+    pub reference_checksum: u64,
+    /// Checksum of the migrated (resized mid-job) run's final model.
+    pub migrated_checksum: u64,
+    /// Whether the two final models are equal word for word.
+    pub identical: bool,
+    /// Rejoin events whose caught-up model matched the survivors'
+    /// bit for bit.
+    pub rejoins_matched: usize,
+    /// Total rejoin events observed.
+    pub rejoins_total: usize,
+}
+
+/// Epochs trained before the migration hands the model over.
+const SLICE_EPOCHS: usize = 2;
+/// Total epochs of the experiment (sliced runs must sum to this).
+const TOTAL_EPOCHS: usize = 4;
+
+fn experiment_parts(seed: u64) -> (Algorithm, cosmic_ml::data::Dataset, Vec<f64>) {
+    let alg = Algorithm::LinearRegression { features: 8 };
+    let dataset = data::generate(&alg, 600, seed);
+    let init = data::init_model(&alg, seed.wrapping_add(1));
+    (alg, dataset, init)
+}
+
+fn train(
+    nodes: usize,
+    groups: usize,
+    epochs: usize,
+    alg: &Algorithm,
+    dataset: &cosmic_ml::data::Dataset,
+    init: Vec<f64>,
+) -> Result<TrainOutcome, DirectorError> {
+    let config =
+        ClusterConfig { nodes, groups, epochs, minibatch: 120, ..ClusterConfig::default() };
+    Ok(ClusterTrainer::new(config)?.train(alg, dataset, init)?)
+}
+
+/// Proves an elastic migration lands bit-identical: an unresized
+/// 6-node/2-group reference run of four epochs, against two epochs on
+/// that shape followed — via a verified checkpoint hand-off — by two
+/// epochs on a 6-node/*3-group* cluster (a different carve shape with
+/// different collective grouping). Deterministic per `seed`.
+pub fn migration_proof(seed: u64) -> Result<ResizeProof, DirectorError> {
+    let (alg, dataset, init) = experiment_parts(seed);
+    let reference = train(6, 2, TOTAL_EPOCHS, &alg, &dataset, init.clone())?;
+
+    let first = train(6, 2, SLICE_EPOCHS, &alg, &dataset, init)?;
+    // The resize hand-off: snapshot, checksum, verify, restore — the
+    // same protocol a rejoining node catches up through.
+    let handoff = Checkpoint::take(first.iterations, &first.model);
+    handoff.verify().map_err(|e| DirectorError::LedgerCorrupt { detail: e.to_string() })?;
+    let second = train(6, 3, TOTAL_EPOCHS - SLICE_EPOCHS, &alg, &dataset, handoff.model)?;
+
+    Ok(ResizeProof {
+        reference_checksum: model_checksum(&reference.model),
+        migrated_checksum: model_checksum(&second.model),
+        identical: reference.model == second.model,
+        rejoins_matched: 0,
+        rejoins_total: 0,
+    })
+}
+
+/// Proves grow-by-rejoin catch-up is bit-exact: a 6-node run where one
+/// node leaves and re-enters mid-training through the checkpoint-replay
+/// protocol. Both checksums are the faulted run's final model;
+/// `identical` asserts every observed rejoin matched the survivors'
+/// model bit for bit. Deterministic per `seed`.
+pub fn rejoin_proof(seed: u64) -> Result<ResizeProof, DirectorError> {
+    let (alg, dataset, init) = experiment_parts(seed);
+    let config = ClusterConfig {
+        nodes: 6,
+        groups: 2,
+        epochs: TOTAL_EPOCHS,
+        minibatch: 120,
+        faults: FaultPlan::none().crash_then_rejoin(4, 3, 4),
+        ..ClusterConfig::default()
+    };
+    let outcome = ClusterTrainer::new(config)?.train(&alg, &dataset, init)?;
+    let matched = outcome.faults.rejoins.iter().filter(|r| r.matched).count();
+    let total = outcome.faults.rejoins.len();
+    let checksum = model_checksum(&outcome.model);
+    Ok(ResizeProof {
+        reference_checksum: checksum,
+        migrated_checksum: checksum,
+        identical: total > 0 && matched == total,
+        rejoins_matched: matched,
+        rejoins_total: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance criterion: an elastic reallocation mid-job lands
+    /// the resized job bit-identical to an unresized reference run.
+    #[test]
+    fn migration_lands_bit_identical() {
+        let proof = migration_proof(42).expect("runs are healthy");
+        assert!(
+            proof.identical,
+            "resized run must equal the unresized reference bit for bit: \
+             {:#018x} vs {:#018x}",
+            proof.reference_checksum, proof.migrated_checksum
+        );
+        assert_eq!(proof.reference_checksum, proof.migrated_checksum);
+    }
+
+    #[test]
+    fn migration_proof_is_deterministic_per_seed() {
+        assert_eq!(migration_proof(7).unwrap(), migration_proof(7).unwrap());
+        let a = migration_proof(7).unwrap();
+        let b = migration_proof(8).unwrap();
+        assert_ne!(a.reference_checksum, b.reference_checksum, "seeds must differ");
+    }
+
+    #[test]
+    fn rejoin_catchup_is_bit_exact() {
+        let proof = rejoin_proof(42).expect("degraded, not dead");
+        assert!(proof.rejoins_total > 0, "the plan must actually exercise a rejoin");
+        assert_eq!(proof.rejoins_matched, proof.rejoins_total);
+        assert!(proof.identical);
+    }
+}

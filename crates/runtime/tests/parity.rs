@@ -1,21 +1,16 @@
-//! Refactor-parity suites for the phase-based engine and the unified
-//! timing builder.
+//! Refactor-parity suite for the phase-based engine: the engine's
+//! behavior must not depend on who is watching. A run under the no-op
+//! [`NullObserver`] (`train`) is bit-identical to the same run under
+//! the recording `TraceObserver` (`train_traced`), across random
+//! cluster shapes, seeds, fault plans, and both membership modes.
 //!
-//! 1. **Observer parity** — the engine's behavior must not depend on
-//!    who is watching: a run under the no-op [`NullObserver`]
-//!    (`train`) is bit-identical to the same run under the recording
-//!    `TraceObserver` (`train_traced`), across random cluster shapes,
-//!    seeds, fault plans, and both membership modes.
-//! 2. **Wrapper parity** — each deprecated `iteration_*` entry point is
-//!    a one-line façade over the [`IterationModel`] builder and must
-//!    return exactly what its builder chain returns, traces included.
-
-#![allow(deprecated)]
+//! (The deprecated `iteration_*` wrapper-parity suite that used to live
+//! here left with the wrappers themselves; the [`IterationModel`]
+//! builder is the only timing entry point now.)
 
 use cosmic_ml::{data, Aggregation, Algorithm};
 use cosmic_runtime::{
-    ClusterConfig, ClusterTiming, ClusterTrainer, CollectiveKind, FaultPlan, FaultRates,
-    FaultTimingModel, MembershipMode, NodeCompute, TraceSink,
+    ClusterConfig, ClusterTrainer, FaultPlan, FaultRates, MembershipMode, TraceSink,
 };
 use proptest::prelude::*;
 
@@ -127,143 +122,4 @@ proptest! {
         prop_assert_eq!(trace_a, trace_b);
         prop_assert_eq!(metrics_a, metrics_b);
     }
-}
-
-const MINIBATCH: usize = 10_000;
-const EXCHANGE: usize = 1_000_000;
-
-fn timing() -> ClusterTiming {
-    ClusterTiming::commodity(8, 2)
-}
-
-fn node() -> NodeCompute {
-    NodeCompute { records_per_sec: 1e5 }
-}
-
-fn faults() -> FaultTimingModel {
-    FaultTimingModel {
-        chunk_drop_rate: 0.02,
-        retry_backoff_s: 250e-6,
-        straggler_rate: 0.1,
-        straggler_slowdown: 6.0,
-        deadline_factor: 4.0,
-        sigma_failover_rate: 0.01,
-        failover_penalty_s: 5e-3,
-        reschedule_penalty_s: 1e-3,
-    }
-}
-
-#[test]
-fn iteration_wrapper_equals_builder() {
-    let t = timing();
-    assert_eq!(
-        t.iteration(MINIBATCH, node(), EXCHANGE),
-        t.model(MINIBATCH, node(), EXCHANGE).evaluate().unwrap()
-    );
-}
-
-#[test]
-fn iteration_with_stragglers_wrapper_equals_builder() {
-    let t = timing();
-    for (count, slowdown) in [(0, 5.0), (1, 3.0), (3, 1.5), (99, 2.0), (1, f64::NAN)] {
-        assert_eq!(
-            t.iteration_with_stragglers(MINIBATCH, node(), EXCHANGE, count, slowdown),
-            t.model(MINIBATCH, node(), EXCHANGE)
-                .with_stragglers(count, slowdown)
-                .evaluate()
-                .unwrap(),
-            "stragglers={count} slowdown={slowdown}"
-        );
-    }
-}
-
-#[test]
-fn iteration_with_faults_wrapper_equals_builder() {
-    let t = timing();
-    let f = faults();
-    assert_eq!(
-        t.iteration_with_faults(MINIBATCH, node(), EXCHANGE, &f),
-        t.model(MINIBATCH, node(), EXCHANGE).with_faults(&f).evaluate().unwrap()
-    );
-}
-
-#[test]
-fn iteration_with_collective_wrapper_equals_builder() {
-    let t = timing();
-    for kind in CollectiveKind::ALL {
-        assert_eq!(
-            t.iteration_with_collective(MINIBATCH, node(), EXCHANGE, kind).unwrap(),
-            t.model(MINIBATCH, node(), EXCHANGE).with_collective(kind).evaluate().unwrap(),
-            "{kind}"
-        );
-    }
-}
-
-#[test]
-fn iteration_with_collective_and_faults_wrapper_equals_builder() {
-    let t = timing();
-    let f = faults();
-    for kind in CollectiveKind::ALL {
-        assert_eq!(
-            t.iteration_with_collective_and_faults(MINIBATCH, node(), EXCHANGE, kind, &f).unwrap(),
-            t.model(MINIBATCH, node(), EXCHANGE)
-                .with_collective(kind)
-                .with_faults(&f)
-                .evaluate()
-                .unwrap(),
-            "{kind}"
-        );
-    }
-}
-
-#[test]
-fn iteration_traced_wrapper_equals_builder_traces_included() {
-    let t = timing();
-    let f = faults();
-    let (wrapper_sink, builder_sink) = (TraceSink::new(), TraceSink::new());
-    let wrapper = t.iteration_traced(MINIBATCH, node(), EXCHANGE, &f, &wrapper_sink);
-    let builder = t
-        .model(MINIBATCH, node(), EXCHANGE)
-        .with_faults(&f)
-        .traced(&builder_sink)
-        .evaluate()
-        .unwrap();
-    assert_eq!(wrapper, builder);
-    assert_eq!(wrapper_sink.chrome_trace_json(), builder_sink.chrome_trace_json());
-    assert_eq!(wrapper_sink.metrics_json(), builder_sink.metrics_json());
-}
-
-#[test]
-fn iteration_with_collective_traced_wrapper_equals_builder_traces_included() {
-    let t = timing();
-    let f = faults();
-    for kind in CollectiveKind::ALL {
-        let (wrapper_sink, builder_sink) = (TraceSink::new(), TraceSink::new());
-        let wrapper = t
-            .iteration_with_collective_traced(MINIBATCH, node(), EXCHANGE, kind, &f, &wrapper_sink)
-            .unwrap();
-        let builder = t
-            .model(MINIBATCH, node(), EXCHANGE)
-            .with_collective(kind)
-            .with_faults(&f)
-            .traced(&builder_sink)
-            .evaluate()
-            .unwrap();
-        assert_eq!(wrapper, builder, "{kind}");
-        assert_eq!(
-            wrapper_sink.chrome_trace_json(),
-            builder_sink.chrome_trace_json(),
-            "{kind}: traced wrapper must book the identical span tree"
-        );
-    }
-}
-
-#[test]
-fn throughput_wrapper_equals_builder() {
-    let t = timing();
-    let f = faults();
-    assert_eq!(
-        t.throughput_records_per_sec(MINIBATCH, node(), EXCHANGE, &f),
-        t.model(MINIBATCH, node(), EXCHANGE).with_faults(&f).throughput().unwrap()
-    );
 }

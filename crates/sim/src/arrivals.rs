@@ -1,0 +1,207 @@
+//! Seeded job-arrival plans for the multi-tenant director.
+//!
+//! A [`JobArrivalPlan`] is a pure function of its seed: the same seed
+//! always produces the same job mix, arrival times, resource bounds,
+//! and weights, on every platform. That is what lets a director run —
+//! and its telemetry exports — be byte-identical per seed, the same
+//! contract [`crate::faults::FaultPlan::random`] gives fault injection.
+//!
+//! The plan deliberately knows nothing about concrete ML algorithms:
+//! each job carries a `family` index in `0..family_count`, and the
+//! director maps that index onto its own workload table. This keeps
+//! `cosmic-sim` a leaf crate.
+
+use crate::faults::SplitMix64;
+
+/// One job in an arrival plan: when it shows up and what it asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobArrival {
+    /// Dense job id, assigned in arrival order (0, 1, 2, …).
+    pub id: usize,
+    /// Virtual submission time in seconds, non-decreasing across the
+    /// plan.
+    pub arrival_s: f64,
+    /// Workload-family index in `0..family_count`; the consumer maps
+    /// it onto a concrete algorithm table.
+    pub family: usize,
+    /// Dataset size in records.
+    pub records: usize,
+    /// Minibatch size per aggregation round.
+    pub minibatch: usize,
+    /// Training epochs requested.
+    pub epochs: usize,
+    /// Smallest node grant the job will accept.
+    pub min_nodes: usize,
+    /// Largest node grant the job can use (its data-parallel width).
+    pub max_nodes: usize,
+    /// Fairness weight for weighted-share policies (≥ 1.0).
+    pub weight: f64,
+}
+
+impl JobArrival {
+    /// Aggregation rounds one epoch takes (ceiling division).
+    pub fn rounds_per_epoch(&self) -> usize {
+        self.records.div_ceil(self.minibatch.max(1))
+    }
+
+    /// Total aggregation rounds across all epochs.
+    pub fn total_rounds(&self) -> usize {
+        self.epochs * self.rounds_per_epoch()
+    }
+}
+
+/// Distribution knobs for [`JobArrivalPlan::random`]. All ranges are
+/// inclusive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalProfile {
+    /// Mean gap between consecutive arrivals; actual gaps are uniform
+    /// in `[0, 2 × mean)` so the plan needs no transcendental math.
+    pub mean_interarrival_s: f64,
+    /// Number of workload families to draw `family` from.
+    pub family_count: usize,
+    /// Range for `min_nodes`.
+    pub min_nodes: (usize, usize),
+    /// Range for `max_nodes`; draws below the job's `min_nodes` are
+    /// clamped up to it.
+    pub max_nodes: (usize, usize),
+    /// Range for `minibatch`.
+    pub minibatch: (usize, usize),
+    /// Range for the number of minibatch rounds per epoch; `records`
+    /// is `minibatch × rounds`, so every round is full.
+    pub rounds_per_epoch: (usize, usize),
+    /// Range for `epochs`.
+    pub epochs: (usize, usize),
+}
+
+impl Default for ArrivalProfile {
+    fn default() -> Self {
+        ArrivalProfile {
+            mean_interarrival_s: 0.5,
+            family_count: 5,
+            min_nodes: (2, 8),
+            max_nodes: (8, 64),
+            minibatch: (60, 240),
+            rounds_per_epoch: (4, 12),
+            epochs: (1, 4),
+        }
+    }
+}
+
+/// A deterministic, seed-keyed sequence of job submissions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobArrivalPlan {
+    /// The seed the plan was generated from.
+    pub seed: u64,
+    /// Jobs in arrival order (ties share a timestamp; ids break them).
+    pub jobs: Vec<JobArrival>,
+}
+
+impl JobArrivalPlan {
+    /// Generates `jobs` arrivals from `seed` under `profile`. Pure:
+    /// identical arguments give identical plans.
+    pub fn random(seed: u64, jobs: usize, profile: &ArrivalProfile) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut out = Vec::with_capacity(jobs);
+        let mut clock = 0.0_f64;
+        for id in 0..jobs {
+            clock += unit(&mut rng) * 2.0 * profile.mean_interarrival_s.max(0.0);
+            let family = draw(&mut rng, (0, profile.family_count.saturating_sub(1)));
+            let min_nodes = draw(&mut rng, profile.min_nodes).max(1);
+            let max_nodes = draw(&mut rng, profile.max_nodes).max(min_nodes);
+            let minibatch = draw(&mut rng, profile.minibatch).max(1);
+            let rounds = draw(&mut rng, profile.rounds_per_epoch).max(1);
+            let epochs = draw(&mut rng, profile.epochs).max(1);
+            // Weight tiers 1/2/4: coarse enough that weighted shares
+            // differ visibly, drawn from one PRNG step.
+            let weight = [1.0, 1.0, 2.0, 4.0][draw(&mut rng, (0, 3))];
+            out.push(JobArrival {
+                id,
+                arrival_s: clock,
+                family,
+                records: minibatch * rounds,
+                minibatch,
+                epochs,
+                min_nodes,
+                max_nodes,
+                weight,
+            });
+        }
+        JobArrivalPlan { seed, jobs: out }
+    }
+}
+
+/// Uniform draw in `[0, 1)` from one PRNG step (53 mantissa bits).
+fn unit(rng: &mut SplitMix64) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform integer draw in the inclusive range `lo..=hi` (one step;
+/// modulo bias is irrelevant at these range sizes).
+fn draw(rng: &mut SplitMix64, (lo, hi): (usize, usize)) -> usize {
+    if hi <= lo {
+        return lo;
+    }
+    let span = (hi - lo + 1) as u64;
+    lo + (rng.next_u64() % span) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_gives_identical_plans() {
+        let p = ArrivalProfile::default();
+        let a = JobArrivalPlan::random(42, 50, &p);
+        let b = JobArrivalPlan::random(42, 50, &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = ArrivalProfile::default();
+        let a = JobArrivalPlan::random(1, 20, &p);
+        let b = JobArrivalPlan::random(2, 20, &p);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn plan_invariants_hold() {
+        let p = ArrivalProfile::default();
+        let plan = JobArrivalPlan::random(7, 200, &p);
+        assert_eq!(plan.jobs.len(), 200);
+        let mut last = 0.0;
+        for (i, j) in plan.jobs.iter().enumerate() {
+            assert_eq!(j.id, i);
+            assert!(j.arrival_s >= last);
+            last = j.arrival_s;
+            assert!(j.min_nodes >= 1);
+            assert!(j.max_nodes >= j.min_nodes);
+            assert!(j.family < p.family_count);
+            assert!(j.epochs >= 1);
+            assert_eq!(j.records, j.minibatch * j.rounds_per_epoch());
+            assert!(j.total_rounds() >= 1);
+            assert!(j.weight >= 1.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges_are_safe() {
+        let p = ArrivalProfile {
+            mean_interarrival_s: 0.0,
+            family_count: 1,
+            min_nodes: (3, 3),
+            max_nodes: (1, 1), // below min: clamped up
+            minibatch: (10, 10),
+            rounds_per_epoch: (1, 1),
+            epochs: (1, 1),
+        };
+        let plan = JobArrivalPlan::random(9, 4, &p);
+        for j in &plan.jobs {
+            assert_eq!(j.arrival_s, 0.0);
+            assert_eq!(j.family, 0);
+            assert_eq!(j.min_nodes, 3);
+            assert_eq!(j.max_nodes, 3);
+        }
+    }
+}

@@ -650,18 +650,19 @@ impl FaultPlan {
 }
 
 /// SplitMix64 (Steele et al.): a tiny, platform-independent PRNG. Kept
-/// private and inline so plan generation has no dependencies and its
-/// stream is frozen — changing it would silently re-seed every plan.
-struct SplitMix64 {
+/// crate-private and inline so plan generation has no dependencies and
+/// its stream is frozen — changing it would silently re-seed every plan
+/// (and every job-arrival plan in [`crate::arrivals`]).
+pub(crate) struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

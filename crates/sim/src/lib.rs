@@ -16,11 +16,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod event;
 pub mod faults;
 pub mod net;
 pub mod pcie;
 
+pub use arrivals::{ArrivalProfile, JobArrival, JobArrivalPlan};
 pub use event::{EventQueue, SimTime};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use net::{level_counter, LinkPort, NetworkModel};

@@ -119,6 +119,27 @@ pub const COMPILE_OPS_PER_PE: &str = "compile.ops_per_pe";
 /// PE-utilization sample: ops / (cycles × PEs) (maximum over compiles).
 pub const PE_UTILIZATION: &str = "pe.utilization";
 
+/// Jobs submitted to the multi-tenant director.
+pub const DIRECTOR_JOBS_SUBMITTED: &str = "director.jobs.submitted";
+/// Jobs admitted onto the cluster (granted an initial carve-out).
+pub const DIRECTOR_JOBS_ADMITTED: &str = "director.jobs.admitted";
+/// Jobs that ran to completion.
+pub const DIRECTOR_JOBS_COMPLETED: &str = "director.jobs.completed";
+/// Virtual seconds jobs spent queued before admission (summed).
+pub const DIRECTOR_QUEUE_WAIT_S: &str = "director.queue_wait_s";
+/// Nodes granted to jobs (admission grants plus elastic grows).
+pub const DIRECTOR_GRANTS: &str = "director.grants";
+/// Nodes preempted from running jobs by elastic shrinks.
+pub const DIRECTOR_PREEMPTIONS: &str = "director.preemptions";
+/// Elastic reallocation operations (each grow or shrink of one job).
+pub const DIRECTOR_REALLOCATIONS: &str = "director.reallocations";
+/// Cross-job schedule-cache hits (a carve reused another's schedule).
+pub const DIRECTOR_CACHE_HITS: &str = "director.cache.hits";
+/// Cross-job schedule-cache misses (a schedule had to be built).
+pub const DIRECTOR_CACHE_MISSES: &str = "director.cache.misses";
+/// Cross-job schedule-cache evictions forced by the capacity bound.
+pub const DIRECTOR_CACHE_EVICTIONS: &str = "director.cache.evictions";
+
 /// Jobs submitted to the Sigma's networking + aggregation pools.
 pub const POOL_JOBS: &str = "pool.jobs";
 /// Circular-buffer high-water mark (**diagnostic**: with more chunks

@@ -29,6 +29,9 @@ pub enum Layer {
     /// Elastic membership: heartbeat suspicion, checkpointing, node
     /// rejoin and catch-up, partition quiesce/heal.
     Membership,
+    /// Multi-tenant job director: admission, carve-outs, elastic
+    /// reallocation between jobs.
+    Director,
 }
 
 impl Layer {
@@ -45,6 +48,7 @@ impl Layer {
             Layer::Retry => "retry",
             Layer::Failover => "failover",
             Layer::Membership => "membership",
+            Layer::Director => "director",
         }
     }
 }
