@@ -23,6 +23,76 @@ use cosmic_core::cosmic_director::{
 use cosmic_core::cosmic_sim::{ArrivalProfile, JobArrivalPlan};
 use cosmic_core::cosmic_telemetry::TraceSink;
 
+/// Physical nodes in the overload study's deliberately small cluster.
+pub const SWEEP_CLUSTER_NODES: usize = 64;
+
+/// Jobs per offered-load point.
+pub const SWEEP_JOBS: usize = 80;
+
+/// Mean interarrival gaps swept, in seconds. Offered load rises left
+/// to right: from comfortably underloaded to a 4× overload where the
+/// admission queue and the deadline shedder must both engage.
+pub const SWEEP_INTERARRIVALS_S: [f64; 4] = [0.016, 0.004, 0.001, 0.00025];
+
+/// One offered-load measurement under one policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Offered arrival rate, jobs per virtual second.
+    pub arrival_rate_per_s: f64,
+    /// Training records of completed jobs per virtual second.
+    pub goodput_records_per_s: f64,
+    /// Fraction of submitted jobs shed by overload control.
+    pub shed_rate: f64,
+    /// Fraction of submitted jobs that completed within their SLA.
+    pub deadline_hit_rate: f64,
+    /// Completed jobs.
+    pub completed: usize,
+    /// Shed jobs.
+    pub shed: usize,
+}
+
+/// The seeded arrival plan for one sweep point: every job carries an
+/// SLA deadline (`arrival + slack × ideal JCT`, slack drawn from a
+/// separate PRNG stream so the base plan is unchanged).
+pub fn sweep_plan(mean_interarrival_s: f64) -> JobArrivalPlan {
+    let profile = ArrivalProfile {
+        mean_interarrival_s,
+        sla_slack: Some((1.5, 6.0)),
+        ..ArrivalProfile::default()
+    };
+    JobArrivalPlan::random(SEED, SWEEP_JOBS, &profile)
+}
+
+/// Director configuration for the overload study: a small cluster, a
+/// bounded admission queue, and deadline-aware shedding (automatic
+/// whenever queued jobs carry deadlines).
+pub fn sweep_config(policy: FairnessPolicy) -> DirectorConfig {
+    DirectorConfig {
+        cluster_nodes: SWEEP_CLUSTER_NODES,
+        policy,
+        scaler_interval_s: 0.002,
+        max_queue: 24,
+        cache_capacity: 128,
+        ..DirectorConfig::default()
+    }
+}
+
+/// Runs one offered-load point under one policy and reduces the report
+/// to the three overload curves.
+pub fn sweep_point(policy: FairnessPolicy, mean_interarrival_s: f64) -> SweepPoint {
+    let report = Director::run(&sweep_config(policy), &sweep_plan(mean_interarrival_s))
+        .expect("the sweep plan must drain");
+    let submitted = (SWEEP_JOBS - report.rejected.len()).max(1);
+    SweepPoint {
+        arrival_rate_per_s: 1.0 / mean_interarrival_s,
+        goodput_records_per_s: report.goodput_records_per_s,
+        shed_rate: report.shed.len() as f64 / submitted as f64,
+        deadline_hit_rate: report.deadline_hits as f64 / submitted as f64,
+        completed: report.jobs.len(),
+        shed: report.shed.len(),
+    }
+}
+
 /// Physical nodes in the shared cluster.
 pub const CLUSTER_NODES: usize = 1024;
 
@@ -109,6 +179,30 @@ pub fn run_traced(sink: &TraceSink) -> String {
          uses for faults, which is why resizing is free of numeric consequences:\n",
     );
 
+    out.push_str(&format!(
+        "\n### Offered-load sweep — {SWEEP_JOBS} deadline-bearing jobs on \
+         {SWEEP_CLUSTER_NODES} nodes\n\n\
+         Every job carries an SLA deadline; the director sheds a queued job the\n\
+         moment its deadline becomes provably unreachable (and at admission when\n\
+         the bounded queue is full), so the cluster's capacity goes to jobs that\n\
+         can still win. Goodput counts only completed jobs' records.\n\n\
+         | arrivals/s | policy | goodput (rec/s) | shed % | deadline hit % |\n\
+         |---|---|---|---|---|\n"
+    ));
+    for &gap in &SWEEP_INTERARRIVALS_S {
+        for policy in FairnessPolicy::ALL {
+            let p = sweep_point(policy, gap);
+            out.push_str(&format!(
+                "| {:.0} | {} | {:.0} | {:.1} | {:.1} |\n",
+                p.arrival_rate_per_s,
+                policy.label(),
+                p.goodput_records_per_s,
+                100.0 * p.shed_rate,
+                100.0 * p.deadline_hit_rate,
+            ));
+        }
+    }
+
     let migration = migration_proof(SEED).expect("proof runs are healthy");
     let rejoin = rejoin_proof(SEED).expect("degraded, not dead");
     out.push_str(&format!(
@@ -160,6 +254,64 @@ mod tests {
             "tenants share shapes: {:?}",
             report.cache
         );
+    }
+
+    #[test]
+    fn shedding_rises_with_offered_load_and_spares_the_survivors() {
+        let lightest = SWEEP_INTERARRIVALS_S[0];
+        let heaviest = SWEEP_INTERARRIVALS_S[SWEEP_INTERARRIVALS_S.len() - 1];
+        for policy in FairnessPolicy::ALL {
+            let calm = sweep_point(policy, lightest);
+            let slammed = sweep_point(policy, heaviest);
+            // Every submitted job is accounted for: completed or shed.
+            assert_eq!(calm.completed + calm.shed, SWEEP_JOBS, "{}", policy.label());
+            assert_eq!(slammed.completed + slammed.shed, SWEEP_JOBS, "{}", policy.label());
+            // A 4× overload forces heavy shedding; light load mostly admits.
+            assert!(
+                slammed.shed_rate > calm.shed_rate,
+                "{}: shed rate must rise with load ({} vs {})",
+                policy.label(),
+                slammed.shed_rate,
+                calm.shed_rate
+            );
+            assert!(slammed.shed_rate >= 0.5, "{}: {}", policy.label(), slammed.shed_rate);
+            // Jobs that survive shedding overwhelmingly make their SLA at
+            // light load; at overload the hit rate collapses with the queue.
+            assert!(
+                calm.deadline_hit_rate >= 0.8,
+                "{}: {}",
+                policy.label(),
+                calm.deadline_hit_rate
+            );
+            assert!(
+                slammed.deadline_hit_rate < calm.deadline_hit_rate,
+                "{}: hit rate must fall under overload",
+                policy.label()
+            );
+            // Saturation goodput beats trickle goodput: overlap fills nodes.
+            let mid = sweep_point(policy, SWEEP_INTERARRIVALS_S[2]);
+            assert!(
+                mid.goodput_records_per_s > calm.goodput_records_per_s,
+                "{}: goodput must rise toward saturation",
+                policy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn elastic_policies_outrun_fifo_goodput_under_overload() {
+        let heaviest = SWEEP_INTERARRIVALS_S[SWEEP_INTERARRIVALS_S.len() - 1];
+        let fifo = sweep_point(FairnessPolicy::StrictFifo, heaviest);
+        for policy in [FairnessPolicy::WeightedMaxMin, FairnessPolicy::ThroughputGreedy] {
+            let elastic = sweep_point(policy, heaviest);
+            assert!(
+                elastic.goodput_records_per_s > 1.5 * fifo.goodput_records_per_s,
+                "{}: {} vs fifo {}",
+                policy.label(),
+                elastic.goodput_records_per_s,
+                fifo.goodput_records_per_s
+            );
+        }
     }
 
     #[test]

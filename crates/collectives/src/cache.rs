@@ -1,6 +1,6 @@
 //! A bounded, shared communication-schedule cache.
 //!
-//! The engine's per-run cache ([`cosmic-runtime`]'s `ScheduleCache`) is
+//! The engine's per-run cache (`cosmic-runtime`'s `ScheduleCache`) is
 //! keyed on (topology epoch, participants) and holds exactly one entry,
 //! so a single job can never grow it. A multi-tenant director is a
 //! different animal: hundreds of jobs churn their carve-out epochs

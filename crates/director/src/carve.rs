@@ -105,6 +105,42 @@ impl CarveOut {
         Ok(absorbed)
     }
 
+    /// Defunds the slots funded by exactly the given physical nodes
+    /// (the carve's share of a correlated slab failure), in ascending
+    /// slot order. Unlike [`CarveOut::shrink`] this may defund the
+    /// master slot — [`Topology::fail_node`]'s re-election machinery
+    /// handles it — and may not leave a survivor: the caller must
+    /// treat a carve that would lose every live slot as a whole-job
+    /// crash instead of calling this.
+    pub fn defund_nodes(&mut self, nodes: &[usize]) -> Result<Vec<usize>, DirectorError> {
+        let mut released = Vec::new();
+        let slots: Vec<usize> = (0..self.physical.len())
+            .filter(|&s| self.physical[s].is_some_and(|n| nodes.contains(&n)))
+            .collect();
+        for slot in slots {
+            if self.live() <= 1 {
+                break;
+            }
+            self.topology.fail_node(slot)?;
+            if let Some(node) = self.physical[slot].take() {
+                released.push(node);
+            }
+        }
+        Ok(released)
+    }
+
+    /// The physical nodes a `shrink(count)` would release, without
+    /// mutating — so the director can journal the decision before it
+    /// takes effect (write-ahead discipline).
+    pub fn shrink_victims(&self, count: usize) -> Vec<usize> {
+        let master = self.topology.master();
+        let mut victims: Vec<usize> =
+            self.live_slots().into_iter().filter(|&s| Some(s) != master).collect();
+        victims.reverse(); // highest first
+        victims.truncate(count.min(self.live().saturating_sub(1)));
+        victims.iter().filter_map(|&s| self.physical[s]).collect()
+    }
+
     /// Defunds `count` slots (highest live non-master slot first, each
     /// through [`Topology::fail_node`]) and returns the released
     /// physical nodes. At least one slot always survives.
@@ -135,12 +171,19 @@ pub struct ClusterLedger {
     nodes: usize,
     free: BTreeSet<usize>,
     granted: BTreeMap<usize, BTreeSet<usize>>,
+    /// Nodes taken out of service by slab failures, pending repair.
+    out: BTreeSet<usize>,
 }
 
 impl ClusterLedger {
     /// A ledger over physical nodes `0..nodes`, all free.
     pub fn new(nodes: usize) -> Self {
-        ClusterLedger { nodes, free: (0..nodes).collect(), granted: BTreeMap::new() }
+        ClusterLedger {
+            nodes,
+            free: (0..nodes).collect(),
+            granted: BTreeMap::new(),
+            out: BTreeSet::new(),
+        }
     }
 
     /// Total cluster size.
@@ -156,6 +199,13 @@ impl ClusterLedger {
     /// Nodes currently granted to `job`.
     pub fn granted_count(&self, job: usize) -> usize {
         self.granted.get(&job).map_or(0, BTreeSet::len)
+    }
+
+    /// The nodes `grant(job, count)` would return, without taking
+    /// them — so the director can journal the grant decision before
+    /// it takes effect (write-ahead discipline).
+    pub fn peek_grant(&self, count: usize) -> Vec<usize> {
+        self.free.iter().take(count).copied().collect()
     }
 
     /// Grants the `count` lowest free nodes to `job` (possibly fewer if
@@ -191,10 +241,55 @@ impl ClusterLedger {
         count
     }
 
+    /// Takes currently-free nodes out of service (a slab failure).
+    /// Granted nodes must have been released by their owners first;
+    /// a node that is neither free nor already out is a typed error,
+    /// because losing track of it would break conservation.
+    pub fn retire(&mut self, nodes: &[usize]) -> Result<(), DirectorError> {
+        for &n in nodes {
+            if self.free.remove(&n) {
+                self.out.insert(n);
+            } else if !self.out.contains(&n) {
+                return Err(DirectorError::LedgerCorrupt {
+                    detail: format!("cannot retire node {n}: neither free nor out of service"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns repaired nodes to the free pool, skipping nodes that
+    /// are not out of service (an overlapping slab's earlier repair
+    /// may already have returned shared nodes — restoring them twice
+    /// would free someone's grant). Returns how many were restored.
+    pub fn restore(&mut self, nodes: &[usize]) -> usize {
+        let mut restored = 0;
+        for &n in nodes {
+            if self.out.remove(&n) {
+                self.free.insert(n);
+                restored += 1;
+            }
+        }
+        restored
+    }
+
+    /// Nodes currently out of service.
+    pub fn out_of_service(&self) -> usize {
+        self.out.len()
+    }
+
     /// Checks node conservation: grants pairwise disjoint, disjoint
-    /// from the free pool, and every node accounted for exactly once.
+    /// from the free pool and the out-of-service set, and every node
+    /// accounted for exactly once.
     pub fn audit(&self) -> Result<(), DirectorError> {
         let mut seen: BTreeSet<usize> = self.free.clone();
+        for &n in &self.out {
+            if !seen.insert(n) {
+                return Err(DirectorError::LedgerCorrupt {
+                    detail: format!("node {n} is both free and out of service"),
+                });
+            }
+        }
         for (&job, owned) in &self.granted {
             for &n in owned {
                 if n >= self.nodes {
@@ -283,6 +378,45 @@ mod tests {
         l.audit().unwrap();
         // Releasing a node a job does not hold is a typed error.
         assert!(l.release(0, &[15]).is_err());
+    }
+
+    #[test]
+    fn defund_targets_specific_physical_nodes() {
+        let mut c = CarveOut::new(0, 8, &[10, 11, 12, 13, 14]).unwrap();
+        let released = c.defund_nodes(&[11, 13, 99]).unwrap();
+        assert_eq!(released, vec![11, 13]);
+        assert_eq!(c.live(), 3);
+        assert_eq!(c.physical_nodes(), vec![10, 12, 14]);
+        // Defunding the slot-0 master re-elects instead of erroring.
+        let released = c.defund_nodes(&[10]).unwrap();
+        assert_eq!(released, vec![10]);
+        assert_eq!(c.live(), 2);
+        // The last survivor is never defunded.
+        let released = c.defund_nodes(&[12, 14]).unwrap();
+        assert_eq!(released.len(), 1);
+        assert_eq!(c.live(), 1);
+    }
+
+    #[test]
+    fn retire_and_restore_conserve_nodes() {
+        let mut l = ClusterLedger::new(8);
+        let grant = l.grant(0, 2);
+        assert_eq!(grant, vec![0, 1]);
+        l.retire(&[2, 3]).unwrap();
+        assert_eq!(l.out_of_service(), 2);
+        assert_eq!(l.free_count(), 4);
+        l.audit().unwrap();
+        // Retiring an already-out node is idempotent; a granted node
+        // is a typed error.
+        l.retire(&[2]).unwrap();
+        assert!(l.retire(&[0]).is_err());
+        assert_eq!(l.restore(&[2, 3]), 2);
+        assert_eq!(l.out_of_service(), 0);
+        assert_eq!(l.free_count(), 6);
+        l.audit().unwrap();
+        // Restoring a node that is not out is skipped, not an error:
+        // overlapping slab repairs hand back shared nodes only once.
+        assert_eq!(l.restore(&[5]), 0);
     }
 
     #[test]

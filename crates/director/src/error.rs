@@ -42,6 +42,36 @@ pub enum DirectorError {
         /// Human-readable description of the violation.
         detail: String,
     },
+    /// A job's checkpoint failed verification during director
+    /// recovery — restoring it would silently fork the control plane,
+    /// so recovery stops with the runtime-layer cause attached
+    /// instead of letting the unwrap panic propagate.
+    RecoveryFailed {
+        /// The job whose checkpoint is unusable.
+        job: usize,
+        /// The underlying runtime-layer failure.
+        source: RuntimeError,
+    },
+    /// The decision journal is damaged somewhere other than its tail:
+    /// a structurally complete record failed its checksum mid-stream
+    /// (bit rot, not a torn final write — torn tails roll back
+    /// silently).
+    JournalCorrupt {
+        /// Human-readable description of the damage.
+        detail: String,
+    },
+    /// Replay re-derived a decision that differs from the journaled
+    /// record — the journal was written by a different
+    /// (config, arrival plan, fault plan) triple, or the state
+    /// machine changed underneath it.
+    JournalDiverged {
+        /// Index of the mismatching record.
+        record: u64,
+        /// The journaled decision, rendered.
+        expected: String,
+        /// The re-derived decision, rendered.
+        got: String,
+    },
 }
 
 impl fmt::Display for DirectorError {
@@ -61,6 +91,18 @@ impl fmt::Display for DirectorError {
             }
             DirectorError::LedgerCorrupt { detail } => {
                 write!(f, "node-conservation violation: {detail}")
+            }
+            DirectorError::RecoveryFailed { job, source } => {
+                write!(f, "recovery failed: job {job}'s checkpoint is unusable: {source}")
+            }
+            DirectorError::JournalCorrupt { detail } => {
+                write!(f, "decision journal corrupt: {detail}")
+            }
+            DirectorError::JournalDiverged { record, expected, got } => {
+                write!(
+                    f,
+                    "journal divergence at record {record}: journaled {expected}, replay derived {got}"
+                )
             }
         }
     }

@@ -32,6 +32,10 @@ pub struct JobSpec {
     pub weight: f64,
     /// Virtual submission time.
     pub arrival_s: f64,
+    /// SLA slack factor: the job's deadline is
+    /// `arrival_s + sla_factor × ideal_jct`. `None` means no deadline;
+    /// the job is never shed by deadline-aware overload control.
+    pub sla_factor: Option<f64>,
 }
 
 /// The workload table the arrival plan's `family` index maps onto —
@@ -60,6 +64,7 @@ impl JobSpec {
             max_nodes: a.max_nodes,
             weight: a.weight,
             arrival_s: a.arrival_s,
+            sla_factor: a.sla_factor,
         }
     }
 
@@ -88,6 +93,11 @@ impl JobSpec {
         }
         if !(self.weight.is_finite() && self.weight > 0.0) {
             return reject(format!("weight {} must be finite and positive", self.weight));
+        }
+        if let Some(f) = self.sla_factor {
+            if !(f.is_finite() && f > 0.0) {
+                return reject(format!("sla_factor {f} must be finite and positive"));
+            }
         }
         let source = self.algorithm.dsl_source(self.minibatch);
         if let Err(e) = cosmic_dsl::parse(&source) {

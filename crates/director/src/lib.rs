@@ -27,6 +27,15 @@
 //! - [`director`] — the deterministic virtual-clock event loop tying it
 //!   together, with per-job telemetry under
 //!   [`Layer::Director`](cosmic_telemetry::Layer).
+//! - [`journal`] — the checksummed write-ahead decision journal: every
+//!   admit/reject/shed/grow/shrink/crash decision is recorded before it
+//!   takes effect, so [`Director::recover`] can rebuild a killed
+//!   director by deterministic replay, byte-identical to an unkilled
+//!   run, with torn final records rolled back by checksum.
+//! - [`checkpoints`] — checksummed per-job progress checkpoints; crashed
+//!   jobs roll back to them, poison jobs fail their replay and are
+//!   quarantined on a capped retry budget, and a corrupt store surfaces
+//!   as the typed [`DirectorError::RecoveryFailed`] during recovery.
 //! - [`stats`] — makespan, nearest-rank p50/p99 JCT, Jain's index.
 //! - [`proof`] — the bit-identity argument: a directed reallocation
 //!   moves a job across carve shapes mid-run via checkpoint hand-off,
@@ -46,20 +55,27 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod carve;
+pub mod checkpoints;
 pub mod director;
 pub mod error;
 pub mod exec;
 pub mod job;
+pub mod journal;
 pub mod policy;
 pub mod proof;
 pub mod scaler;
 pub mod stats;
 
 pub use carve::{CarveOut, ClusterLedger};
-pub use director::{Director, DirectorConfig, DirectorReport, JobRecord};
+pub use checkpoints::{JobCheckpoint, JobCheckpointStore};
+pub use director::{
+    Director, DirectorConfig, DirectorReport, DirectorRun, JobRecord, QuarantineRecord,
+    RecoveryStats,
+};
 pub use error::DirectorError;
 pub use exec::ExecModel;
 pub use job::JobSpec;
+pub use journal::{Decision, DecodeTail, Journal, Record, ShedReason};
 pub use policy::FairnessPolicy;
 pub use proof::{migration_proof, rejoin_proof, ResizeProof};
 pub use scaler::{ElasticScaler, Reallocation};

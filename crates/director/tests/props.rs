@@ -3,8 +3,11 @@
 //! loses or double-grants a node, and exports byte-identical telemetry
 //! per seed.
 
-use cosmic_director::{Director, DirectorConfig, FairnessPolicy};
-use cosmic_sim::{ArrivalProfile, JobArrivalPlan};
+use cosmic_director::{
+    Decision, Director, DirectorConfig, FairnessPolicy, JobCheckpointStore, Journal,
+};
+use cosmic_runtime::RetryPolicy;
+use cosmic_sim::{ArrivalProfile, DirectorFaultPlan, DirectorFaultRates, JobArrivalPlan};
 use cosmic_telemetry::TraceSink;
 use proptest::prelude::*;
 
@@ -83,6 +86,112 @@ proptest! {
         prop_assert_eq!(a, b);
         prop_assert_eq!(sink_a.metrics_json(), sink_b.metrics_json());
         prop_assert_eq!(sink_a.chrome_trace_json(), sink_b.chrome_trace_json());
+    }
+
+    /// Crash consistency: truncate the decision journal at ANY byte —
+    /// record boundary or mid-record — and recovery rolls back to the
+    /// last complete record, replays, and lands bit-identical to the
+    /// unkilled run: same report, same journal, same metrics export.
+    #[test]
+    fn any_journal_truncation_recovers_byte_identical(
+        seed in 0u64..200,
+        jobs in 2usize..14,
+        cut_frac in 0.0f64..1.0,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = FairnessPolicy::ALL[policy_idx];
+        let profile = ArrivalProfile {
+            mean_interarrival_s: 0.002,
+            sla_slack: Some((2.0, 8.0)),
+            ..ArrivalProfile::default()
+        };
+        let plan = JobArrivalPlan::random(seed, jobs, &profile);
+        let faults = DirectorFaultPlan::random(
+            seed, jobs, 64, 0.02,
+            &DirectorFaultRates {
+                job_crashes: 3,
+                slab_failures: 1,
+                slab_width: (4, 12),
+                repair_s: 0.005,
+                poison_jobs: 0,
+            },
+        );
+        let cfg = DirectorConfig {
+            cluster_nodes: 64,
+            policy,
+            checkpoint_every_rounds: 4,
+            ..DirectorConfig::default()
+        };
+        let sink = TraceSink::new();
+        let baseline = Director::run_journaled(&cfg, &plan, &faults, &sink).expect("unkilled run");
+        let cut = ((baseline.journal.len() as f64) * cut_frac) as usize;
+        // The prefix decodes to a prefix of the full record stream.
+        let (partial, _) = Journal::decode(&baseline.journal[..cut]).expect("prefix decodes");
+        let (full, _) = Journal::decode(&baseline.journal).expect("full journal decodes");
+        prop_assert_eq!(&partial[..], &full[..partial.len()]);
+        let rsink = TraceSink::new();
+        let recovered = Director::recover(
+            &cfg, &plan, &faults,
+            &baseline.journal[..cut],
+            &JobCheckpointStore::new().to_bytes(),
+            &rsink,
+        ).expect("recovery");
+        prop_assert_eq!(recovered.report, baseline.report);
+        prop_assert_eq!(recovered.journal, baseline.journal);
+        prop_assert_eq!(rsink.metrics_json(), sink.metrics_json());
+        let stats = recovered.recovery.expect("recovery stats");
+        prop_assert_eq!(stats.replayed_records, partial.len() as u64);
+    }
+
+    /// Quarantine budget: a poison job's re-admissions after its crash
+    /// never consume more node-grants than the retry budget, and a
+    /// quarantined job burned exactly its replay attempts.
+    #[test]
+    fn poison_jobs_never_exceed_their_grant_budget(
+        seed in 0u64..200,
+        jobs in 2usize..14,
+        max_retries in 1u32..6,
+    ) {
+        let profile = ArrivalProfile {
+            mean_interarrival_s: 0.002,
+            ..ArrivalProfile::default()
+        };
+        let plan = JobArrivalPlan::random(seed, jobs, &profile);
+        // Dense staggered crashes so at least one usually lands while
+        // job 0 runs; landed or not, the budget bound must hold.
+        let mut faults = DirectorFaultPlan::none().with_poison(0);
+        for i in 1..=40u32 {
+            faults = faults.with_job_crash(0.0004 * f64::from(i), 0);
+        }
+        let cfg = DirectorConfig {
+            cluster_nodes: 64,
+            policy: FairnessPolicy::WeightedMaxMin,
+            retry: RetryPolicy { backoff_base: 0.004, backoff_cap: 0.02, max_retries },
+            checkpoint_every_rounds: 4,
+            ..DirectorConfig::default()
+        };
+        let sink = TraceSink::new();
+        let run = Director::run_journaled(&cfg, &plan, &faults, &sink).expect("faulted run");
+        let (records, _) = Journal::decode(&run.journal).expect("clean journal");
+        let retries = records.iter()
+            .filter(|r| matches!(r.decision, Decision::PoisonRetry { job: 0, .. }))
+            .count();
+        let admits = records.iter()
+            .filter(|r| matches!(r.decision, Decision::Admit { job: 0, .. }))
+            .count();
+        prop_assert!(retries <= max_retries as usize,
+            "{retries} replay attempts exceed budget {max_retries}");
+        // One grant per admission: the initial one plus one per retry.
+        prop_assert!(admits <= 1 + max_retries as usize,
+            "{admits} grants exceed 1 + budget {max_retries}");
+        for q in &run.report.quarantined {
+            prop_assert_eq!(q.replay_attempts, max_retries);
+            prop_assert!(q.grants_burned <= max_retries as usize);
+        }
+        // A quarantined poison job never completes.
+        if run.report.quarantined.iter().any(|q| q.job == 0) {
+            prop_assert!(run.report.jobs.iter().all(|j| j.id != 0));
+        }
     }
 }
 

@@ -38,7 +38,7 @@ pub fn fold_parts_reference(sum: &mut [f64], parts: &[&[f64]]) {
     }
 }
 
-/// Fused fold: a single sweep over `sum` in [`BLOCK_WORDS`] blocks,
+/// Fused fold: a single sweep over `sum` in `BLOCK_WORDS` blocks,
 /// adding every part's block in part order before advancing, with an
 /// eight-lane unrolled inner loop.
 ///

@@ -10,7 +10,7 @@
 //! bit for bit.
 //!
 //! A link whose retry budget exhausts is reported as a
-//! [`DeadLink`](super::DeadLink) rather than an error: the engine books
+//! [`DeadLink`] rather than an error: the engine books
 //! it through the membership/failover machinery exactly like a crashed
 //! node, so a dead socket degrades the run instead of hanging it.
 

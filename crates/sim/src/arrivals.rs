@@ -36,6 +36,12 @@ pub struct JobArrival {
     pub max_nodes: usize,
     /// Fairness weight for weighted-share policies (≥ 1.0).
     pub weight: f64,
+    /// SLA slack factor: the job's deadline is
+    /// `arrival_s + sla_factor × ideal_jct` where the ideal JCT is the
+    /// job's solo full-width completion time (the consumer computes
+    /// it, since the plan knows nothing about execution cost).
+    /// `None` means the job carries no deadline and is never shed.
+    pub sla_factor: Option<f64>,
 }
 
 impl JobArrival {
@@ -71,7 +77,16 @@ pub struct ArrivalProfile {
     pub rounds_per_epoch: (usize, usize),
     /// Range for `epochs`.
     pub epochs: (usize, usize),
+    /// When `Some((lo, hi))`, every job carries an SLA deadline with a
+    /// slack factor uniform in `[lo, hi)`. Slack draws come from a
+    /// *separate* PRNG stream (`seed ^ SLA_STREAM`), so enabling or
+    /// disabling deadlines never perturbs the base plan: the same seed
+    /// still produces the same arrival times, sizes, and weights.
+    pub sla_slack: Option<(f64, f64)>,
 }
+
+/// Domain separator for the deadline-slack PRNG stream.
+const SLA_STREAM: u64 = 0x534C_415F_534C_4B31; // "SLA_SLK1"
 
 impl Default for ArrivalProfile {
     fn default() -> Self {
@@ -83,6 +98,7 @@ impl Default for ArrivalProfile {
             minibatch: (60, 240),
             rounds_per_epoch: (4, 12),
             epochs: (1, 4),
+            sla_slack: None,
         }
     }
 }
@@ -101,6 +117,7 @@ impl JobArrivalPlan {
     /// identical arguments give identical plans.
     pub fn random(seed: u64, jobs: usize, profile: &ArrivalProfile) -> Self {
         let mut rng = SplitMix64::new(seed);
+        let mut sla_rng = SplitMix64::new(seed ^ SLA_STREAM);
         let mut out = Vec::with_capacity(jobs);
         let mut clock = 0.0_f64;
         for id in 0..jobs {
@@ -114,6 +131,8 @@ impl JobArrivalPlan {
             // Weight tiers 1/2/4: coarse enough that weighted shares
             // differ visibly, drawn from one PRNG step.
             let weight = [1.0, 1.0, 2.0, 4.0][draw(&mut rng, (0, 3))];
+            let sla_factor =
+                profile.sla_slack.map(|(lo, hi)| lo + unit(&mut sla_rng) * (hi - lo).max(0.0));
             out.push(JobArrival {
                 id,
                 arrival_s: clock,
@@ -124,6 +143,7 @@ impl JobArrivalPlan {
                 min_nodes,
                 max_nodes,
                 weight,
+                sla_factor,
             });
         }
         JobArrivalPlan { seed, jobs: out }
@@ -186,6 +206,24 @@ mod tests {
     }
 
     #[test]
+    fn sla_slack_rides_a_separate_stream() {
+        let base = ArrivalProfile::default();
+        let with_sla = ArrivalProfile { sla_slack: Some((2.0, 8.0)), ..base.clone() };
+        let plain = JobArrivalPlan::random(13, 30, &base);
+        let dead = JobArrivalPlan::random(13, 30, &with_sla);
+        assert_eq!(plain.jobs.len(), dead.jobs.len());
+        for (p, d) in plain.jobs.iter().zip(&dead.jobs) {
+            // The base plan is byte-identical: only the SLA differs.
+            assert_eq!(p.arrival_s, d.arrival_s);
+            assert_eq!(p.minibatch, d.minibatch);
+            assert_eq!(p.weight, d.weight);
+            assert_eq!(p.sla_factor, None);
+            let f = d.sla_factor.expect("slack enabled");
+            assert!((2.0..8.0).contains(&f), "slack {f} outside [2, 8)");
+        }
+    }
+
+    #[test]
     fn degenerate_ranges_are_safe() {
         let p = ArrivalProfile {
             mean_interarrival_s: 0.0,
@@ -195,6 +233,7 @@ mod tests {
             minibatch: (10, 10),
             rounds_per_epoch: (1, 1),
             epochs: (1, 1),
+            sla_slack: None,
         };
         let plan = JobArrivalPlan::random(9, 4, &p);
         for j in &plan.jobs {

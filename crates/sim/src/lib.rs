@@ -17,12 +17,16 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod director_faults;
 pub mod event;
 pub mod faults;
 pub mod net;
 pub mod pcie;
 
 pub use arrivals::{ArrivalProfile, JobArrival, JobArrivalPlan};
+pub use director_faults::{
+    DirectorFaultEvent, DirectorFaultKind, DirectorFaultPlan, DirectorFaultRates,
+};
 pub use event::{EventQueue, SimTime};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use net::{level_counter, LinkPort, NetworkModel};

@@ -139,6 +139,34 @@ pub const DIRECTOR_CACHE_HITS: &str = "director.cache.hits";
 pub const DIRECTOR_CACHE_MISSES: &str = "director.cache.misses";
 /// Cross-job schedule-cache evictions forced by the capacity bound.
 pub const DIRECTOR_CACHE_EVICTIONS: &str = "director.cache.evictions";
+/// Jobs shed by overload control (queue full or deadline unreachable).
+pub const DIRECTOR_JOBS_SHED: &str = "director.jobs.shed";
+/// Jobs quarantined after exhausting their checkpoint-replay budget.
+pub const DIRECTOR_JOBS_QUARANTINED: &str = "director.jobs.quarantined";
+/// Whole-job crashes applied from the director fault plan.
+pub const DIRECTOR_JOB_CRASHES: &str = "director.faults.job_crashes";
+/// Correlated slab failures applied from the director fault plan.
+pub const DIRECTOR_SLAB_FAILURES: &str = "director.faults.slab_failures";
+/// Slab repairs that returned nodes to service.
+pub const DIRECTOR_SLAB_REPAIRS: &str = "director.faults.slab_repairs";
+/// Crashed jobs whose checkpoint replay succeeded at re-admission.
+pub const DIRECTOR_RESTARTS: &str = "director.restarts";
+/// Failed checkpoint-replay attempts by poison jobs.
+pub const DIRECTOR_POISON_RETRIES: &str = "director.poison_retries";
+/// Records appended to the decision journal.
+pub const DIRECTOR_JOURNAL_RECORDS: &str = "director.journal.records";
+/// Completed jobs that met their SLA deadline.
+pub const DIRECTOR_DEADLINE_HITS: &str = "director.deadline.hits";
+/// Completed jobs that finished past their SLA deadline.
+pub const DIRECTOR_DEADLINE_MISSES: &str = "director.deadline.misses";
+/// Journal records replayed during director recovery (**diagnostic**:
+/// depends on where the director was killed, so it is excluded from
+/// exports — a recovered run's metrics must stay byte-identical to an
+/// unkilled run's).
+pub const DIRECTOR_RECOVERY_REPLAYED: &str = "director.recovery.replayed";
+/// Torn tail bytes rolled back during director recovery
+/// (**diagnostic**, see [`DIRECTOR_RECOVERY_REPLAYED`]).
+pub const DIRECTOR_RECOVERY_TORN_BYTES: &str = "director.recovery.torn_bytes";
 
 /// Jobs submitted to the Sigma's networking + aggregation pools.
 pub const POOL_JOBS: &str = "pool.jobs";
