@@ -1,8 +1,11 @@
-//! Regenerates the collective-strategy study (throughput per schedule
-//! and the cost-based selector's picks across cluster sizes).
+//! Regenerates the collective-strategy study (throughput per schedule,
+//! the cost-based selector's picks across cluster sizes, and the wire
+//! representation axis). `--repr {dense,fixed_point[:bits],top_k[:k]}`
+//! picks the codec the traced replay prices the selector under; the
+//! default is dense, which keeps unflagged exports byte-identical.
 fn main() {
-    cosmic_bench::figures::figure_main(
+    cosmic_bench::figures::figure_main_repred(
         "fig_collectives",
-        cosmic_bench::figures::fig_collectives::run_traced,
+        cosmic_bench::figures::fig_collectives::run_traced_repr,
     );
 }

@@ -19,7 +19,8 @@
 //! `selector` column is the pick of [`CollectiveSelector::host_side`]
 //! under the same gigabit cost model.
 
-use cosmic_core::cosmic_runtime::collectives::{CollectiveKind, CollectiveSelector};
+use cosmic_core::cosmic_ml::convergence::{default_reprs, repr_curves, study_workloads};
+use cosmic_core::cosmic_runtime::collectives::{CollectiveKind, CollectiveSelector, WireRepr};
 use cosmic_core::cosmic_runtime::role::{assign_roles, default_groups};
 use cosmic_core::cosmic_runtime::{ClusterTiming, FaultTimingModel, NodeCompute, CHUNK_WORDS};
 use cosmic_core::cosmic_telemetry::TraceSink;
@@ -57,11 +58,39 @@ pub fn throughput(nodes: usize, words: usize, kind: CollectiveKind) -> f64 {
 /// The cost-based selector's pick for the operating point, over the
 /// four host-side strategies under the gigabit cost model.
 pub fn selector_pick(nodes: usize, words: usize) -> CollectiveKind {
+    selector_pick_repr(nodes, words, WireRepr::DenseF64).0
+}
+
+/// The wire-representation axis: dense reference, the study's
+/// fixed-point grid, and a deep top-k sparsifier.
+pub const REPRS: [WireRepr; 3] =
+    [WireRepr::DenseF64, WireRepr::FixedPoint { frac_bits: 20 }, WireRepr::TopK { k: 512 }];
+
+/// [`selector_pick`] with payloads priced under `repr`: the pick and
+/// its schedule cost in seconds.
+pub fn selector_pick_repr(nodes: usize, words: usize, repr: WireRepr) -> (CollectiveKind, f64) {
     let topology = assign_roles(nodes, default_groups(nodes)).expect("valid sweep topology");
-    CollectiveSelector::host_side()
-        .select(&topology, words, CHUNK_WORDS)
-        .expect("valid sweep selection")
-        .kind
+    let sel = CollectiveSelector::host_side()
+        .select_with_repr(&topology, words, CHUNK_WORDS, repr)
+        .expect("valid sweep selection");
+    (sel.kind, sel.cost_s)
+}
+
+/// The (node-count, repr) cells of the sweep where compressing the
+/// payload changes which strategy is cheapest — the measured crossover
+/// shifts the repr axis exists to demonstrate.
+pub fn crossover_shifts(words: usize) -> Vec<(usize, WireRepr, CollectiveKind, CollectiveKind)> {
+    let mut shifts = Vec::new();
+    for nodes in NODE_COUNTS {
+        let dense = selector_pick_repr(nodes, words, WireRepr::DenseF64).0;
+        for repr in REPRS.into_iter().filter(|r| *r != WireRepr::DenseF64) {
+            let pick = selector_pick_repr(nodes, words, repr).0;
+            if pick != dense {
+                shifts.push((nodes, repr, dense, pick));
+            }
+        }
+    }
+    shifts
 }
 
 fn sweep_table(title: &str, words: usize) -> String {
@@ -87,17 +116,95 @@ fn sweep_table(title: &str, words: usize) -> String {
     out
 }
 
+/// One row per cluster size: the selector's pick (and schedule cost)
+/// under every wire representation, crossover-shifted cells marked.
+fn repr_table(title: &str, words: usize) -> String {
+    let header: Vec<String> = REPRS.iter().map(|r| format!("{r}")).collect();
+    let mut out = format!(
+        "### {title} ({words} params) — selector pick by wire representation\n\n\
+         | nodes | {} |\n|---|{}\n",
+        header.join(" | "),
+        "---|".repeat(REPRS.len()),
+    );
+    for nodes in NODE_COUNTS {
+        let dense = selector_pick_repr(nodes, words, WireRepr::DenseF64).0;
+        let cells: Vec<String> = REPRS
+            .iter()
+            .map(|&repr| {
+                let (kind, cost_s) = selector_pick_repr(nodes, words, repr);
+                let shift = if kind == dense { "" } else { " **(crossover shift)**" };
+                format!("{kind} ({cost_s:.6} s){shift}")
+            })
+            .collect();
+        out.push_str(&format!("| {nodes} | {} |\n", cells.join(" | ")));
+    }
+    out
+}
+
+/// Loss curves of the two `cosmic-ml` study workloads under every
+/// representation: what the compression costs *statistically*, next to
+/// the wire bytes it saves.
+fn convergence_section() -> String {
+    let mut out = String::from(
+        "### Convergence under lossy representations (4-worker averaged SGD, 6 epochs)\n\n\
+         | workload | repr | initial loss | final loss | wire compression |\n\
+         |---|---|---|---|---|\n",
+    );
+    // The ml study sizes its own repr sweep to its 65-word models
+    // (top-k must actually drop coordinates to be a lossy demo).
+    for w in study_workloads() {
+        for curve in repr_curves(&w, &default_reprs()) {
+            let first = curve.loss_history[0];
+            let last = curve.loss_history.last().copied().unwrap_or(f64::NAN);
+            let ratio = if curve.repr == WireRepr::DenseF64 {
+                String::from("1.000x (verbatim)")
+            } else {
+                format!("{:.3}x", curve.stats.compression_ratio())
+            };
+            out.push_str(&format!(
+                "| {} | {} | {first:.5} | {last:.5} | {ratio} |\n",
+                w.name, curve.repr,
+            ));
+        }
+    }
+    out.push_str(
+        "\nThe dense rows are bit-identical to uncompressed training; the lossy rows\n\
+         still converge while shrinking every aggregation payload.\n",
+    );
+    out
+}
+
+/// Renders the measured crossover shifts as prose the tests assert on.
+fn shift_summary() -> String {
+    let mut out = String::from("\nMeasured crossover shifts (cheapest strategy changed):\n\n");
+    for (title, words) in [("large model", LARGE_WORDS), ("small model", SMALL_WORDS)] {
+        for (nodes, repr, dense, pick) in crossover_shifts(words) {
+            out.push_str(&format!(
+                "- {title}, {nodes} nodes: {dense} under dense_f64 -> {pick} under {repr}\n",
+            ));
+        }
+    }
+    out
+}
+
 /// Renders the study.
 pub fn run() -> String {
     run_traced(&TraceSink::new())
 }
 
-/// [`run`] with telemetry: for every cluster size, the selector's
-/// large-model winner replays one iteration through the collective
-/// [`ClusterTiming::model`] with tracing enabled, booking the
-/// per-round `collective` spans and per-level wire counters into
-/// `sink`. All time is virtual, so same-seed traces are byte-identical.
+/// [`run`] with telemetry under the dense wire representation (the
+/// verbatim default every golden is blessed against).
 pub fn run_traced(sink: &TraceSink) -> String {
+    run_traced_repr(sink, WireRepr::DenseF64)
+}
+
+/// [`run`] with telemetry: for every cluster size, the selector's
+/// large-model winner *under `repr`* replays one iteration through the
+/// collective [`ClusterTiming::model`] with tracing enabled, booking
+/// the per-round `collective` spans and per-level wire counters into
+/// `sink`. All time is virtual, so same-seed traces are byte-identical
+/// — including under lossy representations.
+pub fn run_traced_repr(sink: &TraceSink, repr: WireRepr) -> String {
     let mut out = String::from(
         "## Collective strategies — throughput (records/s) by node count (FPGA cluster, b=10k)\n\n",
     );
@@ -108,10 +215,17 @@ pub fn run_traced(sink: &TraceSink) -> String {
         "\nAll strategies fold bit-identically; the columns differ only in wire cost\n\
          (per-port serialization, per-message overhead, and per-round latency).\n",
     );
+    out.push('\n');
+    out.push_str(&repr_table("Large model", LARGE_WORDS));
+    out.push('\n');
+    out.push_str(&repr_table("Small model", SMALL_WORDS));
+    out.push_str(&shift_summary());
+    out.push('\n');
+    out.push_str(&convergence_section());
 
     let faults = FaultTimingModel::none();
     for nodes in NODE_COUNTS {
-        let kind = selector_pick(nodes, LARGE_WORDS);
+        let kind = selector_pick_repr(nodes, LARGE_WORDS, repr).0;
         timing(nodes)
             .model(MINIBATCH, NodeCompute { records_per_sec: NODE_RPS }, LARGE_WORDS * 8)
             .with_collective(kind)
@@ -166,6 +280,64 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Acceptance criterion of the repr axis: there is a measured
+    /// (node-count, repr) cell where the cheapest strategy under a
+    /// compressed representation differs from the dense pick, and the
+    /// study's report states it.
+    #[test]
+    fn compressed_payloads_shift_a_measured_crossover_cell() {
+        let large = crossover_shifts(LARGE_WORDS);
+        assert!(
+            large.iter().any(|&(nodes, repr, dense, pick)| {
+                nodes == 4
+                    && repr == WireRepr::TopK { k: 512 }
+                    && dense == CollectiveKind::RecursiveHalvingDoubling
+                    && pick == CollectiveKind::FlatStar
+            }),
+            "top-k must flip the 4-node large-model cell: {large:?}"
+        );
+        let small = crossover_shifts(SMALL_WORDS);
+        assert!(
+            small.iter().any(|&(_, repr, dense, pick)| matches!(repr, WireRepr::FixedPoint { .. })
+                && dense != pick),
+            "fixed point must flip a small-model cell: {small:?}"
+        );
+
+        let report = run();
+        assert!(report.contains("crossover shift"), "the tables mark shifted cells");
+        assert!(
+            report.contains("halving_doubling under dense_f64 -> flat_star under top_k:512"),
+            "the shift summary names the measured cell"
+        );
+    }
+
+    /// Dense picks are a degenerate case of the repr-aware path, so the
+    /// repr axis cannot drift the historical columns.
+    #[test]
+    fn dense_repr_pick_matches_the_historical_selector() {
+        for nodes in NODE_COUNTS {
+            for words in [LARGE_WORDS, SMALL_WORDS] {
+                assert_eq!(
+                    selector_pick_repr(nodes, words, WireRepr::DenseF64).0,
+                    selector_pick(nodes, words),
+                );
+            }
+        }
+    }
+
+    /// The lossy traced replay (what CI double-runs as
+    /// `fig_collectives --repr fixed_point`) is deterministic too.
+    #[test]
+    fn lossy_traced_exports_are_deterministic() {
+        let run = || {
+            let sink = TraceSink::new();
+            let report = run_traced_repr(&sink, WireRepr::FixedPoint { frac_bits: 20 });
+            assert!(sink.validate_tree().is_ok());
+            (report, sink.chrome_trace_json(), sink.metrics_json())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

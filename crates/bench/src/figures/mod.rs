@@ -7,6 +7,7 @@
 
 use std::path::PathBuf;
 
+use cosmic_core::cosmic_runtime::collectives::WireRepr;
 use cosmic_core::cosmic_runtime::TransportKind;
 use cosmic_core::cosmic_telemetry::{Layer, TraceSink};
 
@@ -114,6 +115,34 @@ pub fn transport_arg(args: &[String]) -> Result<TransportKind, String> {
     Ok(TransportKind::Sim)
 }
 
+/// Extracts the `--repr <spec>` / `--repr=<spec>` flag from a binary's
+/// arguments; absent means [`WireRepr::DenseF64`]. Specs are the codec's
+/// CLI spellings: `dense`, `fixed_point[:frac_bits]`, `top_k[:k]`.
+///
+/// # Errors
+///
+/// Returns a message when the flag is present without a value or names
+/// an unknown representation.
+pub fn repr_arg(args: &[String]) -> Result<WireRepr, String> {
+    let mut iter = args.iter().skip(1);
+    while let Some(arg) = iter.next() {
+        let value = if arg == "--repr" {
+            match iter.next() {
+                Some(v) => v.clone(),
+                None => return Err("--repr requires a value (dense, fixed_point, or top_k)".into()),
+            }
+        } else if let Some(v) = arg.strip_prefix("--repr=") {
+            v.to_string()
+        } else {
+            continue;
+        };
+        return WireRepr::parse(&value).ok_or_else(|| {
+            format!("unknown repr {value:?} (expected dense, fixed_point[:bits], or top_k[:k])")
+        });
+    }
+    Ok(WireRepr::DenseF64)
+}
+
 /// Shared `main` for every `fig*`/`table*` binary: renders the experiment
 /// inside a root span named after it, prints the report, and — when
 /// `--trace <path>` was passed — exports the Chrome-trace JSON to `path`
@@ -145,6 +174,35 @@ pub fn figure_main_transported(
     let report = {
         let _root = sink.span(Layer::Exec, name);
         render(&sink, transport)
+    };
+    print!("{report}");
+    if let Some(path) = trace_path {
+        if let Err(e) = sink.write(&path) {
+            eprintln!("error: could not write trace to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// [`figure_main`] for binaries whose experiment prices payloads under a
+/// wire representation: additionally honors `--repr <spec>`, threading
+/// the chosen codec into the render function. The default is the dense
+/// representation, which keeps unflagged runs byte-identical to their
+/// goldens.
+pub fn figure_main_repred(name: &str, render: impl FnOnce(&TraceSink, WireRepr) -> String) {
+    let args: Vec<String> = std::env::args().collect();
+    let (trace_path, repr) =
+        match trace_path_arg(&args).and_then(|p| repr_arg(&args).map(|r| (p, r))) {
+            Ok(pair) => pair,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        };
+    let sink = TraceSink::new();
+    let report = {
+        let _root = sink.span(Layer::Exec, name);
+        render(&sink, repr)
     };
     print!("{report}");
     if let Some(path) = trace_path {

@@ -1,0 +1,771 @@
+//! Wire representations (codecs) for collective payloads.
+//!
+//! Every layer of the payload path — schedule byte accounting, cost
+//! models, Sigma aggregation, transport frames, telemetry counters —
+//! speaks a [`WireRepr`] instead of assuming dense 8-byte f64 words:
+//!
+//! - [`WireRepr::DenseF64`]: the verbatim default. Encode/decode is the
+//!   identity on the f64 bit patterns, sizes are `8 × words`, and every
+//!   golden, benchmark ratio, and sim-vs-tcp equivalence that predates
+//!   codecs is byte-identical under it.
+//! - [`WireRepr::FixedPoint`]: SwitchML-style shared-exponent integer
+//!   quantization. A whole payload is scaled by one power of two
+//!   (the *scaling factor*, derived from the data, travelling in an
+//!   8-byte side channel ahead of the values) and rounded to `i32`.
+//!   Because every decoded value is `q · 2⁻ᵉ` with `|q| ≤ 2³¹ − 1`,
+//!   sums of up to `2²¹` contributions are exact in f64 — aggregation
+//!   over fixed-point payloads is order-independent and bit-identical
+//!   whether folded as floats or as integers.
+//! - [`WireRepr::TopK`]: magnitude top-k sparsification. Exactly
+//!   `min(k, words)` coordinates travel as `(u32 index, f64 value)`
+//!   pairs; the rest decode to zero.
+//!
+//! ## Determinism rules
+//!
+//! Codecs are pure functions of their input slice: scaling factors are
+//! derived from the data (never from ambient state), top-k ties break
+//! toward the lower index, coordinates are emitted in ascending index
+//! order, and no codec consults a clock or RNG. Two encodes of the same
+//! bits produce the same bytes on every host.
+//!
+//! ## Analytic error bound (fixed-point)
+//!
+//! For a finite, unclipped value `x` encoded at scale exponent `e`, the
+//! round-trip error is at most half a quantum:
+//! `|x − decode(encode(x))| ≤ 2^−(e+1)`.
+//! The derived exponent is the largest `e ≤ frac_bits` for which
+//! `round(max|x| · 2ᵉ)` still fits `i32`, so clipping only occurs for
+//! non-finite inputs or when even `e = 0` overflows (|x| ≥ 2³¹).
+
+use std::error::Error;
+use std::fmt;
+
+/// Bytes per dense model word (gradients and models are `f64`).
+///
+/// The single source of truth: `cosmic_collectives::schedule` and
+/// `cosmic_runtime::layout` re-export this constant.
+pub const WORD_BYTES: usize = 8;
+
+/// Fractional bits used when `fixed_point` is requested without an
+/// explicit precision.
+pub const DEFAULT_FRAC_BITS: u8 = 24;
+
+/// Coordinate budget used when `top_k` is requested without an explicit
+/// `k`.
+pub const DEFAULT_TOP_K: usize = 1024;
+
+/// Largest representable scale exponent (the side channel stores it in
+/// one byte, and `2⁶²` already dwarfs any useful gradient precision).
+pub const MAX_SCALE_EXP: u8 = 62;
+
+/// Bytes of the fixed-point side-channel header: scale exponent plus
+/// the word count.
+const FIXED_HEADER_BYTES: usize = 8;
+
+/// Bytes of the top-k header: coordinate count plus the logical word
+/// count.
+const SPARSE_HEADER_BYTES: usize = 8;
+
+/// Bytes per transmitted top-k coordinate: `u32` index + `f64` value.
+const COORD_BYTES: usize = 12;
+
+/// A wire representation: how a logical run of f64 model words is
+/// serialized for transport and priced by cost models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WireRepr {
+    /// Verbatim f64 bit patterns, 8 bytes per word (the default).
+    #[default]
+    DenseF64,
+    /// Shared-exponent `i32` quantization with `frac_bits` fractional
+    /// bits of target precision and an 8-byte scaling-factor side
+    /// channel per payload.
+    FixedPoint {
+        /// Target fractional bits; the derived scale exponent is capped
+        /// here (and shrunk further if the payload's magnitude demands).
+        frac_bits: u8,
+    },
+    /// Magnitude top-k sparsification: exactly `min(k, words)`
+    /// `(index, value)` coordinates travel, the rest decode to zero.
+    TopK {
+        /// Coordinate budget per encoded payload.
+        k: usize,
+    },
+}
+
+/// Books what a codec did to a payload (or a round of payloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CodecStats {
+    /// Bytes the payload would occupy dense (`8 × words`).
+    pub dense_bytes: u64,
+    /// Bytes actually put on the wire (headers included).
+    pub wire_bytes: u64,
+    /// Values saturated by fixed-point quantization (non-finite inputs
+    /// included).
+    pub clipped: u64,
+    /// Coordinates not transmitted by top-k sparsification.
+    pub dropped: u64,
+}
+
+impl CodecStats {
+    /// Folds another stats record into this one.
+    pub fn merge(&mut self, other: &CodecStats) {
+        self.dense_bytes += other.dense_bytes;
+        self.wire_bytes += other.wire_bytes;
+        self.clipped += other.clipped;
+        self.dropped += other.dropped;
+    }
+
+    /// Dense-over-wire compression ratio (1.0 when nothing travelled).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.wire_bytes == 0 {
+            1.0
+        } else {
+            self.dense_bytes as f64 / self.wire_bytes as f64
+        }
+    }
+}
+
+/// A payload serialized under some [`WireRepr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedPayload {
+    /// The representation that produced `bytes`.
+    pub repr: WireRepr,
+    /// Logical word count of the decoded payload.
+    pub words: usize,
+    /// The wire bytes (side-channel headers included).
+    pub bytes: Vec<u8>,
+}
+
+/// A malformed encoded payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The byte buffer is shorter than its header or value region
+    /// requires.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// An unknown repr tag arrived on the wire.
+    BadTag {
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A sparse header claims more coordinates than logical words, or a
+    /// coordinate index escapes the payload.
+    BadCoordinate {
+        /// The offending index (or count).
+        index: usize,
+        /// Logical words in the payload.
+        words: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, got } => {
+                write!(f, "encoded payload truncated: need {needed} byte(s), have {got}")
+            }
+            CodecError::BadTag { tag } => write!(f, "unknown wire-repr tag {tag}"),
+            CodecError::BadCoordinate { index, words } => {
+                write!(f, "sparse coordinate {index} escapes payload of {words} word(s)")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+impl fmt::Display for WireRepr {
+    /// The parameterized CLI spelling, accepted back by
+    /// [`WireRepr::parse`]: `dense_f64`, `fixed_point:<frac_bits>`,
+    /// `top_k:<k>`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireRepr::DenseF64 => write!(f, "dense_f64"),
+            WireRepr::FixedPoint { frac_bits } => write!(f, "fixed_point:{frac_bits}"),
+            WireRepr::TopK { k } => write!(f, "top_k:{k}"),
+        }
+    }
+}
+
+impl WireRepr {
+    /// Stable label (used in reports, CLI flags, and trace vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            WireRepr::DenseF64 => "dense_f64",
+            WireRepr::FixedPoint { .. } => "fixed_point",
+            WireRepr::TopK { .. } => "top_k",
+        }
+    }
+
+    /// Parses a CLI spelling: `dense_f64` (or `dense`), `fixed_point`
+    /// (optionally `fixed_point:<frac_bits>`), `top_k` (optionally
+    /// `top_k:<k>`).
+    pub fn parse(s: &str) -> Option<WireRepr> {
+        let (name, arg) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        match name {
+            "dense" | "dense_f64" => match arg {
+                None => Some(WireRepr::DenseF64),
+                Some(_) => None,
+            },
+            "fixed_point" => {
+                let frac_bits = match arg {
+                    None => DEFAULT_FRAC_BITS,
+                    Some(a) => a.parse().ok()?,
+                };
+                (frac_bits <= MAX_SCALE_EXP).then_some(WireRepr::FixedPoint { frac_bits })
+            }
+            "top_k" => {
+                let k = match arg {
+                    None => DEFAULT_TOP_K,
+                    Some(a) => a.parse().ok()?,
+                };
+                (k > 0).then_some(WireRepr::TopK { k })
+            }
+            _ => None,
+        }
+    }
+
+    /// One-byte wire tag identifying the byte layout (the decoder needs
+    /// only the tag: scale exponents and coordinate counts live in the
+    /// payload's own header).
+    pub fn tag(self) -> u8 {
+        match self {
+            WireRepr::DenseF64 => 0,
+            WireRepr::FixedPoint { .. } => 1,
+            WireRepr::TopK { .. } => 2,
+        }
+    }
+
+    /// True for representations whose round trip is the identity on
+    /// every finite and non-finite bit pattern.
+    pub fn is_lossless(self) -> bool {
+        matches!(self, WireRepr::DenseF64)
+    }
+
+    /// Exact encoded size in bytes of a payload of `words` logical
+    /// words: the size law every layer (schedule accounting, cost
+    /// models, telemetry) agrees on. Empty payloads occupy zero bytes
+    /// under every repr.
+    pub fn payload_bytes(self, words: usize) -> usize {
+        if words == 0 {
+            return 0;
+        }
+        match self {
+            WireRepr::DenseF64 => words * WORD_BYTES,
+            WireRepr::FixedPoint { .. } => FIXED_HEADER_BYTES + 4 * words,
+            WireRepr::TopK { k } => SPARSE_HEADER_BYTES + COORD_BYTES * k.min(words),
+        }
+    }
+
+    /// Relative ingress fold rate of this representation against the
+    /// dense f64 baseline, for cost models: fixed-point aggregation
+    /// folds half-width integer words with exact (reassociable)
+    /// arithmetic, sustaining roughly twice the dense byte rate;
+    /// sparse and dense payloads fold at the baseline rate.
+    pub fn fold_rate_factor(self) -> f64 {
+        match self {
+            WireRepr::DenseF64 | WireRepr::TopK { .. } => 1.0,
+            WireRepr::FixedPoint { .. } => 2.0,
+        }
+    }
+
+    /// Encodes `data` under this representation. Returns the wire bytes
+    /// and the codec accounting. Deterministic: same input bits, same
+    /// output bytes, on every host.
+    pub fn encode(self, data: &[f64]) -> (EncodedPayload, CodecStats) {
+        let words = data.len();
+        let mut stats =
+            CodecStats { dense_bytes: (words * WORD_BYTES) as u64, ..CodecStats::default() };
+        if words == 0 {
+            // Empty payloads occupy zero bytes under every repr — the
+            // size law headers only exist for payloads that travel.
+            return (EncodedPayload { repr: self, words, bytes: Vec::new() }, stats);
+        }
+        let bytes = match self {
+            WireRepr::DenseF64 => {
+                let mut out = Vec::with_capacity(words * WORD_BYTES);
+                for &x in data {
+                    out.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
+                out
+            }
+            WireRepr::FixedPoint { frac_bits } => {
+                let (scale_exp, values, clipped) = quantize_fixed(data, frac_bits);
+                stats.clipped = clipped;
+                encode_fixed_bytes(scale_exp, &values)
+            }
+            WireRepr::TopK { k } => {
+                let (coords, dropped) = top_k_coords(data, k);
+                stats.dropped = dropped;
+                encode_sparse_bytes(words, &coords)
+            }
+        };
+        stats.wire_bytes = bytes.len() as u64;
+        (EncodedPayload { repr: self, words, bytes }, stats)
+    }
+
+    /// Re-encodes an *already transformed* payload losslessly for the
+    /// wire: dense stays dense, fixed-point re-derives a scale that is
+    /// exact on quantized data (every value is already `q · 2⁻ᵉ`), and
+    /// top-k sends **all** non-zero coordinates instead of re-applying
+    /// the budget (a chunk may hold more than `k` of the round's
+    /// surviving coordinates). Decoding the result reproduces `data`
+    /// bit for bit whenever `data` is itself the output of
+    /// [`WireRepr::decode`] for this repr.
+    pub fn encode_wire(self, data: &[f64]) -> EncodedPayload {
+        if data.is_empty() {
+            return EncodedPayload { repr: self, words: 0, bytes: Vec::new() };
+        }
+        match self {
+            WireRepr::DenseF64 | WireRepr::FixedPoint { .. } => self.encode(data).0,
+            WireRepr::TopK { .. } => {
+                let coords: Vec<(u32, f64)> = data
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.to_bits() != 0)
+                    .map(|(i, &v)| (i as u32, v))
+                    .collect();
+                EncodedPayload {
+                    repr: self,
+                    words: data.len(),
+                    bytes: encode_sparse_bytes(data.len(), &coords),
+                }
+            }
+        }
+    }
+
+    /// Decodes wire bytes produced by [`WireRepr::encode`] (or
+    /// [`WireRepr::encode_wire`]) for this repr's tag back into f64
+    /// words.
+    pub fn decode(self, bytes: &[u8]) -> Result<Vec<f64>, CodecError> {
+        decode_tagged(self.tag(), bytes)
+    }
+
+    /// The end-to-end lossy transform a payload undergoes at the
+    /// chunking boundary: bit-identical to
+    /// `decode(encode(data))`, without materializing the byte buffer.
+    pub fn transform(self, data: &[f64]) -> (Vec<f64>, CodecStats) {
+        let words = data.len();
+        let mut stats = CodecStats {
+            dense_bytes: (words * WORD_BYTES) as u64,
+            wire_bytes: self.payload_bytes(words) as u64,
+            ..CodecStats::default()
+        };
+        let out = match self {
+            WireRepr::DenseF64 => data.to_vec(),
+            WireRepr::FixedPoint { frac_bits } => {
+                let (scale_exp, values, clipped) = quantize_fixed(data, frac_bits);
+                stats.clipped = clipped;
+                dequantize_fixed(scale_exp, &values)
+            }
+            WireRepr::TopK { k } => {
+                let (coords, dropped) = top_k_coords(data, k);
+                stats.dropped = dropped;
+                let mut out = vec![0.0f64; words];
+                for &(i, v) in &coords {
+                    out[i as usize] = v;
+                }
+                out
+            }
+        };
+        (out, stats)
+    }
+}
+
+/// Exact power of two as f64 (bit-constructed, so no libm variance).
+fn pow2(e: i32) -> f64 {
+    f64::from_bits(((1023 + e) as u64) << 52)
+}
+
+/// Derives the shared scale exponent for a payload: the largest
+/// `e ≤ frac_bits` for which the payload's peak magnitude still
+/// quantizes into `i32` without clipping. All-zero (or all-non-finite)
+/// payloads use `frac_bits` verbatim.
+pub fn derive_scale(data: &[f64], frac_bits: u8) -> u8 {
+    let cap = frac_bits.min(MAX_SCALE_EXP);
+    let mut max_abs = 0.0f64;
+    for &x in data {
+        if x.is_finite() {
+            max_abs = max_abs.max(x.abs());
+        }
+    }
+    if max_abs == 0.0 {
+        return cap;
+    }
+    let mut e = cap;
+    while e > 0 && (max_abs * pow2(e as i32)).round() > i32::MAX as f64 {
+        e -= 1;
+    }
+    e
+}
+
+/// Quantizes a payload at its data-derived scale: returns the scale
+/// exponent, the `i32` values, and how many values saturated. The
+/// saturation range is symmetric (`±(2³¹ − 1)`) so magnitudes stay
+/// bounded by `i32::MAX`; NaNs quantize to zero and count as clipped.
+pub fn quantize_fixed(data: &[f64], frac_bits: u8) -> (u8, Vec<i32>, u64) {
+    let scale_exp = derive_scale(data, frac_bits);
+    let (values, clipped) = quantize_at_scale(data, scale_exp);
+    (scale_exp, values, clipped)
+}
+
+/// Quantizes a payload onto the grid of an externally supplied scale
+/// exponent — the per-round side channel: every contributor to one
+/// aggregation round quantizes at the *same* scale so their integer
+/// values share a grid and sum exactly. Saturation and NaN handling
+/// match [`quantize_fixed`].
+pub fn quantize_at_scale(data: &[f64], scale_exp: u8) -> (Vec<i32>, u64) {
+    let s = pow2(i32::from(scale_exp));
+    let mut clipped = 0u64;
+    let values = data
+        .iter()
+        .map(|&x| {
+            if x.is_nan() {
+                clipped += 1;
+                return 0;
+            }
+            let r = (x * s).round();
+            if r > i32::MAX as f64 {
+                clipped += 1;
+                i32::MAX
+            } else if r < -(i32::MAX as f64) {
+                clipped += 1;
+                -i32::MAX
+            } else {
+                r as i32
+            }
+        })
+        .collect();
+    (values, clipped)
+}
+
+/// Reconstructs f64 words from an *integer-fold sum* of quantized
+/// contributions: `q · 2⁻ᵉ`, exact in f64 while `|q| < 2⁵³` — with
+/// `|qᵢ| ≤ 2³¹ − 1` that holds for any realistic peer count, which is
+/// why the integer-accumulate path is order-independent and therefore
+/// identical across collective strategies.
+pub fn dequantize_sum(scale_exp: u8, values: &[i64]) -> Vec<f64> {
+    let inv = pow2(-i32::from(scale_exp));
+    values.iter().map(|&q| q as f64 * inv).collect()
+}
+
+/// Reconstructs f64 words from quantized values: `q · 2⁻ᵉ`, exact in
+/// f64 for every `|q| ≤ 2³¹`.
+pub fn dequantize_fixed(scale_exp: u8, values: &[i32]) -> Vec<f64> {
+    let inv = pow2(-(scale_exp as i32));
+    values.iter().map(|&q| q as f64 * inv).collect()
+}
+
+/// Magnitude key with a total order: absolute bit pattern, so
+/// `0 < subnormals < … < ∞ < NaN` and ties are exact.
+fn abs_bits(x: f64) -> u64 {
+    x.to_bits() & !(1u64 << 63)
+}
+
+/// Selects the `min(k, len)` largest-magnitude coordinates (ties break
+/// toward the lower index) and returns them in ascending index order,
+/// plus the count of coordinates left behind.
+pub fn top_k_coords(data: &[f64], k: usize) -> (Vec<(u32, f64)>, u64) {
+    assert!(data.len() <= u32::MAX as usize, "top-k payloads index with u32");
+    let kept = k.min(data.len());
+    let mut order: Vec<u32> = (0..data.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        abs_bits(data[b as usize]).cmp(&abs_bits(data[a as usize])).then(a.cmp(&b))
+    });
+    order.truncate(kept);
+    order.sort_unstable();
+    let coords = order.into_iter().map(|i| (i, data[i as usize])).collect();
+    (coords, (data.len() - kept) as u64)
+}
+
+/// Serializes a fixed-point payload: `[scale_exp, 0, 0, 0, words:u32]`
+/// header, then `i32` little-endian values.
+fn encode_fixed_bytes(scale_exp: u8, values: &[i32]) -> Vec<u8> {
+    assert!(values.len() <= u32::MAX as usize, "fixed-point payloads count words with u32");
+    let mut out = Vec::with_capacity(FIXED_HEADER_BYTES + 4 * values.len());
+    out.extend_from_slice(&[scale_exp, 0, 0, 0]);
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for &q in values {
+        out.extend_from_slice(&q.to_le_bytes());
+    }
+    out
+}
+
+/// Serializes a sparse payload: `[count:u32, words:u32]` header, then
+/// `(u32 index, f64 value)` coordinates in ascending index order.
+fn encode_sparse_bytes(words: usize, coords: &[(u32, f64)]) -> Vec<u8> {
+    assert!(words <= u32::MAX as usize, "sparse payloads count words with u32");
+    let mut out = Vec::with_capacity(SPARSE_HEADER_BYTES + COORD_BYTES * coords.len());
+    out.extend_from_slice(&(coords.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(words as u32).to_le_bytes());
+    for &(i, v) in coords {
+        out.extend_from_slice(&i.to_le_bytes());
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Reads `N` bytes at `at`, or reports the truncation.
+fn take<const N: usize>(bytes: &[u8], at: usize) -> Result<[u8; N], CodecError> {
+    match bytes.get(at..at + N).and_then(|s| <[u8; N]>::try_from(s).ok()) {
+        Some(arr) => Ok(arr),
+        None => Err(CodecError::Truncated { needed: at + N, got: bytes.len() }),
+    }
+}
+
+/// Decodes an encoded payload identified by its one-byte wire tag.
+/// Every malformation — truncation, unknown tag, out-of-range sparse
+/// coordinate — is a typed [`CodecError`], never a panic.
+pub fn decode_tagged(tag: u8, bytes: &[u8]) -> Result<Vec<f64>, CodecError> {
+    if bytes.is_empty() && tag <= 2 {
+        return Ok(Vec::new());
+    }
+    match tag {
+        0 => {
+            if !bytes.len().is_multiple_of(WORD_BYTES) {
+                return Err(CodecError::Truncated {
+                    needed: bytes.len().next_multiple_of(WORD_BYTES),
+                    got: bytes.len(),
+                });
+            }
+            Ok(bytes
+                .chunks_exact(WORD_BYTES)
+                .map(|c| {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(c);
+                    f64::from_bits(u64::from_le_bytes(b))
+                })
+                .collect())
+        }
+        1 => {
+            let head: [u8; 8] = take(bytes, 0)?;
+            let scale_exp = head[0];
+            let words = u32::from_le_bytes([head[4], head[5], head[6], head[7]]) as usize;
+            let need = FIXED_HEADER_BYTES + 4 * words;
+            if bytes.len() < need {
+                return Err(CodecError::Truncated { needed: need, got: bytes.len() });
+            }
+            let values: Vec<i32> = bytes[FIXED_HEADER_BYTES..need]
+                .chunks_exact(4)
+                .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            Ok(dequantize_fixed(scale_exp.min(MAX_SCALE_EXP), &values))
+        }
+        2 => {
+            let head: [u8; 8] = take(bytes, 0)?;
+            let count = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+            let words = u32::from_le_bytes([head[4], head[5], head[6], head[7]]) as usize;
+            if count > words {
+                return Err(CodecError::BadCoordinate { index: count, words });
+            }
+            let need = SPARSE_HEADER_BYTES + COORD_BYTES * count;
+            if bytes.len() < need {
+                return Err(CodecError::Truncated { needed: need, got: bytes.len() });
+            }
+            let mut out = vec![0.0f64; words];
+            for c in bytes[SPARSE_HEADER_BYTES..need].chunks_exact(COORD_BYTES) {
+                let i = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) as usize;
+                if i >= words {
+                    return Err(CodecError::BadCoordinate { index: i, words });
+                }
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&c[4..12]);
+                out[i] = f64::from_bits(u64::from_le_bytes(b));
+            }
+            Ok(out)
+        }
+        other => Err(CodecError::BadTag { tag: other }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(len: usize, salt: u64) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(salt);
+                let mant = (x % 2003) as f64 - 1001.0;
+                let exp = ((x >> 11) % 24) as i32 - 12;
+                mant * pow2(exp)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dense_round_trip_is_the_identity_on_bits() {
+        let data = vec![1.5, -0.0, f64::NAN, f64::INFINITY, 1e-300, -7.25];
+        let (enc, stats) = WireRepr::DenseF64.encode(&data);
+        assert_eq!(enc.bytes.len(), WireRepr::DenseF64.payload_bytes(data.len()));
+        assert_eq!(stats.wire_bytes, stats.dense_bytes);
+        let back = WireRepr::DenseF64.decode(&enc.bytes).expect("well formed");
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back), bits(&data));
+    }
+
+    #[test]
+    fn fixed_point_error_stays_within_half_a_quantum() {
+        let repr = WireRepr::FixedPoint { frac_bits: 20 };
+        let data = payload(513, 7);
+        let (enc, stats) = repr.encode(&data);
+        assert_eq!(enc.bytes.len(), repr.payload_bytes(data.len()));
+        assert_eq!(stats.clipped, 0);
+        let scale_exp = enc.bytes[0];
+        let back = repr.decode(&enc.bytes).expect("well formed");
+        let bound = pow2(-(scale_exp as i32 + 1));
+        for (x, y) in data.iter().zip(&back) {
+            assert!((x - y).abs() <= bound, "{x} vs {y} beyond {bound}");
+        }
+    }
+
+    #[test]
+    fn fixed_point_scale_shrinks_for_large_magnitudes() {
+        let data = vec![1.0e6, -2.5e6, 3.0];
+        let (scale_exp, values, clipped) = quantize_fixed(&data, 24);
+        assert_eq!(clipped, 0);
+        assert!(scale_exp < 24, "2.5e6 · 2²⁴ overflows i32, scale must shrink");
+        let back = dequantize_fixed(scale_exp, &values);
+        let bound = pow2(-(scale_exp as i32 + 1));
+        for (x, y) in data.iter().zip(&back) {
+            assert!((x - y).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn fixed_point_clips_non_finite_and_overflowing_values() {
+        let data = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1.0e300, 0.5];
+        let (scale_exp, values, clipped) = quantize_fixed(&data, 24);
+        assert_eq!(scale_exp, 0, "1e300 forces the scale to the floor");
+        assert_eq!(clipped, 4);
+        assert_eq!(values[0], 0);
+        assert_eq!(values[1], i32::MAX);
+        assert_eq!(values[2], -i32::MAX);
+        assert_eq!(values[3], i32::MAX);
+        assert_eq!(values[4], 1, "0.5 rounds half away from zero at scale 0");
+    }
+
+    #[test]
+    fn top_k_keeps_the_largest_magnitudes_and_breaks_ties_low() {
+        let data = vec![1.0, -5.0, 2.0, 5.0, 0.0];
+        let repr = WireRepr::TopK { k: 2 };
+        let (enc, stats) = repr.encode(&data);
+        assert_eq!(enc.bytes.len(), repr.payload_bytes(data.len()));
+        assert_eq!(stats.dropped, 3);
+        let back = repr.decode(&enc.bytes).expect("well formed");
+        // |−5| ties |5|: index 1 wins over index 3.
+        assert_eq!(back, vec![0.0, -5.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn top_k_transmits_exactly_min_k_words_coordinates() {
+        for (len, k) in [(10usize, 3usize), (3, 10), (5, 5), (0, 4)] {
+            let data = payload(len, 11);
+            let (enc, _) = WireRepr::TopK { k }.encode(&data);
+            if len == 0 {
+                assert!(enc.bytes.is_empty());
+                continue;
+            }
+            let count =
+                u32::from_le_bytes([enc.bytes[0], enc.bytes[1], enc.bytes[2], enc.bytes[3]]);
+            assert_eq!(count as usize, k.min(len));
+        }
+    }
+
+    #[test]
+    fn transform_matches_decode_of_encode_bitwise() {
+        let reprs = [
+            WireRepr::DenseF64,
+            WireRepr::FixedPoint { frac_bits: 24 },
+            WireRepr::FixedPoint { frac_bits: 3 },
+            WireRepr::TopK { k: 7 },
+            WireRepr::TopK { k: 10_000 },
+        ];
+        for repr in reprs {
+            for len in [0usize, 1, 8, 100, 1025] {
+                let data = payload(len, 3);
+                let (enc, es) = repr.encode(&data);
+                let via_bytes = repr.decode(&enc.bytes).expect("well formed");
+                let (direct, ts) = repr.transform(&data);
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&via_bytes), bits(&direct), "{repr:?} len={len}");
+                assert_eq!(es, ts, "{repr:?} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn wire_re_encode_of_a_transformed_payload_is_lossless() {
+        let reprs =
+            [WireRepr::DenseF64, WireRepr::FixedPoint { frac_bits: 18 }, WireRepr::TopK { k: 9 }];
+        for repr in reprs {
+            let (transformed, _) = repr.transform(&payload(200, 5));
+            let enc = repr.encode_wire(&transformed);
+            let back = repr.decode(&enc.bytes).expect("well formed");
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&back), bits(&transformed), "{repr:?}");
+        }
+    }
+
+    #[test]
+    fn size_law_is_exact_and_zero_for_empty_payloads() {
+        for repr in
+            [WireRepr::DenseF64, WireRepr::FixedPoint { frac_bits: 24 }, WireRepr::TopK { k: 32 }]
+        {
+            assert_eq!(repr.payload_bytes(0), 0);
+            for words in [1usize, 31, 32, 33, 4096] {
+                let (enc, _) = repr.encode(&payload(words, 1));
+                assert_eq!(enc.bytes.len(), repr.payload_bytes(words), "{repr:?} {words}");
+            }
+        }
+        assert_eq!(WireRepr::DenseF64.payload_bytes(10), 80);
+        assert_eq!(WireRepr::FixedPoint { frac_bits: 24 }.payload_bytes(10), 48);
+        assert_eq!(WireRepr::TopK { k: 4 }.payload_bytes(10), 8 + 4 * 12);
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors_never_panics() {
+        assert!(matches!(decode_tagged(9, &[]), Err(CodecError::BadTag { tag: 9 })));
+        assert!(matches!(decode_tagged(1, &[1, 0, 0]), Err(CodecError::Truncated { .. })));
+        assert!(matches!(decode_tagged(0, &[0; 7]), Err(CodecError::Truncated { .. })));
+        // Sparse header claiming 2 coords over 1 word.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(decode_tagged(2, &bad), Err(CodecError::BadCoordinate { .. })));
+        // Coordinate index out of range.
+        let mut oob = Vec::new();
+        oob.extend_from_slice(&1u32.to_le_bytes());
+        oob.extend_from_slice(&4u32.to_le_bytes());
+        oob.extend_from_slice(&9u32.to_le_bytes());
+        oob.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
+        assert!(matches!(
+            decode_tagged(2, &oob),
+            Err(CodecError::BadCoordinate { index: 9, words: 4 })
+        ));
+    }
+
+    #[test]
+    fn parse_covers_the_cli_vocabulary() {
+        assert_eq!(WireRepr::parse("dense_f64"), Some(WireRepr::DenseF64));
+        assert_eq!(WireRepr::parse("dense"), Some(WireRepr::DenseF64));
+        assert_eq!(
+            WireRepr::parse("fixed_point"),
+            Some(WireRepr::FixedPoint { frac_bits: DEFAULT_FRAC_BITS })
+        );
+        assert_eq!(WireRepr::parse("fixed_point:12"), Some(WireRepr::FixedPoint { frac_bits: 12 }));
+        assert_eq!(WireRepr::parse("top_k:64"), Some(WireRepr::TopK { k: 64 }));
+        assert_eq!(WireRepr::parse("top_k"), Some(WireRepr::TopK { k: DEFAULT_TOP_K }));
+        assert_eq!(WireRepr::parse("top_k:0"), None);
+        assert_eq!(WireRepr::parse("fixed_point:99"), None);
+        assert_eq!(WireRepr::parse("zstd"), None);
+        assert_eq!(WireRepr::default().label(), "dense_f64");
+    }
+}

@@ -9,6 +9,10 @@
 //! - [`topology`] — the System Director's role assignment and failure
 //!   repair (moved here from `cosmic-runtime` so strategies and the
 //!   runtime share one vocabulary);
+//! - [`codec`] — [`WireRepr`]: the pluggable wire representations
+//!   (dense f64, shared-exponent fixed point, top-k sparsification)
+//!   every layer of the payload path prices and books by, with exact
+//!   encoded-size accounting and a scaling-factor side channel;
 //! - [`schedule`] — [`CommSchedule`]: a deterministic, ordered list of
 //!   send/reduce/share steps with word ranges and link levels, plus a
 //!   symbolic executor that *proves* a schedule moves every contribution
@@ -42,12 +46,14 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod cache;
+pub mod codec;
 pub mod schedule;
 pub mod selector;
 pub mod strategy;
 pub mod topology;
 
 pub use cache::{topology_fingerprint, BoundedScheduleCache, CacheStats};
+pub use codec::{CodecError, CodecStats, EncodedPayload, WireRepr, WORD_BYTES};
 pub use schedule::{
     CommSchedule, CommStep, ExecReport, LinkLevel, ScheduleError, StepKind, SWITCH,
 };

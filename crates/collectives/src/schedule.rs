@@ -34,6 +34,7 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::codec::WireRepr;
 use crate::strategy::CollectiveKind;
 
 /// Pseudo node id for the in-network aggregation fabric (SwitchML-style
@@ -42,8 +43,11 @@ use crate::strategy::CollectiveKind;
 /// endpoint. Cost models treat its ports as non-blocking.
 pub const SWITCH: usize = usize::MAX;
 
-/// Bytes per model word (gradients and models are `f64`).
-pub const WORD_BYTES: usize = 8;
+/// Bytes per dense model word (gradients and models are `f64`).
+///
+/// Re-exported from [`crate::codec`], the single source of truth shared
+/// with `cosmic_runtime::layout`.
+pub use crate::codec::WORD_BYTES;
 
 /// The link a step travels over, in the cluster's physical hierarchy.
 ///
@@ -140,9 +144,19 @@ impl CommStep {
         self.hi.saturating_sub(self.lo)
     }
 
-    /// Wire bytes this step moves.
+    /// Dense wire bytes this step moves (`8 × words`): the logical
+    /// payload size. Schedules carrying a lossy [`WireRepr`] book the
+    /// *encoded* size instead — see [`CommStep::encoded_bytes`] and
+    /// [`CommSchedule::bytes_by_level`].
     pub fn bytes(&self) -> usize {
         self.words() * WORD_BYTES
+    }
+
+    /// Encoded wire bytes this step moves under `repr` (side-channel
+    /// headers included). Identical to [`CommStep::bytes`] for
+    /// [`WireRepr::DenseF64`].
+    pub fn encoded_bytes(&self, repr: WireRepr) -> usize {
+        repr.payload_bytes(self.words())
     }
 }
 
@@ -302,6 +316,9 @@ pub struct CommSchedule {
     pub model_words: usize,
     /// Transfer granularity in words (message count = ceil(words/chunk)).
     pub chunk_words: usize,
+    /// The wire representation payloads travel in. Steps carry logical
+    /// word ranges; this decides what those ranges cost in bytes.
+    pub repr: WireRepr,
     /// The ordered step list.
     pub steps: Vec<CommStep>,
 }
@@ -325,13 +342,22 @@ impl CommSchedule {
         self.steps.iter().map(|s| s.round + 1).max().unwrap_or(0)
     }
 
-    /// Static wire bytes per level over all steps (assumes nothing is
-    /// skipped; see [`ExecReport::bytes_by_level`] for the executed
-    /// figure).
+    /// Rebinds the schedule to a wire representation: the step list and
+    /// its exactly-once proof are untouched (validation is over logical
+    /// word ranges), only the byte accounting changes.
+    pub fn with_repr(mut self, repr: WireRepr) -> Self {
+        self.repr = repr;
+        self
+    }
+
+    /// Static encoded wire bytes per level over all steps (assumes
+    /// nothing is skipped; see [`ExecReport::bytes_by_level`] for the
+    /// executed figure). Books `repr`-encoded sizes — identical to the
+    /// dense figure for [`WireRepr::DenseF64`].
     pub fn bytes_by_level(&self) -> [usize; 5] {
         let mut by_level = [0usize; 5];
         for step in &self.steps {
-            by_level[step.level.index()] += step.bytes();
+            by_level[step.level.index()] += step.encoded_bytes(self.repr);
         }
         by_level
     }
@@ -410,7 +436,7 @@ impl CommSchedule {
                     if moved_words == 0 {
                         skipped_steps += 1;
                     }
-                    bytes_by_level[step.level.index()] += moved_words * WORD_BYTES;
+                    bytes_by_level[step.level.index()] += self.repr.payload_bytes(moved_words);
                 }
                 StepKind::Share => {
                     let full = self.participants.len();
@@ -435,7 +461,7 @@ impl CommSchedule {
                         }
                         state.covered[dst][k] = true;
                     }
-                    bytes_by_level[step.level.index()] += step.bytes();
+                    bytes_by_level[step.level.index()] += step.encoded_bytes(self.repr);
                 }
             }
         }
@@ -488,6 +514,22 @@ impl CommSchedule {
             }
         }
         Ok(acc)
+    }
+
+    /// Numerically executes the schedule with each participant's input
+    /// passed through the schedule's own codec first — the lossy values
+    /// that actually travel the wire under [`CommSchedule::repr`].
+    ///
+    /// Like [`execute`](Self::execute), the fold is canonical (ascending
+    /// node order), so any two valid schedules over the same
+    /// participants and repr agree bit for bit.
+    pub fn execute_with_codec(
+        &self,
+        inputs: &[(usize, Vec<f64>)],
+    ) -> Result<Vec<f64>, ScheduleError> {
+        let transformed: Vec<(usize, Vec<f64>)> =
+            inputs.iter().map(|(node, v)| (*node, self.repr.transform(v).0)).collect();
+        self.execute(&transformed)
     }
 
     fn initial_state(&self) -> SymState {
@@ -613,6 +655,7 @@ mod tests {
             participants: vec![0, 1, 2],
             model_words,
             chunk_words: 4,
+            repr: WireRepr::DenseF64,
             steps,
         }
     }
@@ -627,6 +670,50 @@ mod tests {
         assert_eq!(report.bytes_by_level[LinkLevel::Down.index()], 2 * 10 * WORD_BYTES);
         assert_eq!(report.delivered, vec![0, 1, 2]);
         assert_eq!(report.total_bytes(), s.total_bytes());
+    }
+
+    #[test]
+    fn lossy_reprs_book_encoded_bytes_without_touching_the_proof() {
+        let fixed = star(10).with_repr(WireRepr::FixedPoint { frac_bits: 24 });
+        let report = fixed.validate().expect("repr does not affect validity");
+        // 4 bytes/word + 8-byte scale side channel, per step.
+        assert_eq!(report.bytes_by_level[LinkLevel::GroupUp.index()], 2 * (4 * 10 + 8));
+        assert_eq!(report.bytes_by_level[LinkLevel::Down.index()], 2 * (4 * 10 + 8));
+        assert_eq!(report.bytes_by_level, fixed.bytes_by_level());
+
+        let topk = star(10).with_repr(WireRepr::TopK { k: 3 });
+        let report = topk.validate().expect("repr does not affect validity");
+        // 12 bytes/coordinate + 8-byte header, per step.
+        assert_eq!(report.bytes_by_level[LinkLevel::GroupUp.index()], 2 * (8 + 3 * 12));
+        assert_eq!(report.bytes_by_level, topk.bytes_by_level());
+
+        // Dense stays byte-identical to the historical accounting.
+        let dense = star(10);
+        assert_eq!(dense.bytes_by_level()[LinkLevel::GroupUp.index()], 2 * 10 * WORD_BYTES);
+    }
+
+    #[test]
+    fn execute_with_codec_folds_each_reprs_own_decode() {
+        let inputs = vec![
+            (0usize, vec![0.125, 100.0, 3.0]),
+            (1usize, vec![0.25, -100.0, 2.0]),
+            (2usize, vec![0.5, 0.0078125, 1.0]),
+        ];
+        // Dense: same as execute.
+        let dense = star(3);
+        assert_eq!(
+            dense.execute_with_codec(&inputs).expect("valid"),
+            dense.execute(&inputs).expect("valid")
+        );
+        // Top-1 keeps only each node's largest-magnitude coordinate:
+        // node 0 and node 1 both keep index 1 (±100, which cancel),
+        // node 2 keeps index 2 (1.0).
+        let topk = star(3).with_repr(WireRepr::TopK { k: 1 });
+        assert_eq!(topk.execute_with_codec(&inputs).expect("valid"), vec![0.0, 0.0, 1.0]);
+        // Fixed-point: exactly representable values round-trip exactly.
+        let fixed = star(3).with_repr(WireRepr::FixedPoint { frac_bits: 10 });
+        let got = fixed.execute_with_codec(&inputs).expect("valid");
+        assert_eq!(got, vec![0.875, 0.0078125, 6.0]);
     }
 
     #[test]
@@ -797,6 +884,7 @@ mod tests {
             participants: vec![0, 1, 2],
             model_words: w,
             chunk_words: 2,
+            repr: WireRepr::DenseF64,
             steps,
         };
         let report = s.validate().expect("switch round trip is valid");
@@ -833,6 +921,7 @@ mod tests {
             participants: vec![5],
             model_words: 100,
             chunk_words: 10,
+            repr: WireRepr::DenseF64,
             steps: vec![],
         };
         let report = s.validate().expect("one node needs no wire");

@@ -24,6 +24,7 @@ use std::collections::BTreeMap;
 
 use cosmic_sim::NetworkModel;
 
+use crate::codec::{WireRepr, WORD_BYTES};
 use crate::schedule::{CommSchedule, ScheduleError, StepKind, SWITCH};
 use crate::strategy::CollectiveKind;
 use crate::topology::Topology;
@@ -71,7 +72,12 @@ impl CostModel {
     /// Prices every round of `schedule`.
     pub fn round_costs_s(&self, schedule: &CommSchedule) -> Vec<RoundCost> {
         let rounds = schedule.rounds();
-        let chunk_words = schedule.chunk_words.max(1);
+        // Wire messages carry *encoded* payloads, so the per-message
+        // count is the encoded bytes packed into chunk-sized frames.
+        // For dense payloads this is exactly ceil(words / chunk_words),
+        // the historical accounting; compressed payloads pack into
+        // fewer frames and shed per-message overhead proportionally.
+        let chunk_bytes = schedule.chunk_words.max(1) * WORD_BYTES;
         let goodput = self.net.goodput_bps();
         let mut costs = Vec::with_capacity(rounds);
         for round in 0..rounds {
@@ -82,8 +88,8 @@ impl CostModel {
             let mut reduce_bytes = 0usize;
             let mut share_bytes = 0usize;
             for step in schedule.steps.iter().filter(|s| s.round == round && s.words() > 0) {
-                let bytes = step.bytes();
-                let messages = step.words().div_ceil(chunk_words);
+                let bytes = step.encoded_bytes(schedule.repr);
+                let messages = bytes.div_ceil(chunk_bytes);
                 match step.kind {
                     StepKind::Reduce => reduce_bytes += bytes,
                     StepKind::Share => share_bytes += bytes,
@@ -103,10 +109,14 @@ impl CostModel {
                 }
             }
             let mut busiest = 0.0f64;
+            // Ingress folds run at a repr-dependent rate: fixed-point
+            // payloads accumulate as half-width integers, roughly
+            // doubling the sustained byte rate of the fold.
+            let fold_rate = self.agg_bytes_per_sec * schedule.repr.fold_rate_factor();
             for load in ports.values() {
                 let wire = load.bytes as f64 / goodput
                     + load.messages as f64 * self.net.per_message_us * 1e-6;
-                let fold = load.reduce_bytes as f64 / self.agg_bytes_per_sec;
+                let fold = load.reduce_bytes as f64 / fold_rate;
                 busiest = busiest.max(wire.max(fold));
             }
             let seconds = if ports.is_empty() { 0.0 } else { busiest + self.net.latency_us * 1e-6 };
@@ -177,12 +187,29 @@ impl CollectiveSelector {
     }
 
     /// Prices every candidate over the topology's live nodes and
-    /// returns the cheapest (first candidate wins ties).
+    /// returns the cheapest (first candidate wins ties), with payloads
+    /// travelling dense.
     pub fn select(
         &self,
         topology: &Topology,
         model_words: usize,
         chunk_words: usize,
+    ) -> Result<Selection, ScheduleError> {
+        self.select_with_repr(topology, model_words, chunk_words, WireRepr::default())
+    }
+
+    /// Prices every candidate with payloads travelling under `repr`:
+    /// encoded bytes load the ports and the repr's fold rate prices the
+    /// ingress reduce. Compressed payloads shift the crossovers —
+    /// a cluster whose cheapest strategy is the ring under
+    /// [`WireRepr::DenseF64`] may prefer a latency-light shape once
+    /// top-k collapses the byte term.
+    pub fn select_with_repr(
+        &self,
+        topology: &Topology,
+        model_words: usize,
+        chunk_words: usize,
+        repr: WireRepr,
     ) -> Result<Selection, ScheduleError> {
         let participants = topology.live_node_ids();
         if self.candidates.is_empty() || participants.is_empty() {
@@ -191,8 +218,10 @@ impl CollectiveSelector {
         let mut best: Option<(CollectiveKind, CommSchedule, f64)> = None;
         let mut ranking = Vec::with_capacity(self.candidates.len());
         for &kind in &self.candidates {
-            let schedule =
-                kind.strategy().schedule(topology, &participants, model_words, chunk_words)?;
+            let schedule = kind
+                .strategy()
+                .schedule(topology, &participants, model_words, chunk_words)?
+                .with_repr(repr);
             let cost_s = self.cost.schedule_cost_s(&schedule);
             ranking.push((kind, cost_s));
             let cheaper = best.as_ref().is_none_or(|(_, _, c)| cost_s < *c);
@@ -315,6 +344,53 @@ mod tests {
             let reduce: usize = rounds.iter().map(|r| r.reduce_bytes).sum();
             let share: usize = rounds.iter().map(|r| r.share_bytes).sum();
             assert_eq!(reduce + share, s.total_bytes(), "{kind}");
+        }
+    }
+
+    /// Compression moves the crossover: dense, the large-model /
+    /// small-cluster cell belongs to a bandwidth-optimal shape that
+    /// pays extra rounds to split the byte term. Once top-k collapses
+    /// the bytes each step carries, those rounds stop paying for
+    /// themselves and a latency-light shape takes the cell.
+    #[test]
+    fn compressed_payloads_shift_the_selector_crossover() {
+        let nodes = 4;
+        let topo = assign_roles(nodes, default_groups(nodes)).expect("valid");
+        let large = 1_000_000;
+        let selector = CollectiveSelector::host_side();
+        let dense = selector.select(&topo, large, CHUNK_WORDS).expect("selects");
+        assert!(
+            matches!(
+                dense.kind,
+                CollectiveKind::RingAllReduce | CollectiveKind::RecursiveHalvingDoubling
+            ),
+            "dense must favour a bandwidth-optimal shape, got {}",
+            dense.kind
+        );
+        let topk = selector
+            .select_with_repr(&topo, large, CHUNK_WORDS, WireRepr::TopK { k: 512 })
+            .expect("selects");
+        assert_ne!(topk.kind, dense.kind, "top-k must dethrone {} in this cell", dense.kind);
+        assert!(topk.cost_s < dense.cost_s, "compressed bytes must price cheaper");
+    }
+
+    /// Fixed-point prices below dense everywhere: half the bytes on
+    /// every port and a doubled ingress fold rate only shrink terms.
+    #[test]
+    fn fixed_point_prices_cheaper_than_dense_for_every_strategy() {
+        let topo = assign_roles(8, 2).expect("valid");
+        let participants = topo.live_node_ids();
+        let model = CostModel::commodity();
+        for kind in CollectiveKind::ALL {
+            let dense = kind
+                .strategy()
+                .schedule(&topo, &participants, 200_000, CHUNK_WORDS)
+                .expect("builds");
+            let fixed = dense.clone().with_repr(WireRepr::FixedPoint { frac_bits: 24 });
+            assert!(
+                model.schedule_cost_s(&fixed) < model.schedule_cost_s(&dense),
+                "{kind}: fixed-point must price below dense"
+            );
         }
     }
 

@@ -21,6 +21,7 @@
 
 use std::fmt;
 
+use crate::codec::WireRepr;
 use crate::schedule::{CommSchedule, CommStep, LinkLevel, ScheduleError, StepKind, SWITCH};
 use crate::topology::{Role, Topology};
 
@@ -183,6 +184,7 @@ impl Collective for FlatStar {
             participants: participants.to_vec(),
             model_words,
             chunk_words: chunk_words.max(1),
+            repr: WireRepr::default(),
             steps,
         })
     }
@@ -282,6 +284,7 @@ impl Collective for TwoLevelTree {
             participants: participants.to_vec(),
             model_words,
             chunk_words: chunk_words.max(1),
+            repr: WireRepr::default(),
             steps,
         })
     }
@@ -371,6 +374,7 @@ impl Collective for RingAllReduce {
             participants: participants.to_vec(),
             model_words,
             chunk_words: chunk,
+            repr: WireRepr::default(),
             steps,
         })
     }
@@ -526,6 +530,7 @@ impl Collective for RecursiveHalvingDoubling {
             participants: participants.to_vec(),
             model_words,
             chunk_words: chunk,
+            repr: WireRepr::default(),
             steps,
         })
     }
@@ -583,6 +588,7 @@ impl Collective for InNetworkSwitch {
             participants: participants.to_vec(),
             model_words,
             chunk_words: chunk_words.max(1),
+            repr: WireRepr::default(),
             steps,
         })
     }
@@ -771,6 +777,53 @@ mod tests {
             // Every boundary except the tail is chunk-aligned.
             assert_eq!(step.lo % 64, 0, "{step:?}");
             assert!(step.hi % 64 == 0 || step.hi == 1000, "{step:?}");
+        }
+    }
+
+    /// The repr-generalized bit-identity contract: for every wire
+    /// representation, all five strategies produce the same model state
+    /// when each participant's contribution passes through that repr's
+    /// own decode — the canonical fold makes the wire pattern
+    /// irrelevant, and the codec is a pure per-input transform.
+    #[test]
+    fn all_strategies_agree_bitwise_under_each_reprs_own_decode() {
+        let topo = assign_roles(5, 2).expect("valid");
+        let participants: Vec<usize> = (0..5).collect();
+        let words = 257;
+        let inputs: Vec<(usize, Vec<f64>)> = participants
+            .iter()
+            .map(|&p| {
+                let v = (0..words)
+                    .map(|i| {
+                        let x = (i as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(p as u64 + 1);
+                        ((x % 4001) as f64 - 2000.0) / 64.0
+                    })
+                    .collect();
+                (p, v)
+            })
+            .collect();
+        for repr in [
+            WireRepr::DenseF64,
+            WireRepr::FixedPoint { frac_bits: 20 },
+            WireRepr::FixedPoint { frac_bits: 6 },
+            WireRepr::TopK { k: 31 },
+        ] {
+            let mut agreed: Option<Vec<u64>> = None;
+            for kind in CollectiveKind::ALL {
+                let s = kind
+                    .strategy()
+                    .schedule(&topo, &participants, words, 16)
+                    .expect("builds")
+                    .with_repr(repr);
+                let out = s.execute_with_codec(&inputs).expect("valid");
+                let bits: Vec<u64> = out.iter().map(|x| x.to_bits()).collect();
+                match &agreed {
+                    None => agreed = Some(bits),
+                    Some(first) => assert_eq!(first, &bits, "{kind} diverges under {repr:?}"),
+                }
+            }
         }
     }
 

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+pub mod convergence;
 pub mod data;
 pub mod metrics;
 pub mod sgd;

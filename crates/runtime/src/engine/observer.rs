@@ -15,6 +15,7 @@
 //! [`TraceObserver`] produces bit-identical models, histories, and
 //! fault reports.
 
+use cosmic_collectives::codec::{CodecStats, WireRepr};
 use cosmic_sim::faults::FaultPlan;
 use cosmic_sim::level_counter;
 use cosmic_telemetry::{counters, names, Layer, SpanGuard, TraceSink};
@@ -114,6 +115,11 @@ pub trait RunObserver {
         outcome: &AggregateOutcome,
     ) {
     }
+
+    /// A lossy wire codec transformed this round's contributions at
+    /// the chunking boundary. Never called for
+    /// [`WireRepr::DenseF64`], so traced dense runs book nothing new.
+    fn codec_applied(&self, iteration: usize, repr: WireRepr, stats: &CodecStats) {}
 
     /// The transport finished a round's wire traffic. The sim backend
     /// reports empty stats, so untraced vocabulary is unchanged.
@@ -291,6 +297,17 @@ impl RunObserver for TraceObserver<'_> {
         self.sink.add(counters::CHUNKS_QUARANTINED, outcome.quarantined.len() as f64);
         self.sink.add(counters::CHUNKS_DUPLICATED, outcome.duplicates_dropped as f64);
         self.sink.record_max_diagnostic(counters::RING_HIGH_WATER, outcome.ring_high_water as f64);
+    }
+
+    fn codec_applied(&self, iteration: usize, repr: WireRepr, stats: &CodecStats) {
+        let idx = self.sink.instant(Layer::Aggregate, "codec");
+        self.sink.set_arg(idx, "iter", &iteration.to_string());
+        self.sink.set_arg(idx, "repr", repr.label());
+        self.sink.set_arg(idx, "ratio", &format!("{:.3}", stats.compression_ratio()));
+        self.sink.add(counters::CODEC_BYTES_DENSE, stats.dense_bytes as f64);
+        self.sink.add(counters::CODEC_BYTES_WIRE, stats.wire_bytes as f64);
+        self.sink.add(counters::CODEC_VALUES_CLIPPED, stats.clipped as f64);
+        self.sink.add(counters::CODEC_COORDS_DROPPED, stats.dropped as f64);
     }
 
     fn transported(&self, stats: &TransportStats) {

@@ -2,6 +2,8 @@
 //! over the configured transport into the Sigma pipeline, and
 //! quarantine/dead-link accounting.
 
+use cosmic_collectives::codec::{CodecStats, WireRepr};
+
 use crate::error::RuntimeError;
 use crate::layout::CHUNK_WORDS;
 use crate::trainer::{Exclusion, ExclusionReason, Quarantine};
@@ -36,14 +38,40 @@ pub fn collective_round<O: RunObserver>(
     senders: &[usize],
 ) -> Result<Option<RoundOutput>, RuntimeError> {
     refresh_schedule(eng, st, senders)?;
-    let parts: Vec<Option<&[f64]>> =
-        senders.iter().map(|&m| contributions[m].as_ref().map(|(p, _)| p.as_slice())).collect();
+    // The chunking boundary is where a lossy wire repr applies its
+    // encode→decode transform: each admitted contribution, in sender
+    // order, so the result is deterministic per seed. The dense
+    // default takes the verbatim historical path — no copy, no
+    // transform, bit-identical models.
+    let repr = eng.cfg.repr;
+    let transformed: Option<Vec<Option<Vec<f64>>>> = (repr != WireRepr::DenseF64).then(|| {
+        let mut stats = CodecStats::default();
+        let out = senders
+            .iter()
+            .map(|&m| {
+                contributions[m].as_ref().map(|(p, _)| {
+                    let (values, s) = repr.transform(p);
+                    stats.merge(&s);
+                    values
+                })
+            })
+            .collect();
+        eng.obs.codec_applied(st.iter_idx, repr, &stats);
+        out
+    });
+    let parts: Vec<Option<&[f64]>> = match &transformed {
+        Some(rows) => rows.iter().map(Option::as_deref).collect(),
+        None => {
+            senders.iter().map(|&m| contributions[m].as_ref().map(|(p, _)| p.as_slice())).collect()
+        }
+    };
     let ctx = RoundCtx {
         iteration: st.iter_idx,
         model_len: eng.model_len,
         plan: eng.plan,
         retry: &eng.cfg.retry,
         senders,
+        repr,
     };
     let delivery = eng.transport.round(&ctx, &eng.sigma, &parts)?;
     let outcome = delivery.outcome;
@@ -114,12 +142,12 @@ fn refresh_schedule<O: RunObserver>(
     if !stale {
         return Ok(());
     }
-    let schedule = eng.cfg.collective.strategy().schedule(
-        &st.topology,
-        senders,
-        eng.model_len,
-        CHUNK_WORDS,
-    )?;
+    let schedule = eng
+        .cfg
+        .collective
+        .strategy()
+        .schedule(&st.topology, senders, eng.model_len, CHUNK_WORDS)?
+        .with_repr(eng.cfg.repr);
     schedule.validate()?;
     eng.obs.schedule_rebuilt(eng.cfg.collective.label(), senders.len());
     st.schedule_cache = Some(ScheduleCache {

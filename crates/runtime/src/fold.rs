@@ -88,6 +88,65 @@ fn add_lanes(dst: &mut [f64], src: &[f64]) {
     add_assign(tail_d, tail_s);
 }
 
+/// Reference integer fold for fixed-point payloads: one full pass over
+/// `sum` per part, in part order. Accumulating i32 quantized values
+/// into i64 is exact — `peers × i32::MAX` stays far below `i64::MAX` —
+/// so unlike the f64 fold there is no rounding for traversal order to
+/// perturb; the twin exists to pin the fused kernel's *indexing*.
+pub fn fold_parts_i64_reference(sum: &mut [i64], parts: &[&[i32]]) {
+    for part in parts {
+        for (d, s) in sum.iter_mut().zip(*part) {
+            *d += i64::from(*s);
+        }
+    }
+}
+
+/// Fused integer fold: the same single-sweep blocked traversal as
+/// [`fold_parts`], accumulating i32 quantized values into i64 — the
+/// integer-accumulate path the fixed-point repr rides through the
+/// Sigma. Identical to [`fold_parts_i64_reference`] on every input.
+pub fn fold_parts_i64(sum: &mut [i64], parts: &[&[i32]]) {
+    match parts {
+        [] => {}
+        [only] => add_lanes_i64(sum, only),
+        many => {
+            let len = sum.len();
+            let mut at = 0;
+            while at < len {
+                let end = (at + BLOCK_WORDS).min(len);
+                for part in many {
+                    let stop = end.min(part.len());
+                    if at < stop {
+                        add_lanes_i64(&mut sum[at..stop], &part[at..stop]);
+                    }
+                }
+                at = end;
+            }
+        }
+    }
+}
+
+/// Eight-lane unrolled integer accumulation, the i64/i32 mirror of
+/// [`add_lanes`].
+fn add_lanes_i64(dst: &mut [i64], src: &[i32]) {
+    let n = dst.len().min(src.len());
+    let (head_d, tail_d) = dst[..n].split_at_mut(n - n % 8);
+    let (head_s, tail_s) = src[..n].split_at(n - n % 8);
+    for (d, s) in head_d.chunks_exact_mut(8).zip(head_s.chunks_exact(8)) {
+        d[0] += i64::from(s[0]);
+        d[1] += i64::from(s[1]);
+        d[2] += i64::from(s[2]);
+        d[3] += i64::from(s[3]);
+        d[4] += i64::from(s[4]);
+        d[5] += i64::from(s[5]);
+        d[6] += i64::from(s[6]);
+        d[7] += i64::from(s[7]);
+    }
+    for (d, s) in tail_d.iter_mut().zip(tail_s) {
+        *d += i64::from(*s);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +180,48 @@ mod tests {
                 assert_eq!(fast_bits, ref_bits, "peers={peers} len={len}");
             }
         }
+    }
+
+    #[test]
+    fn fused_integer_fold_matches_reference_exactly() {
+        for peers in [0usize, 1, 2, 3, 7] {
+            for len in [0usize, 1, 7, 8, 9, 1023, 1024, 1025, 4096 + 13] {
+                let parts: Vec<Vec<i32>> = (0..peers)
+                    .map(|p| {
+                        (0..len)
+                            .map(|i| {
+                                let x = (i as u64)
+                                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                    .wrapping_add(p as u64);
+                                if x.is_multiple_of(13) {
+                                    if x.is_multiple_of(2) {
+                                        i32::MAX
+                                    } else {
+                                        i32::MIN + 1
+                                    }
+                                } else {
+                                    (x % 200_003) as i32 - 100_001
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let slices: Vec<&[i32]> = parts.iter().map(Vec::as_slice).collect();
+                let mut fast = vec![0i64; len];
+                let mut refr = vec![0i64; len];
+                fold_parts_i64(&mut fast, &slices);
+                fold_parts_i64_reference(&mut refr, &slices);
+                assert_eq!(fast, refr, "peers={peers} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_integer_parts_only_touch_their_prefix() {
+        let mut sum = vec![1i64; 10];
+        fold_parts_i64(&mut sum, &[&[2i32; 4], &[3i32; 10]]);
+        assert_eq!(sum[0], 6);
+        assert_eq!(sum[5], 4);
     }
 
     #[test]

@@ -12,8 +12,10 @@
 pub const CHUNK_WORDS: usize = 4096;
 
 /// Bytes per model word on the wire and in checkpoints (the runtime
-/// trains in `f64`).
-pub const WORD_BYTES: usize = 8;
+/// trains in `f64`). The constant itself lives with the codec's size
+/// law in `cosmic-collectives` — one source of truth, re-exported here
+/// so the layout arithmetic and the wire accounting can never drift.
+pub use cosmic_collectives::codec::WORD_BYTES;
 
 /// Nearly-equal shard size when `total` items are split across `parts`
 /// workers: the ceiling division every partitioner in the stack uses.

@@ -70,6 +70,15 @@ pub mod transport;
 /// topology vocabulary); re-exported under its historical path.
 pub use cosmic_collectives::topology as role;
 
+/// The pluggable wire representations every layer of the payload path
+/// speaks — dense f64, shared-exponent fixed point, top-k
+/// sparsification — with exact encoded-size accounting and the
+/// per-round scaling-factor side channel. Canonical home is
+/// `cosmic-collectives` (the schedules and the cost model price by it);
+/// re-exported here because the runtime's chunking boundary is where
+/// encode/decode actually happens.
+pub use cosmic_collectives::codec;
+
 pub use buffer::WordBuf;
 pub use checkpoint::{
     model_checksum, CatchUp, Checkpoint, CheckpointConfig, CheckpointError, CheckpointStore,
@@ -93,7 +102,8 @@ pub use timing::{
 // runtime's public surface.
 pub use cosmic_collectives as collectives;
 pub use cosmic_collectives::{
-    CollectiveKind, CollectiveSelector, CommSchedule, CostModel, ScheduleError,
+    CodecError, CodecStats, CollectiveKind, CollectiveSelector, CommSchedule, CostModel,
+    ScheduleError, WireRepr,
 };
 pub use trainer::{
     ClusterConfig, ClusterTrainer, Exclusion, ExclusionReason, FaultReport, MembershipMode,

@@ -171,6 +171,17 @@ pub struct AggregateOutcome {
     pub ring_high_water: usize,
 }
 
+/// What the pipeline knows once every peer stream has drained, before
+/// any final fold has run: the validated staging buffers in peer-index
+/// order plus the quarantine/duplicate/occupancy report.
+#[derive(Debug)]
+struct DrainedRound {
+    survivors: Vec<Vec<f64>>,
+    quarantined: Vec<(usize, ChunkFault)>,
+    duplicates_dropped: usize,
+    ring_high_water: usize,
+}
+
 /// Per-peer consumer state, collected after the pipeline drains.
 #[derive(Debug, Default)]
 struct PeerFold {
@@ -280,6 +291,37 @@ impl SigmaAggregator {
         self.aggregate_impl(model_len, incoming, false)
     }
 
+    /// [`SigmaAggregator::aggregate_validated`] riding the fixed-point
+    /// integer-accumulate path: every surviving peer's staged vector is
+    /// quantized at the shared per-round `scale_exp` (the side channel
+    /// every contributor agreed on), the quantized values are folded as
+    /// exact `i64` sums by [`fold::fold_parts_i64`], and the sum is
+    /// dequantized once at the end. Integer addition is associative, so
+    /// the result is bit-identical no matter which collective shape
+    /// delivered the contributions.
+    pub fn aggregate_fixed(
+        &self,
+        model_len: usize,
+        incoming: Vec<Receiver<Chunk>>,
+        scale_exp: u8,
+    ) -> AggregateOutcome {
+        let drained = self.drain_validated(model_len, incoming);
+        let quantized: Vec<Vec<i32>> = drained
+            .survivors
+            .iter()
+            .map(|part| cosmic_collectives::codec::quantize_at_scale(part, scale_exp).0)
+            .collect();
+        let parts: Vec<&[i32]> = quantized.iter().map(Vec::as_slice).collect();
+        let mut acc = vec![0i64; model_len];
+        fold::fold_parts_i64(&mut acc, &parts);
+        AggregateOutcome {
+            sum: cosmic_collectives::codec::dequantize_sum(scale_exp, &acc),
+            quarantined: drained.quarantined,
+            duplicates_dropped: drained.duplicates_dropped,
+            ring_high_water: drained.ring_high_water,
+        }
+    }
+
     /// The shared pipeline: spawn producers/consumers, drain, then run
     /// the deterministic final fold with the chosen kernel.
     fn aggregate_impl(
@@ -288,6 +330,26 @@ impl SigmaAggregator {
         incoming: Vec<Receiver<Chunk>>,
         fused: bool,
     ) -> AggregateOutcome {
+        let drained = self.drain_validated(model_len, incoming);
+        let mut sum = vec![0.0; model_len];
+        let parts: Vec<&[f64]> = drained.survivors.iter().map(Vec::as_slice).collect();
+        if fused {
+            fold::fold_parts(&mut sum, &parts);
+        } else {
+            fold::fold_parts_reference(&mut sum, &parts);
+        }
+        AggregateOutcome {
+            sum,
+            quarantined: drained.quarantined,
+            duplicates_dropped: drained.duplicates_dropped,
+            ring_high_water: drained.ring_high_water,
+        }
+    }
+
+    /// Runs the two-pool pipeline to completion and collects each
+    /// peer's validated staging buffer, leaving the final fold — float
+    /// or integer — to the caller.
+    fn drain_validated(&self, model_len: usize, incoming: Vec<Receiver<Chunk>>) -> DrainedRound {
         let stripes = crate::layout::chunk_count(model_len);
         let peers = incoming.len();
         let folds: Arc<Vec<Mutex<PeerFold>>> =
@@ -362,10 +424,8 @@ impl SigmaAggregator {
         }
         wg.wait();
 
-        // Deterministic final fold: surviving peers in index order.
-        // Both kernels add each element's contributions in exactly that
-        // order, so fused and reference results are bit-identical.
-        let mut sum = vec![0.0; model_len];
+        // Collect surviving peers in index order — the determinism
+        // contract every final fold (float or integer) builds on.
         let mut quarantined = Vec::new();
         let mut duplicates_dropped = 0;
         let mut ring_high_water = 0;
@@ -383,13 +443,7 @@ impl SigmaAggregator {
                 }
             }
         }
-        let parts: Vec<&[f64]> = survivors.iter().map(Vec::as_slice).collect();
-        if fused {
-            fold::fold_parts(&mut sum, &parts);
-        } else {
-            fold::fold_parts_reference(&mut sum, &parts);
-        }
-        AggregateOutcome { sum, quarantined, duplicates_dropped, ring_high_water }
+        DrainedRound { survivors, quarantined, duplicates_dropped, ring_high_water }
     }
 
     /// Total jobs submitted to the networking + aggregation pools so
@@ -568,6 +622,29 @@ mod tests {
         assert_eq!(sigma.ring_capacity(), 1);
         let out = sigma.aggregate_validated(4, vec![send_model(vec![1.0; 4])]);
         assert_eq!(out.sum, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn fixed_point_aggregation_sums_on_the_shared_grid() {
+        let sigma = SigmaAggregator::new(2, 2);
+        let scale_exp = 10u8; // grid step 2⁻¹⁰
+        let len = CHUNK_WORDS + 3;
+        // Grid-point payloads: the integer path must match the float
+        // fold exactly, and validation must still quarantine.
+        let a: Vec<f64> = (0..len).map(|i| (i % 97) as f64 / 1024.0).collect();
+        let b: Vec<f64> = (0..len).map(|i| -((i % 53) as f64) / 1024.0).collect();
+        let (tx, rx) = channel::unbounded();
+        for (i, chunk) in chunk_vector(&vec![7.0; len]).into_iter().enumerate() {
+            tx.send(if i == 0 { chunk.corrupted() } else { chunk }).unwrap();
+        }
+        drop(tx);
+        let incoming = vec![send_model(a.clone()), rx, send_model(b.clone())];
+        let out = sigma.aggregate_fixed(len, incoming, scale_exp);
+        assert_eq!(out.quarantined.len(), 1, "corrupt peer still quarantined");
+        let expect: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let got_bits: Vec<u64> = out.sum.iter().map(|v| v.to_bits()).collect();
+        let expect_bits: Vec<u64> = expect.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got_bits, expect_bits, "grid-point payloads sum exactly");
     }
 
     #[test]

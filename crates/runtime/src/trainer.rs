@@ -27,6 +27,7 @@
 //! [`ClusterTrainer::train_traced`] under a
 //! [`crate::engine::TraceObserver`].
 
+use cosmic_collectives::codec::WireRepr;
 use cosmic_collectives::CollectiveKind;
 use cosmic_ml::data::Dataset;
 use cosmic_ml::{Aggregation, Algorithm};
@@ -140,6 +141,13 @@ pub struct ClusterConfig {
     /// Wall-clock deadlines and pacing for real-wire links (ignored by
     /// the discrete-event backend).
     pub link: LinkConfig,
+    /// The wire representation gradient payloads travel under. The
+    /// default, [`WireRepr::DenseF64`], is the verbatim historical
+    /// path — bit-identical models, byte-identical telemetry. Lossy
+    /// reprs apply their encode→decode transform at the chunking
+    /// boundary (deterministic per seed) and book compressed bytes
+    /// through the schedule, the trace, and the wire.
+    pub repr: WireRepr,
 }
 
 impl Default for ClusterConfig {
@@ -162,6 +170,7 @@ impl Default for ClusterConfig {
             checkpoint: CheckpointConfig::default(),
             transport: TransportKind::default(),
             link: LinkConfig::default(),
+            repr: WireRepr::default(),
         }
     }
 }

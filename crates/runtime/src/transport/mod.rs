@@ -33,6 +33,7 @@ pub use wire::{Frame, FrameKind, WireError};
 
 use std::time::Duration;
 
+use cosmic_collectives::codec::WireRepr;
 use cosmic_sim::faults::FaultPlan;
 
 use crate::error::RuntimeError;
@@ -200,6 +201,13 @@ pub struct RoundCtx<'a> {
     pub retry: &'a RetryPolicy,
     /// The admitted sender node ids, ascending.
     pub senders: &'a [usize],
+    /// The wire representation chunk payloads travel under. Sim keeps
+    /// the chunks in process; Tcp frames them as
+    /// [`FrameKind::Encoded`] when this is not
+    /// [`WireRepr::DenseF64`]. The payload values are already
+    /// boundary-transformed by the engine, so the wire encode is
+    /// lossless and both backends stay bit-identical.
+    pub repr: WireRepr,
 }
 
 /// A wire backend for the collective round.

@@ -572,8 +572,13 @@ impl Worker {
         if self.join {
             iter = self.join_handshake(&mut model)?;
         }
-        let sender =
-            RoundSender { addr: self.addr, node: self.node, link: &spec.link, retry: &spec.retry };
+        let sender = RoundSender {
+            addr: self.addr,
+            node: self.node,
+            link: &spec.link,
+            retry: &spec.retry,
+            repr: Default::default(),
+        };
         while iter < spec.iterations {
             let mut grad = alg.zero_model();
             for record in shard.records() {

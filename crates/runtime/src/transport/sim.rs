@@ -78,8 +78,14 @@ mod tests {
         let plan = FaultPlan::none();
         let retry = RetryPolicy::default();
         let senders = [0usize, 1];
-        let ctx =
-            RoundCtx { iteration: 0, model_len: 3, plan: &plan, retry: &retry, senders: &senders };
+        let ctx = RoundCtx {
+            iteration: 0,
+            model_len: 3,
+            plan: &plan,
+            retry: &retry,
+            senders: &senders,
+            repr: Default::default(),
+        };
         let sigma = SigmaAggregator::new(2, 2);
         let a = [1.0, 2.0, 3.0];
         let b = [10.0, 20.0, 30.0];
@@ -96,8 +102,14 @@ mod tests {
         let plan = FaultPlan::none().corrupt_chunk(1, 0, 0).duplicate_chunk(0, 0, 0);
         let retry = RetryPolicy::default();
         let senders = [0usize, 1];
-        let ctx =
-            RoundCtx { iteration: 0, model_len: 2, plan: &plan, retry: &retry, senders: &senders };
+        let ctx = RoundCtx {
+            iteration: 0,
+            model_len: 2,
+            plan: &plan,
+            retry: &retry,
+            senders: &senders,
+            repr: Default::default(),
+        };
         let sigma = SigmaAggregator::new(2, 2);
         let a = [1.0, 2.0];
         let b = [5.0, 5.0];

@@ -29,6 +29,8 @@ use std::net::{SocketAddr, TcpStream};
 use std::thread;
 use std::time::Duration;
 
+use cosmic_collectives::codec::WireRepr;
+
 use crate::error::RuntimeError;
 use crate::node::Chunk;
 use crate::trainer::RetryPolicy;
@@ -59,6 +61,10 @@ pub struct RoundSender<'a> {
     pub link: &'a LinkConfig,
     /// Reconnect backoff policy (shared with chunk retransmission).
     pub retry: &'a RetryPolicy,
+    /// Wire representation for chunk payloads: dense chunks travel as
+    /// plain [`FrameKind::Chunk`] frames (the historical wire,
+    /// byte-identical); anything else rides [`FrameKind::Encoded`].
+    pub repr: WireRepr,
 }
 
 impl RoundSender<'_> {
@@ -132,7 +138,10 @@ impl RoundSender<'_> {
             if !delay.is_zero() {
                 thread::sleep(delay);
             }
-            let mut bytes = Frame::chunk(node, iteration, chunk).encode();
+            let mut bytes = match self.repr {
+                WireRepr::DenseF64 => Frame::chunk(node, iteration, chunk).encode(),
+                repr => Frame::encoded_chunk(node, iteration, repr, chunk).encode(),
+            };
             if shim.frame_corrupted(attempt, ci) {
                 damage(&mut bytes);
             }
@@ -262,6 +271,10 @@ pub fn serve_round(stream: &mut TcpStream, link: &LinkConfig) -> Result<ServedRo
             // words decoded off the socket are the words the Sigma
             // folds, with no per-frame copy.
             FrameKind::Chunk => served.chunks.push(frame.into_chunk()),
+            // Encoded chunks decode under their carried codec tag; the
+            // chunk checksum travelled verbatim, so Sigma validation
+            // (including corrupt-injection quarantine) is unchanged.
+            FrameKind::Encoded => served.chunks.push(frame.decode_encoded_chunk()?),
             FrameKind::Done => {
                 served.records = frame.b;
                 served.stats = stats;

@@ -146,7 +146,7 @@ fn send_part(
         wire_chunks.push((ci, chunk));
     }
     let shim = WireShim::new(ctx.plan, member, ctx.iteration);
-    let sender = RoundSender { addr, node: member, link, retry: ctx.retry };
+    let sender = RoundSender { addr, node: member, link, retry: ctx.retry, repr: ctx.repr };
     let report = sender.send_round(ctx.iteration as u64, &wire_chunks, 0, &shim, FrameKind::Ack)?;
     Ok(report.stats)
 }
@@ -220,6 +220,7 @@ fn serve_connection(
 mod tests {
     use super::*;
     use crate::trainer::RetryPolicy;
+    use cosmic_collectives::codec::WireRepr;
     use cosmic_sim::faults::FaultPlan;
 
     fn ctx<'a>(
@@ -228,7 +229,7 @@ mod tests {
         senders: &'a [usize],
         model_len: usize,
     ) -> RoundCtx<'a> {
-        RoundCtx { iteration: 0, model_len, plan, retry, senders }
+        RoundCtx { iteration: 0, model_len, plan, retry, senders, repr: WireRepr::DenseF64 }
     }
 
     #[test]
@@ -328,7 +329,13 @@ mod tests {
             let t = TcpTransport::bind(link).unwrap();
             t.addr()
         };
-        let sender = RoundSender { addr: dead_addr, node: 4, link: &link, retry: &retry };
+        let sender = RoundSender {
+            addr: dead_addr,
+            node: 4,
+            link: &link,
+            retry: &retry,
+            repr: WireRepr::DenseF64,
+        };
         let err =
             sender.send_round(0, &[], 0, &WireShim::transparent(), FrameKind::Ack).unwrap_err();
         match err {

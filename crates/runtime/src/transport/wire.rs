@@ -21,6 +21,8 @@ use std::error::Error;
 use std::fmt;
 use std::io::{Read, Write};
 
+use cosmic_collectives::codec::{decode_tagged, WireRepr};
+
 use crate::buffer::WordBuf;
 use crate::node::Chunk;
 
@@ -63,6 +65,13 @@ pub enum FrameKind {
     Ack = 7,
     /// Orderly teardown.
     Shutdown = 8,
+    /// One model chunk travelling in an encoded wire representation:
+    /// `a` is the word offset, `b` packs the codec tag (bits 32..40)
+    /// above the encoded byte length (bits 0..32). Payload word 0 is
+    /// the staged chunk's own FNV-1a checksum — verbatim, so
+    /// Sigma-level validation survives re-encoding — followed by the
+    /// codec bytes packed eight to a word.
+    Encoded = 9,
 }
 
 impl FrameKind {
@@ -76,6 +85,7 @@ impl FrameKind {
             6 => Ok(FrameKind::Snapshot),
             7 => Ok(FrameKind::Ack),
             8 => Ok(FrameKind::Shutdown),
+            9 => Ok(FrameKind::Encoded),
             other => Err(WireError::BadKind { found: other }),
         }
     }
@@ -133,6 +143,59 @@ impl Frame {
     /// handed to the Sigma with no refcount traffic at all.
     pub fn into_chunk(self) -> Chunk {
         Chunk { offset: self.a as usize, data: self.payload, checksum: self.b }
+    }
+
+    /// Wraps a model chunk in its encoded wire representation: the
+    /// payload carries the chunk's own checksum verbatim (word 0) and
+    /// then the codec bytes of [`WireRepr::encode_wire`] packed eight
+    /// to a word. For [`WireRepr::DenseF64`] prefer [`Frame::chunk`] —
+    /// it is the same information without the packing detour.
+    pub fn encoded_chunk(node: u32, iteration: u64, repr: WireRepr, chunk: &Chunk) -> Self {
+        let enc = repr.encode_wire(&chunk.data);
+        let mut words = Vec::with_capacity(1 + enc.bytes.len().div_ceil(8));
+        words.push(f64::from_bits(chunk.checksum));
+        for part in enc.bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..part.len()].copy_from_slice(part);
+            words.push(f64::from_bits(u64::from_le_bytes(w)));
+        }
+        Frame {
+            kind: FrameKind::Encoded,
+            node,
+            iteration,
+            a: chunk.offset as u64,
+            b: (u64::from(repr.tag()) << 32) | enc.bytes.len() as u64,
+            payload: WordBuf::from_vec(words),
+        }
+    }
+
+    /// Reconstructs the staged [`Chunk`] from an [`FrameKind::Encoded`]
+    /// frame: unpacks the codec bytes, decodes them under the carried
+    /// tag, and restores the chunk's original checksum verbatim — a
+    /// stale checksum (corrupted-in-flight chunk) travels unchanged and
+    /// still fails Sigma-side validation. Malformed codec bytes come
+    /// back as [`WireError::Protocol`].
+    pub fn decode_encoded_chunk(&self) -> Result<Chunk, WireError> {
+        if self.kind != FrameKind::Encoded {
+            return Err(WireError::Protocol {
+                detail: format!("decode_encoded_chunk on a {:?} frame", self.kind),
+            });
+        }
+        let len = (self.b & 0xFFFF_FFFF) as usize;
+        let tag = ((self.b >> 32) & 0xFF) as u8;
+        let needed = 1 + len.div_ceil(8);
+        if self.payload.len() != needed {
+            return Err(WireError::Truncated { needed, got: self.payload.len() });
+        }
+        let checksum = self.payload[0].to_bits();
+        let mut bytes = Vec::with_capacity(len.div_ceil(8) * 8);
+        for word in self.payload.iter().skip(1) {
+            bytes.extend_from_slice(&word.to_bits().to_le_bytes());
+        }
+        bytes.truncate(len);
+        let data = decode_tagged(tag, &bytes)
+            .map_err(|err| WireError::Protocol { detail: format!("encoded chunk: {err}") })?;
+        Ok(Chunk { offset: self.a as usize, data: WordBuf::from_vec(data), checksum })
     }
 
     /// Encoded size in bytes.
@@ -404,6 +467,64 @@ mod tests {
         let back = Frame::decode(&frame.encode()).map(|f| f.to_chunk());
         assert_eq!(back, Ok(corrupt.clone()));
         assert!(!corrupt.is_intact());
+    }
+
+    #[test]
+    fn encoded_chunk_frames_round_trip_under_every_repr() {
+        // Chunk data is already boundary-transformed under each repr,
+        // so the wire re-encode is lossless and the round trip is
+        // bit-exact — including the carried chunk checksum.
+        for repr in
+            [WireRepr::DenseF64, WireRepr::FixedPoint { frac_bits: 12 }, WireRepr::TopK { k: 3 }]
+        {
+            let raw: Vec<f64> = (0..37).map(|i| ((i * 31 % 19) as f64 - 9.0) / 16.0).collect();
+            let (staged, _) = repr.transform(&raw);
+            let chunk = Chunk::new(4096, staged);
+            let frame = Frame::encoded_chunk(5, 11, repr, &chunk);
+            let wired = Frame::decode(&frame.encode()).expect("well formed");
+            let back = wired.decode_encoded_chunk().expect("decodable");
+            assert_eq!(back, chunk, "{repr:?}");
+            assert!(back.is_intact(), "{repr:?}");
+        }
+    }
+
+    #[test]
+    fn encoded_frames_shrink_the_wire_for_compressed_reprs() {
+        let (staged, _) = WireRepr::TopK { k: 4 }.transform(&vec![1.0; 512]);
+        let chunk = Chunk::new(0, staged);
+        let dense = Frame::chunk(0, 0, &chunk).encoded_len();
+        let sparse = Frame::encoded_chunk(0, 0, WireRepr::TopK { k: 4 }, &chunk).encoded_len();
+        assert!(sparse < dense / 4, "sparse frame {sparse} vs dense {dense}");
+    }
+
+    #[test]
+    fn encoded_frames_preserve_a_stale_chunk_checksum() {
+        // Corrupt-injection damages the staged chunk before framing;
+        // the encoded frame itself is well formed, but the carried
+        // chunk checksum is stale and Sigma validation still rejects.
+        let corrupt = Chunk::new(0, vec![1.0, 2.0]).corrupted();
+        let frame = Frame::encoded_chunk(0, 0, WireRepr::DenseF64, &corrupt);
+        let back = Frame::decode(&frame.encode())
+            .expect("well formed")
+            .decode_encoded_chunk()
+            .expect("decodable");
+        assert!(!back.is_intact());
+    }
+
+    #[test]
+    fn malformed_encoded_payloads_are_typed_not_panics() {
+        let chunk = Chunk::new(0, vec![1.0, 2.0, 3.0]);
+        let mut frame = Frame::encoded_chunk(0, 0, WireRepr::FixedPoint { frac_bits: 8 }, &chunk);
+        // Unknown codec tag.
+        frame.b = (77u64 << 32) | (frame.b & 0xFFFF_FFFF);
+        assert!(matches!(frame.decode_encoded_chunk(), Err(WireError::Protocol { .. })));
+        // Advertised byte length disagreeing with the payload words.
+        let mut short = Frame::encoded_chunk(0, 0, WireRepr::FixedPoint { frac_bits: 8 }, &chunk);
+        short.b = (short.b & !0xFFFF_FFFFu64) | 1;
+        assert!(matches!(short.decode_encoded_chunk(), Err(WireError::Truncated { .. })));
+        // Wrong frame kind.
+        let plain = Frame::chunk(0, 0, &chunk);
+        assert!(matches!(plain.decode_encoded_chunk(), Err(WireError::Protocol { .. })));
     }
 
     #[test]

@@ -99,6 +99,17 @@ pub const FAULTS_PLANNED_FRAME_CORRUPTIONS: &str = "faults.planned.corrupt_frame
 /// Frame-delay events scheduled in a fault plan (wire-level).
 pub const FAULTS_PLANNED_DELAYS: &str = "faults.planned.delay_frames";
 
+/// Logical (dense f64) bytes entering the wire codec at the chunking
+/// boundary. Booked only when a lossy repr is active — the dense
+/// default books nothing, keeping golden exports byte-identical.
+pub const CODEC_BYTES_DENSE: &str = "codec.bytes.dense";
+/// Encoded bytes leaving the wire codec (the compressed payload).
+pub const CODEC_BYTES_WIRE: &str = "codec.bytes.wire";
+/// Values saturated (or NaN-zeroed) by fixed-point quantization.
+pub const CODEC_VALUES_CLIPPED: &str = "codec.values.clipped";
+/// Coordinates left behind by top-k sparsification.
+pub const CODEC_COORDS_DROPPED: &str = "codec.coords.dropped";
+
 /// Events processed by the discrete-event queue.
 pub const SIM_EVENTS: &str = "sim.events";
 

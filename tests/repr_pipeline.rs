@@ -1,0 +1,102 @@
+//! End-to-end contract of the representation-aware payload pipeline:
+//! lossy wire representations are deterministic per seed, agree across
+//! every collective strategy and both transports, book `codec.*`
+//! telemetry — and the dense default books none of it.
+
+use cosmic::cosmic_ml::{data, Aggregation, Algorithm};
+use cosmic::cosmic_runtime::collectives::{CollectiveKind, WireRepr};
+use cosmic::cosmic_runtime::{ClusterConfig, ClusterTrainer, TransportKind};
+use cosmic::cosmic_telemetry::TraceSink;
+
+fn config(repr: WireRepr) -> ClusterConfig {
+    ClusterConfig {
+        nodes: 4,
+        groups: 2,
+        threads_per_node: 2,
+        minibatch: 240,
+        learning_rate: 0.15,
+        epochs: 2,
+        aggregation: Aggregation::Average,
+        repr,
+        ..ClusterConfig::default()
+    }
+}
+
+fn train_model(cfg: ClusterConfig) -> Vec<u64> {
+    let alg = Algorithm::LogisticRegression { features: 6 };
+    let ds = data::generate(&alg, 960, 13);
+    let init = data::init_model(&alg, 4);
+    let trainer = ClusterTrainer::new(cfg).expect("valid config");
+    let out = trainer.train(&alg, &ds, init).expect("healthy run");
+    out.model.iter().map(|v| v.to_bits()).collect()
+}
+
+/// The collective strategy decides the wire pattern, never the
+/// arithmetic — and the codec transform happens before chunking, so
+/// the guarantee survives compression: same repr + same seed must give
+/// the same bits under all five strategies.
+#[test]
+fn fixed_point_models_are_bit_identical_across_all_five_strategies() {
+    for repr in [WireRepr::FixedPoint { frac_bits: 20 }, WireRepr::TopK { k: 8 }] {
+        let reference =
+            train_model(ClusterConfig { collective: CollectiveKind::ALL[0], ..config(repr) });
+        for kind in &CollectiveKind::ALL[1..] {
+            let got = train_model(ClusterConfig { collective: *kind, ..config(repr) });
+            assert_eq!(got, reference, "{kind} under {repr} must match {}", CollectiveKind::ALL[0]);
+        }
+    }
+}
+
+/// The wire encode is lossless re-serialization of the already
+/// boundary-transformed payload, so the discrete-event channels and the
+/// supervised TCP sockets deliver bit-identical models even for lossy
+/// representations.
+#[test]
+fn lossy_training_is_bit_identical_across_sim_and_tcp() {
+    let repr = WireRepr::FixedPoint { frac_bits: 20 };
+    let sim = train_model(ClusterConfig { transport: TransportKind::Sim, ..config(repr) });
+    let tcp = train_model(ClusterConfig { transport: TransportKind::Tcp, ..config(repr) });
+    assert_eq!(sim, tcp);
+}
+
+/// Lossy runs are reproducible end to end, and quantization stays close
+/// enough to the dense model for the run to remain a faithful training:
+/// every weight within the grid's analytic round-off envelope.
+#[test]
+fn lossy_runs_are_deterministic_and_near_the_dense_model() {
+    let repr = WireRepr::FixedPoint { frac_bits: 24 };
+    let a = train_model(config(repr));
+    let b = train_model(config(repr));
+    assert_eq!(a, b, "same repr + seed must reproduce bitwise");
+
+    let dense = train_model(config(WireRepr::DenseF64));
+    for (i, (&qa, &da)) in a.iter().zip(&dense).enumerate() {
+        let (q, d) = (f64::from_bits(qa), f64::from_bits(da));
+        assert!((q - d).abs() < 1e-3, "weight {i}: {q} vs {d}");
+    }
+}
+
+/// The `codec.*` counters book compressed traffic on lossy runs and
+/// stay entirely absent from dense runs — the telemetry half of the
+/// zero-re-bless contract.
+#[test]
+fn codec_counters_book_only_on_lossy_runs() {
+    let alg = Algorithm::LogisticRegression { features: 6 };
+    let ds = data::generate(&alg, 960, 13);
+    let init = data::init_model(&alg, 4);
+
+    let metrics = |repr: WireRepr| {
+        let sink = TraceSink::new();
+        let trainer = ClusterTrainer::new(config(repr)).expect("valid config");
+        trainer.train_traced(&alg, &ds, init.clone(), &sink).expect("healthy run");
+        sink.metrics_json()
+    };
+
+    let dense = metrics(WireRepr::DenseF64);
+    assert!(!dense.contains("codec."), "dense runs must not book codec counters: {dense}");
+
+    let lossy = metrics(WireRepr::TopK { k: 8 });
+    for counter in ["codec.bytes.dense", "codec.bytes.wire", "codec.coords.dropped"] {
+        assert!(lossy.contains(counter), "lossy run must book {counter}");
+    }
+}

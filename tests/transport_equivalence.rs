@@ -113,8 +113,14 @@ fn tcp_round_conserves_exact_frame_and_byte_counts() {
     let senders: Vec<usize> = (0..SENDERS).collect();
     let plan = FaultPlan::none();
     let retry = RetryPolicy::default();
-    let ctx =
-        RoundCtx { iteration: 0, model_len: WORDS, plan: &plan, retry: &retry, senders: &senders };
+    let ctx = RoundCtx {
+        iteration: 0,
+        model_len: WORDS,
+        plan: &plan,
+        retry: &retry,
+        senders: &senders,
+        repr: Default::default(),
+    };
 
     let transport = TcpTransport::bind(LinkConfig::default()).expect("loopback bind");
     let sigma = SigmaAggregator::new(2, 2);
